@@ -1,0 +1,53 @@
+// Ablation: load balance vs tile granularity and partition weighting
+// (Section 3.4: "While processes are not perfectly load balanced, it can
+// be improved by finer tile granularity at the cost of more
+// preprocessing").
+//
+// Measures work (nnz) imbalance of the sinogram-domain partition across
+// tile sizes and both partitioning policies, plus the preprocessing cost
+// of the finer orderings — quantifying the paper's trade-off.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dist/partition.hpp"
+#include "io/table.hpp"
+#include "perf/timer.hpp"
+
+int main() {
+  using namespace memxct;
+  const auto spec = bench::spec_for("ADS3", 1);
+  const auto g = spec.geometry();
+  const int ranks = 16;
+  std::printf("ADS3 analog (%d x %d), %d ranks\n", spec.angles, spec.channels,
+              ranks);
+
+  io::TablePrinter table("Ablation: tile granularity x partition policy");
+  table.header({"tile size", "tiles", "ordering build", "cell imbalance",
+                "nnz imbalance (cells policy)", "nnz imbalance (weighted)"});
+
+  for (const idx_t tile : {64, 32, 16, 8}) {
+    perf::WallTimer t;
+    const hilbert::Ordering sino(g.sinogram_extent(),
+                                 hilbert::CurveKind::Hilbert, tile);
+    const hilbert::Ordering tomo(g.tomogram_extent(),
+                                 hilbert::CurveKind::Hilbert, tile);
+    const double t_order = t.seconds();
+    const auto a = geometry::build_projection_matrix(g, sino, tomo);
+
+    const auto by_cells = dist::partition_by_tiles(sino, ranks);
+    const auto by_nnz = dist::partition_by_weights(
+        sino, dist::tile_nnz_weights(sino, a), ranks);
+    table.row({std::to_string(tile), std::to_string(sino.num_tiles()),
+               io::TablePrinter::time_s(t_order),
+               io::TablePrinter::num(by_cells.imbalance(), 3),
+               io::TablePrinter::num(dist::weighted_imbalance(by_cells, a), 3),
+               io::TablePrinter::num(dist::weighted_imbalance(by_nnz, a), 3)});
+  }
+  table.print();
+  table.write_csv("ablation_balance.csv");
+  std::printf(
+      "\nExpected: imbalance falls with finer tiles (the paper's remark;\n"
+      "the preprocessing cost grows with tile count at scale); nnz\n"
+      "weighting beats cell counting because edge tiles carry fewer\nnonzeros.\n");
+  return 0;
+}

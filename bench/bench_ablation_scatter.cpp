@@ -1,0 +1,63 @@
+// Ablation: scatter-race mitigation in compute-centric backprojection —
+// atomics vs domain replication (Section 2.4) vs MemXCT's gather transform.
+//
+// The paper's argument for the memory-centric design: backprojection is a
+// scatter, and both classic mitigations are costly (atomics serialize under
+// contention; replication multiplies memory and pays a reduction). The
+// gather formulation (transposed memoized matrix) avoids the race entirely.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "compxct/compxct.hpp"
+#include "io/table.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/transpose.hpp"
+
+int main() {
+  using namespace memxct;
+  const auto spec = bench::spec_for("ADS2", 1);
+  std::printf("ADS2 analog: %d x %d\n", spec.angles, spec.channels);
+  const auto g = spec.geometry();
+  const auto rays = static_cast<std::size_t>(g.sinogram_extent().size());
+  const auto pixels = static_cast<std::size_t>(g.tomogram_extent().size());
+
+  AlignedVector<real> y(rays, 1.0f);
+  AlignedVector<real> x(pixels);
+
+  const compxct::CompXctOperator replicate(g,
+                                           compxct::ScatterMode::Replicate);
+  const compxct::CompXctOperator atomic(g, compxct::ScatterMode::Atomic);
+  const double t_replicate =
+      bench::time_kernel([&] { replicate.apply_transpose(y, x); }, 3);
+  const double t_atomic =
+      bench::time_kernel([&] { atomic.apply_transpose(y, x); }, 3);
+
+  const auto a = bench::build_matrix(spec, hilbert::CurveKind::Hilbert);
+  const auto at = sparse::transpose(a);
+  // Gather path consumes ordered sinogram values; for timing, ones are
+  // order-invariant.
+  const double t_gather =
+      bench::time_kernel([&] { sparse::spmv_csr(at, y, x); }, 3);
+
+  io::TablePrinter table(
+      "Ablation: backprojection scatter strategy (Section 2.4)");
+  table.header({"strategy", "time / backprojection", "extra memory",
+                "race-free"});
+  table.row({"on-the-fly + per-thread replicas (Trace)",
+             io::TablePrinter::time_s(t_replicate),
+             "N² per thread + reduction", "by replication"});
+  table.row({"on-the-fly + atomics (cuMBIR)",
+             io::TablePrinter::time_s(t_atomic), "none",
+             "serializes on contention"});
+  table.row({"memoized gather A^T (MemXCT)",
+             io::TablePrinter::time_s(t_gather),
+             "matrix already memoized", "by construction"});
+  table.print();
+  table.write_csv("ablation_scatter.csv");
+  std::printf(
+      "\nExpected: the gather SpMV is fastest by a wide margin (no tracing,\n"
+      "no synchronization); the atomic/replicate gap depends on thread\n"
+      "count and contention (on one core, atomics cost little — on the\n"
+      "paper's 256-thread KNL they collapse).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig 5 reproduction: cache behaviour of the two XCT access patterns under
+// row-major vs pseudo-Hilbert ordering on a small 2D domain.
+//
+// One tomogram-side unit of work (a single ray) walks a line across the
+// tomogram; one sinogram-side unit (a single pixel) walks a sinusoid across
+// the sinogram. With 64 B lines (16 floats) the paper's 16x16 example gives
+// 16 misses under row-major ordering and 6-7 under Hilbert; this bench
+// regenerates those counts and the resulting miss rates.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cachesim/spmv_trace.hpp"
+#include "geometry/siddon.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using namespace memxct;
+  const idx_t n = 16;  // the paper's didactic domain size
+  const geometry::Geometry g = geometry::make_geometry(n, n);
+
+  const hilbert::Ordering tomo_rm(g.tomogram_extent(),
+                                  hilbert::CurveKind::RowMajor);
+  const hilbert::Ordering tomo_h(g.tomogram_extent(),
+                                 hilbert::CurveKind::Hilbert, 4);
+  const hilbert::Ordering sino_rm(g.sinogram_extent(),
+                                  hilbert::CurveKind::RowMajor);
+  const hilbert::Ordering sino_h(g.sinogram_extent(),
+                                 hilbert::CurveKind::Hilbert, 4);
+
+  // Tomogram footprint: a single oblique ray's pixel visits.
+  std::vector<std::pair<idx_t, real>> segments;
+  geometry::trace_ray(g, n / 3, n / 2 + 2, segments);
+  std::vector<idx_t> ray_rm, ray_h;
+  for (const auto& [pixel, len] : segments) {
+    const Cell c = row_major_cell(g.tomogram_extent(), pixel);
+    ray_rm.push_back(tomo_rm.ordered_index(c.row, c.col));
+    ray_h.push_back(tomo_h.ordered_index(c.row, c.col));
+  }
+
+  // Sinogram footprint: one tomogram pixel's sinusoid s(theta) =
+  // x cos(theta) + y sin(theta) across all projection rows.
+  std::vector<idx_t> sine_rm, sine_h;
+  const double px = 4.5 - n / 2.0, py = n / 2.0 - 2.5;
+  for (idx_t a = 0; a < g.num_angles; ++a) {
+    const double theta = g.angle(a);
+    const double s = -px * std::sin(theta) + py * std::cos(theta);
+    const idx_t channel = std::clamp<idx_t>(
+        static_cast<idx_t>(std::floor(s + n / 2.0)), 0, n - 1);
+    sine_rm.push_back(sino_rm.ordered_index(a, channel));
+    sine_h.push_back(sino_h.ordered_index(a, channel));
+  }
+
+  io::TablePrinter table("Fig 5: access footprints, 16x16 domains, 64B lines");
+  table.header({"footprint", "ordering", "accesses", "line misses",
+                "miss rate"});
+  const auto emit = [&](const char* what, const char* ord,
+                        const std::vector<idx_t>& idx) {
+    const auto stats = cachesim::footprint_misses(idx);
+    table.row({what, ord, std::to_string(stats.accesses),
+               std::to_string(stats.misses),
+               io::TablePrinter::num(100.0 * stats.miss_rate(), 0) + "%"});
+  };
+  emit("tomogram (one ray)", "row-major", ray_rm);
+  emit("tomogram (one ray)", "pseudo-Hilbert", ray_h);
+  emit("sinogram (one pixel)", "row-major", sine_rm);
+  emit("sinogram (one pixel)", "pseudo-Hilbert", sine_h);
+  table.print();
+  table.write_csv("fig5_access.csv");
+  std::printf(
+      "\nPaper reference: 16 misses (64%%/53%% rates) row-major vs 6-7 "
+      "misses\n(24%%/23%%) with Hilbert ordering.\n");
+  return 0;
+}

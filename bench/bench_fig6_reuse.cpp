@@ -1,0 +1,78 @@
+// Fig 6 reproduction: per-partition data reuse and multi-stage buffer
+// shapes on a 256x256 tomogram/sinogram pair.
+//
+// A 64x64-cell partition of one domain gathers from a compact footprint in
+// the other domain; the average reuse (accesses per distinct input element)
+// is what the input buffer converts from DRAM traffic into L1 hits, and the
+// footprint size divided by the buffer capacity gives the stage count.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_util.hpp"
+#include "common/grid.hpp"
+#include "io/table.hpp"
+#include "sparse/transpose.hpp"
+
+namespace {
+
+struct ReuseStats {
+  std::int64_t accesses = 0;
+  std::int64_t distinct = 0;
+  double average_reuse() const {
+    return distinct > 0 ? static_cast<double>(accesses) / distinct : 0.0;
+  }
+};
+
+ReuseStats partition_reuse(const memxct::sparse::CsrMatrix& m,
+                           memxct::idx_t row_begin, memxct::idx_t row_end) {
+  std::unordered_map<memxct::idx_t, memxct::idx_t> counts;
+  ReuseStats stats;
+  for (memxct::idx_t r = row_begin; r < row_end; ++r)
+    for (memxct::nnz_t k = m.displ[r]; k < m.displ[r + 1]; ++k) {
+      ++counts[m.ind[k]];
+      ++stats.accesses;
+    }
+  stats.distinct = static_cast<std::int64_t>(counts.size());
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace memxct;
+  const idx_t n = 256 / bench::env_scale();
+  const auto g = geometry::make_geometry(n, n);
+  const hilbert::Ordering sino(g.sinogram_extent(),
+                               hilbert::CurveKind::Hilbert, 64);
+  const hilbert::Ordering tomo(g.tomogram_extent(),
+                               hilbert::CurveKind::Hilbert, 64);
+  const auto a = geometry::build_projection_matrix(g, sino, tomo);
+  const auto at = sparse::transpose(a);
+
+  // One 64x64 tile of each domain (the first tile is a full square tile).
+  const idx_t part = std::min<idx_t>(64 * 64, n * n);
+  const auto fwd = partition_reuse(a, 0, part);   // sinogram partition
+  const auto bwd = partition_reuse(at, 0, part);  // tomogram partition
+
+  const idx_t buffer_elems = 32 * 1024 / sizeof(real);  // 32 KB buffer
+  io::TablePrinter table("Fig 6: partition data reuse and buffer stages");
+  table.header({"partition", "reads from", "accesses", "distinct",
+                "avg reuse", "stages (32KB buf)"});
+  table.row({"sinogram 64x64", "tomogram domain", std::to_string(fwd.accesses),
+             std::to_string(fwd.distinct),
+             io::TablePrinter::num(fwd.average_reuse(), 2),
+             std::to_string(ceil_div<idx_t>(
+                 static_cast<idx_t>(fwd.distinct), buffer_elems))});
+  table.row({"tomogram 64x64", "sinogram domain", std::to_string(bwd.accesses),
+             std::to_string(bwd.distinct),
+             io::TablePrinter::num(bwd.average_reuse(), 2),
+             std::to_string(ceil_div<idx_t>(
+                 static_cast<idx_t>(bwd.distinct), buffer_elems))});
+  table.print();
+  table.write_csv("fig6_reuse.csv");
+  std::printf(
+      "\nPaper reference: average reuse 46.63 (tomogram) / 64.73 (sinogram);\n"
+      "4 stages for projection and 3 for backprojection with a 32 KB "
+      "buffer.\n");
+  return 0;
+}

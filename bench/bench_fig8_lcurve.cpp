@@ -1,0 +1,90 @@
+// Fig 8 reproduction: L-curves of CG vs SIRT on the noisy RDS1 (shale)
+// analog, the overfitting knee, and the image-quality comparison at the
+// paper's iteration counts (30 CG vs 45 SIRT).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/reconstructor.hpp"
+#include "io/table.hpp"
+#include "phantom/phantom.hpp"
+
+int main() {
+  using namespace memxct;
+  const auto spec = bench::spec_for("RDS1", 2);
+  const auto data = phantom::generate(spec, 4, /*incident_photons=*/1e5);
+  std::printf("RDS1 analog (%d x %d), Poisson noise at 1e5 photons\n",
+              spec.angles, spec.channels);
+
+  const int max_iters = 150;  // paper plots 500; the knee appears early
+  core::Config cg_config;
+  cg_config.solver = core::SolverKind::CGLS;
+  cg_config.iterations = max_iters;
+  const core::Reconstructor recon(data.geometry, cg_config);
+  const auto cg = recon.reconstruct(data.sinogram);
+
+  core::Config sirt_config;
+  sirt_config.solver = core::SolverKind::SIRT;
+  sirt_config.iterations = max_iters;
+  const core::Reconstructor sirt_recon(data.geometry, sirt_config);
+  const auto sirt = sirt_recon.reconstruct(data.sinogram);
+
+  io::TablePrinter lcurve("Fig 8(a): L-curve samples (residual, solution)");
+  lcurve.header({"iteration", "CG residual", "CG ||x||", "SIRT residual",
+                 "SIRT ||x||"});
+  for (const int it : {1, 2, 5, 10, 20, 30, 50, 100, max_iters - 1}) {
+    const auto pick = [&](const solve::SolveResult& r) {
+      for (const auto& rec : r.history)
+        if (rec.iteration >= it) return rec;
+      return r.history.back();
+    };
+    const auto c = pick(cg.solve);
+    const auto s = pick(sirt.solve);
+    lcurve.row({std::to_string(it), io::TablePrinter::num(c.residual_norm, 3),
+                io::TablePrinter::num(c.solution_norm, 3),
+                io::TablePrinter::num(s.residual_norm, 3),
+                io::TablePrinter::num(s.solution_norm, 3)});
+  }
+  lcurve.print();
+
+  // Full curves to CSV for plotting.
+  io::TablePrinter csv("Fig 8 full L-curves");
+  csv.header({"iteration", "cg_residual", "cg_norm", "sirt_residual",
+              "sirt_norm"});
+  for (std::size_t i = 0;
+       i < cg.solve.history.size() && i < sirt.solve.history.size(); ++i)
+    csv.row({std::to_string(i),
+             io::TablePrinter::num(cg.solve.history[i].residual_norm, 5),
+             io::TablePrinter::num(cg.solve.history[i].solution_norm, 5),
+             io::TablePrinter::num(sirt.solve.history[i].residual_norm, 5),
+             io::TablePrinter::num(sirt.solve.history[i].solution_norm, 5)});
+  csv.write_csv("fig8_lcurve.csv");
+
+  // Reconstruction quality at the paper's operating points: the knee story
+  // — RMSE vs ground truth is best near 30 CG iterations and degrades
+  // beyond (noise overfitting), while SIRT at 45 is still behind.
+  io::TablePrinter quality("Fig 8(b)-(d): image quality at operating points");
+  quality.header({"configuration", "rmse vs ground truth"});
+  const auto rmse_at = [&](core::SolverKind solver, int iters) {
+    core::Config config;
+    config.solver = solver;
+    config.iterations = iters;
+    const core::Reconstructor r(data.geometry, config);
+    return phantom::rmse(r.reconstruct(data.sinogram).image, data.image);
+  };
+  quality.row({"CG, 10 iterations (pre-knee)",
+               io::TablePrinter::num(rmse_at(core::SolverKind::CGLS, 10), 4)});
+  quality.row({"CG, 30 iterations (paper's choice)",
+               io::TablePrinter::num(rmse_at(core::SolverKind::CGLS, 30), 4)});
+  quality.row({"CG, 150 iterations (overfit)",
+               io::TablePrinter::num(phantom::rmse(cg.image, data.image), 4)});
+  quality.row({"SIRT, 45 iterations (Trace's setting)",
+               io::TablePrinter::num(rmse_at(core::SolverKind::SIRT, 45), 4)});
+  quality.row({"SIRT, 150 iterations",
+               io::TablePrinter::num(phantom::rmse(sirt.image, data.image),
+                                     4)});
+  quality.print();
+  std::printf(
+      "\nPaper reference: CG overfits soon after ~30 iterations; SIRT does "
+      "not\nconverge even at 500. Expect CG@30 to have the lowest RMSE.\n");
+  return 0;
+}

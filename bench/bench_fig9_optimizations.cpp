@@ -1,0 +1,145 @@
+// Fig 9 reproduction: the three-level optimization study — baseline,
+// pseudo-Hilbert ordering, multi-stage buffering — on ADS1 through ADS4.
+//
+// Three views are generated:
+//   (a)-style: measured host GFLOPS per optimization level (forward
+//       projection; the backprojection matrix behaves symmetrically);
+//   (b)-style: L2 miss rates of the irregular gather stream, from the
+//       cache simulator with a KNL-like per-core hierarchy;
+//   (c)-style: regular-data bandwidth utilization;
+//   (d)-(f)-style: modeled device GFLOPS for KNL and the three GPU
+//       generations, driven by the measured per-FMA byte costs, the
+//       simulated miss rates, and each dataset's paper-scale MCDRAM fit.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cachesim/spmv_trace.hpp"
+#include "io/table.hpp"
+#include "perf/machine_model.hpp"
+#include "sparse/buffered.hpp"
+#include "sparse/spmv.hpp"
+
+int main() {
+  using namespace memxct;
+  struct Result {
+    std::string name;
+    double gflops[3];       // host measured per level
+    double miss_rate[2];    // baseline, hilbert (buffered stages from L1)
+    double bandwidth[3];    // effective GB/s per level
+    perf::KernelWork work[3];
+    bool paper_fits_mcdram;
+  };
+  std::vector<Result> results;
+
+  for (const auto& name : {"ADS1", "ADS2", "ADS3", "ADS4"}) {
+    const auto spec = bench::spec_for(name, 1);
+    Result res;
+    res.name = name;
+    // Paper-scale regular bytes decide the MCDRAM fit in Fig 9: ADS1/ADS2
+    // fit in 16 GB, ADS3/ADS4 do not.
+    const double paper_nnz = static_cast<double>(spec.paper_angles) *
+                             spec.paper_channels * spec.paper_channels * 1.4;
+    res.paper_fits_mcdram = paper_nnz * 8.0 < 16.0 * (1ull << 30);
+
+    AlignedVector<real> x, y;
+    {
+      const auto natural =
+          bench::build_matrix(spec, hilbert::CurveKind::RowMajor);
+      x.assign(static_cast<std::size_t>(natural.num_cols), 1.0f);
+      y.assign(static_cast<std::size_t>(natural.num_rows), 0.0f);
+      res.work[0] = sparse::csr_work(natural);
+      const double t =
+          bench::time_kernel([&] { sparse::spmv_csr(natural, x, y); });
+      res.gflops[0] = res.work[0].gflops(t);
+      res.bandwidth[0] = res.work[0].bandwidth_gbs(t);
+      auto hierarchy = cachesim::knl_core_hierarchy();
+      res.miss_rate[0] =
+          cachesim::replay_gather_stream(natural, hierarchy, 4096)
+              .l2_miss_rate();
+    }
+    {
+      const auto ordered =
+          bench::build_matrix(spec, hilbert::CurveKind::Hilbert);
+      res.work[1] = sparse::csr_work(ordered);
+      const double t =
+          bench::time_kernel([&] { sparse::spmv_csr(ordered, x, y); });
+      res.gflops[1] = res.work[1].gflops(t);
+      res.bandwidth[1] = res.work[1].bandwidth_gbs(t);
+      auto hierarchy = cachesim::knl_core_hierarchy();
+      res.miss_rate[1] =
+          cachesim::replay_gather_stream(ordered, hierarchy, 4096)
+              .l2_miss_rate();
+
+      const auto buffered = sparse::build_buffered(ordered, {128, 4096});
+      res.work[2] = sparse::buffered_work(buffered);
+      const double tb =
+          bench::time_kernel([&] { sparse::spmv_buffered(buffered, x, y); });
+      res.gflops[2] = res.work[2].gflops(tb);
+      res.bandwidth[2] = res.work[2].bandwidth_gbs(tb);
+    }
+    results.push_back(std::move(res));
+  }
+
+  const char* levels[3] = {"baseline", "pseudo-Hilbert", "multi-stage buf"};
+
+  io::TablePrinter host("Fig 9(a)-style: measured host GFLOPS");
+  host.header({"dataset", levels[0], levels[1], levels[2],
+               "buffered speedup"});
+  for (const auto& r : results)
+    host.row({r.name, io::TablePrinter::num(r.gflops[0], 2),
+              io::TablePrinter::num(r.gflops[1], 2),
+              io::TablePrinter::num(r.gflops[2], 2),
+              io::TablePrinter::num(r.gflops[2] / r.gflops[0], 2) + "x"});
+  host.print();
+
+  io::TablePrinter miss("Fig 9(b): simulated L2 miss rate of gather stream");
+  miss.header({"dataset", "baseline", "pseudo-Hilbert"});
+  for (const auto& r : results)
+    miss.row({r.name,
+              io::TablePrinter::num(100.0 * r.miss_rate[0], 1) + "%",
+              io::TablePrinter::num(100.0 * r.miss_rate[1], 1) + "%"});
+  miss.print();
+
+  io::TablePrinter bw("Fig 9(c): effective regular-data bandwidth (GB/s)");
+  bw.header({"dataset", levels[0], levels[1], levels[2]});
+  for (const auto& r : results)
+    bw.row({r.name, io::TablePrinter::num(r.bandwidth[0], 2),
+            io::TablePrinter::num(r.bandwidth[1], 2),
+            io::TablePrinter::num(r.bandwidth[2], 2)});
+  bw.print();
+
+  for (const auto& machine_name :
+       {"Theta", "Cooley", "Minsky", "DGX-1"}) {
+    const auto& m = perf::machine(machine_name);
+    io::TablePrinter dev(std::string("Fig 9 modeled GFLOPS: ") +
+                         perf::to_string(m.device) + " (" + machine_name +
+                         ")");
+    dev.header({"dataset", levels[0], levels[1], levels[2]});
+    for (const auto& r : results) {
+      // GPUs always run from device memory; KNL fit follows paper scale.
+      const bool fits =
+          m.device == perf::DeviceKind::KNL ? r.paper_fits_mcdram : true;
+      std::vector<std::string> row{r.name};
+      const perf::OptLevel opt_levels[3] = {
+          perf::OptLevel::Baseline, perf::OptLevel::HilbertOrdered,
+          perf::OptLevel::MultiStageBuffered};
+      for (int l = 0; l < 3; ++l) {
+        const double miss_for_level = l == 0 ? r.miss_rate[0] : 0.0;
+        const double t = perf::modeled_kernel_seconds(
+            m, r.work[l], opt_levels[l], fits, miss_for_level);
+        row.push_back(io::TablePrinter::num(r.work[l].gflops(t), 1));
+      }
+      dev.row(std::move(row));
+    }
+    dev.print();
+  }
+
+  std::printf(
+      "\nPaper reference shapes: KNL baseline GFLOPS *drops* with dataset\n"
+      "size (latency-bound); Hilbert ordering recovers bandwidth-bound\n"
+      "performance (ADS1/2 at MCDRAM speed, ADS3/4 at DRAM speed);\n"
+      "buffering adds ~25%% via 16-bit addressing. GPU gains shrink with\n"
+      "larger L2 (K80 1.93x -> V100 1.03x for ordering).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig 9(b) at TRUE paper scale: L2 miss rates of the gather stream for
+// ADS1-ADS4 at their full published dimensions.
+//
+// The matrix itself would occupy up to 90 GB, but the miss rate depends
+// only on the address stream, which the tracer generates on the fly
+// (cachesim::replay_projection_stream). This is the closest achievable
+// stand-in for the paper's VTune measurements: same dimensions, same
+// ordering, same per-core cache budget, sampled ray blocks.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cachesim/projection_trace.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using namespace memxct;
+  io::TablePrinter table(
+      "Fig 9(b) at paper scale: simulated L2 miss rate (KNL core caches)");
+  table.header({"dataset", "paper MxN", "row-major (baseline)",
+                "pseudo-Hilbert", "reduction"});
+
+  for (const auto& name : {"ADS1", "ADS2", "ADS3", "ADS4"}) {
+    const auto& base = phantom::dataset(name);
+    // True paper dimensions (scaled down only by MEMXCT_BENCH_SCALE).
+    const auto spec = base.scaled_by(bench::env_scale());
+    const auto g = spec.geometry();
+    const idx_t sample = 8192;
+
+    const hilbert::Ordering sino_rm(g.sinogram_extent(),
+                                    hilbert::CurveKind::RowMajor);
+    const hilbert::Ordering tomo_rm(g.tomogram_extent(),
+                                    hilbert::CurveKind::RowMajor);
+    auto h_rm = cachesim::knl_core_hierarchy();
+    const auto rm = cachesim::replay_projection_stream(g, sino_rm, tomo_rm,
+                                                       h_rm, sample);
+
+    const hilbert::Ordering sino_h(g.sinogram_extent(),
+                                   hilbert::CurveKind::Hilbert);
+    const hilbert::Ordering tomo_h(g.tomogram_extent(),
+                                   hilbert::CurveKind::Hilbert);
+    auto h_h = cachesim::knl_core_hierarchy();
+    const auto hil = cachesim::replay_projection_stream(g, sino_h, tomo_h,
+                                                        h_h, sample);
+
+    table.row({name,
+               std::to_string(spec.angles) + "x" + std::to_string(spec.channels),
+               io::TablePrinter::num(100.0 * rm.l2_miss_rate(), 1) + "%",
+               io::TablePrinter::num(100.0 * hil.l2_miss_rate(), 1) + "%",
+               io::TablePrinter::num(
+                   rm.l2_miss_rate() / std::max(hil.l2_miss_rate(), 1e-9),
+                   1) +
+                   "x"});
+  }
+  table.print();
+  table.write_csv("fig9b_paper_scale.csv");
+  std::printf(
+      "\nPaper reference (VTune, Fig 9(b)): baseline miss rates grow with\n"
+      "dataset size into the tens of percent; Hilbert ordering cuts them\n"
+      "several-fold, more so for the large datasets.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// GPU-layout evidence for Section 3.1.4 and Section 3.3: memory
+// transaction counts and shared-memory bank behaviour of the MemXCT GPU
+// kernels, computed exactly from the data structures by the SIMT model.
+//
+// Backs two paper claims with numbers this host cannot time directly:
+//   1. "Transposed ELL data structures provide coalesced memory access
+//      through consecutive threads accessing consecutive memory" — compare
+//      transactions per warp step, column-major vs row-major lane order;
+//   2. the input buffer "allocated through CUDA shared memory" is usable
+//      without serialization — bank conflict degrees of the compute phase.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "io/table.hpp"
+#include "simt/kernel_analysis.hpp"
+#include "sparse/buffered.hpp"
+#include "sparse/ell.hpp"
+
+int main() {
+  using namespace memxct;
+  const auto spec = bench::spec_paper_over("ADS2", 2);
+  std::printf("ADS2 analog: %d x %d\n", spec.angles, spec.channels);
+
+  io::TablePrinter ell_table(
+      "ELL SpMV global-memory transactions per warp step (Section 3.1.4)");
+  ell_table.header({"ordering", "lane order", "stream (ind+val)/2",
+                    "x gather"});
+  for (const auto kind :
+       {hilbert::CurveKind::RowMajor, hilbert::CurveKind::Hilbert}) {
+    const auto a = bench::build_matrix(spec, kind);
+    const auto ell = sparse::to_ell_block(a, 64);
+    for (const auto lanes :
+         {simt::EllLaneOrder::ColumnMajor, simt::EllLaneOrder::RowMajor}) {
+      const auto report = simt::analyze_ell_spmv(ell, lanes, {}, 64);
+      ell_table.row(
+          {to_string(kind),
+           lanes == simt::EllLaneOrder::ColumnMajor ? "column-major (MemXCT)"
+                                                    : "row-major (naive)",
+           io::TablePrinter::num(report.stream_per_step(), 2),
+           io::TablePrinter::num(report.gather_per_step(), 2)});
+    }
+  }
+  ell_table.print();
+  ell_table.write_csv("gpu_coalescing_ell.csv");
+
+  io::TablePrinter buf_table(
+      "Buffered kernel: staging coalescing + shared-memory banks "
+      "(Section 3.3)");
+  buf_table.header({"ordering", "staging txn/step", "conflict steps",
+                    "mean degree", "max degree"});
+  for (const auto kind :
+       {hilbert::CurveKind::RowMajor, hilbert::CurveKind::Hilbert}) {
+    const auto a = bench::build_matrix(spec, kind);
+    const auto bm = sparse::build_buffered(a, {512, 12288});  // 48 KB smem
+    const auto report = simt::analyze_buffered_spmv(bm, {}, 32);
+    buf_table.row(
+        {to_string(kind), io::TablePrinter::num(report.staging_per_step(), 2),
+         io::TablePrinter::num(
+             100.0 * static_cast<double>(report.bank_conflict_steps) /
+                 std::max<std::int64_t>(1, report.compute_warp_steps),
+             1) + "%",
+         io::TablePrinter::num(report.mean_conflict_degree, 2),
+         io::TablePrinter::num(report.max_conflict_degree, 0)});
+  }
+  buf_table.print();
+  buf_table.write_csv("gpu_coalescing_buffered.csv");
+  std::printf(
+      "\nExpected: column-major lane order ~1 stream transaction/step vs 32\n"
+      "for row-major (the Section 3.1.4 coalescing claim); Hilbert ordering\n"
+      "cuts the x-gather transactions severalfold. Staging is coalesced\n"
+      "under either ordering (map holds sorted distinct columns), but\n"
+      "Hilbert's compact footprints lower the shared-memory conflict\n"
+      "degree of the compute phase.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// google-benchmark microbenchmarks of the SpMV kernel flavours and the
+// preprocessing stages, on the ADS2 analog. Complements the paper-table
+// benches with statistically robust per-kernel timings.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "sparse/buffered.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/transpose.hpp"
+
+namespace {
+
+using namespace memxct;
+
+// Shared fixtures, built once (google-benchmark re-enters main loops).
+struct Fixtures {
+  sparse::CsrMatrix natural;
+  sparse::CsrMatrix ordered;
+  sparse::BufferedMatrix buffered;
+  sparse::EllBlockMatrix ell;
+  AlignedVector<real> x, y;
+
+  Fixtures() {
+    const auto spec = bench::spec_paper_over("ADS2", 2);
+    natural = bench::build_matrix(spec, hilbert::CurveKind::RowMajor);
+    ordered = bench::build_matrix(spec, hilbert::CurveKind::Hilbert);
+    buffered = sparse::build_buffered(ordered, {128, 4096});
+    ell = sparse::to_ell_block(ordered, 64);
+    x.assign(static_cast<std::size_t>(natural.num_cols), 1.0f);
+    y.assign(static_cast<std::size_t>(natural.num_rows), 0.0f);
+  }
+};
+
+Fixtures& fixtures() {
+  static Fixtures f;
+  return f;
+}
+
+void set_counters(benchmark::State& state, const perf::KernelWork& work) {
+  state.counters["GFLOPS"] = benchmark::Counter(
+      work.flops(), benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["regularGB/s"] = benchmark::Counter(
+      work.regular_bytes(), benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+void BM_SpmvLibrary(benchmark::State& state) {
+  auto& f = fixtures();
+  for (auto _ : state) sparse::spmv_library(f.natural, f.x, f.y);
+  set_counters(state, sparse::csr_work(f.natural));
+}
+BENCHMARK(BM_SpmvLibrary);
+
+void BM_SpmvBaseline(benchmark::State& state) {
+  auto& f = fixtures();
+  for (auto _ : state) sparse::spmv_csr(f.natural, f.x, f.y);
+  set_counters(state, sparse::csr_work(f.natural));
+}
+BENCHMARK(BM_SpmvBaseline);
+
+void BM_SpmvHilbertOrdered(benchmark::State& state) {
+  auto& f = fixtures();
+  for (auto _ : state) sparse::spmv_csr(f.ordered, f.x, f.y);
+  set_counters(state, sparse::csr_work(f.ordered));
+}
+BENCHMARK(BM_SpmvHilbertOrdered);
+
+void BM_SpmvBuffered(benchmark::State& state) {
+  auto& f = fixtures();
+  for (auto _ : state) sparse::spmv_buffered(f.buffered, f.x, f.y);
+  set_counters(state, sparse::buffered_work(f.buffered));
+}
+BENCHMARK(BM_SpmvBuffered);
+
+void BM_SpmvEllBlock(benchmark::State& state) {
+  auto& f = fixtures();
+  for (auto _ : state) sparse::spmv_ell(f.ell, f.x, f.y);
+  set_counters(state, sparse::ell_work(f.ell));
+}
+BENCHMARK(BM_SpmvEllBlock);
+
+void BM_ScanTranspose(benchmark::State& state) {
+  auto& f = fixtures();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sparse::transpose(f.ordered));
+}
+BENCHMARK(BM_ScanTranspose)->Unit(benchmark::kMillisecond);
+
+void BM_BuildBuffered(benchmark::State& state) {
+  auto& f = fixtures();
+  const sparse::BufferConfig config{static_cast<idx_t>(state.range(0)), 4096};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sparse::build_buffered(f.ordered, config));
+}
+BENCHMARK(BM_BuildBuffered)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Solver-family convergence study (Section 3.5.2): CG vs SIRT vs GD vs
+// SGD (randomized Kaczmarz) vs ICD on the same memoized matrices.
+//
+// All five schemes cost on the order of one pass over the nonzeros per
+// iteration/epoch/sweep; the paper picks CG because it needs the fewest
+// passes ("faster convergence rate than any of them, at a higher
+// per-iteration cost"). This bench measures passes-to-target and wall time
+// for each scheme on a noisy RDS1 analog.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "io/table.hpp"
+#include "phantom/phantom.hpp"
+#include "solve/cgls.hpp"
+#include "solve/gd.hpp"
+#include "solve/icd.hpp"
+#include "solve/sgd.hpp"
+#include "solve/sirt.hpp"
+#include "solve/vector_ops.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/transpose.hpp"
+
+namespace {
+
+using namespace memxct;
+
+class Op final : public solve::LinearOperator {
+ public:
+  Op(const sparse::CsrMatrix& a, const sparse::CsrMatrix& at)
+      : a_(a), at_(at) {}
+  idx_t num_rows() const override { return a_.num_rows; }
+  idx_t num_cols() const override { return a_.num_cols; }
+  void apply(std::span<const real> x, std::span<real> y) const override {
+    sparse::spmv_csr(a_, x, y);
+  }
+  void apply_transpose(std::span<const real> y,
+                       std::span<real> x) const override {
+    sparse::spmv_csr(at_, y, x);
+  }
+
+ private:
+  const sparse::CsrMatrix& a_;
+  const sparse::CsrMatrix& at_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace memxct;
+  const auto spec = bench::spec_for("RDS1", 4);
+  const auto data = phantom::generate(spec, 4, 1e5);
+  std::printf("RDS1 analog (%d x %d), noisy\n", spec.angles, spec.channels);
+
+  const auto g = spec.geometry();
+  const hilbert::Ordering sino(g.sinogram_extent(),
+                               hilbert::CurveKind::Hilbert);
+  const hilbert::Ordering tomo(g.tomogram_extent(),
+                               hilbert::CurveKind::Hilbert);
+  const auto a = geometry::build_projection_matrix(g, sino, tomo);
+  const auto at = sparse::transpose(a);
+  const Op op(a, at);
+
+  // Ordered measurement vector.
+  AlignedVector<real> y(data.sinogram.size());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] = data.sinogram[static_cast<std::size_t>(sino.to_grid()[i])];
+
+  const int budget = 60;
+  const double target = 0.02 * solve::norm2(y);
+  const auto passes_to = [&](const std::vector<solve::IterationRecord>& h) {
+    for (const auto& rec : h)
+      if (rec.residual_norm < target) return rec.iteration;
+    return -1;
+  };
+
+  io::TablePrinter table(
+      "Solver family on the memoized operator (Section 3.5.2)");
+  table.header({"solver", "passes to 2% residual", "final residual",
+                "time / pass"});
+  const auto emit = [&](const char* name, const solve::SolveResult& r) {
+    const int passes = passes_to(r.history);
+    table.row({name, passes < 0 ? "> " + std::to_string(budget)
+                                : std::to_string(passes),
+               io::TablePrinter::num(r.history.back().residual_norm, 2),
+               io::TablePrinter::time_s(r.per_iteration_s)});
+  };
+  emit("CG (CGLS)", solve::cgls(op, y, {.max_iterations = budget}));
+  emit("SIRT", solve::sirt(op, y, {.max_iterations = budget}));
+  emit("GD (steepest descent)",
+       solve::gradient_descent(op, y, {.max_iterations = budget}));
+  emit("SGD (randomized Kaczmarz)", solve::sgd(a, y, {.epochs = budget}));
+  emit("ICD (coordinate descent)", solve::icd(a, at, y, {.sweeps = budget}));
+  table.print();
+  table.write_csv("solver_convergence.csv");
+  std::printf(
+      "\nExpected: CG dominates the full-gradient methods (SIRT, GD) on\n"
+      "passes — the paper's three reasons: full gradient, analytic step\n"
+      "size, conjugate directions — and reaches the lowest final residual.\n"
+      "Row/coordinate-action methods (SGD, ICD) can descend quickly per\n"
+      "pass but each pass is inherently sequential (note time/pass), which\n"
+      "is why the massively parallel setting favours CG.\n");
+  return 0;
+}

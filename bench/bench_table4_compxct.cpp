@@ -1,0 +1,69 @@
+// Table 4 reproduction: MemXCT vs the compute-centric approach (Trace),
+// both running 45 SIRT iterations on the ADS2 and RDS1 analogs.
+//
+// The compute-centric path re-traces every ray on every projection (the
+// Listing 1 pattern); MemXCT pays a one-time preprocessing cost and then
+// runs pure SpMV. Dataset analogs here use an extra divisor so the
+// deliberately slow CompXCT runs finish in seconds; the *ratio* is the
+// reproduction target (paper: 49.2x when the matrix fits in fast memory,
+// 6.86x when it spills).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "compxct/compxct.hpp"
+#include "core/reconstructor.hpp"
+#include "io/table.hpp"
+#include "solve/sirt.hpp"
+
+int main() {
+  using namespace memxct;
+  io::TablePrinter table(
+      "Table 4: comparison with compute-centric approach (45 SIRT iters)");
+  table.header({"dataset", "approach", "preproc", "reconst", "per-iter",
+                "speedup"});
+
+  for (const auto& [name, extra_div] :
+       {std::pair<const char*, idx_t>{"ADS2", 1},
+        std::pair<const char*, idx_t>{"RDS1", 2}}) {
+    const auto spec = bench::spec_for(name, extra_div);
+    const auto data = phantom::generate(spec, 4);
+
+    // Trace-like CompXCT: no preprocessing, on-the-fly tracing, per-thread
+    // domain duplication for backprojection.
+    const compxct::CompXctOperator trace_op(data.geometry,
+                                            compxct::ScatterMode::Replicate);
+    perf::WallTimer t;
+    const auto trace_result =
+        solve::sirt(trace_op, data.sinogram, {.max_iterations = 45});
+    const double trace_total = t.seconds();
+
+    // MemXCT: preprocessing + buffered-kernel SIRT.
+    core::Config config;
+    config.solver = core::SolverKind::SIRT;
+    config.iterations = 45;
+    t.reset();
+    const core::Reconstructor recon(data.geometry, config);
+    const double preproc = t.seconds();
+    t.reset();
+    const auto mem_result = recon.reconstruct(data.sinogram);
+    const double mem_total = t.seconds();
+
+    const double speedup =
+        trace_result.per_iteration_s / mem_result.solve.per_iteration_s;
+    table.row({std::string(name) + " (" + std::to_string(spec.angles) + "x" +
+                   std::to_string(spec.channels) + ")",
+               "Trace (CompXCT)", "N/A",
+               io::TablePrinter::time_s(trace_total),
+               io::TablePrinter::time_s(trace_result.per_iteration_s), "1x"});
+    table.row({"", "MemXCT", io::TablePrinter::time_s(preproc),
+               io::TablePrinter::time_s(mem_total),
+               io::TablePrinter::time_s(mem_result.solve.per_iteration_s),
+               io::TablePrinter::num(speedup, 2) + "x"});
+  }
+  table.print();
+  table.write_csv("table4_compxct.csv");
+  std::printf(
+      "\nPaper reference: 49.2x (ADS2, fits MCDRAM) and 6.86x (RDS1, "
+      "DRAM-bound) per-iteration speedups.\n");
+  return 0;
+}

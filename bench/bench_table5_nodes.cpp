@@ -1,0 +1,122 @@
+// Table 5 reproduction: RDS1 reconstruction across node counts and
+// machines, with preprocessing/reconstruction speedups and the all-slices
+// projection.
+//
+// The distributed solve is *executed* at working scale so communication
+// volumes and load balance are real; kernel and network times are then
+// modeled at PAPER scale (1501x2048) on each Table 2 machine, because the
+// paper's headline effect — super-linear speedup when the per-node matrix
+// drops into 16 GB MCDRAM — only exists at paper-scale footprints
+// (RDS1's matrix is 2x56 GB). Extrapolation factors: nonzeros scale with
+// M·N² (measured density is geometric), communication volume with M·N·√P
+// (validated by bench_table1), preprocessing with nonzeros and is
+// ray-parallel across nodes (Section 3.5).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/reconstructor.hpp"
+#include "io/table.hpp"
+#include "perf/network_model.hpp"
+
+int main() {
+  using namespace memxct;
+  const auto spec = bench::spec_for("RDS1", 2);
+  const auto data = phantom::generate(spec, 4);
+  const int iterations = 30;
+
+  // Measured single-node host preprocessing + matrix density at working
+  // scale.
+  perf::WallTimer t;
+  const core::Reconstructor serial(data.geometry, core::Config{});
+  const double preproc_host = t.seconds();
+  const double work_nnz =
+      static_cast<double>(serial.preprocess_report().nnz);
+
+  // Paper-scale extrapolation.
+  const double paper_m = spec.paper_angles, paper_n = spec.paper_channels;
+  const double scale_nnz = (paper_m / spec.angles) *
+                           (paper_n / spec.channels) *
+                           (paper_n / spec.channels);
+  const double paper_nnz = work_nnz * scale_nnz;
+  const double comm_scale =
+      (paper_m * paper_n) / (static_cast<double>(spec.angles) * spec.channels);
+  const double preproc_paper_1node = preproc_host * scale_nnz;
+
+  struct Row {
+    int nodes;
+    const char* machine;
+  };
+  const Row rows[] = {{1, "Theta"},      {8, "Theta"},  {8, "Cooley"},
+                      {32, "BlueWaters"}, {32, "Theta"}, {32, "Cooley"}};
+
+  io::TablePrinter table(
+      "Table 5: RDS1 (paper-scale model) on various nodes-machines, 30 CG");
+  table.header({"nodes-machine", "fits on-chip", "preproc", "pre.speed",
+                "recon", "rec.speed", "all slices"});
+
+  double recon_1 = 0.0;
+  for (const auto& row : rows) {
+    const auto& machine = perf::machine(row.machine);
+    const int devices = row.nodes * machine.devices_per_node;
+
+    // Execute the working-scale distributed solve for real comm volumes.
+    core::Config config;
+    config.num_ranks = devices;
+    config.force_distributed = true;
+    config.machine = row.machine;
+    config.iterations = 1;
+    const core::Reconstructor recon(data.geometry, config);
+    (void)recon.reconstruct(data.sinogram);
+    std::int64_t measured_bytes = 0, measured_msgs = 0;
+    for (int r = 0; r < devices; ++r) {
+      measured_bytes = std::max(
+          measured_bytes, recon.dist_op()->rank_comm_stats(r).bytes_sent);
+      measured_msgs = std::max(
+          measured_msgs, recon.dist_op()->rank_comm_stats(r).messages_sent);
+    }
+
+    // Paper-scale per-device kernel model.
+    perf::KernelWork work;
+    work.nnz = static_cast<nnz_t>(paper_nnz / devices);
+    work.bytes_per_fma = perf::RegularBytes::kBuffered;
+    const double bytes_per_device =
+        paper_nnz / devices * (sizeof(buf_idx_t) + sizeof(real)) * 2.0;
+    const bool fits = bytes_per_device <=
+                      machine.onchip_mem_gib * 0.9 * (1ull << 30);
+    const double kernel_s = perf::modeled_kernel_seconds(
+        machine, work, perf::OptLevel::MultiStageBuffered, fits);
+
+    // Paper-scale communication: measured volumes scaled by the M·N ratio.
+    perf::CommStats stats;
+    stats.bytes_sent = static_cast<std::int64_t>(
+        static_cast<double>(measured_bytes) * comm_scale /
+        recon.dist_op()->kernel_times().applies);
+    stats.bytes_received = stats.bytes_sent;
+    stats.messages_sent = measured_msgs;
+    stats.messages_received = measured_msgs;
+    const double comm_s = perf::alltoallv_seconds(machine, stats);
+
+    const double recon_s = iterations * 2.0 * (kernel_s + comm_s);
+    if (row.nodes == 1) recon_1 = recon_s;
+    const double preproc_s = preproc_paper_1node / row.nodes;
+    const double all_slices = recon_s * paper_n;
+
+    table.row({std::to_string(row.nodes) + "-" + row.machine,
+               fits ? "yes" : "no", io::TablePrinter::time_s(preproc_s),
+               io::TablePrinter::num(preproc_paper_1node / preproc_s, 2) + "x",
+               io::TablePrinter::time_s(recon_s),
+               recon_1 > 0 ? io::TablePrinter::num(recon_1 / recon_s, 1) + "x"
+                           : "1x",
+               all_slices > 3600
+                   ? io::TablePrinter::num(all_slices / 3600, 2) + " h"
+                   : io::TablePrinter::time_s(all_slices)});
+  }
+  table.print();
+  table.write_csv("table5_nodes.csv");
+  std::printf(
+      "\nPaper reference: 1-Theta 63.3 s recon (1.44 d all slices); 8-Theta\n"
+      "19x super-linear (matrix drops into MCDRAM — the 'fits' column\n"
+      "flips); 32 nodes of all machines land within ~1 h for all slices.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 6 reproduction: MemXCT kernels vs general-purpose library SpMV for
+// ADS2.
+//
+// The "library" stand-ins are a general CSR kernel (MKL role, statically
+// scheduled, no app-specific layout) and a matrix-level padded ELL kernel
+// (cuSPARSE role), both fed the natural-order matrix. MemXCT rows show the
+// paper's progression: tuned baseline on the natural matrix, pseudo-Hilbert
+// ordering, then multi-stage buffering.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "io/table.hpp"
+#include "sparse/buffered.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/spmv.hpp"
+
+int main() {
+  using namespace memxct;
+  const auto spec = bench::spec_paper_over("ADS2", 2);
+  std::printf("ADS2 analog: %d x %d\n", spec.angles, spec.channels);
+
+  const auto natural =
+      bench::build_matrix(spec, hilbert::CurveKind::RowMajor);
+  const auto ordered = bench::build_matrix(spec, hilbert::CurveKind::Hilbert);
+
+  AlignedVector<real> x(static_cast<std::size_t>(natural.num_cols), 1.0f);
+  AlignedVector<real> y(static_cast<std::size_t>(natural.num_rows));
+
+  // CPU-side comparison (MKL role).
+  const double t_library =
+      bench::time_kernel([&] { sparse::spmv_library(natural, x, y); });
+  const double t_baseline =
+      bench::time_kernel([&] { sparse::spmv_csr(natural, x, y); });
+  const double t_hilbert =
+      bench::time_kernel([&] { sparse::spmv_csr(ordered, x, y); });
+  const auto buffered = sparse::build_buffered(ordered, {128, 4096});
+  const double t_buffered =
+      bench::time_kernel([&] { sparse::spmv_buffered(buffered, x, y); });
+
+  // GPU-layout comparison (cuSPARSE role): matrix-level vs partition-level
+  // padded ELL on the same ordered matrix.
+  const auto ell_matrix = sparse::to_ell_matrix(ordered);
+  const auto ell_block = sparse::to_ell_block(ordered, 64);
+  const double t_ell_matrix =
+      bench::time_kernel([&] { sparse::spmv_ell(ell_matrix, x, y); });
+  const double t_ell_block =
+      bench::time_kernel([&] { sparse::spmv_ell(ell_block, x, y); });
+
+  io::TablePrinter table("Table 6: comparison with library SpMV (ADS2)");
+  table.header({"kernel", "time", "speedup vs library"});
+  const auto emit = [&](const char* name, double t) {
+    table.row({name, io::TablePrinter::time_s(t),
+               io::TablePrinter::num(t_library / t, 2) + "x"});
+  };
+  emit("library CSR (MKL role)", t_library);
+  emit("MemXCT baseline (natural order)", t_baseline);
+  emit("+ pseudo-Hilbert ordering", t_hilbert);
+  emit("+ multi-stage buffering", t_buffered);
+  table.print();
+  table.write_csv("table6_libraries.csv");
+
+  io::TablePrinter gpu("Table 6 (GPU layout): ELL padding granularity");
+  gpu.header({"layout", "padded nnz", "time", "speedup"});
+  gpu.row({"matrix-level ELL (cuSPARSE role)",
+           std::to_string(ell_matrix.padded_nnz()),
+           io::TablePrinter::time_s(t_ell_matrix), "1x"});
+  gpu.row({"partition-level ELL (MemXCT)",
+           std::to_string(ell_block.padded_nnz()),
+           io::TablePrinter::time_s(t_ell_block),
+           io::TablePrinter::num(t_ell_matrix / t_ell_block, 2) + "x"});
+  gpu.print();
+  std::printf(
+      "\nPaper reference (KNL column): baseline 1.42x, Hilbert 4.99x,\n"
+      "buffered 6.55x over MKL.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Table 2 + Table 7 reproduction: the machine inventory and the
+// Theta-vs-Blue-Waters cross-comparison at each system's fastest
+// configuration.
+//
+// Table 7 is fully modeled (neither machine exists here): per-node kernel
+// time from the Table 2 bandwidth model at paper-scale work, communication
+// from the α–β model with the O(MN·√P) volume law validated by
+// bench_table1. The paper's own numbers are printed alongside.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "io/table.hpp"
+#include "perf/machine_model.hpp"
+#include "perf/network_model.hpp"
+
+namespace {
+
+// Modeled 30-iteration CG reconstruction time for a paper-scale dataset on
+// `machine` with `nodes` nodes. nnz is estimated from the geometric
+// density (≈1.4·N nonzeros per ray).
+double modeled_recon_seconds(const memxct::perf::MachineSpec& machine,
+                             double angles, double channels, int nodes) {
+  using namespace memxct;
+  const int devices = nodes * machine.devices_per_node;
+  const double nnz = angles * channels * channels * 1.4;
+  perf::KernelWork work;
+  work.nnz = static_cast<nnz_t>(nnz / devices);
+  work.bytes_per_fma = perf::RegularBytes::kBuffered;
+  const double bytes_per_device =
+      nnz / devices * (sizeof(buf_idx_t) + sizeof(real)) * 2.0;
+  const bool fits =
+      bytes_per_device <= machine.onchip_mem_gib * 0.8 * (1ull << 30);
+  const double kernel = perf::modeled_kernel_seconds(
+      machine, work, perf::OptLevel::MultiStageBuffered, fits);
+
+  // Communication: O(MN·sqrt(P)) elements total, spread over P ranks, plus
+  // O(sqrt(P)) handshakes per rank (Section 3.4.3).
+  const double comm_elems_per_rank =
+      angles * channels * std::sqrt(static_cast<double>(devices)) / devices;
+  perf::CommStats stats;
+  stats.bytes_sent = static_cast<std::int64_t>(comm_elems_per_rank * 4);
+  stats.bytes_received = stats.bytes_sent;
+  stats.messages_sent =
+      static_cast<std::int64_t>(std::sqrt(static_cast<double>(devices)));
+  stats.messages_received = stats.messages_sent;
+  const double comm = perf::alltoallv_seconds(machine, stats);
+
+  return 30.0 * 2.0 * (kernel + comm);
+}
+
+}  // namespace
+
+int main() {
+  using namespace memxct;
+
+  io::TablePrinter t2("Table 2: machines used for (modeled) experiments");
+  t2.header({"machine", "nodes", "accel", "on-chip mem", "mem B/W",
+             "host mem", "link B/W"});
+  for (const auto& m : perf::table2_machines()) {
+    if (m.name == "Host") continue;
+    t2.row({m.name, std::to_string(m.nodes),
+            std::string(perf::to_string(m.device)) +
+                (m.devices_per_node > 1
+                     ? " x" + std::to_string(m.devices_per_node)
+                     : ""),
+            io::TablePrinter::num(m.onchip_mem_gib, 0) + " GB",
+            io::TablePrinter::num(m.mem_bw_gbs, 1) + " GB/s",
+            io::TablePrinter::num(m.host_mem_gib, 0) + " GB",
+            io::TablePrinter::num(m.link_bw_gbs, 0) + " GB/s"});
+  }
+  t2.print();
+
+  const auto& theta = perf::machine("Theta");
+  const auto& bw = perf::machine("BlueWaters");
+
+  io::TablePrinter t7("Table 7: Theta vs Blue Waters, fastest configurations");
+  t7.header({"dataset", "machine", "nodes", "modeled recon", "ratio",
+             "paper"});
+  struct Case {
+    const char* name;
+    double angles, channels;
+    int theta_nodes, bw_nodes;
+    const char* paper;
+  };
+  const Case cases[] = {
+      {"RDS1 (1501x2048)", 1501, 2048, 128, 128,
+       "474 ms vs 805 ms (1.7x)"},
+      {"RDS2 (4501x11283)", 4501, 11283, 2048, 4096,
+       "10 s vs 74 s (7.4x)"},
+      {"12000x8192 (weak-scaled)", 12000, 8192, 4096, 4096,
+       "3.25 s vs 24.4 s (7.5x)"},
+  };
+  for (const auto& c : cases) {
+    const double t_theta =
+        modeled_recon_seconds(theta, c.angles, c.channels, c.theta_nodes);
+    const double t_bw =
+        modeled_recon_seconds(bw, c.angles, c.channels, c.bw_nodes);
+    t7.row({c.name, "Theta", std::to_string(c.theta_nodes),
+            io::TablePrinter::time_s(t_theta), "", ""});
+    t7.row({"", "Blue Waters", std::to_string(c.bw_nodes),
+            io::TablePrinter::time_s(t_bw),
+            io::TablePrinter::num(t_bw / t_theta, 1) + "x", c.paper});
+  }
+  t7.print();
+  t7.write_csv("table7_machines.csv");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shale-sample workflow (the paper's RDS1 scenario): noisy micro-CT data of
+// a rock sample, CG vs SIRT comparison, and L-curve-guided early stopping.
+//
+//   ./shale_reconstruction [scale_divisor]
+//
+// Reproduces the Fig 8 narrative at working scale: CG reaches a good image
+// in ~30 iterations where SIRT is still far from converged at 45+, and the
+// L-curve shows the CG overfitting knee on noisy data.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/reconstructor.hpp"
+#include "io/pgm.hpp"
+#include "io/table.hpp"
+#include "phantom/datasets.hpp"
+#include "phantom/phantom.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memxct;
+  const idx_t divisor = argc > 1 ? static_cast<idx_t>(std::atoi(argv[1])) : 8;
+  const auto spec = phantom::dataset("RDS1").scaled_by(divisor);
+  std::printf("RDS1 shale analog: %d x %d sinogram (paper: %d x %d)\n",
+              spec.angles, spec.channels, spec.paper_angles,
+              spec.paper_channels);
+
+  const auto data = phantom::generate(spec, /*seed=*/31,
+                                      /*incident_photons=*/2e4);
+
+  // Shared preprocessing, two solvers (Section 3.5.2's plug-and-play).
+  core::Config cg_config;
+  cg_config.solver = core::SolverKind::CGLS;
+  cg_config.iterations = 30;
+  const core::Reconstructor recon(data.geometry, cg_config);
+  const auto cg = recon.reconstruct(data.sinogram);
+
+  core::Config sirt_config = cg_config;
+  sirt_config.solver = core::SolverKind::SIRT;
+  sirt_config.iterations = 45;
+  const core::Reconstructor sirt_recon(data.geometry, sirt_config);
+  const auto sirt = sirt_recon.reconstruct(data.sinogram);
+
+  io::TablePrinter table("CG vs SIRT on the shale sample (Fig 8 scenario)");
+  table.header({"solver", "iterations", "residual", "rmse vs truth",
+                "per-iter"});
+  const auto row = [&](const char* name, const core::ReconstructionResult& r) {
+    table.row({name, std::to_string(r.solve.iterations),
+               io::TablePrinter::num(r.solve.history.back().residual_norm, 3),
+               io::TablePrinter::num(phantom::rmse(r.image, data.image), 4),
+               io::TablePrinter::time_s(r.solve.per_iteration_s)});
+  };
+  row("CG (30 it)", cg);
+  row("SIRT (45 it)", sirt);
+  table.print();
+
+  // L-curve points for the CG run (residual vs solution norm).
+  io::TablePrinter lcurve("CG L-curve (plot: residual_norm vs solution_norm)");
+  lcurve.header({"iteration", "residual_norm", "solution_norm"});
+  for (const auto& rec : cg.solve.history)
+    lcurve.row({std::to_string(rec.iteration),
+                io::TablePrinter::num(rec.residual_norm, 4),
+                io::TablePrinter::num(rec.solution_norm, 4)});
+  lcurve.write_csv("shale_lcurve.csv");
+  std::printf("wrote shale_lcurve.csv\n");
+
+  io::write_pgm_autoscale("shale_cg.pgm", data.geometry.tomogram_extent(),
+                          cg.image);
+  io::write_pgm_autoscale("shale_sirt.pgm", data.geometry.tomogram_extent(),
+                          sirt.image);
+  io::write_pgm_autoscale("shale_truth.pgm", data.geometry.tomogram_extent(),
+                          data.image);
+  std::printf("wrote shale_cg.pgm / shale_sirt.pgm / shale_truth.pgm\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "cachesim/cache.hpp"
+
+namespace memxct::cachesim {
+
+namespace {
+int log2_int(std::int64_t v) {
+  int k = 0;
+  while ((std::int64_t{1} << k) < v) ++k;
+  MEMXCT_CHECK((std::int64_t{1} << k) == v);
+  return k;
+}
+}  // namespace
+
+CacheModel::CacheModel(const CacheConfig& config)
+    : config_(config), num_sets_(config.num_sets()),
+      line_shift_(log2_int(config.line_bytes)) {
+  const auto slots =
+      static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(config.ways);
+  tags_.assign(slots, 0);
+  lru_.assign(slots, 0);
+  valid_.assign(slots, 0);
+}
+
+bool CacheModel::access(std::uint64_t addr) noexcept {
+  ++accesses_;
+  ++clock_;
+  const std::uint64_t line = addr >> line_shift_;
+  const auto set = static_cast<std::size_t>(
+      line % static_cast<std::uint64_t>(num_sets_));
+  const std::size_t base = set * static_cast<std::size_t>(config_.ways);
+
+  std::size_t victim = base;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (int w = 0; w < config_.ways; ++w) {
+    const std::size_t slot = base + static_cast<std::size_t>(w);
+    if (valid_[slot] && tags_[slot] == line) {
+      lru_[slot] = clock_;
+      return true;
+    }
+    if (!valid_[slot]) {  // prefer an invalid slot as victim
+      victim = slot;
+      oldest = 0;
+    } else if (lru_[slot] < oldest) {
+      victim = slot;
+      oldest = lru_[slot];
+    }
+  }
+  ++misses_;
+  tags_[victim] = line;
+  lru_[victim] = clock_;
+  valid_[victim] = 1;
+  return false;
+}
+
+void CacheModel::reset() noexcept {
+  std::fill(valid_.begin(), valid_.end(), char{0});
+  clock_ = 0;
+  accesses_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace memxct::cachesim

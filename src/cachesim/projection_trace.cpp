@@ -1,0 +1,61 @@
+#include "cachesim/projection_trace.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geometry/siddon.hpp"
+
+namespace memxct::cachesim {
+
+ReplayStats replay_projection_stream(const geometry::Geometry& g,
+                                     const hilbert::Ordering& sinogram_order,
+                                     const hilbert::Ordering& tomogram_order,
+                                     CacheHierarchy& hierarchy,
+                                     idx_t sample_rays) {
+  g.validate();
+  MEMXCT_CHECK(sinogram_order.extent() == g.sinogram_extent());
+  MEMXCT_CHECK(tomogram_order.extent() == g.tomogram_extent());
+  hierarchy.reset();
+
+  constexpr std::uint64_t x_base = 0x10000000;
+  const auto& to_ordered = tomogram_order.to_ordered();
+  std::vector<std::pair<idx_t, real>> segments;
+  std::vector<idx_t> cols;
+
+  const auto replay_ray = [&](idx_t ordered_row) {
+    const Cell rc = sinogram_order.cell(ordered_row);
+    geometry::trace_ray(g, rc.row, rc.col, segments);
+    // The kernel reads columns in ascending ordered-index order (CSR rows
+    // are sorted), so sort before replay.
+    cols.clear();
+    for (const auto& [pixel, len] : segments)
+      cols.push_back(to_ordered[static_cast<std::size_t>(pixel)]);
+    std::sort(cols.begin(), cols.end());
+    for (const idx_t c : cols)
+      hierarchy.access(x_base + static_cast<std::uint64_t>(c) * sizeof(real));
+  };
+
+  const idx_t total = sinogram_order.size();
+  if (sample_rays <= 0 || total <= sample_rays) {
+    for (idx_t r = 0; r < total; ++r) replay_ray(r);
+  } else {
+    const idx_t block = std::min<idx_t>(64, sample_rays);
+    const idx_t num_blocks = std::max<idx_t>(1, sample_rays / block);
+    const idx_t stride = total / num_blocks;
+    for (idx_t b = 0; b < num_blocks; ++b) {
+      const idx_t begin = b * stride;
+      const idx_t end = std::min<idx_t>(begin + block, total);
+      for (idx_t r = begin; r < end; ++r) replay_ray(r);
+    }
+  }
+
+  ReplayStats stats;
+  stats.irregular_accesses = hierarchy.l1().accesses();
+  stats.irregular_l1_misses = hierarchy.l1().misses();
+  stats.irregular_l2_misses = hierarchy.l2().misses();
+  return stats;
+}
+
+}  // namespace memxct::cachesim

@@ -1,0 +1,29 @@
+// Matrix-free cache replay of projection gather streams at arbitrary —
+// including full paper — scale.
+//
+// Fig 9(b)'s L2 miss rates only depend on the *address stream* of the
+// irregular gathers, which the ray tracer can produce on the fly: no need
+// to materialize the (up to 5 TB) projection matrix. Sampled ray blocks
+// are traced in ordered-row order and their ordered column indices
+// streamed through the cache model, reproducing the kernel's access
+// pattern exactly.
+#pragma once
+
+#include "cachesim/cache.hpp"
+#include "cachesim/spmv_trace.hpp"
+#include "geometry/geometry.hpp"
+#include "hilbert/ordering.hpp"
+
+namespace memxct::cachesim {
+
+/// Replays the forward-projection gather stream for `geometry` with the
+/// given domain orderings through `hierarchy`. `sample_rays` > 0 samples
+/// evenly strided blocks of consecutive ordered rays (64 per block);
+/// 0 replays every ray.
+[[nodiscard]] ReplayStats replay_projection_stream(
+    const geometry::Geometry& geometry,
+    const hilbert::Ordering& sinogram_order,
+    const hilbert::Ordering& tomogram_order, CacheHierarchy& hierarchy,
+    idx_t sample_rays = 0);
+
+}  // namespace memxct::cachesim

@@ -1,0 +1,57 @@
+#include "cachesim/spmv_trace.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace memxct::cachesim {
+
+ReplayStats replay_gather_stream(const sparse::CsrMatrix& a,
+                                 CacheHierarchy& hierarchy, idx_t sample_rows) {
+  hierarchy.reset();
+  // x starts at a synthetic base address; ind/val streams are not replayed:
+  // sequential streams are prefetch-friendly and the paper's miss-rate
+  // discussion concerns the gather stream.
+  constexpr std::uint64_t x_base = 0x10000000;
+  const auto replay_rows = [&](idx_t begin, idx_t end) {
+    for (idx_t r = begin; r < end; ++r)
+      for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+        hierarchy.access(x_base +
+                         static_cast<std::uint64_t>(a.ind[k]) * sizeof(real));
+  };
+  if (sample_rows <= 0 || a.num_rows <= sample_rows) {
+    replay_rows(0, a.num_rows);
+  } else {
+    // Strided blocks of consecutive rows: blocks keep inter-row reuse,
+    // striding covers the full angular range.
+    const idx_t block = std::min<idx_t>(64, sample_rows);
+    const idx_t num_blocks = std::max<idx_t>(1, sample_rows / block);
+    const idx_t stride = a.num_rows / num_blocks;
+    for (idx_t b = 0; b < num_blocks; ++b) {
+      const idx_t begin = b * stride;
+      replay_rows(begin, std::min<idx_t>(begin + block, a.num_rows));
+    }
+  }
+  ReplayStats stats;
+  stats.irregular_accesses = hierarchy.l1().accesses();
+  stats.irregular_l1_misses = hierarchy.l1().misses();
+  stats.irregular_l2_misses = hierarchy.l2().misses();
+  return stats;
+}
+
+FootprintStats footprint_misses(std::span<const idx_t> indices,
+                                int line_bytes) {
+  MEMXCT_CHECK(line_bytes > 0 && line_bytes % sizeof(real) == 0);
+  const auto elems_per_line = static_cast<idx_t>(line_bytes / sizeof(real));
+  std::unordered_set<idx_t> lines;
+  FootprintStats stats;
+  for (const idx_t i : indices) {
+    ++stats.accesses;
+    lines.insert(i / elems_per_line);
+  }
+  stats.misses = static_cast<std::int64_t>(lines.size());
+  return stats;
+}
+
+}  // namespace memxct::cachesim

@@ -1,0 +1,63 @@
+// Replay of SpMV address streams through the cache simulator.
+//
+// The baseline kernel's irregular stream is x[ind[j]]; its L2 behaviour is
+// what pseudo-Hilbert ordering targets (Section 3.1.1 / Fig 9(b)). Replay is
+// exact: the same indices the kernel would issue, in the same order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cachesim/cache.hpp"
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace memxct::cachesim {
+
+/// Result of a trace replay.
+struct ReplayStats {
+  std::int64_t irregular_accesses = 0;
+  std::int64_t irregular_l1_misses = 0;
+  std::int64_t irregular_l2_misses = 0;
+
+  [[nodiscard]] double l2_miss_rate() const noexcept {
+    return irregular_accesses > 0
+               ? static_cast<double>(irregular_l2_misses) /
+                     static_cast<double>(irregular_accesses)
+               : 0.0;
+  }
+  [[nodiscard]] double l1_miss_rate() const noexcept {
+    return irregular_accesses > 0
+               ? static_cast<double>(irregular_l1_misses) /
+                     static_cast<double>(irregular_accesses)
+               : 0.0;
+  }
+};
+
+/// Replays the irregular (gather) stream of y = A·x through `hierarchy`.
+/// `sample_rows` > 0 limits replay to that many rows, taken as evenly
+/// strided *blocks* of consecutive rows: blocks preserve the inter-row
+/// reuse that ordered matrices exhibit, striding covers all projection
+/// angles, and miss *rates* converge quickly under this sampling.
+[[nodiscard]] ReplayStats replay_gather_stream(const sparse::CsrMatrix& a,
+                                               CacheHierarchy& hierarchy,
+                                               idx_t sample_rows = 0);
+
+/// Counts accesses and cold-cache line misses of visiting `indices` in a 1D
+/// array of 4-byte elements with `line_bytes` lines — the Fig 5 metric
+/// (distinct lines touched = compulsory misses; each repeat visit within the
+/// footprint is a hit).
+struct FootprintStats {
+  std::int64_t accesses = 0;
+  std::int64_t misses = 0;
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses > 0
+               ? static_cast<double>(misses) / static_cast<double>(accesses)
+               : 0.0;
+  }
+};
+
+[[nodiscard]] FootprintStats footprint_misses(std::span<const idx_t> indices,
+                                              int line_bytes = 64);
+
+}  // namespace memxct::cachesim

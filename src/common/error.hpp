@@ -1,0 +1,53 @@
+// Error handling: a checked-invariant macro that throws with context.
+//
+// Preprocessing code validates many structural invariants (stage sizes,
+// index bounds, partition coverage); violations indicate programming errors
+// or corrupted inputs and are reported via exceptions per the C++ Core
+// Guidelines (E.2).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace memxct {
+
+/// Thrown when a structural invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when user-supplied configuration or data is invalid.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MEMXCT_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace memxct
+
+/// Check an invariant; throws memxct::InvariantError with location on failure.
+/// Always active (not compiled out in release): these guard preprocessing,
+/// not inner loops.
+#define MEMXCT_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::memxct::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MEMXCT_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::memxct::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

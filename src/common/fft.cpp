@@ -1,0 +1,60 @@
+#include "common/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/grid.hpp"
+
+namespace memxct {
+
+void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  MEMXCT_CHECK_MSG(n > 0 && (n & (n - 1)) == 0,
+                   "FFT length must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Iterative Danielson-Lanczos butterflies.
+  constexpr double kPi = 3.14159265358979323846;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const real> input,
+                                           std::size_t padded) {
+  MEMXCT_CHECK(padded >= input.size());
+  std::vector<std::complex<double>> data(padded, {0.0, 0.0});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    data[i] = {static_cast<double>(input[i]), 0.0};
+  fft_inplace(data);
+  return data;
+}
+
+std::vector<real> ifft_real(std::span<std::complex<double>> spectrum,
+                            std::size_t out_len) {
+  MEMXCT_CHECK(out_len <= spectrum.size());
+  fft_inplace(spectrum, /*inverse=*/true);
+  std::vector<real> out(out_len);
+  const double scale = 1.0 / static_cast<double>(spectrum.size());
+  for (std::size_t i = 0; i < out_len; ++i)
+    out[i] = static_cast<real>(spectrum[i].real() * scale);
+  return out;
+}
+
+}  // namespace memxct

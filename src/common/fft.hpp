@@ -1,0 +1,31 @@
+// Self-contained radix-2 complex FFT.
+//
+// Substrate for the filtered-backprojection baseline (the paper's intro
+// contrasts iterative reconstruction against analytic FBP): the ramp filter
+// is applied per projection in the frequency domain. No external FFT
+// dependency is available offline, so this is a standard iterative
+// Cooley-Tukey implementation — preprocessing-grade, not a kernel.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace memxct {
+
+/// In-place FFT of a power-of-two-length complex sequence.
+/// `inverse` computes the unscaled inverse transform (caller divides by n).
+void fft_inplace(std::span<std::complex<double>> data, bool inverse = false);
+
+/// Forward FFT of a real sequence zero-padded to `padded` (power of two).
+[[nodiscard]] std::vector<std::complex<double>> fft_real(
+    std::span<const real> input, std::size_t padded);
+
+/// Inverse FFT returning the real part of the first `out_len` samples,
+/// scaled by 1/n.
+[[nodiscard]] std::vector<real> ifft_real(
+    std::span<std::complex<double>> spectrum, std::size_t out_len);
+
+}  // namespace memxct

@@ -1,0 +1,76 @@
+// 2D domain extents and row-major indexing helpers.
+//
+// Both MemXCT domains are 2D: the tomogram is an N×N pixel grid and the
+// sinogram an M×N (projections × channels) grid. Orderings map these grids
+// to 1D index spaces; Extent2D carries the shape alongside.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace memxct {
+
+/// Shape of a 2D domain (rows × cols).
+struct Extent2D {
+  idx_t rows = 0;
+  idx_t cols = 0;
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(rows) * cols;
+  }
+  [[nodiscard]] bool contains(idx_t r, idx_t c) const noexcept {
+    return r >= 0 && r < rows && c >= 0 && c < cols;
+  }
+  bool operator==(const Extent2D&) const = default;
+};
+
+/// 2D cell coordinate.
+struct Cell {
+  idx_t row = 0;
+  idx_t col = 0;
+  bool operator==(const Cell&) const = default;
+};
+
+/// Row-major linear index of (r, c) in `ext`.
+[[nodiscard]] inline std::int64_t row_major_index(const Extent2D& ext, idx_t r,
+                                                  idx_t c) noexcept {
+  return static_cast<std::int64_t>(r) * ext.cols + c;
+}
+
+/// Inverse of row_major_index.
+[[nodiscard]] inline Cell row_major_cell(const Extent2D& ext,
+                                         std::int64_t index) noexcept {
+  return Cell{static_cast<idx_t>(index / ext.cols),
+              static_cast<idx_t>(index % ext.cols)};
+}
+
+/// Smallest power of two >= v (v >= 1).
+[[nodiscard]] inline idx_t next_pow2(idx_t v) {
+  MEMXCT_CHECK(v >= 1);
+  idx_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// True if v is a power of two.
+[[nodiscard]] inline bool is_pow2(idx_t v) noexcept {
+  return v > 0 && (v & (v - 1)) == 0;
+}
+
+/// Integer log2 of a power of two.
+[[nodiscard]] inline int log2_pow2(idx_t v) {
+  MEMXCT_CHECK(is_pow2(v));
+  int k = 0;
+  while ((idx_t{1} << k) < v) ++k;
+  return k;
+}
+
+/// Ceiling division for non-negative integers.
+template <class T>
+[[nodiscard]] constexpr T ceil_div(T a, T b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace memxct

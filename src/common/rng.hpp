@@ -1,0 +1,101 @@
+// Deterministic pseudo-random generation for phantoms, noise, and tests.
+//
+// A self-contained xoshiro256** keeps dataset generation reproducible across
+// standard-library implementations (std::mt19937 distributions are not
+// bit-portable between vendors).
+#pragma once
+
+#include <cstdint>
+
+namespace memxct {
+
+/// SplitMix64: seeds the main generator from a single 64-bit value.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality generator for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x243f6a8885a308d3ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection-free bound is unnecessary here;
+    // modulo bias is negligible for simulation use (n << 2^64).
+    return next_u64() % n;
+  }
+
+  /// Standard normal via Box–Muller (one value per call, no caching).
+  double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    // std::sqrt/cos are fine here: generation is preprocessing, not a kernel.
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(kTwoPi * u2);
+  }
+
+  /// Poisson sample; inversion for small mean, normal approximation above.
+  std::uint64_t poisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+      // Knuth inversion.
+      const double l = __builtin_exp(-mean);
+      std::uint64_t k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform();
+      } while (p > l);
+      return k - 1;
+    }
+    const double x = mean + __builtin_sqrt(mean) * normal();
+    return x < 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace memxct

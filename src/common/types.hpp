@@ -1,0 +1,31 @@
+// Core scalar and index types used throughout MemXCT.
+//
+// The paper stores matrix values in single precision and addresses matrix
+// columns with 32-bit indices (16-bit inside multi-stage buffers); these
+// aliases pin those choices in one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace memxct {
+
+/// Matrix/vector value type. Single precision, matching the paper's kernels.
+using real = float;
+
+/// Global row/column index type (32-bit, as in the paper's `int` indices).
+using idx_t = std::int32_t;
+
+/// Buffer-local index type for multi-stage input buffering (Section 3.3.5):
+/// 16-bit addressing halves index bandwidth and can address up to 256 KB
+/// of float buffer (65536 elements * 4 B).
+using buf_idx_t = std::uint16_t;
+
+/// Nonzero counter; projection matrices can exceed 2^31 nonzeros at paper
+/// scale, so displacements are 64-bit.
+using nnz_t = std::int64_t;
+
+/// Cache-line size assumed by layout decisions (bytes).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+}  // namespace memxct

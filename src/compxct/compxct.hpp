@@ -1,0 +1,53 @@
+// Compute-centric XCT operator (the paper's "CompXCT", exemplified by
+// Trace [10]): Siddon ray tracing is re-executed on the fly inside every
+// forward and backprojection instead of being memoized.
+//
+// Backprojection is a scatter; the two mitigation strategies the paper
+// discusses are both implemented so their cost can be compared:
+//   - Replicate: per-thread tomogram replicas reduced afterwards (Trace's
+//     approach; memory grows with thread count);
+//   - Atomic: omp atomic updates into the shared tomogram (cuMBIR-style;
+//     serializes under contention).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "geometry/geometry.hpp"
+#include "solve/operator.hpp"
+
+namespace memxct::compxct {
+
+/// Scatter-race mitigation for on-the-fly backprojection (Section 2.4).
+enum class ScatterMode { Replicate, Atomic };
+
+/// On-the-fly forward/backprojection operator. No preprocessing and no
+/// stored matrix — the Table 4 trade-off in the compute-heavy direction.
+class CompXctOperator final : public solve::LinearOperator {
+ public:
+  explicit CompXctOperator(const geometry::Geometry& geometry,
+                           ScatterMode mode = ScatterMode::Replicate);
+
+  [[nodiscard]] idx_t num_rows() const override;
+  [[nodiscard]] idx_t num_cols() const override;
+
+  /// Forward projection: gather per ray (race-free), tracing on the fly.
+  void apply(std::span<const real> x, std::span<real> y) const override;
+
+  /// Backprojection: on-the-fly scatter with the configured mitigation.
+  void apply_transpose(std::span<const real> y,
+                       std::span<real> x) const override;
+
+  /// Rays traced so far across all applies — the redundant-computation
+  /// counter that the memoized approach eliminates.
+  [[nodiscard]] std::int64_t rays_traced() const noexcept {
+    return rays_traced_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  geometry::Geometry geometry_;
+  ScatterMode mode_;
+  mutable std::atomic<std::int64_t> rays_traced_{0};
+};
+
+}  // namespace memxct::compxct

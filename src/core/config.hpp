@@ -1,0 +1,53 @@
+// MemXCT pipeline configuration.
+#pragma once
+
+#include <string>
+
+#include "hilbert/ordering.hpp"
+#include "sparse/buffered.hpp"
+
+namespace memxct::core {
+
+/// Kernel flavour applied to the memoized matrices (the Fig 9 series plus
+/// the general-library reference).
+enum class KernelKind {
+  Baseline,  ///< Listing 2 CSR kernel.
+  EllBlock,  ///< Partition-level zero-padded column-major ELL (GPU layout).
+  Buffered,  ///< Listing 3 multi-stage input buffering (full optimization).
+  Library,   ///< General-purpose CSR SpMV (MKL/cuSPARSE stand-in).
+};
+
+[[nodiscard]] const char* to_string(KernelKind kind) noexcept;
+
+/// Iterative scheme (Section 3.5.2's plug-and-play solvers).
+enum class SolverKind { CGLS, SIRT, GradientDescent };
+
+[[nodiscard]] const char* to_string(SolverKind kind) noexcept;
+
+struct Config {
+  /// Domain ordering; Hilbert is the paper's scheme, RowMajor the naive
+  /// baseline, Morton the Section 3.2.3 comparison.
+  hilbert::CurveKind ordering = hilbert::CurveKind::Hilbert;
+  idx_t tile_size = 0;  ///< 0 = auto (default_tile_size).
+
+  KernelKind kernel = KernelKind::Buffered;
+  sparse::BufferConfig buffer;  ///< partsize/buffsize tuning (Fig 10).
+  idx_t ell_block_rows = 64;    ///< Partition size for the ELL layout.
+
+  SolverKind solver = SolverKind::CGLS;
+  int iterations = 30;      ///< Paper's CG default.
+  bool early_stop = false;  ///< Heuristic termination at the L-curve knee.
+  /// Tikhonov damping for CGLS (the R(x) = λ²||x||² regularizer of Eq. 1);
+  /// 0 disables.
+  double tikhonov_lambda = 0.0;
+
+  /// >1 runs the distributed R·C·A_p path over simmpi with this many ranks.
+  int num_ranks = 1;
+  /// Use the distributed path even at num_ranks == 1 (for scaling studies
+  /// that need the A_p/C/R breakdown at the P=1 root point).
+  bool force_distributed = false;
+  /// Machine whose interconnect models communication time (Table 2 name).
+  std::string machine = "Theta";
+};
+
+}  // namespace memxct::core

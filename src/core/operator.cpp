@@ -1,0 +1,115 @@
+#include "core/operator.hpp"
+
+#include "common/error.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/transpose.hpp"
+
+namespace memxct::core {
+
+const char* to_string(KernelKind kind) noexcept {
+  switch (kind) {
+    case KernelKind::Baseline:
+      return "baseline CSR";
+    case KernelKind::EllBlock:
+      return "block-ELL";
+    case KernelKind::Buffered:
+      return "multi-stage buffered";
+    case KernelKind::Library:
+      return "general library CSR";
+  }
+  return "?";
+}
+
+const char* to_string(SolverKind kind) noexcept {
+  switch (kind) {
+    case SolverKind::CGLS:
+      return "CG";
+    case SolverKind::SIRT:
+      return "SIRT";
+    case SolverKind::GradientDescent:
+      return "GD";
+  }
+  return "?";
+}
+
+MemXCTOperator::MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
+                               const sparse::BufferConfig& buffer,
+                               idx_t ell_block_rows)
+    : kind_(kind), num_rows_(a.num_rows), num_cols_(a.num_cols),
+      nnz_(a.nnz()) {
+  sparse::CsrMatrix at = sparse::transpose(a);
+  switch (kind_) {
+    case KernelKind::Baseline:
+    case KernelKind::Library:
+      regular_bytes_ = a.regular_bytes() + at.regular_bytes();
+      csr_fwd_ = std::move(a);
+      csr_bwd_ = std::move(at);
+      break;
+    case KernelKind::EllBlock:
+      ell_fwd_ = sparse::to_ell_block(a, ell_block_rows);
+      ell_bwd_ = sparse::to_ell_block(at, ell_block_rows);
+      regular_bytes_ =
+          (ell_fwd_->padded_nnz() + ell_bwd_->padded_nnz()) *
+          static_cast<std::int64_t>(sizeof(idx_t) + sizeof(real));
+      break;
+    case KernelKind::Buffered:
+      buf_fwd_ = sparse::build_buffered(a, buffer);
+      buf_bwd_ = sparse::build_buffered(at, buffer);
+      regular_bytes_ =
+          (buf_fwd_->nnz() + buf_bwd_->nnz()) *
+              static_cast<std::int64_t>(sizeof(buf_idx_t) + sizeof(real)) +
+          (buf_fwd_->total_staged() + buf_bwd_->total_staged()) *
+              static_cast<std::int64_t>(sizeof(idx_t));
+      break;
+  }
+}
+
+void MemXCTOperator::apply(std::span<const real> x, std::span<real> y) const {
+  switch (kind_) {
+    case KernelKind::Baseline:
+      sparse::spmv_csr(*csr_fwd_, x, y);
+      break;
+    case KernelKind::Library:
+      sparse::spmv_library(*csr_fwd_, x, y);
+      break;
+    case KernelKind::EllBlock:
+      sparse::spmv_ell(*ell_fwd_, x, y);
+      break;
+    case KernelKind::Buffered:
+      sparse::spmv_buffered(*buf_fwd_, x, y);
+      break;
+  }
+}
+
+void MemXCTOperator::apply_transpose(std::span<const real> y,
+                                     std::span<real> x) const {
+  switch (kind_) {
+    case KernelKind::Baseline:
+      sparse::spmv_csr(*csr_bwd_, y, x);
+      break;
+    case KernelKind::Library:
+      sparse::spmv_library(*csr_bwd_, y, x);
+      break;
+    case KernelKind::EllBlock:
+      sparse::spmv_ell(*ell_bwd_, y, x);
+      break;
+    case KernelKind::Buffered:
+      sparse::spmv_buffered(*buf_bwd_, y, x);
+      break;
+  }
+}
+
+perf::KernelWork MemXCTOperator::forward_work() const {
+  switch (kind_) {
+    case KernelKind::Baseline:
+    case KernelKind::Library:
+      return sparse::csr_work(*csr_fwd_);
+    case KernelKind::EllBlock:
+      return sparse::ell_work(*ell_fwd_);
+    case KernelKind::Buffered:
+      return sparse::buffered_work(*buf_fwd_);
+  }
+  return {};
+}
+
+}  // namespace memxct::core

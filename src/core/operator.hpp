@@ -1,0 +1,56 @@
+// Serial memoized operator: forward/backprojection as explicit SpMV with a
+// selectable kernel flavour.
+#pragma once
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "perf/counters.hpp"
+#include "solve/operator.hpp"
+#include "sparse/buffered.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ell.hpp"
+
+namespace memxct::core {
+
+/// Owns the forward matrix A (and its transpose) in whichever storage the
+/// configured kernel needs, and dispatches apply/apply_transpose to it.
+class MemXCTOperator final : public solve::LinearOperator {
+ public:
+  /// Takes the ordered-space forward matrix; builds the transpose and any
+  /// derived (ELL / buffered) structures, then releases storage the chosen
+  /// kernel does not need.
+  MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
+                 const sparse::BufferConfig& buffer = {},
+                 idx_t ell_block_rows = 64);
+
+  [[nodiscard]] idx_t num_rows() const override { return num_rows_; }
+  [[nodiscard]] idx_t num_cols() const override { return num_cols_; }
+
+  void apply(std::span<const real> x, std::span<real> y) const override;
+  void apply_transpose(std::span<const real> y,
+                       std::span<real> x) const override;
+
+  [[nodiscard]] KernelKind kind() const noexcept { return kind_; }
+  [[nodiscard]] nnz_t nnz() const noexcept { return nnz_; }
+
+  /// Work accounting of one forward apply (for GFLOPS / bandwidth).
+  [[nodiscard]] perf::KernelWork forward_work() const;
+
+  /// Total regular-data bytes held (both directions), the Table 3 metric.
+  [[nodiscard]] std::int64_t regular_bytes() const noexcept {
+    return regular_bytes_;
+  }
+
+ private:
+  KernelKind kind_;
+  idx_t num_rows_ = 0, num_cols_ = 0;
+  nnz_t nnz_ = 0;
+  std::int64_t regular_bytes_ = 0;
+  // Exactly one pair below is populated, matching kind_.
+  std::optional<sparse::CsrMatrix> csr_fwd_, csr_bwd_;
+  std::optional<sparse::EllBlockMatrix> ell_fwd_, ell_bwd_;
+  std::optional<sparse::BufferedMatrix> buf_fwd_, buf_bwd_;
+};
+
+}  // namespace memxct::core

@@ -1,0 +1,118 @@
+#include "core/reconstructor.hpp"
+
+#include "common/error.hpp"
+#include "dist/partition.hpp"
+#include "geometry/projector.hpp"
+#include "perf/timer.hpp"
+#include "solve/cgls.hpp"
+#include "solve/gd.hpp"
+#include "solve/sirt.hpp"
+
+namespace memxct::core {
+
+Reconstructor::Reconstructor(const geometry::Geometry& geometry,
+                             const Config& config)
+    : geometry_(geometry), config_(config) {
+  geometry_.validate();
+  MEMXCT_CHECK(config.num_ranks >= 1);
+  perf::WallTimer total;
+  perf::WallTimer phase;
+
+  // Preprocessing step 1: two-level orderings of both domains.
+  sino_order_ = std::make_unique<hilbert::Ordering>(
+      geometry_.sinogram_extent(), config_.ordering, config_.tile_size);
+  tomo_order_ = std::make_unique<hilbert::Ordering>(
+      geometry_.tomogram_extent(), config_.ordering, config_.tile_size);
+  report_.ordering_seconds = phase.seconds();
+
+  // Step 2: memoized ray tracing into the ordered projection matrix.
+  phase.reset();
+  sparse::CsrMatrix a =
+      geometry::build_projection_matrix(geometry_, *sino_order_, *tomo_order_);
+  report_.trace_seconds = phase.seconds();
+  report_.nnz = a.nnz();
+  report_.irregular_bytes =
+      (static_cast<std::int64_t>(a.num_rows) + a.num_cols) *
+      static_cast<std::int64_t>(sizeof(real));
+
+  if (config_.num_ranks > 1 || config_.force_distributed) {
+    // Distributed path: steps 3-4 (transposition + plans) happen inside
+    // DistOperator per rank.
+    phase.reset();
+    const auto sino_part =
+        dist::partition_by_tiles(*sino_order_, config_.num_ranks);
+    const auto tomo_part =
+        dist::partition_by_tiles(*tomo_order_, config_.num_ranks);
+    dist_op_ = std::make_unique<dist::DistOperator>(
+        a, sino_part, tomo_part, perf::machine(config_.machine),
+        config_.kernel == KernelKind::Buffered
+            ? dist::LocalKernel::Buffered
+            : dist::LocalKernel::BaselineCsr,
+        config_.buffer);
+    report_.partition_seconds = phase.seconds();
+    std::int64_t bytes = 0;
+    for (int r = 0; r < config_.num_ranks; ++r)
+      bytes += dist_op_->rank_memory_bytes(r);
+    report_.regular_bytes = bytes;
+    active_op_ = dist_op_.get();
+  } else {
+    // Steps 3-4: scan transposition and kernel-specific structures.
+    phase.reset();
+    serial_op_ = std::make_unique<MemXCTOperator>(
+        std::move(a), config_.kernel, config_.buffer, config_.ell_block_rows);
+    report_.transpose_seconds = phase.seconds();
+    report_.regular_bytes = serial_op_->regular_bytes();
+    active_op_ = serial_op_.get();
+  }
+  report_.total_seconds = total.seconds();
+}
+
+Reconstructor::~Reconstructor() = default;
+
+ReconstructionResult Reconstructor::reconstruct(
+    std::span<const real> sinogram) const {
+  MEMXCT_CHECK(static_cast<std::int64_t>(sinogram.size()) ==
+               geometry_.sinogram_extent().size());
+
+  // Permute measurements into ordered sinogram space.
+  AlignedVector<real> y(sinogram.size());
+  const auto& to_grid = sino_order_->to_grid();
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] = sinogram[static_cast<std::size_t>(to_grid[i])];
+
+  solve::SolveResult solved;
+  switch (config_.solver) {
+    case SolverKind::CGLS: {
+      solve::CglsOptions opt;
+      opt.max_iterations = config_.iterations;
+      opt.early_stop = config_.early_stop;
+      opt.tikhonov_lambda = config_.tikhonov_lambda;
+      solved = solve::cgls(*active_op_, y, opt);
+      break;
+    }
+    case SolverKind::SIRT: {
+      solve::SirtOptions opt;
+      opt.max_iterations = config_.iterations;
+      solved = solve::sirt(*active_op_, y, opt);
+      break;
+    }
+    case SolverKind::GradientDescent: {
+      solve::GdOptions opt;
+      opt.max_iterations = config_.iterations;
+      solved = solve::gradient_descent(*active_op_, y, opt);
+      break;
+    }
+  }
+
+  // De-permute the solution into natural row-major layout.
+  ReconstructionResult result;
+  result.image.resize(
+      static_cast<std::size_t>(geometry_.tomogram_extent().size()));
+  const auto& tomo_to_grid = tomo_order_->to_grid();
+  for (std::size_t i = 0; i < result.image.size(); ++i)
+    result.image[static_cast<std::size_t>(tomo_to_grid[i])] = solved.x[i];
+  result.solve = std::move(solved);
+  return result;
+}
+
+}  // namespace memxct::core

@@ -1,0 +1,88 @@
+// The MemXCT end-to-end pipeline: preprocessing (ordering, ray tracing,
+// transposition, partitioning/buffer construction — Section 3.5) followed
+// by iterative reconstruction.
+//
+// This is the library's primary public entry point:
+//
+//   auto geometry = geometry::make_geometry(angles, channels);
+//   core::Reconstructor recon(geometry, core::Config{});
+//   auto result = recon.reconstruct(sinogram);   // natural row-major image
+//
+// Preprocessing is paid once per geometry and reused across slices
+// (Table 5's amortization argument).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/operator.hpp"
+#include "dist/dist_operator.hpp"
+#include "geometry/geometry.hpp"
+#include "hilbert/ordering.hpp"
+#include "solve/solver.hpp"
+
+namespace memxct::core {
+
+/// Per-phase preprocessing timings and footprints (Table 4's "Preproc."
+/// column broken down).
+struct PreprocessReport {
+  double ordering_seconds = 0.0;
+  double trace_seconds = 0.0;      ///< Ray tracing / matrix construction.
+  double transpose_seconds = 0.0;  ///< Includes derived-format builds.
+  double partition_seconds = 0.0;  ///< Distributed plan construction.
+  double total_seconds = 0.0;
+  nnz_t nnz = 0;
+  std::int64_t regular_bytes = 0;    ///< Memoized matrix footprint.
+  std::int64_t irregular_bytes = 0;  ///< Tomogram + sinogram vectors.
+};
+
+/// Reconstruction output in natural (row-major) tomogram layout.
+struct ReconstructionResult {
+  std::vector<real> image;
+  solve::SolveResult solve;
+};
+
+class Reconstructor {
+ public:
+  Reconstructor(const geometry::Geometry& geometry, const Config& config);
+  ~Reconstructor();
+
+  /// Reconstructs one slice from a natural-layout sinogram (angles-major).
+  [[nodiscard]] ReconstructionResult reconstruct(
+      std::span<const real> sinogram) const;
+
+  [[nodiscard]] const PreprocessReport& preprocess_report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const geometry::Geometry& geometry() const noexcept {
+    return geometry_;
+  }
+  [[nodiscard]] const hilbert::Ordering& sinogram_ordering() const noexcept {
+    return *sino_order_;
+  }
+  [[nodiscard]] const hilbert::Ordering& tomogram_ordering() const noexcept {
+    return *tomo_order_;
+  }
+  /// The operator actually used (serial MemXCTOperator or DistOperator).
+  [[nodiscard]] const solve::LinearOperator& op() const noexcept {
+    return *active_op_;
+  }
+  /// Non-null only on the distributed path.
+  [[nodiscard]] const dist::DistOperator* dist_op() const noexcept {
+    return dist_op_.get();
+  }
+
+ private:
+  geometry::Geometry geometry_;
+  Config config_;
+  PreprocessReport report_;
+  std::unique_ptr<hilbert::Ordering> sino_order_;
+  std::unique_ptr<hilbert::Ordering> tomo_order_;
+  std::unique_ptr<MemXCTOperator> serial_op_;
+  std::unique_ptr<dist::DistOperator> dist_op_;
+  solve::LinearOperator* active_op_ = nullptr;
+};
+
+}  // namespace memxct::core

@@ -1,0 +1,96 @@
+#include "core/volume.hpp"
+
+#include "common/error.hpp"
+#include "perf/timer.hpp"
+#include "solve/cgls.hpp"
+
+namespace memxct::core {
+
+VolumeReconstructor::VolumeReconstructor(const geometry::Geometry& geometry,
+                                         const Config& config)
+    : recon_(geometry, config) {}
+
+VolumeResult VolumeReconstructor::reconstruct(
+    int num_slices,
+    const std::function<AlignedVector<real>(int)>& sinogram_for,
+    const VolumeOptions& options) const {
+  MEMXCT_CHECK(num_slices >= 0);
+  const auto& geometry = recon_.geometry();
+  const auto& config = recon_.config();
+  const bool coupled = (options.warm_start || options.z_lambda > 0.0) &&
+                       config.solver == SolverKind::CGLS;
+
+  perf::WallTimer total;
+  VolumeResult result;
+  result.preprocess_seconds = recon_.preprocess_report().total_seconds;
+  result.slices.reserve(static_cast<std::size_t>(num_slices));
+  result.stats.reserve(static_cast<std::size_t>(num_slices));
+
+  const auto& sino_order = recon_.sinogram_ordering();
+  const auto& tomo_order = recon_.tomogram_ordering();
+  AlignedVector<real> previous;  // ordered-space solution of last slice
+
+  for (int slice = 0; slice < num_slices; ++slice) {
+    const AlignedVector<real> sinogram = sinogram_for(slice);
+    MEMXCT_CHECK(static_cast<std::int64_t>(sinogram.size()) ==
+                 geometry.sinogram_extent().size());
+    perf::WallTimer slice_timer;
+
+    if (coupled) {
+      // Coupled path: run CGLS directly on the ordered operator so the
+      // previous ordered-space solution can seed and/or regularize the
+      // solve.
+      AlignedVector<real> y(sinogram.size());
+      const auto& to_grid = sino_order.to_grid();
+      for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = sinogram[static_cast<std::size_t>(to_grid[i])];
+      solve::CglsOptions opt;
+      opt.max_iterations = config.iterations;
+      opt.early_stop = config.early_stop;
+      opt.tikhonov_lambda = config.tikhonov_lambda;
+
+      solve::SolveResult solved;
+      if (options.z_lambda > 0.0 && !previous.empty()) {
+        // Substitute d = x - x_prev: min ||A d - (y - A x_prev)||² +
+        // λ_z²||d||² is plain damped CGLS on the shifted data.
+        AlignedVector<real> shifted(y.size());
+        recon_.op().apply(previous, shifted);
+        for (std::size_t i = 0; i < y.size(); ++i)
+          shifted[i] = y[i] - shifted[i];
+        solve::CglsOptions zopt = opt;
+        zopt.tikhonov_lambda = options.z_lambda;
+        solved = solve::cgls(recon_.op(), shifted, zopt);
+        for (std::size_t i = 0; i < solved.x.size(); ++i)
+          solved.x[i] += previous[i];
+      } else {
+        solved = options.warm_start
+                     ? solve::cgls_warm(recon_.op(), y, previous, opt)
+                     : solve::cgls(recon_.op(), y, opt);
+      }
+
+      std::vector<real> image(
+          static_cast<std::size_t>(geometry.tomogram_extent().size()));
+      const auto& tomo_to_grid = tomo_order.to_grid();
+      for (std::size_t i = 0; i < image.size(); ++i)
+        image[static_cast<std::size_t>(tomo_to_grid[i])] = solved.x[i];
+
+      result.stats.push_back(
+          {slice, solved.iterations, slice_timer.seconds(),
+           solved.history.empty() ? 0.0
+                                  : solved.history.back().residual_norm});
+      previous = std::move(solved.x);
+      result.slices.push_back(std::move(image));
+    } else {
+      auto r = recon_.reconstruct(sinogram);
+      result.stats.push_back(
+          {slice, r.solve.iterations, slice_timer.seconds(),
+           r.solve.history.empty() ? 0.0
+                                   : r.solve.history.back().residual_norm});
+      result.slices.push_back(std::move(r.image));
+    }
+  }
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace memxct::core

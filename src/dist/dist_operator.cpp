@@ -1,0 +1,255 @@
+#include "dist/dist_operator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "perf/timer.hpp"
+#include "solve/vector_ops.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/transpose.hpp"
+
+namespace memxct::dist {
+
+DistOperator::DistOperator(const sparse::CsrMatrix& a,
+                           const DomainPartition& sino,
+                           const DomainPartition& tomo,
+                           const perf::MachineSpec& machine,
+                           LocalKernel kernel,
+                           const sparse::BufferConfig& buffer)
+    : num_ranks_(sino.num_ranks()), num_rows_(a.num_rows),
+      num_cols_(a.num_cols), machine_(machine), kernel_(kernel),
+      comm_(sino.num_ranks()) {
+  MEMXCT_CHECK(sino.num_ranks() == tomo.num_ranks());
+  MEMXCT_CHECK(sino.total() == a.num_rows);
+  MEMXCT_CHECK(tomo.total() == a.num_cols);
+  const auto ranks = static_cast<std::size_t>(num_ranks_);
+  ranks_.resize(ranks);
+  send_bufs_.resize(ranks);
+  recv_bufs_.resize(ranks);
+
+  for (int p = 0; p < num_ranks_; ++p) {
+    ranks_[static_cast<std::size_t>(p)].col_begin = tomo.begin(p);
+    ranks_[static_cast<std::size_t>(p)].col_end = tomo.end(p);
+    ranks_[static_cast<std::size_t>(p)].row_begin = sino.begin(p);
+    ranks_[static_cast<std::size_t>(p)].row_end = sino.end(p);
+  }
+
+  // Pass 1: per-rank partial-row and nonzero counts. A row's sorted columns
+  // make each rank's entries one contiguous run, so a single sweep suffices.
+  std::vector<nnz_t> rank_nnz(ranks, 0);
+  std::vector<idx_t> rank_rows(ranks, 0);
+  for (idx_t r = 0; r < a.num_rows; ++r) {
+    nnz_t k = a.displ[r];
+    while (k < a.displ[r + 1]) {
+      const int p = tomo.owner(a.ind[k]);
+      const idx_t limit = tomo.end(p);
+      nnz_t run = k;
+      while (run < a.displ[r + 1] && a.ind[run] < limit) ++run;
+      rank_nnz[static_cast<std::size_t>(p)] += run - k;
+      rank_rows[static_cast<std::size_t>(p)] += 1;
+      k = run;
+    }
+  }
+
+  // Allocate per-rank CSR blocks.
+  for (int p = 0; p < num_ranks_; ++p) {
+    auto& local = ranks_[static_cast<std::size_t>(p)];
+    local.ap.num_rows = rank_rows[static_cast<std::size_t>(p)];
+    local.ap.num_cols = local.col_end - local.col_begin;
+    local.ap.displ.reserve(
+        static_cast<std::size_t>(local.ap.num_rows) + 1);
+    local.ap.displ.push_back(0);
+    local.ap.ind.reserve(
+        static_cast<std::size_t>(rank_nnz[static_cast<std::size_t>(p)]));
+    local.ap.val.reserve(
+        static_cast<std::size_t>(rank_nnz[static_cast<std::size_t>(p)]));
+    local.partial_rows.reserve(
+        static_cast<std::size_t>(rank_rows[static_cast<std::size_t>(p)]));
+  }
+
+  // Pass 2: fill. Rows are visited in ascending global order, so each
+  // rank's partial_rows list is ascending — and therefore already grouped
+  // by (contiguous-range) owner rank.
+  for (idx_t r = 0; r < a.num_rows; ++r) {
+    nnz_t k = a.displ[r];
+    while (k < a.displ[r + 1]) {
+      const int p = tomo.owner(a.ind[k]);
+      auto& local = ranks_[static_cast<std::size_t>(p)];
+      const idx_t limit = tomo.end(p);
+      nnz_t run = k;
+      while (run < a.displ[r + 1] && a.ind[run] < limit) ++run;
+      for (nnz_t j = k; j < run; ++j) {
+        local.ap.ind.push_back(a.ind[j] - local.col_begin);
+        local.ap.val.push_back(a.val[j]);
+      }
+      local.ap.displ.push_back(static_cast<nnz_t>(local.ap.ind.size()));
+      local.partial_rows.push_back(r);
+      k = run;
+    }
+  }
+
+  // Communication plans. Forward: rank p's send groups = its partial rows
+  // grouped by sinogram owner. Receive side: owner q's arrival order is
+  // (source p ascending, p's partial rows ascending); record the local row
+  // of every arriving element and the group boundaries for the reverse
+  // (backprojection) exchange.
+  std::vector<std::vector<idx_t>> recv_rows(ranks);
+  std::vector<std::vector<nnz_t>> sino_group_count(
+      ranks, std::vector<nnz_t>(ranks, 0));
+  for (int p = 0; p < num_ranks_; ++p) {
+    auto& local = ranks_[static_cast<std::size_t>(p)];
+    local.send_displ.assign(ranks + 1, 0);
+    for (const idx_t row : local.partial_rows) {
+      const int q = sino.owner(row);
+      local.send_displ[static_cast<std::size_t>(q) + 1] += 1;
+      sino_group_count[static_cast<std::size_t>(q)][static_cast<std::size_t>(
+          p)] += 1;
+    }
+    for (std::size_t q = 0; q < ranks; ++q)
+      local.send_displ[q + 1] += local.send_displ[q];
+    total_partial_rows_ += static_cast<std::int64_t>(local.partial_rows.size());
+  }
+  for (std::size_t p = 0; p < ranks; ++p) {
+    const auto& local = ranks_[p];
+    for (const idx_t row : local.partial_rows) {
+      const int q = sino.owner(row);
+      recv_rows[static_cast<std::size_t>(q)].push_back(
+          row - ranks_[static_cast<std::size_t>(q)].row_begin);
+    }
+  }
+  for (std::size_t q = 0; q < ranks; ++q) {
+    auto& local = ranks_[q];
+    local.recv_row = std::move(recv_rows[q]);
+    local.sino_send_displ.assign(ranks + 1, 0);
+    for (std::size_t p = 0; p < ranks; ++p)
+      local.sino_send_displ[p + 1] =
+          local.sino_send_displ[p] + sino_group_count[q][p];
+    MEMXCT_CHECK(local.sino_send_displ.back() ==
+                 static_cast<nnz_t>(local.recv_row.size()));
+  }
+
+  // Transposes for backprojection (scan-based, order-preserving), plus
+  // buffered forms when the optimized local kernel is requested.
+  for (auto& local : ranks_) {
+    local.apt = sparse::transpose(local.ap);
+    if (kernel_ == LocalKernel::Buffered) {
+      local.ap_buf = sparse::build_buffered(local.ap, buffer);
+      local.apt_buf = sparse::build_buffered(local.apt, buffer);
+    }
+  }
+}
+
+void DistOperator::apply(std::span<const real> x, std::span<real> y) const {
+  MEMXCT_CHECK(static_cast<idx_t>(x.size()) == num_cols_);
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == num_rows_);
+  perf::WallTimer timer;
+
+  // A_p: per-rank partial projections, timed individually; the parallel
+  // wall time is the slowest rank.
+  double ap_max = 0.0, ap_sum = 0.0;
+  std::vector<std::vector<nnz_t>> send_displs(
+      static_cast<std::size_t>(num_ranks_));
+  for (int p = 0; p < num_ranks_; ++p) {
+    const auto& local = ranks_[static_cast<std::size_t>(p)];
+    auto& buf = send_bufs_[static_cast<std::size_t>(p)];
+    buf.resize(local.partial_rows.size());
+    const auto x_local =
+        x.subspan(static_cast<std::size_t>(local.col_begin),
+                  static_cast<std::size_t>(local.ap.num_cols));
+    timer.reset();
+    if (kernel_ == LocalKernel::Buffered)
+      sparse::spmv_buffered(local.ap_buf, x_local, buf);
+    else
+      sparse::spmv_csr(local.ap, x_local, buf);
+    const double t = timer.seconds();
+    ap_max = std::max(ap_max, t);
+    ap_sum += t;
+    send_displs[static_cast<std::size_t>(p)] = local.send_displ;
+  }
+
+  // C: sparse all-to-all of partial sinogram values.
+  comm_.alltoallv(send_bufs_, send_displs, recv_bufs_);
+
+  // R: owners reduce arriving partials into their sinogram slice.
+  double r_max = 0.0;
+  for (int q = 0; q < num_ranks_; ++q) {
+    const auto& local = ranks_[static_cast<std::size_t>(q)];
+    timer.reset();
+    solve::set_zero(y.subspan(
+        static_cast<std::size_t>(local.row_begin),
+        static_cast<std::size_t>(local.row_end - local.row_begin)));
+    const auto& recv = recv_bufs_[static_cast<std::size_t>(q)];
+    for (std::size_t e = 0; e < local.recv_row.size(); ++e)
+      y[static_cast<std::size_t>(local.row_begin + local.recv_row[e])] +=
+          recv[e];
+    r_max = std::max(r_max, timer.seconds());
+  }
+
+  times_.ap_seconds += ap_max;
+  times_.ap_sum_seconds += ap_sum;
+  times_.comm_seconds += comm_.last_exchange_seconds(machine_);
+  times_.reduce_seconds += r_max;
+  times_.applies += 1;
+}
+
+void DistOperator::apply_transpose(std::span<const real> y,
+                                   std::span<real> x) const {
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == num_rows_);
+  MEMXCT_CHECK(static_cast<idx_t>(x.size()) == num_cols_);
+  perf::WallTimer timer;
+
+  // C^T: owners duplicate their sinogram values to interacting ranks
+  // (reverse of the forward exchange; Section 3.4.2).
+  double dup_max = 0.0;
+  std::vector<std::vector<nnz_t>> send_displs(
+      static_cast<std::size_t>(num_ranks_));
+  for (int q = 0; q < num_ranks_; ++q) {
+    const auto& local = ranks_[static_cast<std::size_t>(q)];
+    auto& buf = send_bufs_[static_cast<std::size_t>(q)];
+    buf.resize(local.recv_row.size());
+    timer.reset();
+    for (std::size_t e = 0; e < local.recv_row.size(); ++e)
+      buf[e] =
+          y[static_cast<std::size_t>(local.row_begin + local.recv_row[e])];
+    dup_max = std::max(dup_max, timer.seconds());
+    send_displs[static_cast<std::size_t>(q)] = local.sino_send_displ;
+  }
+
+  comm_.alltoallv(send_bufs_, send_displs, recv_bufs_);
+
+  // A_p^T: each rank backprojects into its exclusively-owned tomogram
+  // slice. Arrival order equals the forward partial-row order, so the
+  // received buffer feeds A_p^T directly.
+  double ap_max = 0.0, ap_sum = 0.0;
+  for (int p = 0; p < num_ranks_; ++p) {
+    const auto& local = ranks_[static_cast<std::size_t>(p)];
+    const auto& recv = recv_bufs_[static_cast<std::size_t>(p)];
+    MEMXCT_CHECK(recv.size() == local.partial_rows.size());
+    const auto x_local =
+        x.subspan(static_cast<std::size_t>(local.col_begin),
+                  static_cast<std::size_t>(local.ap.num_cols));
+    timer.reset();
+    if (kernel_ == LocalKernel::Buffered)
+      sparse::spmv_buffered(local.apt_buf, recv, x_local);
+    else
+      sparse::spmv_csr(local.apt, recv, x_local);
+    const double t = timer.seconds();
+    ap_max = std::max(ap_max, t);
+    ap_sum += t;
+  }
+
+  times_.ap_seconds += ap_max;
+  times_.ap_sum_seconds += ap_sum;
+  times_.comm_seconds += comm_.last_exchange_seconds(machine_);
+  times_.reduce_seconds += dup_max;
+  times_.applies += 1;
+}
+
+std::int64_t DistOperator::rank_memory_bytes(int rank) const {
+  const auto& local = ranks_[static_cast<std::size_t>(rank)];
+  return local.ap.regular_bytes() + local.apt.regular_bytes() +
+         static_cast<std::int64_t>(local.partial_rows.size()) * sizeof(idx_t) +
+         static_cast<std::int64_t>(local.recv_row.size()) * sizeof(idx_t);
+}
+
+}  // namespace memxct::dist

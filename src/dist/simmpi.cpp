@@ -1,0 +1,75 @@
+#include "dist/simmpi.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace memxct::dist {
+
+SimComm::SimComm(int num_ranks) : num_ranks_(num_ranks) {
+  MEMXCT_CHECK(num_ranks >= 1);
+  recv_displ_.resize(static_cast<std::size_t>(num_ranks));
+  last_stats_.resize(static_cast<std::size_t>(num_ranks));
+  total_stats_.resize(static_cast<std::size_t>(num_ranks));
+  traffic_matrix_.assign(
+      static_cast<std::size_t>(num_ranks) * static_cast<std::size_t>(num_ranks),
+      0);
+}
+
+void SimComm::alltoallv(const std::vector<AlignedVector<real>>& send,
+                        const std::vector<std::vector<nnz_t>>& send_displ,
+                        std::vector<AlignedVector<real>>& recv) {
+  const auto ranks = static_cast<std::size_t>(num_ranks_);
+  MEMXCT_CHECK(send.size() == ranks && send_displ.size() == ranks);
+  for (std::size_t p = 0; p < ranks; ++p) {
+    MEMXCT_CHECK(send_displ[p].size() == ranks + 1);
+    MEMXCT_CHECK(send_displ[p].back() ==
+                 static_cast<nnz_t>(send[p].size()));
+  }
+  recv.resize(ranks);
+  std::fill(last_stats_.begin(), last_stats_.end(), perf::CommStats{});
+
+  // Receive layout: rank q's buffer groups sources in rank order.
+  for (std::size_t q = 0; q < ranks; ++q) {
+    auto& rd = recv_displ_[q];
+    rd.assign(ranks + 1, 0);
+    for (std::size_t p = 0; p < ranks; ++p)
+      rd[p + 1] = rd[p] + (send_displ[p][q + 1] - send_displ[p][q]);
+    recv[q].resize(static_cast<std::size_t>(rd.back()));
+  }
+
+  // Move data and account for network traffic (self-sends are local).
+  for (std::size_t p = 0; p < ranks; ++p) {
+    for (std::size_t q = 0; q < ranks; ++q) {
+      const nnz_t count = send_displ[p][q + 1] - send_displ[p][q];
+      if (count == 0) continue;
+      std::copy_n(send[p].begin() + send_displ[p][q],
+                  static_cast<std::size_t>(count),
+                  recv[q].begin() + recv_displ_[q][p]);
+      traffic_matrix_[p * ranks + q] += count;
+      if (p == q) continue;
+      const auto bytes = static_cast<std::int64_t>(count) *
+                         static_cast<std::int64_t>(sizeof(real));
+      last_stats_[p].bytes_sent += bytes;
+      last_stats_[p].messages_sent += 1;
+      last_stats_[q].bytes_received += bytes;
+      last_stats_[q].messages_received += 1;
+    }
+  }
+  for (std::size_t r = 0; r < ranks; ++r) total_stats_[r] += last_stats_[r];
+}
+
+double SimComm::last_exchange_seconds(const perf::MachineSpec& spec) const {
+  double worst = 0.0;
+  for (int r = 0; r < num_ranks_; ++r)
+    worst = std::max(worst, perf::alltoallv_seconds(spec, last_stats(r)));
+  return worst;
+}
+
+void SimComm::reset_stats() {
+  std::fill(last_stats_.begin(), last_stats_.end(), perf::CommStats{});
+  std::fill(total_stats_.begin(), total_stats_.end(), perf::CommStats{});
+  std::fill(traffic_matrix_.begin(), traffic_matrix_.end(), 0);
+}
+
+}  // namespace memxct::dist

@@ -1,0 +1,74 @@
+// simmpi: an in-process message-passing runtime standing in for MPI.
+//
+// This host has no MPI; the distributed algorithm is nevertheless exercised
+// end-to-end by running every rank's program state in one process and
+// moving data between per-rank buffers through this runtime. Byte and
+// message counts are *exact* (what MPI_Alltoallv would transfer); wall time
+// for the network is modeled with the α–β parameters of the target machine
+// (perf::network_model), since loopback memcpy time says nothing about an
+// interconnect. A port to real MPI replaces only this class.
+#pragma once
+
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+#include "perf/network_model.hpp"
+
+namespace memxct::dist {
+
+/// Per-rank variable-size exchange (MPI_Alltoallv equivalent).
+class SimComm {
+ public:
+  explicit SimComm(int num_ranks);
+
+  [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
+
+  /// Executes one alltoallv: rank p's send buffer holds its outgoing
+  /// elements grouped by destination, with group boundaries in
+  /// send_displ[p] (size num_ranks+1). On return, recv[q] holds incoming
+  /// elements grouped by source with boundaries in recv_displ(q).
+  /// Self-destined data is copied but not charged to network statistics.
+  void alltoallv(const std::vector<AlignedVector<real>>& send,
+                 const std::vector<std::vector<nnz_t>>& send_displ,
+                 std::vector<AlignedVector<real>>& recv);
+
+  /// Group boundaries of rank q's receive buffer after the last exchange.
+  [[nodiscard]] const std::vector<nnz_t>& recv_displ(int rank) const {
+    return recv_displ_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Network statistics of the last exchange for one rank.
+  [[nodiscard]] const perf::CommStats& last_stats(int rank) const {
+    return last_stats_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Cumulative network statistics per rank.
+  [[nodiscard]] const perf::CommStats& total_stats(int rank) const {
+    return total_stats_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Element counts moved between rank pairs over all exchanges
+  /// (row-major num_ranks × num_ranks; includes self-traffic) — the Fig 7
+  /// communication matrix.
+  [[nodiscard]] const std::vector<std::int64_t>& traffic_matrix()
+      const noexcept {
+    return traffic_matrix_;
+  }
+
+  /// Modeled wall time of the last exchange on `spec` (max over ranks of
+  /// the α–β cost).
+  [[nodiscard]] double last_exchange_seconds(
+      const perf::MachineSpec& spec) const;
+
+  void reset_stats();
+
+ private:
+  int num_ranks_;
+  std::vector<std::vector<nnz_t>> recv_displ_;
+  std::vector<perf::CommStats> last_stats_;
+  std::vector<perf::CommStats> total_stats_;
+  std::vector<std::int64_t> traffic_matrix_;
+};
+
+}  // namespace memxct::dist

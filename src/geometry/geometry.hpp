@@ -1,0 +1,63 @@
+// Parallel-beam XCT acquisition geometry (paper Section 2.1).
+//
+// A tomographic scan rotates the sample through `num_angles` uniformly
+// spaced angles in [0, π) while a 1D detector of `num_channels` bins
+// measures attenuation line integrals. The sinogram is the
+// num_angles × num_channels measurement grid; the tomogram is the
+// image_size × image_size pixel grid being reconstructed.
+#pragma once
+
+#include "common/grid.hpp"
+#include "common/types.hpp"
+
+namespace memxct::geometry {
+
+/// Parallel raster-scan geometry, matching the paper's datasets where the
+/// detector channel count equals the reconstructed image width.
+struct Geometry {
+  idx_t num_angles = 0;    ///< M: projections per scan.
+  idx_t num_channels = 0;  ///< N: detector bins per projection.
+  idx_t image_size = 0;    ///< Tomogram is image_size × image_size.
+  /// Angular coverage in radians; π is a full parallel-beam scan. Smaller
+  /// values model limited-angle acquisitions (the constrained-data regime
+  /// of the paper's reference [3]).
+  double angle_span = 3.14159265358979323846;
+
+  /// Rotation angle of projection row `i` (radians, uniform over
+  /// [0, angle_span)).
+  [[nodiscard]] double angle(idx_t i) const noexcept {
+    return angle_span * static_cast<double>(i) /
+           static_cast<double>(num_angles);
+  }
+
+  /// Signed detector coordinate of channel `s` (pixel units from center).
+  [[nodiscard]] double channel_offset(idx_t s) const noexcept {
+    return static_cast<double>(s) + 0.5 -
+           static_cast<double>(num_channels) / 2.0;
+  }
+
+  [[nodiscard]] Extent2D sinogram_extent() const noexcept {
+    return {num_angles, num_channels};
+  }
+  [[nodiscard]] Extent2D tomogram_extent() const noexcept {
+    return {image_size, image_size};
+  }
+
+  /// Sinogram row-major index of (angle, channel).
+  [[nodiscard]] idx_t ray_index(idx_t angle, idx_t channel) const noexcept {
+    return angle * num_channels + channel;
+  }
+
+  void validate() const;
+};
+
+/// Geometry with detector matched to the image (the common case in the
+/// paper's datasets: sinogram M × N reconstructs an N × N tomogram).
+[[nodiscard]] Geometry make_geometry(idx_t num_angles, idx_t num_channels);
+
+/// Limited-angle variant: uniform angles over [0, angle_span).
+[[nodiscard]] Geometry make_limited_angle_geometry(idx_t num_angles,
+                                                   idx_t num_channels,
+                                                   double angle_span);
+
+}  // namespace memxct::geometry

@@ -1,0 +1,92 @@
+#include "geometry/projector.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geometry/siddon.hpp"
+
+namespace memxct::geometry {
+
+sparse::CsrMatrix build_projection_matrix(
+    const Geometry& g, const hilbert::Ordering& sinogram_order,
+    const hilbert::Ordering& tomogram_order) {
+  g.validate();
+  MEMXCT_CHECK(sinogram_order.extent() == g.sinogram_extent());
+  MEMXCT_CHECK(tomogram_order.extent() == g.tomogram_extent());
+
+  const idx_t num_rays = static_cast<idx_t>(g.sinogram_extent().size());
+  const idx_t num_pixels = static_cast<idx_t>(g.tomogram_extent().size());
+  const auto& tomo_to_ordered = tomogram_order.to_ordered();
+
+  // Two passes: count row lengths, then fill — avoids materializing
+  // per-row vectors for hundreds of millions of nonzeros.
+  sparse::CsrMatrix a;
+  a.num_rows = num_rays;
+  a.num_cols = num_pixels;
+  a.displ.assign(static_cast<std::size_t>(num_rays) + 1, 0);
+
+#pragma omp parallel
+  {
+    std::vector<std::pair<idx_t, real>> segments;
+#pragma omp for schedule(dynamic, 64)
+    for (idx_t i = 0; i < num_rays; ++i) {
+      const Cell rc = sinogram_order.cell(i);
+      trace_ray(g, rc.row, rc.col, segments);
+      a.displ[static_cast<std::size_t>(i) + 1] =
+          static_cast<nnz_t>(segments.size());
+    }
+  }
+  for (idx_t i = 0; i < num_rays; ++i)
+    a.displ[static_cast<std::size_t>(i) + 1] +=
+        a.displ[static_cast<std::size_t>(i)];
+
+  a.ind.resize(static_cast<std::size_t>(a.displ.back()));
+  a.val.resize(static_cast<std::size_t>(a.displ.back()));
+
+#pragma omp parallel
+  {
+    std::vector<std::pair<idx_t, real>> segments;
+    std::vector<std::pair<idx_t, real>> ordered;
+#pragma omp for schedule(dynamic, 64)
+    for (idx_t i = 0; i < num_rays; ++i) {
+      const Cell rc = sinogram_order.cell(i);
+      trace_ray(g, rc.row, rc.col, segments);
+      ordered.clear();
+      for (const auto& [pixel, length] : segments)
+        ordered.emplace_back(tomo_to_ordered[static_cast<std::size_t>(pixel)],
+                             length);
+      std::sort(ordered.begin(), ordered.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+      nnz_t k = a.displ[static_cast<std::size_t>(i)];
+      // Coalesce duplicate pixels (corner-grazing rays).
+      nnz_t out = k;
+      for (const auto& [col, v] : ordered) {
+        if (out > k && a.ind[static_cast<std::size_t>(out - 1)] == col) {
+          a.val[static_cast<std::size_t>(out - 1)] += v;
+        } else {
+          a.ind[static_cast<std::size_t>(out)] = col;
+          a.val[static_cast<std::size_t>(out)] = v;
+          ++out;
+        }
+      }
+      // Corner coalescing can shrink the row; pad with repeats is not
+      // possible in CSR, so duplicates are instead prevented up front:
+      // trace_ray never emits the same pixel twice (segments between
+      // consecutive crossings are distinct pixels). Keep the check cheap:
+      MEMXCT_CHECK(out == a.displ[static_cast<std::size_t>(i) + 1]);
+    }
+  }
+  return a;
+}
+
+sparse::CsrMatrix build_projection_matrix_natural(const Geometry& g) {
+  const hilbert::Ordering sino(g.sinogram_extent(),
+                               hilbert::CurveKind::RowMajor);
+  const hilbert::Ordering tomo(g.tomogram_extent(),
+                               hilbert::CurveKind::RowMajor);
+  return build_projection_matrix(g, sino, tomo);
+}
+
+}  // namespace memxct::geometry

@@ -1,0 +1,27 @@
+// Projection-matrix construction: memoized ray tracing (paper Section 3.5,
+// preprocessing step 2).
+//
+// Row i of A is the ray of ordered sinogram index i; its nonzeros are the
+// pixels the ray intersects, with column = ordered tomogram index and value
+// = intersection length. Building directly in ordered index space means no
+// separate permutation pass and keeps entries of each row sorted by ordered
+// column (the buffered kernel's builder relies on that).
+#pragma once
+
+#include "hilbert/ordering.hpp"
+#include "geometry/geometry.hpp"
+#include "sparse/csr.hpp"
+
+namespace memxct::geometry {
+
+/// Builds A (sinogram-ordered rows × tomogram-ordered columns) by tracing
+/// all M×N rays in parallel.
+[[nodiscard]] sparse::CsrMatrix build_projection_matrix(
+    const Geometry& geometry, const hilbert::Ordering& sinogram_order,
+    const hilbert::Ordering& tomogram_order);
+
+/// Convenience: A in natural (row-major) index spaces on both domains.
+[[nodiscard]] sparse::CsrMatrix build_projection_matrix_natural(
+    const Geometry& geometry);
+
+}  // namespace memxct::geometry

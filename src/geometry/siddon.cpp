@@ -1,0 +1,144 @@
+#include "geometry/siddon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace memxct::geometry {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kMinSegment = 1e-9;
+
+/// Ray in point + unit-direction form: p(u) = origin + u * dir.
+struct Ray {
+  double ox, oy;
+  double dx, dy;
+};
+
+Ray make_ray(const Geometry& g, idx_t angle_index, idx_t channel) {
+  const double theta = g.angle(angle_index);
+  const double t = g.channel_offset(channel);
+  // Detector axis n = (-sin θ, cos θ); ray direction d = (cos θ, sin θ).
+  return Ray{-t * std::sin(theta), t * std::cos(theta), std::cos(theta),
+             std::sin(theta)};
+}
+
+/// Entry/exit parameters of the ray within the square [x0,x1]×[y0,y1];
+/// returns {1, 0} (empty) when the ray misses.
+std::pair<double, double> clip(const Ray& r, double x0, double x1, double y0,
+                               double y1) {
+  double umin = -kInf, umax = kInf;
+  if (r.dx != 0.0) {
+    const double a = (x0 - r.ox) / r.dx;
+    const double b = (x1 - r.ox) / r.dx;
+    umin = std::max(umin, std::min(a, b));
+    umax = std::min(umax, std::max(a, b));
+  } else if (r.ox < x0 || r.ox > x1) {
+    return {1.0, 0.0};
+  }
+  if (r.dy != 0.0) {
+    const double a = (y0 - r.oy) / r.dy;
+    const double b = (y1 - r.oy) / r.dy;
+    umin = std::max(umin, std::min(a, b));
+    umax = std::min(umax, std::max(a, b));
+  } else if (r.oy < y0 || r.oy > y1) {
+    return {1.0, 0.0};
+  }
+  return {umin, umax};
+}
+
+}  // namespace
+
+void Geometry::validate() const {
+  MEMXCT_CHECK(num_angles >= 1);
+  MEMXCT_CHECK(num_channels >= 1);
+  MEMXCT_CHECK(image_size >= 1);
+  MEMXCT_CHECK_MSG(angle_span > 0.0 &&
+                       angle_span <= 3.14159265358979323847,
+                   "angle span must be in (0, pi]");
+}
+
+Geometry make_geometry(idx_t num_angles, idx_t num_channels) {
+  Geometry g{num_angles, num_channels, num_channels};
+  g.validate();
+  return g;
+}
+
+Geometry make_limited_angle_geometry(idx_t num_angles, idx_t num_channels,
+                                     double angle_span) {
+  Geometry g{num_angles, num_channels, num_channels, angle_span};
+  g.validate();
+  return g;
+}
+
+double chord_length(const Geometry& g, idx_t angle_index, idx_t channel) {
+  const double half = static_cast<double>(g.image_size) / 2.0;
+  const Ray r = make_ray(g, angle_index, channel);
+  const auto [umin, umax] = clip(r, -half, half, -half, half);
+  return umax > umin ? umax - umin : 0.0;
+}
+
+void trace_ray(const Geometry& g, idx_t angle_index, idx_t channel,
+               std::vector<std::pair<idx_t, real>>& out) {
+  out.clear();
+  const idx_t n = g.image_size;
+  const double half = static_cast<double>(n) / 2.0;
+  const Ray r = make_ray(g, angle_index, channel);
+  auto [u, u_end] = clip(r, -half, half, -half, half);
+  if (!(u_end - u > kMinSegment)) return;
+
+  // Siddon incremental traversal: track the next x-plane and y-plane
+  // crossing parameters and step through pixels between crossings.
+  const double inv_dx = r.dx != 0.0 ? 1.0 / r.dx : kInf;
+  const double inv_dy = r.dy != 0.0 ? 1.0 / r.dy : kInf;
+
+  // Position at entry, nudged inside to land in the correct first pixel.
+  const double eps = 1e-12 * static_cast<double>(n);
+  const double px = r.ox + (u + eps) * r.dx + half;  // grid coords [0, n]
+  const double py = r.oy + (u + eps) * r.dy + half;
+  idx_t ix = std::clamp(static_cast<idx_t>(std::floor(px)), idx_t{0}, n - 1);
+  idx_t iy = std::clamp(static_cast<idx_t>(std::floor(py)), idx_t{0}, n - 1);
+
+  // Parameter of the next plane crossing in each axis, and per-cell steps.
+  const int step_x = r.dx > 0.0 ? 1 : -1;
+  const int step_y = r.dy > 0.0 ? 1 : -1;
+  double next_ux = kInf, next_uy = kInf;
+  if (r.dx != 0.0) {
+    const double plane = -half + static_cast<double>(ix + (step_x > 0 ? 1 : 0));
+    next_ux = (plane - r.ox) * inv_dx;
+  }
+  if (r.dy != 0.0) {
+    const double plane = -half + static_cast<double>(iy + (step_y > 0 ? 1 : 0));
+    next_uy = (plane - r.oy) * inv_dy;
+  }
+  const double du_x = r.dx != 0.0 ? std::abs(inv_dx) : kInf;
+  const double du_y = r.dy != 0.0 ? std::abs(inv_dy) : kInf;
+
+  while (u < u_end - kMinSegment) {
+    const double u_next = std::min({next_ux, next_uy, u_end});
+    const double len = u_next - u;
+    if (len > kMinSegment) {
+      // Pixel (iy, ix): tomogram row = iy (y axis maps to rows).
+      out.emplace_back(iy * n + ix, static_cast<real>(len));
+    }
+    if (u_next >= u_end - kMinSegment) break;
+    // Advance across whichever plane(s) were crossed; a corner hit crosses
+    // both at once.
+    if (next_ux <= u_next + kMinSegment) {
+      ix += step_x;
+      next_ux += du_x;
+    }
+    if (next_uy <= u_next + kMinSegment) {
+      iy += step_y;
+      next_uy += du_y;
+    }
+    u = u_next;
+    if (ix < 0 || ix >= n || iy < 0 || iy >= n) break;
+  }
+}
+
+}  // namespace memxct::geometry

@@ -1,0 +1,29 @@
+// Siddon ray tracing (paper reference [15]): exact pixel intersection
+// lengths of a parallel-beam ray through the tomogram grid.
+//
+// CompXCT recomputes these intersections on the fly every iteration;
+// MemXCT memoizes them once into the projection matrix. Both paths share
+// this tracer, which is what makes the Table 4 comparison one-to-one.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geometry/geometry.hpp"
+
+namespace memxct::geometry {
+
+/// Appends (row-major pixel index, intersection length) pairs for the ray of
+/// `angle_index` / `channel` to `out` (cleared first). Lengths are in pixel
+/// units; segments shorter than 1e-9 are dropped. Pixel indices ascend along
+/// the ray path, not by index value.
+void trace_ray(const Geometry& geometry, idx_t angle_index, idx_t channel,
+               std::vector<std::pair<idx_t, real>>& out);
+
+/// Total intersection length of the ray with the tomogram square —
+/// the analytic chord length used by tests to validate the tracer.
+[[nodiscard]] double chord_length(const Geometry& geometry, idx_t angle_index,
+                                  idx_t channel);
+
+}  // namespace memxct::geometry

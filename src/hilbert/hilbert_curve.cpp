@@ -1,0 +1,80 @@
+#include "hilbert/hilbert_curve.hpp"
+
+namespace memxct::hilbert {
+
+namespace {
+
+// Quadrant rotation step shared by both directions of the classic
+// iterative Hilbert mapping.
+void rotate_quadrant(idx_t s, idx_t& x, idx_t& y, idx_t rx, idx_t ry) noexcept {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = s - 1 - x;
+      y = s - 1 - y;
+    }
+    const idx_t t = x;
+    x = y;
+    y = t;
+  }
+}
+
+}  // namespace
+
+Cell hilbert_d2xy(idx_t n, idx_t d) noexcept {
+  idx_t x = 0, y = 0;
+  idx_t t = d;
+  for (idx_t s = 1; s < n; s *= 2) {
+    const idx_t rx = 1 & (t / 2);
+    const idx_t ry = 1 & (t ^ rx);
+    rotate_quadrant(s, x, y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return Cell{y, x};
+}
+
+idx_t hilbert_xy2d(idx_t n, idx_t x, idx_t y) noexcept {
+  idx_t d = 0;
+  for (idx_t s = n / 2; s > 0; s /= 2) {
+    const idx_t rx = (x & s) > 0 ? 1 : 0;
+    const idx_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    rotate_quadrant(s, x, y, rx, ry);
+  }
+  return d;
+}
+
+const std::array<TileTransform, 8>& all_tile_transforms() noexcept {
+  static const std::array<TileTransform, 8> transforms = {{
+      {false, false, false},
+      {false, true, false},
+      {false, false, true},
+      {false, true, true},
+      {true, false, false},
+      {true, true, false},
+      {true, false, true},
+      {true, true, true},
+  }};
+  return transforms;
+}
+
+Cell morton_d2xy(idx_t n, idx_t d) noexcept {
+  idx_t x = 0, y = 0;
+  for (idx_t bit = 0; (idx_t{1} << bit) < n; ++bit) {
+    x |= ((d >> (2 * bit)) & 1) << bit;
+    y |= ((d >> (2 * bit + 1)) & 1) << bit;
+  }
+  return Cell{y, x};
+}
+
+idx_t morton_xy2d(idx_t n, idx_t x, idx_t y) noexcept {
+  idx_t d = 0;
+  for (idx_t bit = 0; (idx_t{1} << bit) < n; ++bit) {
+    d |= ((x >> bit) & 1) << (2 * bit);
+    d |= ((y >> bit) & 1) << (2 * bit + 1);
+  }
+  return d;
+}
+
+}  // namespace memxct::hilbert

@@ -1,0 +1,55 @@
+// Classic Hilbert space-filling curve on a 2^k × 2^k square, plus its eight
+// dihedral symmetries.
+//
+// The second level of MemXCT's two-level pseudo-Hilbert ordering
+// (Section 3.2) traverses each power-of-two tile with this curve; tile-level
+// "rotations" that stitch consecutive tiles together are chosen among the
+// eight symmetries.
+#pragma once
+
+#include <array>
+
+#include "common/grid.hpp"
+#include "common/types.hpp"
+
+namespace memxct::hilbert {
+
+/// Converts distance `d` along the Hilbert curve of an n×n square
+/// (n a power of two) to (x, y). The base curve starts at (0,0) and ends at
+/// (n-1, 0).
+[[nodiscard]] Cell hilbert_d2xy(idx_t n, idx_t d) noexcept;
+
+/// Converts (x, y) on an n×n square to distance along the Hilbert curve.
+[[nodiscard]] idx_t hilbert_xy2d(idx_t n, idx_t x, idx_t y) noexcept;
+
+/// One of the eight symmetries of the square (4 rotations × reflection),
+/// applied to curve coordinates within an n×n tile.
+struct TileTransform {
+  bool swap_xy = false;  ///< Transpose before flips.
+  bool flip_x = false;   ///< Mirror x -> n-1-x.
+  bool flip_y = false;   ///< Mirror y -> n-1-y.
+
+  [[nodiscard]] Cell apply(idx_t n, Cell c) const noexcept {
+    idx_t x = c.col, y = c.row;
+    if (swap_xy) {
+      const idx_t t = x;
+      x = y;
+      y = t;
+    }
+    if (flip_x) x = n - 1 - x;
+    if (flip_y) y = n - 1 - y;
+    return Cell{y, x};
+  }
+};
+
+/// All eight symmetries, identity first.
+[[nodiscard]] const std::array<TileTransform, 8>& all_tile_transforms() noexcept;
+
+/// Morton (Z-order) curve for comparison (Section 3.2.3): distance to (x,y)
+/// on an n×n power-of-two square.
+[[nodiscard]] Cell morton_d2xy(idx_t n, idx_t d) noexcept;
+
+/// Inverse Morton mapping.
+[[nodiscard]] idx_t morton_xy2d(idx_t n, idx_t x, idx_t y) noexcept;
+
+}  // namespace memxct::hilbert

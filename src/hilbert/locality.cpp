@@ -1,0 +1,42 @@
+#include "hilbert/locality.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace memxct::hilbert {
+
+double adjacency_fraction(const Ordering& ordering) {
+  const idx_t n = ordering.size();
+  if (n < 2) return 1.0;
+  std::int64_t adjacent = 0;
+  Cell prev = ordering.cell(0);
+  for (idx_t i = 1; i < n; ++i) {
+    const Cell cur = ordering.cell(i);
+    if (std::abs(cur.row - prev.row) + std::abs(cur.col - prev.col) == 1)
+      ++adjacent;
+    prev = cur;
+  }
+  return static_cast<double>(adjacent) / static_cast<double>(n - 1);
+}
+
+double mean_step_length(const Ordering& ordering) {
+  const idx_t n = ordering.size();
+  if (n < 2) return 0.0;
+  std::int64_t total = 0;
+  Cell prev = ordering.cell(0);
+  for (idx_t i = 1; i < n; ++i) {
+    const Cell cur = ordering.cell(i);
+    total += std::abs(cur.row - prev.row) + std::abs(cur.col - prev.col);
+    prev = cur;
+  }
+  return static_cast<double>(total) / static_cast<double>(n - 1);
+}
+
+std::int64_t lines_touched(idx_t begin, idx_t end, idx_t line_elems) {
+  MEMXCT_CHECK(line_elems > 0 && begin <= end);
+  if (begin == end) return 0;
+  return (end - 1) / line_elems - begin / line_elems + 1;
+}
+
+}  // namespace memxct::hilbert

@@ -1,0 +1,25 @@
+// Locality metrics for orderings (used by Fig 5-style analyses and tests).
+#pragma once
+
+#include <cstdint>
+
+#include "hilbert/ordering.hpp"
+
+namespace memxct::hilbert {
+
+/// Fraction of consecutive ordered-index pairs that are 4-neighbors in 2D.
+/// 1.0 for a fully connected curve; row-major scores ~(cols-1)/cols; Morton
+/// scores noticeably lower (its jumps are the Section 3.2.3 objection).
+[[nodiscard]] double adjacency_fraction(const Ordering& ordering);
+
+/// Mean Manhattan distance between consecutive ordered cells.
+[[nodiscard]] double mean_step_length(const Ordering& ordering);
+
+/// Number of distinct cache lines touched when visiting the given ordered
+/// index range, where a "cache line" is `line_elems` consecutive ordered
+/// indices (the layout in memory follows the ordering). This is the direct
+/// cache-line-footprint measure behind Fig 5.
+[[nodiscard]] std::int64_t lines_touched(idx_t begin, idx_t end,
+                                         idx_t line_elems);
+
+}  // namespace memxct::hilbert

@@ -1,0 +1,160 @@
+#include "hilbert/ordering.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+#include "hilbert/hilbert_curve.hpp"
+#include "hilbert/rect_curve.hpp"
+
+namespace memxct::hilbert {
+
+const char* to_string(CurveKind kind) noexcept {
+  switch (kind) {
+    case CurveKind::RowMajor:
+      return "row-major";
+    case CurveKind::Hilbert:
+      return "two-level pseudo-Hilbert";
+    case CurveKind::Morton:
+      return "Morton";
+  }
+  return "?";
+}
+
+idx_t default_tile_size(const Extent2D& extent) {
+  const idx_t max_dim = std::max(extent.rows, extent.cols);
+  const idx_t target = std::max<idx_t>(1, ceil_div<idx_t>(max_dim, 16));
+  return std::clamp<idx_t>(next_pow2(target), 4, 1024);
+}
+
+namespace {
+
+idx_t manhattan(Cell a, Cell b) noexcept {
+  return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+// Precomputed curve of one tile (tile-local cells in traversal order).
+std::vector<Cell> base_tile_curve(CurveKind kind, idx_t a) {
+  std::vector<Cell> curve(static_cast<std::size_t>(a) * a);
+  for (idx_t d = 0; d < a * a; ++d)
+    curve[static_cast<std::size_t>(d)] =
+        kind == CurveKind::Morton ? morton_d2xy(a, d) : hilbert_d2xy(a, d);
+  return curve;
+}
+
+}  // namespace
+
+Ordering::Ordering(Extent2D extent, CurveKind kind, idx_t tile_size)
+    : extent_(extent), kind_(kind) {
+  MEMXCT_CHECK(extent.rows >= 1 && extent.cols >= 1);
+  const auto total = extent.size();
+  MEMXCT_CHECK_MSG(total <= std::numeric_limits<idx_t>::max(),
+                   "domain too large for 32-bit ordered indices");
+  to_grid_.reserve(static_cast<std::size_t>(total));
+  to_ordered_.assign(static_cast<std::size_t>(total), -1);
+
+  if (kind == CurveKind::RowMajor) {
+    // Identity traversal; one "tile" per row so partitioners have ranges.
+    tile_size_ = 0;
+    tile_displ_.reserve(static_cast<std::size_t>(extent.rows) + 1);
+    tile_displ_.push_back(0);
+    for (idx_t r = 0; r < extent.rows; ++r) {
+      for (idx_t c = 0; c < extent.cols; ++c) {
+        const auto g = static_cast<idx_t>(row_major_index(extent, r, c));
+        to_ordered_[static_cast<std::size_t>(g)] =
+            static_cast<idx_t>(to_grid_.size());
+        to_grid_.push_back(g);
+      }
+      tile_displ_.push_back(static_cast<idx_t>(to_grid_.size()));
+    }
+    return;
+  }
+
+  tile_size_ = tile_size > 0 ? tile_size : default_tile_size(extent);
+  MEMXCT_CHECK_MSG(is_pow2(tile_size_), "tile size must be a power of two");
+  const idx_t a = tile_size_;
+  const idx_t tile_rows = ceil_div(extent.rows, a);
+  const idx_t tile_cols = ceil_div(extent.cols, a);
+
+  // Level 1: generalized-Hilbert traversal of the tile grid (Morton uses
+  // Z-order over the padded power-of-two tile grid, skipping absent tiles —
+  // this is exactly the "disconnected partitions" behaviour Section 3.2.3
+  // contrasts against).
+  std::vector<Cell> tile_order;
+  if (kind == CurveKind::Hilbert) {
+    tile_order = rect_hilbert_order(tile_cols, tile_rows);
+  } else {
+    const idx_t n = next_pow2(std::max(tile_rows, tile_cols));
+    tile_order.reserve(static_cast<std::size_t>(tile_rows) * tile_cols);
+    for (idx_t d = 0; d < n * n; ++d) {
+      const Cell t = morton_d2xy(n, d);
+      if (t.row < tile_rows && t.col < tile_cols) tile_order.push_back(t);
+    }
+  }
+
+  // Level 2: per-tile curve, with the symmetry chosen to connect to the
+  // previous tile's exit (the paper's "necessary rotations ... to provide
+  // data connectivity among tiles"). Morton has no useful symmetries, so it
+  // always uses the identity, which is what makes it lose connectivity.
+  const std::vector<Cell> base = base_tile_curve(kind, a);
+  const auto& transforms = all_tile_transforms();
+
+  tile_displ_.reserve(tile_order.size() + 1);
+  tile_displ_.push_back(0);
+  Cell prev_exit{-1, -1};
+  bool have_prev = false;
+  std::vector<Cell> best_cells;
+  std::vector<Cell> cand_cells;
+  best_cells.reserve(base.size());
+  cand_cells.reserve(base.size());
+
+  for (const Cell tile : tile_order) {
+    const idx_t row0 = tile.row * a;
+    const idx_t col0 = tile.col * a;
+    idx_t best_score = std::numeric_limits<idx_t>::max();
+    best_cells.clear();
+
+    const std::size_t num_transforms =
+        (kind == CurveKind::Hilbert && have_prev) ? transforms.size() : 1;
+    for (std::size_t ti = 0; ti < num_transforms; ++ti) {
+      cand_cells.clear();
+      for (const Cell local : base) {
+        const Cell t = transforms[ti].apply(a, local);
+        const Cell global{row0 + t.row, col0 + t.col};
+        if (extent.contains(global.row, global.col))
+          cand_cells.push_back(global);
+      }
+      if (cand_cells.empty()) break;  // tile fully outside (cannot happen)
+      const idx_t score =
+          have_prev ? manhattan(prev_exit, cand_cells.front()) : 0;
+      if (score < best_score) {
+        best_score = score;
+        best_cells.swap(cand_cells);
+        if (score <= 1) break;  // perfectly connected; no better possible
+      }
+    }
+
+    if (best_cells.empty()) continue;  // boundary tile with no in-domain cell
+    for (const Cell c : best_cells) {
+      const auto g = static_cast<idx_t>(row_major_index(extent, c.row, c.col));
+      to_ordered_[static_cast<std::size_t>(g)] =
+          static_cast<idx_t>(to_grid_.size());
+      to_grid_.push_back(g);
+    }
+    prev_exit = best_cells.back();
+    have_prev = true;
+    tile_displ_.push_back(static_cast<idx_t>(to_grid_.size()));
+  }
+
+  MEMXCT_CHECK(static_cast<std::int64_t>(to_grid_.size()) == total);
+}
+
+idx_t Ordering::tile_of_ordered(idx_t i) const {
+  MEMXCT_CHECK(i >= 0 && i < size());
+  const auto it =
+      std::upper_bound(tile_displ_.begin(), tile_displ_.end(), i);
+  return static_cast<idx_t>(it - tile_displ_.begin()) - 1;
+}
+
+}  // namespace memxct::hilbert

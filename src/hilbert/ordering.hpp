@@ -1,0 +1,103 @@
+// Two-level pseudo-Hilbert ordering of 2D domains (paper Section 3.2).
+//
+// An Ordering is a bijection between a 2D domain's row-major cells and a 1D
+// "ordered" index space. MemXCT builds one ordering for the tomogram (N×N)
+// and one for the sinogram (M×N), and permutes the projection matrix's rows
+// and columns accordingly. The two-level construction:
+//   1. cover the domain with equal power-of-two square tiles;
+//   2. order tiles with a generalized-Hilbert curve over the tile grid;
+//   3. order cells within each tile with a (symmetry-adjusted) Hilbert
+//      curve, picking the symmetry that connects each tile's entry to the
+//      previous tile's exit.
+// Cells of a tile are contiguous in ordered space, which is what makes
+// tile-granular process/thread partitioning possible (Section 3.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "common/types.hpp"
+
+namespace memxct::hilbert {
+
+/// Curve used at both ordering levels.
+enum class CurveKind {
+  RowMajor,  ///< Naive baseline (Fig 5's "row-major ordering").
+  Hilbert,   ///< Two-level pseudo-Hilbert (the paper's scheme).
+  Morton,    ///< Z-order, for the Section 3.2.3 comparison.
+};
+
+[[nodiscard]] const char* to_string(CurveKind kind) noexcept;
+
+/// Bijection between a 2D domain and the 1D ordered index space, with tile
+/// structure retained for partitioning.
+class Ordering {
+ public:
+  /// Builds an ordering of `extent` using `kind` at both levels.
+  /// `tile_size` must be a power of two, or 0 to choose a default that
+  /// yields on the order of a few hundred tiles. RowMajor ignores tiles for
+  /// traversal but still records tile_size=rows granularity (one tile per
+  /// row) so partitioning code has ranges to work with.
+  Ordering(Extent2D extent, CurveKind kind, idx_t tile_size = 0);
+
+  [[nodiscard]] const Extent2D& extent() const noexcept { return extent_; }
+  [[nodiscard]] CurveKind kind() const noexcept { return kind_; }
+  [[nodiscard]] idx_t tile_size() const noexcept { return tile_size_; }
+  [[nodiscard]] idx_t size() const noexcept {
+    return static_cast<idx_t>(to_grid_.size());
+  }
+
+  /// Ordered index -> row-major cell index.
+  [[nodiscard]] idx_t grid_index(idx_t ordered) const noexcept {
+    return to_grid_[static_cast<std::size_t>(ordered)];
+  }
+
+  /// Ordered index -> 2D cell.
+  [[nodiscard]] Cell cell(idx_t ordered) const noexcept {
+    return row_major_cell(extent_, grid_index(ordered));
+  }
+
+  /// (row, col) -> ordered index.
+  [[nodiscard]] idx_t ordered_index(idx_t row, idx_t col) const noexcept {
+    return to_ordered_[static_cast<std::size_t>(
+        row_major_index(extent_, row, col))];
+  }
+
+  /// Number of tiles covering the domain (in tile-curve order).
+  [[nodiscard]] idx_t num_tiles() const noexcept {
+    return static_cast<idx_t>(tile_displ_.size()) - 1;
+  }
+
+  /// Ordered-index range [begin, end) of tile `t`; tiles are contiguous.
+  [[nodiscard]] std::pair<idx_t, idx_t> tile_range(idx_t t) const {
+    return {tile_displ_[static_cast<std::size_t>(t)],
+            tile_displ_[static_cast<std::size_t>(t) + 1]};
+  }
+
+  /// Tile (in curve order) containing ordered index `i`.
+  [[nodiscard]] idx_t tile_of_ordered(idx_t i) const;
+
+  /// Full forward permutation (ordered -> row-major index), for kernels.
+  [[nodiscard]] const std::vector<idx_t>& to_grid() const noexcept {
+    return to_grid_;
+  }
+  /// Full inverse permutation (row-major index -> ordered).
+  [[nodiscard]] const std::vector<idx_t>& to_ordered() const noexcept {
+    return to_ordered_;
+  }
+
+ private:
+  Extent2D extent_;
+  CurveKind kind_;
+  idx_t tile_size_ = 0;
+  std::vector<idx_t> to_grid_;
+  std::vector<idx_t> to_ordered_;
+  std::vector<idx_t> tile_displ_;
+};
+
+/// Default tile size for a domain: power of two giving a few hundred tiles,
+/// clamped to [4, 1024].
+[[nodiscard]] idx_t default_tile_size(const Extent2D& extent);
+
+}  // namespace memxct::hilbert

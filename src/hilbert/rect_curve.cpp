@@ -1,0 +1,84 @@
+#include "hilbert/rect_curve.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace memxct::hilbert {
+
+namespace {
+
+int sgn(idx_t v) noexcept { return (v > 0) - (v < 0); }
+
+// Floor division by 2 (recursion can produce negative direction vectors).
+idx_t half(idx_t v) noexcept {
+  return v >= 0 ? v / 2 : -((-v + 1) / 2);
+}
+
+// Recursive generalized-Hilbert generation: walk a w×h block anchored at
+// (x, y) whose major axis is (ax, ay) and minor axis is (bx, by).
+void generate(idx_t x, idx_t y, idx_t ax, idx_t ay, idx_t bx, idx_t by,
+              std::vector<Cell>& out) {
+  const idx_t w = std::abs(ax + ay);
+  const idx_t h = std::abs(bx + by);
+  const int dax = sgn(ax), day = sgn(ay);  // unit step along major axis
+  const int dbx = sgn(bx), dby = sgn(by);  // unit step along minor axis
+
+  if (h == 1) {  // single row: plain sweep
+    for (idx_t i = 0; i < w; ++i) {
+      out.push_back(Cell{y, x});
+      x += dax;
+      y += day;
+    }
+    return;
+  }
+  if (w == 1) {  // single column: plain sweep
+    for (idx_t i = 0; i < h; ++i) {
+      out.push_back(Cell{y, x});
+      x += dbx;
+      y += dby;
+    }
+    return;
+  }
+
+  idx_t ax2 = half(ax), ay2 = half(ay);
+  idx_t bx2 = half(bx), by2 = half(by);
+  const idx_t w2 = std::abs(ax2 + ay2);
+  const idx_t h2 = std::abs(bx2 + by2);
+
+  if (2 * w > 3 * h) {
+    // Wide case: split along the major axis only.
+    if ((w2 % 2) != 0 && w > 2) {
+      ax2 += dax;
+      ay2 += day;
+    }
+    generate(x, y, ax2, ay2, bx, by, out);
+    generate(x + ax2, y + ay2, ax - ax2, ay - ay2, bx, by, out);
+  } else {
+    // Standard case: three-piece Hilbert-style split.
+    if ((h2 % 2) != 0 && h > 2) {
+      bx2 += dbx;
+      by2 += dby;
+    }
+    generate(x, y, bx2, by2, ax2, ay2, out);
+    generate(x + bx2, y + by2, ax, ay, bx - bx2, by - by2, out);
+    generate(x + (ax - dax) + (bx2 - dbx), y + (ay - day) + (by2 - dby), -bx2,
+             -by2, -(ax - ax2), -(ay - ay2), out);
+  }
+}
+
+}  // namespace
+
+std::vector<Cell> rect_hilbert_order(idx_t width, idx_t height) {
+  MEMXCT_CHECK(width >= 1 && height >= 1);
+  std::vector<Cell> out;
+  out.reserve(static_cast<std::size_t>(width) * height);
+  if (width >= height)
+    generate(0, 0, width, 0, 0, height, out);
+  else
+    generate(0, 0, 0, height, width, 0, out);
+  MEMXCT_CHECK(out.size() == static_cast<std::size_t>(width) * height);
+  return out;
+}
+
+}  // namespace memxct::hilbert

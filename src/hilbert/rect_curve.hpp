@@ -1,0 +1,24 @@
+// Generalized Hilbert ("gilbert") curve for arbitrary W×H rectangles.
+//
+// MemXCT's first ordering level traverses the rectangular *tile grid* with a
+// Hilbert-style curve for rectangles (paper reference [20]); this
+// implementation follows the recursive halving construction that produces a
+// connected curve (unit steps between consecutive cells) covering every cell
+// of an arbitrary rectangle exactly once.
+#pragma once
+
+#include <vector>
+
+#include "common/grid.hpp"
+#include "common/types.hpp"
+
+namespace memxct::hilbert {
+
+/// Returns the cells of a width×height rectangle in generalized-Hilbert
+/// order. Cell.col ∈ [0,width), Cell.row ∈ [0,height). Consecutive cells are
+/// 4-neighbors except for rare diagonal steps (Chebyshev distance 1) that
+/// odd-sized sub-blocks force — the construction is "pseudo"-Hilbert in
+/// exactly the paper's sense; it never jumps farther than one diagonal.
+[[nodiscard]] std::vector<Cell> rect_hilbert_order(idx_t width, idx_t height);
+
+}  // namespace memxct::hilbert

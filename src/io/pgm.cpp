@@ -1,0 +1,49 @@
+#include "io/pgm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace memxct::io {
+
+void write_pgm(const std::string& path, const Extent2D& ext,
+               std::span<const real> data, real lo, real hi) {
+  MEMXCT_CHECK(static_cast<std::int64_t>(data.size()) == ext.size());
+  MEMXCT_CHECK_MSG(hi > lo, "degenerate display window");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw InvalidArgument("cannot open for write: " + path);
+  std::fprintf(f, "P5\n%d %d\n255\n", ext.cols, ext.rows);
+  std::vector<unsigned char> row(static_cast<std::size_t>(ext.cols));
+  const real scale = real{255} / (hi - lo);
+  for (idx_t r = 0; r < ext.rows; ++r) {
+    for (idx_t c = 0; c < ext.cols; ++c) {
+      const real v = (data[static_cast<std::size_t>(row_major_index(ext, r, c))] - lo) * scale;
+      row[static_cast<std::size_t>(c)] =
+          static_cast<unsigned char>(std::clamp(v, real{0}, real{255}));
+    }
+    std::fwrite(row.data(), 1, row.size(), f);
+  }
+  std::fclose(f);
+}
+
+void write_pgm_autoscale(const std::string& path, const Extent2D& ext,
+                         std::span<const real> data) {
+  MEMXCT_CHECK(!data.empty());
+  std::vector<real> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto pct = [&](double p) {
+    const auto i = static_cast<std::size_t>(p * (sorted.size() - 1));
+    return sorted[i];
+  };
+  real lo = pct(0.01);
+  real hi = pct(0.99);
+  if (hi <= lo) {  // flat image: widen window to avoid divide-by-zero
+    lo = sorted.front() - real{0.5};
+    hi = sorted.back() + real{0.5};
+  }
+  write_pgm(path, ext, data, lo, hi);
+}
+
+}  // namespace memxct::io

@@ -1,0 +1,25 @@
+// Grayscale image output (binary PGM) for reconstructed tomograms.
+//
+// PGM is used so examples can emit viewable reconstructions without any
+// image-library dependency.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/grid.hpp"
+#include "common/types.hpp"
+
+namespace memxct::io {
+
+/// Writes `data` (row-major, ext.rows × ext.cols) as an 8-bit binary PGM,
+/// linearly mapping [lo, hi] to [0, 255]. Values outside are clamped.
+void write_pgm(const std::string& path, const Extent2D& ext,
+               std::span<const real> data, real lo, real hi);
+
+/// As write_pgm but auto-windows to robust percentiles (1% / 99%) of the
+/// data, which is the usual display choice for CT slices.
+void write_pgm_autoscale(const std::string& path, const Extent2D& ext,
+                         std::span<const real> data);
+
+}  // namespace memxct::io

@@ -1,0 +1,165 @@
+#include "io/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace memxct::io {
+
+namespace {
+
+constexpr char kCsrMagic[8] = {'M', 'X', 'C', 'S', 'R', '0', '0', '1'};
+constexpr char kVecMagic[8] = {'M', 'X', 'V', 'E', 'C', '0', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_or_throw(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  if (f == nullptr)
+    throw InvalidArgument("cannot open " + path + " (mode " + mode + ")");
+  return f;
+}
+
+template <class T>
+void write_array(std::FILE* f, const T* data, std::size_t count,
+                 const std::string& path) {
+  if (std::fwrite(data, sizeof(T), count, f) != count)
+    throw InvalidArgument("short write to " + path);
+}
+
+template <class T>
+void read_array(std::FILE* f, T* data, std::size_t count,
+                const std::string& path) {
+  if (std::fread(data, sizeof(T), count, f) != count)
+    throw InvalidArgument("short read from " + path);
+}
+
+}  // namespace
+
+void save_csr(const std::string& path, const sparse::CsrMatrix& matrix) {
+  matrix.validate();
+  const auto f = open_or_throw(path, "wb");
+  write_array(f.get(), kCsrMagic, sizeof(kCsrMagic), path);
+  const std::int64_t header[3] = {matrix.num_rows, matrix.num_cols,
+                                  matrix.nnz()};
+  write_array(f.get(), header, 3, path);
+  write_array(f.get(), matrix.displ.data(), matrix.displ.size(), path);
+  write_array(f.get(), matrix.ind.data(), matrix.ind.size(), path);
+  write_array(f.get(), matrix.val.data(), matrix.val.size(), path);
+}
+
+sparse::CsrMatrix load_csr(const std::string& path) {
+  const auto f = open_or_throw(path, "rb");
+  char magic[8];
+  read_array(f.get(), magic, sizeof(magic), path);
+  if (std::memcmp(magic, kCsrMagic, sizeof(magic)) != 0)
+    throw InvalidArgument(path + " is not a MemXCT CSR file");
+  std::int64_t header[3];
+  read_array(f.get(), header, 3, path);
+  MEMXCT_CHECK(header[0] >= 0 && header[1] >= 0 && header[2] >= 0);
+  sparse::CsrMatrix m;
+  m.num_rows = static_cast<idx_t>(header[0]);
+  m.num_cols = static_cast<idx_t>(header[1]);
+  m.displ.resize(static_cast<std::size_t>(m.num_rows) + 1);
+  m.ind.resize(static_cast<std::size_t>(header[2]));
+  m.val.resize(static_cast<std::size_t>(header[2]));
+  read_array(f.get(), m.displ.data(), m.displ.size(), path);
+  read_array(f.get(), m.ind.data(), m.ind.size(), path);
+  read_array(f.get(), m.val.data(), m.val.size(), path);
+  m.validate();
+  return m;
+}
+
+namespace {
+constexpr char kBufMagic[8] = {'M', 'X', 'B', 'U', 'F', '0', '0', '1'};
+}  // namespace
+
+void save_buffered(const std::string& path,
+                   const sparse::BufferedMatrix& matrix) {
+  matrix.validate();
+  const auto f = open_or_throw(path, "wb");
+  write_array(f.get(), kBufMagic, sizeof(kBufMagic), path);
+  const std::int64_t header[8] = {
+      matrix.num_rows,
+      matrix.num_cols,
+      matrix.config.partsize,
+      matrix.config.buffsize,
+      static_cast<std::int64_t>(matrix.partdispl.size()),
+      static_cast<std::int64_t>(matrix.stagenz.size()),
+      static_cast<std::int64_t>(matrix.map.size()),
+      static_cast<std::int64_t>(matrix.ind.size())};
+  write_array(f.get(), header, 8, path);
+  write_array(f.get(), matrix.partdispl.data(), matrix.partdispl.size(), path);
+  write_array(f.get(), matrix.stagedispl.data(), matrix.stagedispl.size(),
+              path);
+  write_array(f.get(), matrix.stagenz.data(), matrix.stagenz.size(), path);
+  write_array(f.get(), matrix.map.data(), matrix.map.size(), path);
+  write_array(f.get(), matrix.displ.data(), matrix.displ.size(), path);
+  write_array(f.get(), matrix.ind.data(), matrix.ind.size(), path);
+  write_array(f.get(), matrix.val.data(), matrix.val.size(), path);
+}
+
+sparse::BufferedMatrix load_buffered(const std::string& path) {
+  const auto f = open_or_throw(path, "rb");
+  char magic[8];
+  read_array(f.get(), magic, sizeof(magic), path);
+  if (std::memcmp(magic, kBufMagic, sizeof(magic)) != 0)
+    throw InvalidArgument(path + " is not a MemXCT buffered-matrix file");
+  std::int64_t header[8];
+  read_array(f.get(), header, 8, path);
+  for (const auto v : header) MEMXCT_CHECK(v >= 0);
+  sparse::BufferedMatrix m;
+  m.num_rows = static_cast<idx_t>(header[0]);
+  m.num_cols = static_cast<idx_t>(header[1]);
+  m.config.partsize = static_cast<idx_t>(header[2]);
+  m.config.buffsize = static_cast<idx_t>(header[3]);
+  m.partdispl.resize(static_cast<std::size_t>(header[4]));
+  m.stagedispl.resize(static_cast<std::size_t>(header[5]) + 1);
+  m.stagenz.resize(static_cast<std::size_t>(header[5]));
+  m.map.resize(static_cast<std::size_t>(header[6]));
+  m.displ.resize(static_cast<std::size_t>(header[5]) *
+                     static_cast<std::size_t>(m.config.partsize) +
+                 1);
+  m.ind.resize(static_cast<std::size_t>(header[7]));
+  m.val.resize(static_cast<std::size_t>(header[7]));
+  read_array(f.get(), m.partdispl.data(), m.partdispl.size(), path);
+  read_array(f.get(), m.stagedispl.data(), m.stagedispl.size(), path);
+  read_array(f.get(), m.stagenz.data(), m.stagenz.size(), path);
+  read_array(f.get(), m.map.data(), m.map.size(), path);
+  read_array(f.get(), m.displ.data(), m.displ.size(), path);
+  read_array(f.get(), m.ind.data(), m.ind.size(), path);
+  read_array(f.get(), m.val.data(), m.val.size(), path);
+  m.validate();
+  return m;
+}
+
+void save_vector(const std::string& path, std::span<const real> data) {
+  const auto f = open_or_throw(path, "wb");
+  write_array(f.get(), kVecMagic, sizeof(kVecMagic), path);
+  const std::int64_t count = static_cast<std::int64_t>(data.size());
+  write_array(f.get(), &count, 1, path);
+  write_array(f.get(), data.data(), data.size(), path);
+}
+
+AlignedVector<real> load_vector(const std::string& path) {
+  const auto f = open_or_throw(path, "rb");
+  char magic[8];
+  read_array(f.get(), magic, sizeof(magic), path);
+  if (std::memcmp(magic, kVecMagic, sizeof(magic)) != 0)
+    throw InvalidArgument(path + " is not a MemXCT vector file");
+  std::int64_t count = 0;
+  read_array(f.get(), &count, 1, path);
+  MEMXCT_CHECK(count >= 0);
+  AlignedVector<real> data(static_cast<std::size_t>(count));
+  read_array(f.get(), data.data(), data.size(), path);
+  return data;
+}
+
+}  // namespace memxct::io

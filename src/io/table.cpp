@@ -1,0 +1,85 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace memxct::io {
+
+void TablePrinter::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TablePrinter::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    std::printf("%-*s  ", static_cast<int>(widths[c]), header_[c].c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      std::printf("%-*s  ", static_cast<int>(c < widths.size() ? widths[c] : 0),
+                  r[c].c_str());
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void TablePrinter::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw InvalidArgument("cannot open for write: " + path);
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      std::fprintf(f, "%s%s", cells[c].c_str(),
+                   c + 1 < cells.size() ? "," : "\n");
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  std::fclose(f);
+}
+
+std::string TablePrinter::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::time_s(double seconds) {
+  char buf[64];
+  if (seconds < 1.0)
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  return buf;
+}
+
+std::string TablePrinter::bytes(double b) {
+  char buf[64];
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (b >= 1024.0 && u < 4) {
+    b /= 1024.0;
+    ++u;
+  }
+  std::snprintf(buf, sizeof(buf), "%.2f %s", b, units[u]);
+  return buf;
+}
+
+}  // namespace memxct::io

@@ -1,0 +1,46 @@
+// Console table printing + CSV export for benchmark reports.
+//
+// Every bench binary regenerates one of the paper's tables or figures as
+// rows; TablePrinter renders them aligned on stdout and can mirror them to
+// CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memxct::io {
+
+/// Collects rows of string cells and prints them column-aligned; optionally
+/// writes CSV alongside.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row (cells may be fewer than header columns).
+  void row(std::vector<std::string> cells);
+
+  /// Renders to stdout: title, rule, header, rows.
+  void print() const;
+
+  /// Writes header+rows as CSV to `path`.
+  void write_csv(const std::string& path) const;
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string num(double v, int digits = 3);
+
+  /// Formats seconds adaptively (ms below 1 s).
+  static std::string time_s(double seconds);
+
+  /// Formats a byte count with binary units (KiB/MiB/GiB).
+  static std::string bytes(double b);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace memxct::io

@@ -1,0 +1,51 @@
+// FLOP and byte accounting for SpMV kernels (Section 4.2 metrics).
+//
+// The paper computes GFLOPS as 2*nnz/t (one multiply + one add per nonzero)
+// and "regular-data bandwidth" as nnz * B_reg / t where B_reg is the bytes
+// of sequentially streamed data read per FMA (index + value, plus staging
+// map traffic for the buffered kernel). These structs centralize that
+// arithmetic so benches and tests agree on definitions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace memxct::perf {
+
+/// Per-FMA regular-data byte costs for each kernel flavour.
+struct RegularBytes {
+  /// Baseline CSR: 4 B column index + 4 B value.
+  static constexpr double kBaseline = sizeof(idx_t) + sizeof(real);
+  /// Buffered kernel: 2 B buffer index + 4 B value (Section 3.3.5).
+  static constexpr double kBuffered = sizeof(buf_idx_t) + sizeof(real);
+};
+
+/// Work accounting for one projection/backprojection kernel invocation.
+struct KernelWork {
+  nnz_t nnz = 0;           ///< Nonzeros processed (FMAs).
+  nnz_t staged_words = 0;  ///< Buffer-staging loads (map reads + x gathers).
+  double bytes_per_fma = RegularBytes::kBaseline;
+
+  [[nodiscard]] double flops() const noexcept {
+    return 2.0 * static_cast<double>(nnz);
+  }
+
+  /// Regular-stream bytes, including staging traffic when present: each
+  /// staged word costs one 4 B map read plus one 4 B gathered value.
+  [[nodiscard]] double regular_bytes() const noexcept {
+    return static_cast<double>(nnz) * bytes_per_fma +
+           static_cast<double>(staged_words) * (sizeof(idx_t) + sizeof(real));
+  }
+
+  [[nodiscard]] double gflops(double seconds) const noexcept {
+    return seconds > 0.0 ? flops() / seconds * 1e-9 : 0.0;
+  }
+
+  /// Effective regular-data bandwidth in GB/s for an observed runtime.
+  [[nodiscard]] double bandwidth_gbs(double seconds) const noexcept {
+    return seconds > 0.0 ? regular_bytes() / seconds * 1e-9 : 0.0;
+  }
+};
+
+}  // namespace memxct::perf

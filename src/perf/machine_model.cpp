@@ -1,0 +1,165 @@
+#include "perf/machine_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace memxct::perf {
+
+const char* to_string(DeviceKind kind) noexcept {
+  switch (kind) {
+    case DeviceKind::KNL:
+      return "KNL";
+    case DeviceKind::K20X:
+      return "K20X";
+    case DeviceKind::K80:
+      return "K80";
+    case DeviceKind::P100:
+      return "P100";
+    case DeviceKind::V100:
+      return "V100";
+    case DeviceKind::HostCPU:
+      return "HostCPU";
+  }
+  return "?";
+}
+
+const char* to_string(OptLevel level) noexcept {
+  switch (level) {
+    case OptLevel::Baseline:
+      return "Baseline";
+    case OptLevel::HilbertOrdered:
+      return "Pseudo-Hilbert Ordering";
+    case OptLevel::MultiStageBuffered:
+      return "Multi-Stage Buffering";
+  }
+  return "?";
+}
+
+const std::vector<MachineSpec>& table2_machines() {
+  // Table 2 of the paper. ECC degrades K20X/K80 theoretical bandwidth by
+  // 15% (paper Section 4): the mem_bw values below are the paper's
+  // already-degraded figures. Network parameters are representative of the
+  // machines' interconnects (Aries dragonfly on Theta, Gemini 3D torus on
+  // Blue Waters, FDR InfiniBand on Cooley).
+  static const std::vector<MachineSpec> machines = {
+      {"Theta", DeviceKind::KNL, 4392, 1, 16.0, 400.0, 192.0, 90.0, 90.0,
+       3.0e-6, 8.0},
+      {"BlueWaters", DeviceKind::K20X, 4228, 1, 6.0, 121.5, 32.0, 8.0, 8.0,
+       5.0e-6, 4.7},
+      {"Cooley", DeviceKind::K80, 126, 2, 12.0, 204.0, 384.0, 8.0, 8.0,
+       2.5e-6, 7.0},
+      {"Minsky", DeviceKind::P100, 1, 4, 16.0, 720.0, 128.0, 40.0, 40.0,
+       1.0e-6, 40.0},
+      {"DGX-1", DeviceKind::V100, 1, 8, 16.0, 900.0, 512.0, 40.0, 40.0,
+       1.0e-6, 40.0},
+      // This host: bandwidths are placeholders refined by measurement in the
+      // benches; present so benches can name it uniformly.
+      {"Host", DeviceKind::HostCPU, 1, 1, 0.0, 20.0, 16.0, 20.0, 20.0, 1.0e-6,
+       10.0},
+  };
+  return machines;
+}
+
+const MachineSpec& machine(const std::string& name) {
+  for (const auto& m : table2_machines())
+    if (m.name == name) return m;
+  throw InvalidArgument("unknown machine: " + name);
+}
+
+double bandwidth_efficiency(DeviceKind device, OptLevel level) {
+  // Calibrated from the paper's reported utilization of theoretical peak
+  // (Sections 4.2.2-4.2.3): Hilbert-ordered kernels reach 74-92% of peak;
+  // buffered kernels keep similar stream efficiency while shaving index
+  // bytes; baselines are latency-bound (handled by latency_penalty, so the
+  // base efficiency here reflects their best case).
+  switch (device) {
+    case DeviceKind::KNL:
+      switch (level) {
+        case OptLevel::Baseline:
+          return 0.35;
+        case OptLevel::HilbertOrdered:
+          return 0.76;
+        case OptLevel::MultiStageBuffered:
+          return 0.78;
+      }
+      break;
+    case DeviceKind::K20X:
+    case DeviceKind::K80:
+      switch (level) {
+        case OptLevel::Baseline:
+          return 0.40;
+        case OptLevel::HilbertOrdered:
+          return 0.60;
+        case OptLevel::MultiStageBuffered:
+          return 0.67;
+      }
+      break;
+    case DeviceKind::P100:
+      switch (level) {
+        case OptLevel::Baseline:
+          return 0.50;
+        case OptLevel::HilbertOrdered:
+          return 0.69;
+        case OptLevel::MultiStageBuffered:
+          return 0.68;
+      }
+      break;
+    case DeviceKind::V100:
+      switch (level) {
+        case OptLevel::Baseline:
+          return 0.88;
+        case OptLevel::HilbertOrdered:
+          return 0.92;
+        case OptLevel::MultiStageBuffered:
+          return 0.90;
+      }
+      break;
+    case DeviceKind::HostCPU:
+      switch (level) {
+        case OptLevel::Baseline:
+          return 0.40;
+        case OptLevel::HilbertOrdered:
+          return 0.70;
+        case OptLevel::MultiStageBuffered:
+          return 0.75;
+      }
+      break;
+  }
+  return 0.5;
+}
+
+double latency_penalty(DeviceKind device, double l2_miss_rate) {
+  // Baseline kernels stall on irregular-gather misses; the achievable
+  // fraction of streaming throughput decays with the L2 miss rate. GPUs
+  // hide latency with massive thread-level parallelism, so their penalty is
+  // milder than KNL's in-order cores (paper Section 4.2.1: KNL baseline
+  // GFLOPS *drops* with dataset size while GPU baseline slightly improves).
+  const double miss = std::clamp(l2_miss_rate, 0.0, 1.0);
+  switch (device) {
+    case DeviceKind::KNL:
+    case DeviceKind::HostCPU:
+      return 1.0 / (1.0 + 8.0 * miss);
+    case DeviceKind::K20X:
+    case DeviceKind::K80:
+      return 1.0 / (1.0 + 2.0 * miss);
+    case DeviceKind::P100:
+    case DeviceKind::V100:
+      return 1.0 / (1.0 + 1.0 * miss);
+  }
+  return 1.0;
+}
+
+double modeled_kernel_seconds(const MachineSpec& spec, const KernelWork& work,
+                              OptLevel level, bool fits_onchip,
+                              double l2_miss_rate) {
+  const double peak_bw =
+      (fits_onchip ? spec.mem_bw_gbs : spec.ddr_bw_gbs) * 1e9;
+  double eff = bandwidth_efficiency(spec.device, level);
+  if (level == OptLevel::Baseline)
+    eff *= latency_penalty(spec.device, l2_miss_rate);
+  MEMXCT_CHECK(peak_bw > 0.0 && eff > 0.0);
+  return work.regular_bytes() / (eff * peak_bw);
+}
+
+}  // namespace memxct::perf

@@ -1,0 +1,71 @@
+// Machine models for the systems in Table 2 of the paper.
+//
+// This host has no KNL or GPUs, so device kernel times for Fig 9(d)-(f),
+// Table 5 and Table 7 are *modeled*: the paper shows that Hilbert-ordered
+// and buffered kernels are bandwidth-bound on regular data, so
+//   t_kernel ≈ regular_bytes / (efficiency × peak_memory_bandwidth).
+// Efficiencies per optimization level are taken from the paper's own
+// measured utilizations (Section 4.2.2–4.2.3). Baseline (latency-bound)
+// kernels are modeled with a latency-degraded efficiency driven by the
+// cache-simulated L2 miss rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/counters.hpp"
+
+namespace memxct::perf {
+
+/// Device accelerator families evaluated in the paper.
+enum class DeviceKind { KNL, K20X, K80, P100, V100, HostCPU };
+
+[[nodiscard]] const char* to_string(DeviceKind kind) noexcept;
+
+/// Optimization levels of the MemXCT kernel (Fig 9 series).
+enum class OptLevel { Baseline, HilbertOrdered, MultiStageBuffered };
+
+[[nodiscard]] const char* to_string(OptLevel level) noexcept;
+
+/// One machine row of Table 2.
+struct MachineSpec {
+  std::string name;           ///< e.g. "Theta".
+  DeviceKind device;          ///< Accelerator on each node.
+  int nodes = 1;              ///< System size.
+  int devices_per_node = 1;   ///< e.g. 2 K80 on Cooley, 8 V100 on DGX-1.
+  double onchip_mem_gib = 0;  ///< MCDRAM / device memory per device (GiB).
+  double mem_bw_gbs = 0;      ///< Theoretical on-chip memory bandwidth GB/s.
+  double host_mem_gib = 0;    ///< Host DRAM per node (GiB).
+  double link_bw_gbs = 0;     ///< Host<->device or MCDRAM<->DDR link GB/s.
+  double ddr_bw_gbs = 0;      ///< Fallback bandwidth when data spills.
+  /// Network alpha-beta parameters for the interconnect.
+  double net_latency_s = 0;
+  double net_bw_gbs = 0;
+};
+
+/// The five machines of Table 2 plus this host (measured, not modeled).
+[[nodiscard]] const std::vector<MachineSpec>& table2_machines();
+
+/// Look up a machine by name ("Theta", "BlueWaters", "Cooley", "Minsky",
+/// "DGX-1", "Host"). Throws InvalidArgument for unknown names.
+[[nodiscard]] const MachineSpec& machine(const std::string& name);
+
+/// Bandwidth efficiency (fraction of theoretical peak achieved on regular
+/// data) per device and optimization level, calibrated from the paper's
+/// reported utilizations (78%/74% MCDRAM on KNL, 78%/69%/92% HBM on
+/// K80/P100/V100, etc.).
+[[nodiscard]] double bandwidth_efficiency(DeviceKind device, OptLevel level);
+
+/// Latency degradation factor for the baseline (latency-bound) kernel:
+/// multiplies modeled throughput down as L2 miss rate rises.
+[[nodiscard]] double latency_penalty(DeviceKind device, double l2_miss_rate);
+
+/// Modeled kernel time on `spec` for the given work: bandwidth-bound
+/// regular-data model with per-level efficiency. `fits_onchip` selects
+/// on-chip vs DDR bandwidth (ADS3/ADS4 on KNL spill to DRAM).
+[[nodiscard]] double modeled_kernel_seconds(const MachineSpec& spec,
+                                            const KernelWork& work,
+                                            OptLevel level, bool fits_onchip,
+                                            double l2_miss_rate = 0.0);
+
+}  // namespace memxct::perf

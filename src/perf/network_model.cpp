@@ -1,0 +1,31 @@
+#include "perf/network_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace memxct::perf {
+
+double alltoallv_seconds(const MachineSpec& spec, const CommStats& stats) {
+  MEMXCT_CHECK(spec.net_bw_gbs > 0.0);
+  const double beta = spec.net_bw_gbs * 1e9;
+  const double send = spec.net_latency_s * stats.messages_sent +
+                      static_cast<double>(stats.bytes_sent) / beta;
+  const double recv = spec.net_latency_s * stats.messages_received +
+                      static_cast<double>(stats.bytes_received) / beta;
+  return std::max(send, recv);
+}
+
+double allreduce_seconds(const MachineSpec& spec, std::int64_t bytes,
+                         int ranks) {
+  MEMXCT_CHECK(ranks >= 1);
+  if (ranks == 1) return 0.0;
+  const double beta = spec.net_bw_gbs * 1e9;
+  const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
+  const double payload = 2.0 * static_cast<double>(bytes) *
+                         (static_cast<double>(ranks - 1) / ranks);
+  return spec.net_latency_s * rounds + payload / beta;
+}
+
+}  // namespace memxct::perf

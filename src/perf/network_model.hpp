@@ -1,0 +1,43 @@
+// Alpha-beta network model for the communication kernel C (Section 3.4.3).
+//
+// simmpi records exact byte and message counts; this model converts them to
+// time for a given machine's interconnect. The paper's complexity analysis
+// gives C an O(MN/sqrt(P) + P) cost: the P term is per-pair handshake
+// latency (alpha), the first term is payload over link bandwidth (beta).
+#pragma once
+
+#include <cstdint>
+
+#include "perf/machine_model.hpp"
+
+namespace memxct::perf {
+
+/// Communication totals for one collective exchange on one rank.
+struct CommStats {
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  std::int64_t messages_sent = 0;      ///< Nonempty pairwise sends.
+  std::int64_t messages_received = 0;  ///< Nonempty pairwise receives.
+
+  CommStats& operator+=(const CommStats& o) noexcept {
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    messages_sent += o.messages_sent;
+    messages_received += o.messages_received;
+    return *this;
+  }
+};
+
+/// Modeled wall time of an alltoallv with the given per-rank stats on the
+/// given machine: max over send/receive directions of
+/// alpha * messages + bytes / beta.
+[[nodiscard]] double alltoallv_seconds(const MachineSpec& spec,
+                                       const CommStats& stats);
+
+/// Modeled wall time of an allreduce of `bytes` payload over P ranks
+/// (recursive-doubling: log2(P) rounds of latency plus 2*bytes*(P-1)/P over
+/// bandwidth) — used for the CompXCT comparison (Table 1's N^2 log P term).
+[[nodiscard]] double allreduce_seconds(const MachineSpec& spec,
+                                       std::int64_t bytes, int ranks);
+
+}  // namespace memxct::perf

@@ -1,0 +1,59 @@
+// Wall-clock timing utilities for kernel measurement.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace memxct::perf {
+
+/// Monotonic wall-clock timer with seconds/milliseconds accessors.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time over repeated timed sections (used for per-kernel
+/// breakdowns A_p / C / R in the distributed solver).
+class Stopwatch {
+ public:
+  void start() noexcept { timer_.reset(); running_ = true; }
+
+  void stop() noexcept {
+    if (running_) {
+      total_ += timer_.seconds();
+      ++laps_;
+      running_ = false;
+    }
+  }
+
+  void clear() noexcept { total_ = 0.0; laps_ = 0; running_ = false; }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+  [[nodiscard]] std::int64_t laps() const noexcept { return laps_; }
+  [[nodiscard]] double mean_seconds() const noexcept {
+    return laps_ > 0 ? total_ / static_cast<double>(laps_) : 0.0;
+  }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  std::int64_t laps_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace memxct::perf

@@ -1,0 +1,107 @@
+#include "phantom/analytic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace memxct::phantom {
+
+double ellipse_ray_integral(const AnalyticEllipse& e,
+                            const geometry::Geometry& g, idx_t angle_index,
+                            idx_t channel) {
+  // Ray: p(u) = t·n + u·d with n = (-sin, cos), d = (cos, sin), |d| = 1.
+  const double theta = g.angle(angle_index);
+  const double t = g.channel_offset(channel);
+  const double nx = -std::sin(theta), ny = std::cos(theta);
+  const double dx = std::cos(theta), dy = std::sin(theta);
+
+  // Map into the ellipse's unit-circle frame: w = diag(1/ax,1/ay)·R(-phi)·q.
+  const double cp = std::cos(e.theta), sp = std::sin(e.theta);
+  const auto to_frame = [&](double qx, double qy, double& wx, double& wy) {
+    const double rx = cp * qx + sp * qy;
+    const double ry = -sp * qx + cp * qy;
+    wx = rx / e.ax;
+    wy = ry / e.ay;
+  };
+  double w0x, w0y, w1x, w1y;
+  to_frame(t * nx - e.cx, t * ny - e.cy, w0x, w0y);
+  to_frame(dx, dy, w1x, w1y);
+
+  // Solve |w0 + u·w1|² = 1: chord length (in pixel units, since |d| = 1)
+  // is the root separation.
+  const double a = w1x * w1x + w1y * w1y;
+  const double b = w0x * w1x + w0y * w1y;
+  const double c = w0x * w0x + w0y * w0y - 1.0;
+  const double disc = b * b - a * c;
+  if (disc <= 0.0 || a <= 0.0) return 0.0;
+  return e.attenuation * 2.0 * std::sqrt(disc) / a;
+}
+
+AlignedVector<real> analytic_sinogram(
+    const geometry::Geometry& g, std::span<const AnalyticEllipse> ellipses) {
+  g.validate();
+  AlignedVector<real> sinogram(
+      static_cast<std::size_t>(g.sinogram_extent().size()), real{0});
+#pragma omp parallel for schedule(dynamic, 4)
+  for (idx_t a = 0; a < g.num_angles; ++a)
+    for (idx_t c = 0; c < g.num_channels; ++c) {
+      double acc = 0.0;
+      for (const auto& e : ellipses) acc += ellipse_ray_integral(e, g, a, c);
+      sinogram[static_cast<std::size_t>(g.ray_index(a, c))] =
+          static_cast<real>(acc);
+    }
+  return sinogram;
+}
+
+std::vector<real> render_analytic(idx_t n,
+                                  std::span<const AnalyticEllipse> ellipses) {
+  MEMXCT_CHECK(n >= 1);
+  std::vector<real> image(static_cast<std::size_t>(n) * n, real{0});
+  const double half = static_cast<double>(n) / 2.0;
+#pragma omp parallel for schedule(static)
+  for (idx_t r = 0; r < n; ++r) {
+    const double y = static_cast<double>(r) + 0.5 - half;
+    for (idx_t c = 0; c < n; ++c) {
+      const double x = static_cast<double>(c) + 0.5 - half;
+      double acc = 0.0;
+      for (const auto& e : ellipses) {
+        const double cp = std::cos(e.theta), sp = std::sin(e.theta);
+        const double qx = x - e.cx, qy = y - e.cy;
+        const double u = (cp * qx + sp * qy) / e.ax;
+        const double v = (-sp * qx + cp * qy) / e.ay;
+        if (u * u + v * v <= 1.0) acc += e.attenuation;
+      }
+      image[static_cast<std::size_t>(r) * n + c] = static_cast<real>(acc);
+    }
+  }
+  return image;
+}
+
+std::vector<AnalyticEllipse> shepp_logan_ellipses(idx_t n) {
+  // Canonical modified Shepp-Logan set in normalized [-1,1] coordinates,
+  // scaled to pixel units (grid spans [-n/2, n/2]).
+  struct Normalized {
+    double cx, cy, ax, ay, theta, rho;
+  };
+  static const Normalized kSet[] = {
+      {0.0, 0.0, 0.69, 0.92, 0.0, 2.0},
+      {0.0, -0.0184, 0.6624, 0.874, 0.0, -0.98},
+      {0.22, 0.0, 0.11, 0.31, -0.3141592653589793, -0.2},
+      {-0.22, 0.0, 0.16, 0.41, 0.3141592653589793, -0.2},
+      {0.0, 0.35, 0.21, 0.25, 0.0, 0.1},
+      {0.0, 0.1, 0.046, 0.046, 0.0, 0.1},
+      {0.0, -0.1, 0.046, 0.046, 0.0, 0.1},
+      {-0.08, -0.605, 0.046, 0.023, 0.0, 0.1},
+      {0.0, -0.605, 0.023, 0.023, 0.0, 0.1},
+      {0.06, -0.605, 0.023, 0.046, 0.0, 0.1},
+  };
+  const double scale = static_cast<double>(n) / 2.0;
+  std::vector<AnalyticEllipse> out;
+  out.reserve(std::size(kSet));
+  for (const auto& e : kSet)
+    out.push_back({e.cx * scale, e.cy * scale, e.ax * scale, e.ay * scale,
+                   e.theta, e.rho});
+  return out;
+}
+
+}  // namespace memxct::phantom

@@ -1,0 +1,46 @@
+// Analytic (closed-form) line integrals through ellipse phantoms.
+//
+// An ellipse's Radon transform has an exact expression, so ellipse
+// phantoms give ground-truth sinograms with no discretization: the
+// cross-validation oracle for the Siddon tracer, and the clean input for
+// the FBP-vs-CG quality study that reproduces the paper's motivation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+#include "geometry/geometry.hpp"
+
+namespace memxct::phantom {
+
+/// Ellipse in *pixel* coordinates centered on the tomogram (the grid spans
+/// [-n/2, n/2] in both axes), with additive attenuation.
+struct AnalyticEllipse {
+  double cx = 0, cy = 0;      ///< Center.
+  double ax = 1, ay = 1;      ///< Semi-axes.
+  double theta = 0;           ///< Rotation (radians).
+  double attenuation = 1;     ///< Additive density inside.
+};
+
+/// Exact intersection length of the (angle, channel) ray with the ellipse,
+/// times its attenuation.
+[[nodiscard]] double ellipse_ray_integral(const AnalyticEllipse& ellipse,
+                                          const geometry::Geometry& geometry,
+                                          idx_t angle_index, idx_t channel);
+
+/// Exact sinogram (angles-major) of a superposition of ellipses.
+[[nodiscard]] AlignedVector<real> analytic_sinogram(
+    const geometry::Geometry& geometry,
+    std::span<const AnalyticEllipse> ellipses);
+
+/// Rasterizes the ellipses onto an n×n pixel grid (pixel-center test) —
+/// the image whose Siddon projection should approach analytic_sinogram.
+[[nodiscard]] std::vector<real> render_analytic(
+    idx_t n, std::span<const AnalyticEllipse> ellipses);
+
+/// The canonical Shepp-Logan ellipse set scaled to an n×n grid.
+[[nodiscard]] std::vector<AnalyticEllipse> shepp_logan_ellipses(idx_t n);
+
+}  // namespace memxct::phantom

@@ -1,0 +1,85 @@
+#include "phantom/datasets.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "phantom/phantom.hpp"
+
+namespace memxct::phantom {
+
+const char* to_string(SampleKind kind) noexcept {
+  switch (kind) {
+    case SampleKind::Artificial:
+      return "Artificial";
+    case SampleKind::Shale:
+      return "Shale Rock";
+    case SampleKind::Brain:
+      return "Mouse Brain";
+  }
+  return "?";
+}
+
+DatasetSpec DatasetSpec::scaled_by(idx_t divisor) const {
+  MEMXCT_CHECK(divisor >= 1);
+  DatasetSpec s = *this;
+  s.channels = std::max<idx_t>(16, (paper_channels / divisor) / 8 * 8);
+  // Keep the paper's angle/channel ratio at the new channel count.
+  s.angles = std::max<idx_t>(
+      8, static_cast<idx_t>(static_cast<std::int64_t>(paper_angles) *
+                            s.channels / paper_channels));
+  return s;
+}
+
+const std::vector<DatasetSpec>& all_datasets() {
+  // Paper Table 3 dimensions; working dims = paper/4 (RDS2: /16).
+  static const std::vector<DatasetSpec> datasets = [] {
+    std::vector<DatasetSpec> d = {
+        {"ADS1", 360, 256, 0, 0, SampleKind::Artificial},
+        {"ADS2", 750, 512, 0, 0, SampleKind::Artificial},
+        {"ADS3", 1500, 1024, 0, 0, SampleKind::Artificial},
+        {"ADS4", 2400, 2048, 0, 0, SampleKind::Artificial},
+        {"RDS1", 1501, 2048, 0, 0, SampleKind::Shale},
+        {"RDS2", 4501, 11283, 0, 0, SampleKind::Brain},
+    };
+    for (auto& spec : d) {
+      const idx_t divisor = spec.name == "RDS2" ? 16 : 4;
+      const DatasetSpec scaled = spec.scaled_by(divisor);
+      spec.angles = scaled.angles;
+      spec.channels = scaled.channels;
+    }
+    return d;
+  }();
+  return datasets;
+}
+
+const DatasetSpec& dataset(const std::string& name) {
+  for (const auto& d : all_datasets())
+    if (d.name == name) return d;
+  throw InvalidArgument("unknown dataset: " + name);
+}
+
+DatasetData generate(const DatasetSpec& spec, std::uint64_t seed,
+                     double incident_photons) {
+  DatasetData data{spec.geometry(), {}, {}};
+  const idx_t n = data.geometry.image_size;
+  switch (spec.sample) {
+    case SampleKind::Artificial:
+      data.image = shepp_logan(n);
+      break;
+    case SampleKind::Shale:
+      data.image = shale_phantom(n, seed);
+      break;
+    case SampleKind::Brain:
+      data.image = brain_phantom(n, seed);
+      break;
+  }
+  data.sinogram = forward_project(data.geometry, data.image);
+  if (incident_photons > 0.0) {
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    add_poisson_noise(data.sinogram, incident_photons, rng);
+  }
+  return data;
+}
+
+}  // namespace memxct::phantom

@@ -1,0 +1,62 @@
+// Named dataset registry reproducing Table 3.
+//
+// Paper dimensions are recorded verbatim; the default working dimensions
+// are scaled down (1/4 linear for ADS1-4 and RDS1, 1/16 for RDS2) so the
+// full suite runs on one core in minutes while keeping each dataset's
+// aspect ratio and the ×2-per-step growth between ADS datasets. Any bench
+// can request a different divisor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+#include "geometry/geometry.hpp"
+
+namespace memxct::phantom {
+
+/// Sample type determining which phantom synthesizes the data.
+enum class SampleKind { Artificial, Shale, Brain };
+
+[[nodiscard]] const char* to_string(SampleKind kind) noexcept;
+
+/// One row of Table 3.
+struct DatasetSpec {
+  std::string name;        ///< "ADS1".."ADS4", "RDS1", "RDS2".
+  idx_t paper_angles = 0;  ///< M in the paper.
+  idx_t paper_channels = 0;  ///< N in the paper.
+  idx_t angles = 0;        ///< Scaled working M.
+  idx_t channels = 0;      ///< Scaled working N.
+  SampleKind sample = SampleKind::Artificial;
+
+  [[nodiscard]] geometry::Geometry geometry() const {
+    return geometry::make_geometry(angles, channels);
+  }
+
+  /// Same dataset at paper_dims / divisor (channels rounded to multiple
+  /// of 8, minimum 16; angles proportionally).
+  [[nodiscard]] DatasetSpec scaled_by(idx_t divisor) const;
+};
+
+/// The six datasets of Table 3 at default working scale.
+[[nodiscard]] const std::vector<DatasetSpec>& all_datasets();
+
+/// Lookup by name; throws InvalidArgument if unknown.
+[[nodiscard]] const DatasetSpec& dataset(const std::string& name);
+
+/// Generated dataset: ground-truth image plus (optionally noisy) sinogram.
+struct DatasetData {
+  geometry::Geometry geometry;
+  std::vector<real> image;        ///< Ground truth (row-major N×N).
+  AlignedVector<real> sinogram;   ///< Measurements (row-major M×N).
+};
+
+/// Synthesizes the dataset. `incident_photons` > 0 adds Beer's-law Poisson
+/// noise (the paper's RDS data is inherently noisy; its ADS data is used
+/// only for performance, so benches pass 0 there).
+[[nodiscard]] DatasetData generate(const DatasetSpec& spec,
+                                   std::uint64_t seed = 1234,
+                                   double incident_photons = 0.0);
+
+}  // namespace memxct::phantom

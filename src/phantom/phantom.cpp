@@ -1,0 +1,233 @@
+#include "phantom/phantom.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geometry/siddon.hpp"
+
+namespace memxct::phantom {
+
+namespace {
+
+/// Ellipse in normalized [-1, 1]² coordinates with additive attenuation.
+struct Ellipse {
+  double cx, cy;      // center
+  double ax, ay;      // semi-axes
+  double theta;       // rotation (radians)
+  double attenuation; // additive value inside
+};
+
+void render_ellipses(std::span<const Ellipse> ellipses, idx_t n,
+                     std::vector<real>& image) {
+  for (const auto& e : ellipses) {
+    const double ct = std::cos(e.theta), st = std::sin(e.theta);
+    // Bounding box in pixel space to avoid scanning the full grid per
+    // ellipse; the rotated extent is bounded by the semi-axis norm.
+    const double r = std::max(e.ax, e.ay);
+    const auto to_pix = [n](double u) {
+      return (u + 1.0) * 0.5 * static_cast<double>(n);
+    };
+    const idx_t r0 = std::clamp<idx_t>(
+        static_cast<idx_t>(std::floor(to_pix(e.cy - r))), 0, n - 1);
+    const idx_t r1 = std::clamp<idx_t>(
+        static_cast<idx_t>(std::ceil(to_pix(e.cy + r))), 0, n - 1);
+    const idx_t c0 = std::clamp<idx_t>(
+        static_cast<idx_t>(std::floor(to_pix(e.cx - r))), 0, n - 1);
+    const idx_t c1 = std::clamp<idx_t>(
+        static_cast<idx_t>(std::ceil(to_pix(e.cx + r))), 0, n - 1);
+    for (idx_t row = r0; row <= r1; ++row) {
+      const double y =
+          (static_cast<double>(row) + 0.5) / static_cast<double>(n) * 2.0 - 1.0;
+      for (idx_t col = c0; col <= c1; ++col) {
+        const double x =
+            (static_cast<double>(col) + 0.5) / static_cast<double>(n) * 2.0 -
+            1.0;
+        const double dx = x - e.cx, dy = y - e.cy;
+        const double u = (dx * ct + dy * st) / e.ax;
+        const double v = (-dx * st + dy * ct) / e.ay;
+        if (u * u + v * v <= 1.0)
+          image[static_cast<std::size_t>(row) * n + col] +=
+              static_cast<real>(e.attenuation);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<real> shepp_logan(idx_t n) {
+  MEMXCT_CHECK(n >= 1);
+  // The canonical ten ellipses (Shepp & Logan 1974), with the usual
+  // "modified" contrast so features are visible without windowing.
+  static const Ellipse kEllipses[] = {
+      {0.0, 0.0, 0.69, 0.92, 0.0, 2.0},
+      {0.0, -0.0184, 0.6624, 0.874, 0.0, -0.98},
+      {0.22, 0.0, 0.11, 0.31, -0.3141592653589793, -0.2},
+      {-0.22, 0.0, 0.16, 0.41, 0.3141592653589793, -0.2},
+      {0.0, 0.35, 0.21, 0.25, 0.0, 0.1},
+      {0.0, 0.1, 0.046, 0.046, 0.0, 0.1},
+      {0.0, -0.1, 0.046, 0.046, 0.0, 0.1},
+      {-0.08, -0.605, 0.046, 0.023, 0.0, 0.1},
+      {0.0, -0.605, 0.023, 0.023, 0.0, 0.1},
+      {0.06, -0.605, 0.023, 0.046, 0.0, 0.1},
+  };
+  std::vector<real> image(static_cast<std::size_t>(n) * n, real{0});
+  render_ellipses(kEllipses, n, image);
+  return image;
+}
+
+std::vector<real> shale_phantom(idx_t n, std::uint64_t seed) {
+  MEMXCT_CHECK(n >= 1);
+  Rng rng(seed);
+  std::vector<real> image(static_cast<std::size_t>(n) * n, real{0});
+
+  // Rock matrix: a large disk of moderate attenuation.
+  std::vector<Ellipse> shapes;
+  shapes.push_back({0.0, 0.0, 0.95, 0.95, 0.0, 1.0});
+
+  // Grains: many small ellipses of varying density, as in sedimentary shale
+  // micro-CT slices.
+  const int num_grains = static_cast<int>(40 + n / 2);
+  for (int i = 0; i < num_grains; ++i) {
+    const double radius = rng.uniform(0.7, 0.9);
+    const double phi = rng.uniform(0.0, 6.283185307179586);
+    const double rr = radius * std::sqrt(rng.uniform());
+    const double size = rng.uniform(0.01, 0.08);
+    shapes.push_back({rr * std::cos(phi), rr * std::sin(phi), size,
+                      size * rng.uniform(0.4, 1.0),
+                      rng.uniform(0.0, 3.141592653589793),
+                      rng.uniform(0.3, 1.2)});
+  }
+  // Cracks: long thin low-attenuation ellipses.
+  const int num_cracks = 6 + static_cast<int>(n) / 64;
+  for (int i = 0; i < num_cracks; ++i) {
+    const double phi = rng.uniform(0.0, 6.283185307179586);
+    const double rr = 0.6 * std::sqrt(rng.uniform());
+    shapes.push_back({rr * std::cos(phi), rr * std::sin(phi),
+                      rng.uniform(0.1, 0.5), rng.uniform(0.003, 0.012),
+                      rng.uniform(0.0, 3.141592653589793), -0.8});
+  }
+  render_ellipses(shapes, n, image);
+  for (auto& v : image) v = std::max(v, real{0});
+  return image;
+}
+
+std::vector<real> brain_phantom(idx_t n, std::uint64_t seed) {
+  MEMXCT_CHECK(n >= 1);
+  Rng rng(seed);
+  std::vector<real> image(static_cast<std::size_t>(n) * n, real{0});
+
+  // Soft-tissue background disk.
+  std::vector<Ellipse> base;
+  base.push_back({0.0, 0.0, 0.93, 0.9, 0.05, 0.6});
+  base.push_back({0.0, 0.05, 0.75, 0.7, 0.0, 0.15});
+  render_ellipses(base, n, image);
+
+  // Vessels: biased random walks that branch, drawn as bright disks along
+  // the path with width shrinking per generation (Fig 1's arteries).
+  struct Walker {
+    double x, y, dir, width;
+    int generation;
+  };
+  std::vector<Walker> queue;
+  const int num_roots = 5 + static_cast<int>(n) / 128;
+  for (int i = 0; i < num_roots; ++i) {
+    const double phi = rng.uniform(0.0, 6.283185307179586);
+    queue.push_back({0.4 * std::cos(phi), 0.4 * std::sin(phi),
+                     rng.uniform(0.0, 6.283185307179586), 0.02, 0});
+  }
+  const auto stamp = [&](double cx, double cy, double w) {
+    const auto to_pix = [n](double u) {
+      return (u + 1.0) * 0.5 * static_cast<double>(n);
+    };
+    const double rp = w * 0.5 * static_cast<double>(n);
+    const idx_t pr = static_cast<idx_t>(to_pix(cy));
+    const idx_t pc = static_cast<idx_t>(to_pix(cx));
+    const idx_t rad = std::max<idx_t>(1, static_cast<idx_t>(rp));
+    for (idx_t r = std::max<idx_t>(0, pr - rad);
+         r <= std::min<idx_t>(n - 1, pr + rad); ++r)
+      for (idx_t c = std::max<idx_t>(0, pc - rad);
+           c <= std::min<idx_t>(n - 1, pc + rad); ++c) {
+        const double dr = static_cast<double>(r - pr);
+        const double dc = static_cast<double>(c - pc);
+        if (dr * dr + dc * dc <= rp * rp)
+          image[static_cast<std::size_t>(r) * n + c] =
+              std::max(image[static_cast<std::size_t>(r) * n + c],
+                       real{1.8});
+      }
+  };
+  while (!queue.empty()) {
+    Walker w = queue.back();
+    queue.pop_back();
+    const int steps = 30 + static_cast<int>(rng.uniform_int(60));
+    for (int s = 0; s < steps; ++s) {
+      w.dir += rng.uniform(-0.35, 0.35);
+      const double step = 2.5 / static_cast<double>(n);
+      w.x += step * std::cos(w.dir);
+      w.y += step * std::sin(w.dir);
+      if (w.x * w.x + w.y * w.y > 0.8) break;
+      stamp(w.x, w.y, w.width);
+      // Branch with small probability, spawning a thinner child.
+      if (w.generation < 3 && rng.uniform() < 0.02)
+        queue.push_back({w.x, w.y, w.dir + rng.uniform(-1.3, 1.3),
+                         w.width * 0.65, w.generation + 1});
+    }
+  }
+  return image;
+}
+
+AlignedVector<real> forward_project(const geometry::Geometry& g,
+                                    std::span<const real> image) {
+  g.validate();
+  MEMXCT_CHECK(static_cast<std::int64_t>(image.size()) ==
+               g.tomogram_extent().size());
+  AlignedVector<real> sinogram(
+      static_cast<std::size_t>(g.sinogram_extent().size()));
+#pragma omp parallel
+  {
+    std::vector<std::pair<idx_t, real>> segments;
+#pragma omp for schedule(dynamic, 8)
+    for (idx_t a = 0; a < g.num_angles; ++a)
+      for (idx_t c = 0; c < g.num_channels; ++c) {
+        geometry::trace_ray(g, a, c, segments);
+        double acc = 0.0;
+        for (const auto& [pixel, length] : segments)
+          acc += static_cast<double>(image[static_cast<std::size_t>(pixel)]) *
+                 length;
+        sinogram[static_cast<std::size_t>(g.ray_index(a, c))] =
+            static_cast<real>(acc);
+      }
+  }
+  return sinogram;
+}
+
+void add_poisson_noise(std::span<real> sinogram, double incident_photons,
+                       Rng& rng) {
+  MEMXCT_CHECK(incident_photons > 0.0);
+  // Normalize attenuation so a typical path transmits a measurable photon
+  // count: scale by mu such that the max path attenuates to ~e^-4.
+  real max_p = 0;
+  for (const real p : sinogram) max_p = std::max(max_p, p);
+  const double mu = max_p > 0 ? 4.0 / static_cast<double>(max_p) : 1.0;
+  for (real& p : sinogram) {
+    const double transmitted =
+        incident_photons * std::exp(-static_cast<double>(p) * mu);
+    const auto counts = std::max<std::uint64_t>(1, rng.poisson(transmitted));
+    p = static_cast<real>(
+        -std::log(static_cast<double>(counts) / incident_photons) / mu);
+  }
+}
+
+double rmse(std::span<const real> a, std::span<const real> b) {
+  MEMXCT_CHECK(a.size() == b.size() && !a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace memxct::phantom

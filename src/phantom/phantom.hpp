@@ -1,0 +1,49 @@
+// Phantom image generators and sinogram synthesis.
+//
+// The paper's artificial datasets (ADS1-4) exist purely to exercise kernels;
+// its real datasets are a shale rock (RDS1, open) and a mouse brain (RDS2,
+// proprietary). Neither raw dataset is available offline, so all six are
+// synthesized: attenuation phantoms with the right structural character
+// (granular rock, branching vasculature), forward-projected with the same
+// Siddon tracer the system uses, plus Beer's-law Poisson noise. The kernels
+// and solvers only ever see (sinogram, geometry), so this substitution
+// exercises exactly the paper's code paths.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "geometry/geometry.hpp"
+
+namespace memxct::phantom {
+
+/// Standard Shepp-Logan head phantom on an n×n grid (values ~[0, 2]).
+[[nodiscard]] std::vector<real> shepp_logan(idx_t n);
+
+/// Granular-rock phantom (RDS1 "shale" analog): dense matrix of random
+/// elliptical grains with distinct attenuation plus low-attenuation cracks.
+[[nodiscard]] std::vector<real> shale_phantom(idx_t n, std::uint64_t seed);
+
+/// Vasculature phantom (RDS2 "mouse brain" analog): soft-tissue disk with
+/// bright branching vessels grown by random walks, mimicking the arteries
+/// visible in the paper's Fig 1 zooms.
+[[nodiscard]] std::vector<real> brain_phantom(idx_t n, std::uint64_t seed);
+
+/// Exact line-integral sinogram of `image` under `geometry` (row-major
+/// angles × channels). This is the measurement synthesis path.
+[[nodiscard]] AlignedVector<real> forward_project(
+    const geometry::Geometry& geometry, std::span<const real> image);
+
+/// Applies Beer's-law Poisson noise: measurement p becomes
+/// -log(Poisson(I0·exp(-p·mu)) / I0)/mu where `incident_photons` is I0 and
+/// mu normalizes typical path attenuation. Lower I0 = noisier data.
+void add_poisson_noise(std::span<real> sinogram, double incident_photons,
+                       Rng& rng);
+
+/// Root-mean-square error between two equal-size images.
+[[nodiscard]] double rmse(std::span<const real> a, std::span<const real> b);
+
+}  // namespace memxct::phantom

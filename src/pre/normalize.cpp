@@ -1,0 +1,91 @@
+#include "pre/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace memxct::pre {
+
+AlignedVector<real> normalize_transmission(const geometry::Geometry& g,
+                                           std::span<const real> raw,
+                                           std::span<const real> flat,
+                                           std::span<const real> dark) {
+  g.validate();
+  MEMXCT_CHECK(static_cast<std::int64_t>(raw.size()) ==
+               g.sinogram_extent().size());
+  MEMXCT_CHECK(static_cast<idx_t>(flat.size()) == g.num_channels);
+  MEMXCT_CHECK(static_cast<idx_t>(dark.size()) == g.num_channels);
+
+  AlignedVector<real> sinogram(raw.size());
+#pragma omp parallel for schedule(static)
+  for (idx_t a = 0; a < g.num_angles; ++a)
+    for (idx_t c = 0; c < g.num_channels; ++c) {
+      const auto i = static_cast<std::size_t>(g.ray_index(a, c));
+      const double denom =
+          std::max(1e-9, static_cast<double>(flat[c]) - dark[c]);
+      const double numer =
+          std::max(1e-9, static_cast<double>(raw[i]) - dark[c]);
+      const double transmission = std::min(numer / denom, 1.0);
+      sinogram[i] = static_cast<real>(-std::log(transmission));
+    }
+  return sinogram;
+}
+
+double estimate_center_offset(const geometry::Geometry& g,
+                              std::span<const real> sinogram) {
+  g.validate();
+  MEMXCT_CHECK(static_cast<std::int64_t>(sinogram.size()) ==
+               g.sinogram_extent().size());
+  // Mean of per-angle centers of mass. For parallel-beam data the center
+  // of mass of p_theta(s) equals the projection of the object's centroid,
+  // a zero-mean sinusoid around the rotation center over theta in [0, pi)
+  // ... up to the half-period asymmetry, which averages out for dense
+  // angular sampling.
+  double total = 0.0;
+  idx_t used = 0;
+  const double center = static_cast<double>(g.num_channels - 1) / 2.0;
+  for (idx_t a = 0; a < g.num_angles; ++a) {
+    double mass = 0.0, moment = 0.0;
+    for (idx_t c = 0; c < g.num_channels; ++c) {
+      const double v =
+          sinogram[static_cast<std::size_t>(g.ray_index(a, c))];
+      mass += v;
+      moment += v * static_cast<double>(c);
+    }
+    if (mass <= 0.0) continue;
+    total += moment / mass - center;
+    ++used;
+  }
+  return used > 0 ? total / used : 0.0;
+}
+
+AlignedVector<real> shift_sinogram(const geometry::Geometry& g,
+                                   std::span<const real> sinogram,
+                                   double offset) {
+  g.validate();
+  MEMXCT_CHECK(static_cast<std::int64_t>(sinogram.size()) ==
+               g.sinogram_extent().size());
+  AlignedVector<real> out(sinogram.size(), real{0});
+#pragma omp parallel for schedule(static)
+  for (idx_t a = 0; a < g.num_angles; ++a)
+    for (idx_t c = 0; c < g.num_channels; ++c) {
+      // Destination channel c samples source position c - offset.
+      const double pos = static_cast<double>(c) - offset;
+      const auto lo = static_cast<idx_t>(std::floor(pos));
+      const double frac = pos - std::floor(pos);
+      const double v0 =
+          (lo >= 0 && lo < g.num_channels)
+              ? sinogram[static_cast<std::size_t>(g.ray_index(a, lo))]
+              : 0.0;
+      const double v1 =
+          (lo + 1 >= 0 && lo + 1 < g.num_channels)
+              ? sinogram[static_cast<std::size_t>(g.ray_index(a, lo + 1))]
+              : 0.0;
+      out[static_cast<std::size_t>(g.ray_index(a, c))] =
+          static_cast<real>(v0 + frac * (v1 - v0));
+    }
+  return out;
+}
+
+}  // namespace memxct::pre

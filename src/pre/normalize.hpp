@@ -1,0 +1,40 @@
+// Measurement preprocessing: from raw detector counts to line integrals.
+//
+// The paper's sinograms are extracted from beamline projections
+// (Section 2.1, Beer's law I = I0·exp(-p)). Real pipelines first normalize
+// raw transmission counts against flat (beam-only) and dark (shutter
+// closed) fields and correct the center of rotation before reconstruction;
+// this module supplies those steps so the library consumes realistic raw
+// inputs, not just pre-made sinograms.
+#pragma once
+
+#include <span>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+#include "geometry/geometry.hpp"
+
+namespace memxct::pre {
+
+/// Converts raw transmission counts to attenuation line integrals:
+///   p = -log( (raw - dark) / (flat - dark) ), clamped to >= 0.
+/// `raw` is angles-major (M×N); `flat`/`dark` are per-channel (N).
+[[nodiscard]] AlignedVector<real> normalize_transmission(
+    const geometry::Geometry& geometry, std::span<const real> raw,
+    std::span<const real> flat, std::span<const real> dark);
+
+/// Estimates the center-of-rotation offset (in channels) of a sinogram:
+/// for parallel-beam data the per-angle center of mass of the projections
+/// traces a sinusoid around the true rotation center, so its mean equals
+/// the center offset. Returns the signed offset from the detector center.
+[[nodiscard]] double estimate_center_offset(
+    const geometry::Geometry& geometry, std::span<const real> sinogram);
+
+/// Shifts every projection row by `offset` channels (linear interpolation,
+/// zero fill) — applying the negative of estimate_center_offset centers
+/// the sinogram.
+[[nodiscard]] AlignedVector<real> shift_sinogram(
+    const geometry::Geometry& geometry, std::span<const real> sinogram,
+    double offset);
+
+}  // namespace memxct::pre

@@ -1,0 +1,71 @@
+// SIMT analysis of the MemXCT GPU kernels' memory behaviour.
+//
+// Applies the warp model to the actual data structures:
+//   - ELL SpMV (Section 3.1.4): per warp-step transactions for the matrix
+//     streams (ind/val) and the x gather, for column-major (MemXCT) vs
+//     row-major lane assignment — quantifying the coalescing claim;
+//   - buffered SpMV (Section 3.3): staging-load transactions and
+//     shared-memory bank conflict degrees of the buffer reads.
+#pragma once
+
+#include "simt/warp_model.hpp"
+#include "sparse/buffered.hpp"
+#include "sparse/ell.hpp"
+
+namespace memxct::simt {
+
+/// Aggregate transaction statistics for an ELL SpMV pass.
+struct EllAccessReport {
+  std::int64_t warp_steps = 0;          ///< Warp-wide load steps analyzed.
+  std::int64_t stream_transactions = 0; ///< ind+val loads.
+  std::int64_t gather_transactions = 0; ///< x[ind] loads.
+
+  /// Mean transactions per warp stream-load (1.0 = perfectly coalesced).
+  [[nodiscard]] double stream_per_step() const noexcept {
+    return warp_steps > 0
+               ? static_cast<double>(stream_transactions) / (2.0 * warp_steps)
+               : 0.0;
+  }
+  [[nodiscard]] double gather_per_step() const noexcept {
+    return warp_steps > 0
+               ? static_cast<double>(gather_transactions) / warp_steps
+               : 0.0;
+  }
+};
+
+/// Lane-to-element mapping analyzed for the ELL kernel.
+enum class EllLaneOrder {
+  ColumnMajor,  ///< MemXCT: lane = row within block (coalesced).
+  RowMajor,     ///< Naive: lane walks its own row's elements (strided).
+};
+
+/// Analyzes the global-memory behaviour of one ELL SpMV. `sample_blocks`
+/// > 0 limits analysis to evenly sampled blocks.
+[[nodiscard]] EllAccessReport analyze_ell_spmv(
+    const sparse::EllBlockMatrix& matrix, EllLaneOrder lane_order,
+    const SimtConfig& config = {}, idx_t sample_blocks = 0);
+
+/// Aggregate statistics for the buffered kernel's staging + compute.
+struct BufferedAccessReport {
+  std::int64_t staging_warp_steps = 0;
+  std::int64_t staging_transactions = 0;   ///< x[map[...]] gathers.
+  std::int64_t compute_warp_steps = 0;
+  std::int64_t bank_conflict_steps = 0;    ///< Steps with degree > 1.
+  double max_conflict_degree = 1.0;
+  double mean_conflict_degree = 1.0;
+
+  [[nodiscard]] double staging_per_step() const noexcept {
+    return staging_warp_steps > 0
+               ? static_cast<double>(staging_transactions) / staging_warp_steps
+               : 0.0;
+  }
+};
+
+/// Analyzes the buffered kernel: staging gather coalescing and
+/// shared-memory bank conflicts of the compute phase (lanes = consecutive
+/// partition rows, each reading its current buffer word).
+[[nodiscard]] BufferedAccessReport analyze_buffered_spmv(
+    const sparse::BufferedMatrix& matrix, const SimtConfig& config = {},
+    idx_t sample_partitions = 0);
+
+}  // namespace memxct::simt

@@ -1,0 +1,47 @@
+#include "simt/warp_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace memxct::simt {
+
+int warp_transactions(std::span<const std::uint64_t> addresses,
+                      const SimtConfig& config) {
+  MEMXCT_CHECK(config.transaction_bytes > 0);
+  if (addresses.empty()) return 0;
+  // Distinct transaction-aligned segments. Warp sizes are tiny; a sorted
+  // scratch vector beats a hash set.
+  std::vector<std::uint64_t> segments;
+  segments.reserve(addresses.size());
+  for (const auto a : addresses)
+    segments.push_back(a / static_cast<std::uint64_t>(config.transaction_bytes));
+  std::sort(segments.begin(), segments.end());
+  segments.erase(std::unique(segments.begin(), segments.end()),
+                 segments.end());
+  return static_cast<int>(segments.size());
+}
+
+int bank_conflict_degree(std::span<const idx_t> word_indices,
+                         const SimtConfig& config) {
+  MEMXCT_CHECK(config.smem_banks > 0);
+  if (word_indices.empty()) return 1;
+  // Per bank, count distinct words requested (same-word requests
+  // broadcast).
+  std::vector<std::vector<idx_t>> per_bank(
+      static_cast<std::size_t>(config.smem_banks));
+  for (const idx_t w : word_indices) {
+    MEMXCT_CHECK(w >= 0);
+    per_bank[static_cast<std::size_t>(w % config.smem_banks)].push_back(w);
+  }
+  int degree = 1;
+  for (auto& words : per_bank) {
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    degree = std::max(degree, static_cast<int>(words.size()));
+  }
+  return degree;
+}
+
+}  // namespace memxct::simt

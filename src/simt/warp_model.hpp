@@ -1,0 +1,41 @@
+// SIMT memory-access model: coalescing and shared-memory bank analysis.
+//
+// The paper's GPU claims (Section 3.1.4: transposed ELL gives coalesced
+// access; Section 3.3: the input buffer lives in CUDA shared memory) are
+// about *memory transaction counts*, which can be computed exactly from
+// the data layout without a GPU: a warp's global loads cost one
+// transaction per distinct aligned segment its lanes touch, and a warp's
+// shared-memory access serializes by the maximum number of distinct words
+// mapped to one bank. This module provides those two counters; the
+// kernel_analysis layer applies them to the real MemXCT data structures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace memxct::simt {
+
+/// GPU-architecture parameters (defaults match the paper's NVIDIA parts).
+struct SimtConfig {
+  int warp_size = 32;          ///< Lanes per warp.
+  int transaction_bytes = 128; ///< Global-memory transaction granularity.
+  int smem_banks = 32;         ///< Shared-memory banks.
+  int bank_bytes = 4;          ///< Bank word width.
+};
+
+/// Number of global-memory transactions one warp issues for the given
+/// per-lane byte addresses (distinct transaction-aligned segments).
+/// A fully coalesced 4-byte-per-lane access with 32 lanes = 1 transaction;
+/// a fully scattered one = warp_size transactions.
+[[nodiscard]] int warp_transactions(std::span<const std::uint64_t> addresses,
+                                    const SimtConfig& config = {});
+
+/// Shared-memory conflict degree of one warp access: the maximum number of
+/// *distinct words* lanes request from a single bank (1 = conflict-free;
+/// lanes reading the same word broadcast and do not conflict).
+[[nodiscard]] int bank_conflict_degree(std::span<const idx_t> word_indices,
+                                       const SimtConfig& config = {});
+
+}  // namespace memxct::simt

@@ -1,0 +1,85 @@
+#include "solve/cgls.hpp"
+
+#include "common/error.hpp"
+#include "perf/timer.hpp"
+#include "solve/vector_ops.hpp"
+
+namespace memxct::solve {
+
+bool EarlyStop::should_stop(double residual_norm) {
+  history_.push_back(residual_norm);
+  if (static_cast<int>(history_.size()) <= window_) return false;
+  const double prev = history_[history_.size() - 1 - window_];
+  if (prev <= 0.0) return true;
+  const double improvement = (prev - residual_norm) / prev;
+  return improvement < tolerance_;
+}
+
+SolveResult cgls(const LinearOperator& op, std::span<const real> y,
+                 const CglsOptions& options) {
+  return cgls_warm(op, y, {}, options);
+}
+
+SolveResult cgls_warm(const LinearOperator& op, std::span<const real> y,
+                      std::span<const real> x0, const CglsOptions& options) {
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == op.num_rows());
+  MEMXCT_CHECK(x0.empty() || static_cast<idx_t>(x0.size()) == op.num_cols());
+  const auto m = static_cast<std::size_t>(op.num_rows());
+  const auto n = static_cast<std::size_t>(op.num_cols());
+
+  perf::WallTimer timer;
+  SolveResult result;
+  if (x0.empty())
+    result.x.assign(n, real{0});
+  else
+    result.x.assign(x0.begin(), x0.end());
+
+  // r = y - A·x0 ; s = A^T r - λ²x ; p = s. With damping the recursion
+  // is CGLS on the augmented system [A; λI]x = [y; 0].
+  const double lambda2 =
+      options.tikhonov_lambda * options.tikhonov_lambda;
+  AlignedVector<real> r(y.begin(), y.end());
+  AlignedVector<real> s(n), p(n), q(m);
+  if (!x0.empty()) {
+    op.apply(result.x, q);
+    axpy(real{-1}, q, r);
+  }
+  op.apply_transpose(r, s);
+  if (lambda2 > 0.0 && !x0.empty())
+    axpy(static_cast<real>(-lambda2), result.x, s);
+  p.assign(s.begin(), s.end());
+  double gamma = dot(s, s);
+
+  EarlyStop stop(options.early_stop_tol);
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    if (gamma == 0.0) break;  // exact solution reached
+    op.apply(p, q);           // the step-size forward projection
+    const double qq = dot(q, q) + lambda2 * dot(p, p);
+    if (qq == 0.0) break;
+    const double alpha = gamma / qq;
+    axpy(static_cast<real>(alpha), p, result.x);
+    axpy(static_cast<real>(-alpha), q, r);
+    op.apply_transpose(r, s);
+    if (lambda2 > 0.0)
+      axpy(static_cast<real>(-lambda2), result.x, s);
+    const double gamma_new = dot(s, s);
+    const double beta = gamma_new / gamma;
+    xpby(s, static_cast<real>(beta), p);
+    gamma = gamma_new;
+
+    const double rnorm = norm2(r);
+    if (options.record_history)
+      result.history.push_back({iter + 1, rnorm, norm2(result.x)});
+    if (options.early_stop && stop.should_stop(rnorm)) {
+      ++iter;
+      break;
+    }
+  }
+  result.iterations = iter;
+  result.seconds = timer.seconds();
+  result.per_iteration_s = iter > 0 ? result.seconds / iter : 0.0;
+  return result;
+}
+
+}  // namespace memxct::solve

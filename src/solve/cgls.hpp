@@ -1,0 +1,40 @@
+// CGLS: conjugate gradient on the normal equations (paper Section 3.5.2).
+//
+// The paper's "CG iterations" solve min ||y - Ax||² via the CGLS recursion:
+// one forward projection and one backprojection per iteration, with the
+// step size found analytically (the extra forward projection the paper
+// mentions is the A·p product whose norm gives alpha) and search directions
+// kept conjugate by the three-term recursion.
+#pragma once
+
+#include "solve/operator.hpp"
+#include "solve/solver.hpp"
+
+namespace memxct::solve {
+
+struct CglsOptions {
+  int max_iterations = 30;   ///< Paper's RDS default (L-curve knee).
+  bool early_stop = false;   ///< Enable the heuristic termination.
+  double early_stop_tol = 1e-3;
+  bool record_history = true;
+  /// Tikhonov damping: solves min ||y - Ax||² + λ²||x||² (the R(x) = λ²||x||²
+  /// instance of the paper's Eq. 1 regularizer) via the augmented-system
+  /// CGLS recursion. 0 = unregularized.
+  double tikhonov_lambda = 0.0;
+};
+
+/// Runs CGLS from x = 0 for measurement vector `y`.
+[[nodiscard]] SolveResult cgls(const LinearOperator& op,
+                               std::span<const real> y,
+                               const CglsOptions& options = {});
+
+/// Runs CGLS from the given starting iterate (warm start). Adjacent slices
+/// of a 3D volume are nearly identical, so seeding each slice with its
+/// neighbour's solution cuts iterations substantially (used by the
+/// VolumeReconstructor). Pass an empty span for a cold start.
+[[nodiscard]] SolveResult cgls_warm(const LinearOperator& op,
+                                    std::span<const real> y,
+                                    std::span<const real> x0,
+                                    const CglsOptions& options = {});
+
+}  // namespace memxct::solve

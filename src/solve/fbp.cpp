@@ -1,0 +1,122 @@
+#include "solve/fbp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/fft.hpp"
+#include "common/grid.hpp"
+
+namespace memxct::solve {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+const char* to_string(FbpFilter filter) noexcept {
+  switch (filter) {
+    case FbpFilter::Ramp:
+      return "Ram-Lak";
+    case FbpFilter::SheppLogan:
+      return "Shepp-Logan";
+    case FbpFilter::Hann:
+      return "Hann";
+  }
+  return "?";
+}
+
+std::vector<double> fbp_filter_response(std::size_t padded, FbpFilter filter) {
+  MEMXCT_CHECK(padded >= 2 && (padded & (padded - 1)) == 0);
+  std::vector<double> response(padded);
+  for (std::size_t k = 0; k < padded; ++k) {
+    // Signed frequency in cycles/sample, range (-0.5, 0.5].
+    const double freq =
+        (k <= padded / 2 ? static_cast<double>(k)
+                         : static_cast<double>(k) - static_cast<double>(padded)) /
+        static_cast<double>(padded);
+    const double ramp = std::abs(freq);
+    double window = 1.0;
+    switch (filter) {
+      case FbpFilter::Ramp:
+        break;
+      case FbpFilter::SheppLogan: {
+        const double x = kPi * freq;  // sinc apodization
+        window = x == 0.0 ? 1.0 : std::sin(x) / x;
+        break;
+      }
+      case FbpFilter::Hann:
+        window = 0.5 * (1.0 + std::cos(2.0 * kPi * freq));
+        break;
+    }
+    response[k] = ramp * window;
+  }
+  return response;
+}
+
+std::vector<real> fbp_reconstruct(const geometry::Geometry& g,
+                                  std::span<const real> sinogram,
+                                  const FbpOptions& options) {
+  g.validate();
+  MEMXCT_CHECK(static_cast<std::int64_t>(sinogram.size()) ==
+               g.sinogram_extent().size());
+  const idx_t n = g.image_size;
+  const idx_t channels = g.num_channels;
+  const idx_t angles = g.num_angles;
+
+  // Filter every projection row: FFT, multiply by ramp response, inverse.
+  // Zero-padding to 2x the next power of two avoids circular-convolution
+  // wrap-around.
+  const auto padded = static_cast<std::size_t>(2 * next_pow2(channels));
+  const auto response = fbp_filter_response(padded, options.filter);
+  std::vector<real> filtered(sinogram.size());
+#pragma omp parallel for schedule(dynamic, 4)
+  for (idx_t a = 0; a < angles; ++a) {
+    auto spectrum = fft_real(
+        sinogram.subspan(static_cast<std::size_t>(a) * channels,
+                         static_cast<std::size_t>(channels)),
+        padded);
+    for (std::size_t k = 0; k < padded; ++k) spectrum[k] *= response[k];
+    const auto row = ifft_real(spectrum, static_cast<std::size_t>(channels));
+    std::copy(row.begin(), row.end(),
+              filtered.begin() + static_cast<std::size_t>(a) * channels);
+  }
+
+  // Pixel-driven backprojection with linear interpolation along the
+  // detector: x(r,c) = (pi/M) * sum_a filtered[a, s(r,c,theta_a)].
+  std::vector<real> image(static_cast<std::size_t>(n) * n, real{0});
+  const double half = static_cast<double>(n) / 2.0;
+  const double channel_half = static_cast<double>(channels) / 2.0;
+#pragma omp parallel for schedule(dynamic, 8)
+  for (idx_t r = 0; r < n; ++r) {
+    const double y = static_cast<double>(r) + 0.5 - half;
+    for (idx_t c = 0; c < n; ++c) {
+      const double x = static_cast<double>(c) + 0.5 - half;
+      double acc = 0.0;
+      for (idx_t a = 0; a < angles; ++a) {
+        const double theta = g.angle(a);
+        // Detector coordinate of this pixel: projection of (x, y) onto the
+        // detector axis n = (-sin, cos).
+        const double s = -x * std::sin(theta) + y * std::cos(theta);
+        const double pos = s + channel_half - 0.5;  // fractional channel
+        const auto lo = static_cast<idx_t>(std::floor(pos));
+        const double frac = pos - std::floor(pos);
+        const double v0 =
+            (lo >= 0 && lo < channels)
+                ? filtered[static_cast<std::size_t>(a) * channels + lo]
+                : 0.0;
+        const double v1 =
+            (lo + 1 >= 0 && lo + 1 < channels)
+                ? filtered[static_cast<std::size_t>(a) * channels + lo + 1]
+                : 0.0;
+        acc += v0 + frac * (v1 - v0);
+      }
+      // Quadrature weight of the angular integral: Δθ = span / M (span is
+      // π for a full scan; limited-angle scans scale accordingly).
+      image[static_cast<std::size_t>(r) * n + c] =
+          static_cast<real>(acc * g.angle_span / angles);
+    }
+  }
+  return image;
+}
+
+}  // namespace memxct::solve

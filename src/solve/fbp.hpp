@@ -1,0 +1,48 @@
+// Filtered backprojection: the analytic direct solver the paper's
+// introduction contrasts with iterative reconstruction.
+//
+// "Analytical methods such as the filtered backprojection (FBP) algorithm
+//  are computationally efficient, but reconstruction quality is often poor
+//  when measurements are noisy or undersampled." (Section 1)
+//
+// This implementation provides that baseline: per-angle ramp filtering in
+// the frequency domain (with optional apodization windows) followed by
+// pixel-driven backprojection with linear interpolation. It exists so the
+// repository can regenerate the paper's *motivation* — quality
+// comparisons between FBP and CG on noisy / angle-undersampled data — not
+// as a performance kernel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geometry/geometry.hpp"
+
+namespace memxct::solve {
+
+/// Apodization applied on top of the ramp |w| filter.
+enum class FbpFilter {
+  Ramp,      ///< Pure |w| (Ram-Lak): sharpest, noisiest.
+  SheppLogan,///< |w|·sinc(w/2w_max): mild noise suppression.
+  Hann,      ///< |w|·0.5(1+cos(pi w/w_max)): strongest smoothing.
+};
+
+[[nodiscard]] const char* to_string(FbpFilter filter) noexcept;
+
+struct FbpOptions {
+  FbpFilter filter = FbpFilter::Ramp;
+};
+
+/// Reconstructs a tomogram (row-major image_size²) from a natural-layout
+/// sinogram (angles-major) by filtered backprojection.
+[[nodiscard]] std::vector<real> fbp_reconstruct(
+    const geometry::Geometry& geometry, std::span<const real> sinogram,
+    const FbpOptions& options = {});
+
+/// The discrete frequency response of the chosen filter, length `padded`
+/// (power of two) — exposed for tests.
+[[nodiscard]] std::vector<double> fbp_filter_response(std::size_t padded,
+                                                      FbpFilter filter);
+
+}  // namespace memxct::solve

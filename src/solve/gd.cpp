@@ -1,0 +1,42 @@
+#include "solve/gd.hpp"
+
+#include "common/error.hpp"
+#include "perf/timer.hpp"
+#include "solve/vector_ops.hpp"
+
+namespace memxct::solve {
+
+SolveResult gradient_descent(const LinearOperator& op, std::span<const real> y,
+                             const GdOptions& options) {
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == op.num_rows());
+  const auto m = static_cast<std::size_t>(op.num_rows());
+  const auto n = static_cast<std::size_t>(op.num_cols());
+
+  perf::WallTimer timer;
+  SolveResult result;
+  result.x.assign(n, real{0});
+
+  AlignedVector<real> forward(m), residual(m), g(n), ag(m);
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    op.apply(result.x, forward);
+    subtract(y, forward, residual);
+    op.apply_transpose(residual, g);
+    op.apply(g, ag);
+    const double gg = dot(g, g);
+    const double agag = dot(ag, ag);
+    if (agag == 0.0) break;
+    const double alpha = gg / agag;
+    axpy(static_cast<real>(alpha), g, result.x);
+    if (options.nonnegative)
+      for (auto& v : result.x) v = v < real{0} ? real{0} : v;
+    if (options.record_history)
+      result.history.push_back({iter + 1, norm2(residual), norm2(result.x)});
+  }
+  result.iterations = iter;
+  result.seconds = timer.seconds();
+  result.per_iteration_s = iter > 0 ? result.seconds / iter : 0.0;
+  return result;
+}
+
+}  // namespace memxct::solve

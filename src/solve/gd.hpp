@@ -1,0 +1,28 @@
+// Plain gradient descent with analytic (steepest-descent) step size.
+//
+// Demonstrates the paper's Section 3.5.2 claim that alternative iteration
+// schemes plug into the memory-centric operator unchanged: GD, like SGD/ICD
+// variants, needs only apply / apply_transpose.
+#pragma once
+
+#include "solve/operator.hpp"
+#include "solve/solver.hpp"
+
+namespace memxct::solve {
+
+struct GdOptions {
+  int max_iterations = 100;
+  bool record_history = true;
+  /// Project onto the non-negative orthant after each update — the
+  /// physical constraint C of the paper's Eq. 1 (attenuation cannot be
+  /// negative), implemented as projected gradient descent.
+  bool nonnegative = false;
+};
+
+/// x_{k+1} = x_k + alpha_k A^T (y - A x_k), with the exact line-search step
+/// alpha_k = ||g||² / ||A g||².
+[[nodiscard]] SolveResult gradient_descent(const LinearOperator& op,
+                                           std::span<const real> y,
+                                           const GdOptions& options = {});
+
+}  // namespace memxct::solve

@@ -1,0 +1,60 @@
+#include "solve/icd.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "perf/timer.hpp"
+
+namespace memxct::solve {
+
+SolveResult icd(const sparse::CsrMatrix& a, const sparse::CsrMatrix& at,
+                std::span<const real> y, const IcdOptions& options) {
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == a.num_rows);
+  MEMXCT_CHECK(at.num_rows == a.num_cols && at.num_cols == a.num_rows);
+  MEMXCT_CHECK(at.nnz() == a.nnz());
+  perf::WallTimer timer;
+  SolveResult result;
+  result.x.assign(static_cast<std::size_t>(a.num_cols), real{0});
+
+  // Running residual r = y - A x, updated incrementally per pixel.
+  AlignedVector<real> r(y.begin(), y.end());
+
+  // Column norms from A^T rows.
+  AlignedVector<double> col_norm2(static_cast<std::size_t>(at.num_rows));
+  for (idx_t j = 0; j < at.num_rows; ++j) {
+    double acc = 0.0;
+    for (nnz_t k = at.displ[j]; k < at.displ[j + 1]; ++k)
+      acc += static_cast<double>(at.val[k]) * at.val[k];
+    col_norm2[static_cast<std::size_t>(j)] = acc;
+  }
+
+  int sweep = 0;
+  for (; sweep < options.sweeps; ++sweep) {
+    for (idx_t j = 0; j < at.num_rows; ++j) {
+      const double norm2 = col_norm2[static_cast<std::size_t>(j)];
+      if (norm2 <= 0.0) continue;
+      double num = 0.0;
+      for (nnz_t k = at.displ[j]; k < at.displ[j + 1]; ++k)
+        num += static_cast<double>(at.val[k]) *
+               r[static_cast<std::size_t>(at.ind[k])];
+      const double delta = num / norm2;
+      result.x[static_cast<std::size_t>(j)] += static_cast<real>(delta);
+      for (nnz_t k = at.displ[j]; k < at.displ[j + 1]; ++k)
+        r[static_cast<std::size_t>(at.ind[k])] -=
+            static_cast<real>(delta * at.val[k]);
+    }
+    if (options.record_history) {
+      double rnorm2 = 0.0, xnorm2 = 0.0;
+      for (const real v : r) rnorm2 += static_cast<double>(v) * v;
+      for (const real v : result.x) xnorm2 += static_cast<double>(v) * v;
+      result.history.push_back(
+          {sweep + 1, std::sqrt(rnorm2), std::sqrt(xnorm2)});
+    }
+  }
+  result.iterations = sweep;
+  result.seconds = timer.seconds();
+  result.per_iteration_s = sweep > 0 ? result.seconds / sweep : 0.0;
+  return result;
+}
+
+}  // namespace memxct::solve

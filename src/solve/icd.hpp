@@ -1,0 +1,33 @@
+// ICD: iterative coordinate descent (the MBIR/cuMBIR solver family the
+// paper cites [16, 23]) for the least-squares problem.
+//
+// One sweep updates every tomogram pixel in turn:
+//   δ_j = (a_j^T r) / ||a_j||²,  x_j += δ_j,  r -= δ_j a_j
+// where a_j is column j (a row of A^T) and r is the running residual. A
+// sweep costs one pass over the nonzeros — the same O(nnz) as an SpMV —
+// but the updates are inherently sequential in j, which is exactly why the
+// paper's massively parallel setting favours CG/SIRT-style full-gradient
+// methods. Requires the backprojection matrix (A^T), i.e. column access.
+#pragma once
+
+#include <span>
+
+#include "solve/solver.hpp"
+#include "sparse/csr.hpp"
+
+namespace memxct::solve {
+
+struct IcdOptions {
+  int sweeps = 10;          ///< Full passes over all pixels.
+  bool record_history = true;  ///< One record per sweep.
+};
+
+/// Runs ICD from x = 0. `a` is the forward matrix (rows = rays) and `at`
+/// its transpose (rows = pixels); both are available after MemXCT
+/// preprocessing.
+[[nodiscard]] SolveResult icd(const sparse::CsrMatrix& a,
+                              const sparse::CsrMatrix& at,
+                              std::span<const real> y,
+                              const IcdOptions& options = {});
+
+}  // namespace memxct::solve

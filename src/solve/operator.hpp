@@ -1,0 +1,33 @@
+// Abstract forward/backprojection operator.
+//
+// Solvers (CGLS, SIRT, GD) are written against this interface so the same
+// algorithm runs on the serial memoized operator, the buffered-kernel
+// operator, the compute-centric on-the-fly operator, and the distributed
+// R·C·A_p operator — the "plug-and-play" property of Section 3.5.2.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace memxct::solve {
+
+/// y = A·x (forward projection) and x = A^T·y (backprojection).
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// Sinogram length (rows of A).
+  [[nodiscard]] virtual idx_t num_rows() const = 0;
+  /// Tomogram length (columns of A).
+  [[nodiscard]] virtual idx_t num_cols() const = 0;
+
+  /// y = A·x. x has num_cols() elements, y has num_rows().
+  virtual void apply(std::span<const real> x, std::span<real> y) const = 0;
+
+  /// x = A^T·y.
+  virtual void apply_transpose(std::span<const real> y,
+                               std::span<real> x) const = 0;
+};
+
+}  // namespace memxct::solve

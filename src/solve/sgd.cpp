@@ -1,0 +1,79 @@
+#include "solve/sgd.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "perf/timer.hpp"
+#include "solve/vector_ops.hpp"
+
+namespace memxct::solve {
+
+SolveResult sgd(const sparse::CsrMatrix& a, std::span<const real> y,
+                const SgdOptions& options) {
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == a.num_rows);
+  MEMXCT_CHECK(options.relaxation > 0 && options.relaxation < 2);
+  perf::WallTimer timer;
+  SolveResult result;
+  result.x.assign(static_cast<std::size_t>(a.num_cols), real{0});
+
+  // Precompute squared row norms (the Kaczmarz denominators).
+  std::vector<double> row_norm2(static_cast<std::size_t>(a.num_rows));
+  for (idx_t r = 0; r < a.num_rows; ++r) {
+    double acc = 0.0;
+    for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+      acc += static_cast<double>(a.val[k]) * a.val[k];
+    row_norm2[static_cast<std::size_t>(r)] = acc;
+  }
+
+  std::vector<idx_t> order(static_cast<std::size_t>(a.num_rows));
+  std::iota(order.begin(), order.end(), idx_t{0});
+  Rng rng(options.seed);
+
+  real* const x = result.x.data();
+  int epoch = 0;
+  for (; epoch < options.epochs; ++epoch) {
+    // Fisher-Yates shuffle per epoch: random row order without repeats.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.uniform_int(i)]);
+
+    for (const idx_t r : order) {
+      const double norm2 = row_norm2[static_cast<std::size_t>(r)];
+      if (norm2 <= 0.0) continue;
+      double dot_rx = 0.0;
+      for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+        dot_rx += static_cast<double>(a.val[k]) * x[a.ind[k]];
+      const double step = options.relaxation *
+                          (static_cast<double>(y[static_cast<std::size_t>(r)]) -
+                           dot_rx) /
+                          norm2;
+      for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+        x[a.ind[k]] += static_cast<real>(step * a.val[k]);
+    }
+
+    if (options.record_history) {
+      // Residual once per epoch (the per-row residuals are not free).
+      double rnorm2 = 0.0, xnorm2 = 0.0;
+      for (idx_t r = 0; r < a.num_rows; ++r) {
+        double acc = 0.0;
+        for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+          acc += static_cast<double>(a.val[k]) * x[a.ind[k]];
+        const double d = static_cast<double>(y[static_cast<std::size_t>(r)]) -
+                         acc;
+        rnorm2 += d * d;
+      }
+      for (idx_t c = 0; c < a.num_cols; ++c)
+        xnorm2 += static_cast<double>(x[c]) * x[c];
+      result.history.push_back(
+          {epoch + 1, std::sqrt(rnorm2), std::sqrt(xnorm2)});
+    }
+  }
+  result.iterations = epoch;
+  result.seconds = timer.seconds();
+  result.per_iteration_s = epoch > 0 ? result.seconds / epoch : 0.0;
+  return result;
+}
+
+}  // namespace memxct::solve

@@ -1,0 +1,35 @@
+// Stochastic row-action solver (SGD in the sense of cuMBIR [16]):
+// randomized block Kaczmarz for the least-squares problem.
+//
+// Section 3.5.2 lists SIRT, SGD, and ICD as the iteration schemes recent
+// systems implement, all of which "can be implemented for our proposed
+// memory-centric approach in a plug-and-play manner". SGD-type methods act
+// on one ray (or a small block) at a time:
+//   x += ω · (y_i - a_i·x) / ||a_i||² · a_i
+// visiting rows in random order — so they need direct row access to the
+// memoized matrix rather than whole-matrix applies, which is why this
+// solver takes the CSR matrix itself.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "solve/solver.hpp"
+#include "sparse/csr.hpp"
+
+namespace memxct::solve {
+
+struct SgdOptions {
+  int epochs = 10;          ///< Full passes over the rows.
+  real relaxation = 1.0;    ///< ω; (0, 2) guarantees convergence on
+                            ///< consistent systems.
+  std::uint64_t seed = 99;  ///< Row-visit shuffling.
+  bool record_history = true;  ///< One record per epoch.
+};
+
+/// Runs randomized Kaczmarz from x = 0.
+[[nodiscard]] SolveResult sgd(const sparse::CsrMatrix& a,
+                              std::span<const real> y,
+                              const SgdOptions& options = {});
+
+}  // namespace memxct::solve

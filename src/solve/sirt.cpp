@@ -1,0 +1,51 @@
+#include "solve/sirt.hpp"
+
+#include "common/error.hpp"
+#include "perf/timer.hpp"
+#include "solve/vector_ops.hpp"
+
+namespace memxct::solve {
+
+SolveResult sirt(const LinearOperator& op, std::span<const real> y,
+                 const SirtOptions& options) {
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == op.num_rows());
+  const auto m = static_cast<std::size_t>(op.num_rows());
+  const auto n = static_cast<std::size_t>(op.num_cols());
+
+  perf::WallTimer timer;
+  SolveResult result;
+  result.x.assign(n, real{0});
+
+  // Row/column sums via operator applications on ones (matrix-free).
+  AlignedVector<real> ones_n(n, real{1}), ones_m(m, real{1});
+  AlignedVector<real> row_sum(m), col_sum(n);
+  op.apply(ones_n, row_sum);
+  op.apply_transpose(ones_m, col_sum);
+  const auto inv_or_zero = [](real v) {
+    return v > real{1e-12} ? real{1} / v : real{0};
+  };
+  for (auto& v : row_sum) v = inv_or_zero(v);  // now R
+  for (auto& v : col_sum) v = inv_or_zero(v);  // now C
+
+  AlignedVector<real> forward(m), residual(m), gradient(n);
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    op.apply(result.x, forward);
+    subtract(y, forward, residual);
+    // Record the L-curve point of the *current* iterate so residual and
+    // solution norms describe the same x (Fig 8 pairs them).
+    if (options.record_history)
+      result.history.push_back({iter, norm2(residual), norm2(result.x)});
+    // Scale by R, backproject, scale by C, update.
+    for (std::size_t i = 0; i < m; ++i) residual[i] *= row_sum[i];
+    op.apply_transpose(residual, gradient);
+    for (std::size_t i = 0; i < n; ++i)
+      result.x[i] += options.relaxation * col_sum[i] * gradient[i];
+  }
+  result.iterations = iter;
+  result.seconds = timer.seconds();
+  result.per_iteration_s = iter > 0 ? result.seconds / iter : 0.0;
+  return result;
+}
+
+}  // namespace memxct::solve

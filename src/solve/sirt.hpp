@@ -1,0 +1,27 @@
+// SIRT: simultaneous iterative reconstruction technique (the solver used by
+// Trace, the paper's compute-centric comparison target in Table 4/Fig 8).
+//
+//   x_{k+1} = x_k + C · A^T · R · (y - A·x_k)
+//
+// with R = diag(1/row_sum) and C = diag(1/col_sum). The scaling matrices
+// are built matrix-free by applying the operator to all-ones vectors, so
+// the same code path serves memoized, on-the-fly, and distributed
+// operators.
+#pragma once
+
+#include "solve/operator.hpp"
+#include "solve/solver.hpp"
+
+namespace memxct::solve {
+
+struct SirtOptions {
+  int max_iterations = 45;  ///< Table 4's iteration count.
+  bool record_history = true;
+  real relaxation = 1.0;
+};
+
+[[nodiscard]] SolveResult sirt(const LinearOperator& op,
+                               std::span<const real> y,
+                               const SirtOptions& options = {});
+
+}  // namespace memxct::solve

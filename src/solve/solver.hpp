@@ -1,0 +1,46 @@
+// Common solver result types and early-termination heuristic.
+#pragma once
+
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+
+namespace memxct::solve {
+
+/// Per-iteration record: the L-curve coordinates of Fig 8.
+struct IterationRecord {
+  int iteration = 0;
+  double residual_norm = 0.0;  ///< ||A·x - y||.
+  double solution_norm = 0.0;  ///< ||x||.
+};
+
+/// Result of an iterative solve.
+struct SolveResult {
+  AlignedVector<real> x;
+  std::vector<IterationRecord> history;
+  int iterations = 0;
+  double seconds = 0.0;           ///< Total solve wall time.
+  double per_iteration_s = 0.0;   ///< Mean per-iteration wall time.
+};
+
+/// Early-termination heuristic (paper Section 3.5.2: "heuristic early
+/// termination ... practically considered as a regularization method").
+/// Signals a stop when the relative residual improvement over the last
+/// `window` iterations falls below `tolerance` — the L-curve knee, where
+/// further iterations fit noise rather than signal.
+class EarlyStop {
+ public:
+  EarlyStop(double tolerance = 1e-3, int window = 3)
+      : tolerance_(tolerance), window_(window) {}
+
+  /// Feeds one residual norm; returns true when iteration should stop.
+  bool should_stop(double residual_norm);
+
+ private:
+  double tolerance_;
+  int window_;
+  std::vector<double> history_;
+};
+
+}  // namespace memxct::solve

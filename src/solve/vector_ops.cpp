@@ -1,0 +1,61 @@
+#include "solve/vector_ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace memxct::solve {
+
+double dot(std::span<const real> a, std::span<const real> b) {
+  MEMXCT_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  const auto n = static_cast<std::int64_t>(a.size());
+#pragma omp parallel for reduction(+ : acc) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i)
+    acc += static_cast<double>(a[static_cast<std::size_t>(i)]) *
+           static_cast<double>(b[static_cast<std::size_t>(i)]);
+  return acc;
+}
+
+double norm2(std::span<const real> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(real alpha, std::span<const real> x, std::span<real> y) {
+  MEMXCT_CHECK(x.size() == y.size());
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i)
+    y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+}
+
+void xpby(std::span<const real> x, real beta, std::span<real> y) {
+  MEMXCT_CHECK(x.size() == y.size());
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i)
+    y[static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(i)] + beta * y[static_cast<std::size_t>(i)];
+}
+
+void subtract(std::span<const real> a, std::span<const real> b,
+              std::span<real> y) {
+  MEMXCT_CHECK(a.size() == b.size() && a.size() == y.size());
+  const auto n = static_cast<std::int64_t>(a.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i)
+    y[static_cast<std::size_t>(i)] =
+        a[static_cast<std::size_t>(i)] - b[static_cast<std::size_t>(i)];
+}
+
+void scale(real alpha, std::span<real> a) {
+  const auto n = static_cast<std::int64_t>(a.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) a[static_cast<std::size_t>(i)] *= alpha;
+}
+
+void set_zero(std::span<real> a) {
+  const auto n = static_cast<std::int64_t>(a.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) a[static_cast<std::size_t>(i)] = 0;
+}
+
+}  // namespace memxct::solve

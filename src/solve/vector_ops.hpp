@@ -1,0 +1,35 @@
+// OpenMP vector kernels used by the iterative solvers.
+//
+// Dot products accumulate in double: CG three-term recursions are sensitive
+// to reduction error at paper-scale vector lengths.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace memxct::solve {
+
+/// <a, b> with double accumulation.
+[[nodiscard]] double dot(std::span<const real> a, std::span<const real> b);
+
+/// ||a||_2.
+[[nodiscard]] double norm2(std::span<const real> a);
+
+/// y += alpha * x.
+void axpy(real alpha, std::span<const real> x, std::span<real> y);
+
+/// y = x + beta * y (the CG direction update).
+void xpby(std::span<const real> x, real beta, std::span<real> y);
+
+/// y = a - b.
+void subtract(std::span<const real> a, std::span<const real> b,
+              std::span<real> y);
+
+/// a *= alpha.
+void scale(real alpha, std::span<real> a);
+
+/// a = 0.
+void set_zero(std::span<real> a);
+
+}  // namespace memxct::solve

@@ -1,0 +1,257 @@
+#include "sparse/buffered.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/grid.hpp"
+
+namespace memxct::sparse {
+
+void BufferedMatrix::validate() const {
+  MEMXCT_CHECK(config.partsize > 0);
+  MEMXCT_CHECK(config.buffsize > 0 && config.buffsize <= 65536);
+  MEMXCT_CHECK(!partdispl.empty() && partdispl.front() == 0);
+  MEMXCT_CHECK(partdispl.back() == num_stages());
+  MEMXCT_CHECK(stagedispl.size() == stagenz.size() + 1);
+  MEMXCT_CHECK(stagedispl.back() == static_cast<nnz_t>(map.size()));
+  for (idx_t s = 0; s < num_stages(); ++s) {
+    MEMXCT_CHECK_MSG(stagenz[static_cast<std::size_t>(s)] <= config.buffsize,
+                     "stage exceeds buffer capacity");
+    MEMXCT_CHECK(stagedispl[static_cast<std::size_t>(s)] +
+                     stagenz[static_cast<std::size_t>(s)] ==
+                 stagedispl[static_cast<std::size_t>(s) + 1]);
+  }
+  for (const idx_t m : map) MEMXCT_CHECK(m >= 0 && m < num_cols);
+  MEMXCT_CHECK(displ.size() ==
+               static_cast<std::size_t>(num_stages()) * config.partsize + 1);
+  MEMXCT_CHECK(displ.front() == 0 &&
+               displ.back() == static_cast<nnz_t>(ind.size()));
+  MEMXCT_CHECK(ind.size() == val.size());
+}
+
+BufferedMatrix build_buffered(const CsrMatrix& a, const BufferConfig& config) {
+  MEMXCT_CHECK(config.partsize >= 1);
+  MEMXCT_CHECK_MSG(config.buffsize >= 1 && config.buffsize <= 65536,
+                   "16-bit buffer addressing limits buffsize to 65536");
+  BufferedMatrix b;
+  b.num_rows = a.num_rows;
+  b.num_cols = a.num_cols;
+  b.config = config;
+
+  const idx_t partsize = config.partsize;
+  const idx_t buffsize = config.buffsize;
+  const idx_t numparts = std::max<idx_t>(1, ceil_div(a.num_rows, partsize));
+
+  // Pass 1 (parallel): per-partition footprint -> stage count and nnz, so
+  // global arrays can be sized and filled without synchronization.
+  struct PartPlan {
+    std::vector<idx_t> cols;  // sorted distinct columns of the partition
+    nnz_t nnz = 0;
+  };
+  std::vector<PartPlan> plans(static_cast<std::size_t>(numparts));
+#pragma omp parallel for schedule(dynamic, 4)
+  for (idx_t p = 0; p < numparts; ++p) {
+    auto& plan = plans[static_cast<std::size_t>(p)];
+    const idx_t r0 = p * partsize;
+    const idx_t r1 = std::min<idx_t>(r0 + partsize, a.num_rows);
+    for (idx_t r = r0; r < r1; ++r) {
+      plan.nnz += a.displ[r + 1] - a.displ[r];
+      plan.cols.insert(plan.cols.end(), a.ind.begin() + a.displ[r],
+                       a.ind.begin() + a.displ[r + 1]);
+    }
+    std::sort(plan.cols.begin(), plan.cols.end());
+    plan.cols.erase(std::unique(plan.cols.begin(), plan.cols.end()),
+                    plan.cols.end());
+  }
+
+  // Prefix sums over partitions: stage counts, map sizes, nnz.
+  b.partdispl.resize(static_cast<std::size_t>(numparts) + 1);
+  b.partdispl[0] = 0;
+  nnz_t total_map = 0;
+  nnz_t total_nnz = 0;
+  for (idx_t p = 0; p < numparts; ++p) {
+    const auto& plan = plans[static_cast<std::size_t>(p)];
+    const idx_t stages = std::max<idx_t>(
+        1, ceil_div(static_cast<idx_t>(plan.cols.size()), buffsize));
+    b.partdispl[static_cast<std::size_t>(p) + 1] =
+        b.partdispl[static_cast<std::size_t>(p)] + stages;
+    total_map += static_cast<nnz_t>(plan.cols.size());
+    total_nnz += plan.nnz;
+  }
+  const idx_t total_stages = b.partdispl.back();
+
+  b.stagedispl.resize(static_cast<std::size_t>(total_stages) + 1);
+  b.stagenz.resize(static_cast<std::size_t>(total_stages));
+  b.map.resize(static_cast<std::size_t>(total_map));
+  b.displ.assign(static_cast<std::size_t>(total_stages) * partsize + 1, 0);
+  b.ind.resize(static_cast<std::size_t>(total_nnz));
+  b.val.resize(static_cast<std::size_t>(total_nnz));
+
+  // Stage starts into map: stage s of partition p holds the s-th buffsize
+  // chunk of the partition's distinct columns.
+  b.stagedispl[0] = 0;
+  {
+    idx_t s = 0;
+    for (idx_t p = 0; p < numparts; ++p) {
+      const auto& plan = plans[static_cast<std::size_t>(p)];
+      const idx_t stages =
+          b.partdispl[static_cast<std::size_t>(p) + 1] -
+          b.partdispl[static_cast<std::size_t>(p)];
+      for (idx_t k = 0; k < stages; ++k, ++s) {
+        const auto lo = static_cast<nnz_t>(k) * buffsize;
+        const auto hi = std::min<nnz_t>(
+            lo + buffsize, static_cast<nnz_t>(plan.cols.size()));
+        b.stagenz[static_cast<std::size_t>(s)] =
+            static_cast<idx_t>(hi > lo ? hi - lo : 0);
+        b.stagedispl[static_cast<std::size_t>(s) + 1] =
+            b.stagedispl[static_cast<std::size_t>(s)] +
+            b.stagenz[static_cast<std::size_t>(s)];
+      }
+    }
+    MEMXCT_CHECK(s == total_stages);
+  }
+
+  // Per-partition nnz starts (stage-major global layout groups each
+  // partition's stages contiguously, so a partition's entries are one run).
+  std::vector<nnz_t> part_nnz_start(static_cast<std::size_t>(numparts) + 1, 0);
+  for (idx_t p = 0; p < numparts; ++p)
+    part_nnz_start[static_cast<std::size_t>(p) + 1] =
+        part_nnz_start[static_cast<std::size_t>(p)] +
+        plans[static_cast<std::size_t>(p)].nnz;
+
+  // Pass 2 (parallel): fill map, displ, ind, val per partition. Each CSR
+  // entry is located once (binary search in the partition's sorted distinct
+  // columns gives its stage and 16-bit slot); a counting pass then lays the
+  // entries out stage-major.
+#pragma omp parallel
+  {
+    std::vector<nnz_t> counts;       // per (stage, row) entry counts
+    std::vector<idx_t> entry_pos;    // per CSR entry: footprint position
+#pragma omp for schedule(dynamic, 4)
+    for (idx_t p = 0; p < numparts; ++p) {
+      const auto& plan = plans[static_cast<std::size_t>(p)];
+      const idx_t r0 = p * partsize;
+      const idx_t r1 = std::min<idx_t>(r0 + partsize, a.num_rows);
+      const idx_t stage0 = b.partdispl[static_cast<std::size_t>(p)];
+      const idx_t stages =
+          b.partdispl[static_cast<std::size_t>(p) + 1] - stage0;
+
+      // map: the partition's distinct columns, chunked by stage.
+      std::copy(plan.cols.begin(), plan.cols.end(),
+                b.map.begin() + b.stagedispl[static_cast<std::size_t>(stage0)]);
+
+      // Locate every entry once: position in plan.cols determines stage
+      // (position / buffsize) and buffer slot (position % buffsize).
+      const nnz_t e0 = a.displ[r0];
+      entry_pos.resize(static_cast<std::size_t>(a.displ[r1] - e0));
+      counts.assign(static_cast<std::size_t>(stages) * partsize, 0);
+      for (idx_t r = r0; r < r1; ++r) {
+        const idx_t j = r - r0;
+        for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k) {
+          const auto it =
+              std::lower_bound(plan.cols.begin(), plan.cols.end(), a.ind[k]);
+          const auto pos = static_cast<idx_t>(it - plan.cols.begin());
+          entry_pos[static_cast<std::size_t>(k - e0)] = pos;
+          ++counts[static_cast<std::size_t>(pos / buffsize) * partsize + j];
+        }
+      }
+
+      // Stage-major prefix sum -> displ for every (stage, row) cell, plus
+      // per-cell cursors for placement.
+      nnz_t cursor = part_nnz_start[static_cast<std::size_t>(p)];
+      for (idx_t s = 0; s < stages; ++s)
+        for (idx_t j = 0; j < partsize; ++j) {
+          const auto cell = static_cast<std::size_t>(stage0 + s) * partsize + j;
+          const nnz_t count = counts[static_cast<std::size_t>(s) * partsize + j];
+          counts[static_cast<std::size_t>(s) * partsize + j] = cursor;
+          cursor += count;
+          b.displ[cell + 1] = cursor;
+        }
+      MEMXCT_CHECK(cursor == part_nnz_start[static_cast<std::size_t>(p) + 1]);
+
+      // Placement: CSR rows are column-sorted, so entries of one (stage,
+      // row) cell arrive in ascending slot order.
+      for (idx_t r = r0; r < r1; ++r) {
+        const idx_t j = r - r0;
+        for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k) {
+          const idx_t pos = entry_pos[static_cast<std::size_t>(k - e0)];
+          nnz_t& cur =
+              counts[static_cast<std::size_t>(pos / buffsize) * partsize + j];
+          b.ind[static_cast<std::size_t>(cur)] =
+              static_cast<buf_idx_t>(pos % buffsize);
+          b.val[static_cast<std::size_t>(cur)] = a.val[k];
+          ++cur;
+        }
+      }
+    }
+  }
+
+  // Stitch displ starts across partition boundaries: displ[cell+1] was set
+  // everywhere; displ[0] = 0 by construction, and every other start is the
+  // previous cell's end, so the array is already consistent.
+  b.validate();
+  return b;
+}
+
+void spmv_buffered(const BufferedMatrix& a, std::span<const real> x,
+                   std::span<real> y) {
+  MEMXCT_CHECK(static_cast<idx_t>(x.size()) == a.num_cols);
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == a.num_rows);
+  const idx_t partsize = a.config.partsize;
+  const idx_t buffsize = a.config.buffsize;
+  const idx_t numparts = a.num_partitions();
+  const idx_t num_rows = a.num_rows;
+  const idx_t* const partdispl = a.partdispl.data();
+  const nnz_t* const stagedispl = a.stagedispl.data();
+  const idx_t* const stagenz = a.stagenz.data();
+  const idx_t* const map = a.map.data();
+  const nnz_t* const displ = a.displ.data();
+  const buf_idx_t* const ind = a.ind.data();
+  const real* const val = a.val.data();
+  const real* const xp = x.data();
+  real* const yp = y.data();
+
+#pragma omp parallel
+  {
+    // Listing 3's stack arrays, hoisted to per-thread scratch because sizes
+    // are runtime tuning parameters.
+    AlignedVector<real> input(static_cast<std::size_t>(buffsize));
+    AlignedVector<real> output(static_cast<std::size_t>(partsize));
+#pragma omp for schedule(dynamic)
+    for (idx_t part = 0; part < numparts; ++part) {
+      std::fill(output.begin(), output.end(), real{0});
+      for (idx_t stage = partdispl[part]; stage < partdispl[part + 1];
+           ++stage) {
+        // Staging: gather this stage's footprint into the L1 buffer.
+        const nnz_t mstart = stagedispl[stage];
+        const idx_t nz = stagenz[stage];
+#pragma omp simd
+        for (idx_t i = 0; i < nz; ++i) input[i] = xp[map[mstart + i]];
+        // Compute: each partition row consumes its run for this stage.
+        const nnz_t dstart = static_cast<nnz_t>(stage) * partsize;
+        for (idx_t j = 0; j < partsize; ++j) {
+          real acc = 0;
+#pragma omp simd reduction(+ : acc)
+          for (nnz_t i = displ[dstart + j]; i < displ[dstart + j + 1]; ++i)
+            acc += input[ind[i]] * val[i];
+          output[j] += acc;
+        }
+      }
+      const idx_t rstart = part * partsize;
+#pragma omp simd
+      for (idx_t i = 0; i < partsize; ++i)
+        if (rstart + i < num_rows) yp[rstart + i] = output[i];
+    }
+  }
+}
+
+perf::KernelWork buffered_work(const BufferedMatrix& a) {
+  perf::KernelWork w;
+  w.nnz = a.nnz();
+  w.staged_words = a.total_staged();
+  w.bytes_per_fma = perf::RegularBytes::kBuffered;
+  return w;
+}
+
+}  // namespace memxct::sparse

@@ -1,0 +1,134 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace memxct::sparse {
+
+void CsrMatrix::validate() const {
+  MEMXCT_CHECK(num_rows >= 0 && num_cols >= 0);
+  MEMXCT_CHECK(static_cast<idx_t>(displ.size()) == num_rows + 1);
+  MEMXCT_CHECK(displ.front() == 0);
+  MEMXCT_CHECK(ind.size() == val.size());
+  MEMXCT_CHECK(displ.back() == static_cast<nnz_t>(ind.size()));
+  for (idx_t r = 0; r < num_rows; ++r) {
+    MEMXCT_CHECK_MSG(displ[r] <= displ[r + 1], "displ not monotone");
+    for (nnz_t k = displ[r]; k < displ[r + 1]; ++k) {
+      MEMXCT_CHECK_MSG(ind[k] >= 0 && ind[k] < num_cols,
+                       "column index out of range");
+      if (k > displ[r])
+        MEMXCT_CHECK_MSG(ind[k - 1] < ind[k], "columns not strictly sorted");
+    }
+  }
+}
+
+idx_t CsrMatrix::max_row_nnz() const noexcept {
+  idx_t w = 0;
+  for (idx_t r = 0; r < num_rows; ++r)
+    w = std::max(w, static_cast<idx_t>(displ[r + 1] - displ[r]));
+  return w;
+}
+
+CsrBuilder::CsrBuilder(idx_t num_rows, idx_t num_cols)
+    : num_rows_(num_rows), num_cols_(num_cols),
+      rows_(static_cast<std::size_t>(num_rows)) {
+  MEMXCT_CHECK(num_rows >= 0 && num_cols >= 0);
+}
+
+void CsrBuilder::set_row(idx_t r,
+                         std::span<const std::pair<idx_t, real>> entries) {
+  MEMXCT_CHECK(r >= 0 && r < num_rows_);
+  auto& row = rows_[static_cast<std::size_t>(r)];
+  row.assign(entries.begin(), entries.end());
+  std::sort(row.begin(), row.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Coalesce duplicate columns (Siddon can emit the same pixel twice when a
+  // ray grazes a corner).
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    MEMXCT_CHECK(row[i].first >= 0 && row[i].first < num_cols_);
+    if (out > 0 && row[out - 1].first == row[i].first)
+      row[out - 1].second += row[i].second;
+    else
+      row[out++] = row[i];
+  }
+  row.resize(out);
+}
+
+CsrMatrix CsrBuilder::assemble() {
+  CsrMatrix m;
+  m.num_rows = num_rows_;
+  m.num_cols = num_cols_;
+  m.displ.resize(static_cast<std::size_t>(num_rows_) + 1);
+  m.displ[0] = 0;
+  for (idx_t r = 0; r < num_rows_; ++r)
+    m.displ[r + 1] =
+        m.displ[r] + static_cast<nnz_t>(rows_[static_cast<std::size_t>(r)].size());
+  m.ind.resize(static_cast<std::size_t>(m.displ.back()));
+  m.val.resize(static_cast<std::size_t>(m.displ.back()));
+#pragma omp parallel for schedule(dynamic, 64)
+  for (idx_t r = 0; r < num_rows_; ++r) {
+    nnz_t k = m.displ[r];
+    for (const auto& [c, v] : rows_[static_cast<std::size_t>(r)]) {
+      m.ind[k] = c;
+      m.val[k] = v;
+      ++k;
+    }
+  }
+  rows_.clear();
+  rows_.shrink_to_fit();
+  return m;
+}
+
+CsrMatrix permute(const CsrMatrix& a, std::span<const idx_t> row_perm_to_old,
+                  std::span<const idx_t> col_old_to_new) {
+  MEMXCT_CHECK(static_cast<idx_t>(row_perm_to_old.size()) == a.num_rows);
+  MEMXCT_CHECK(static_cast<idx_t>(col_old_to_new.size()) == a.num_cols);
+  CsrMatrix b;
+  b.num_rows = a.num_rows;
+  b.num_cols = a.num_cols;
+  b.displ.resize(static_cast<std::size_t>(b.num_rows) + 1);
+  b.displ[0] = 0;
+  for (idx_t r = 0; r < b.num_rows; ++r) {
+    const idx_t old = row_perm_to_old[r];
+    b.displ[r + 1] = b.displ[r] + (a.displ[old + 1] - a.displ[old]);
+  }
+  b.ind.resize(static_cast<std::size_t>(b.displ.back()));
+  b.val.resize(static_cast<std::size_t>(b.displ.back()));
+#pragma omp parallel
+  {
+    std::vector<std::pair<idx_t, real>> scratch;
+#pragma omp for schedule(dynamic, 64)
+    for (idx_t r = 0; r < b.num_rows; ++r) {
+      const idx_t old = row_perm_to_old[r];
+      scratch.clear();
+      for (nnz_t k = a.displ[old]; k < a.displ[old + 1]; ++k)
+        scratch.emplace_back(col_old_to_new[a.ind[k]], a.val[k]);
+      std::sort(scratch.begin(), scratch.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+      nnz_t k = b.displ[r];
+      for (const auto& [c, v] : scratch) {
+        b.ind[k] = c;
+        b.val[k] = v;
+        ++k;
+      }
+    }
+  }
+  return b;
+}
+
+void spmv_reference(const CsrMatrix& a, std::span<const real> x,
+                    std::span<real> y) {
+  MEMXCT_CHECK(static_cast<idx_t>(x.size()) == a.num_cols);
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == a.num_rows);
+  for (idx_t r = 0; r < a.num_rows; ++r) {
+    double acc = 0.0;  // double accumulation: the comparison oracle
+    for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+      acc += static_cast<double>(x[static_cast<std::size_t>(a.ind[k])]) *
+             static_cast<double>(a.val[k]);
+    y[static_cast<std::size_t>(r)] = static_cast<real>(acc);
+  }
+}
+
+}  // namespace memxct::sparse

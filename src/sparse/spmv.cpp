@@ -1,0 +1,55 @@
+#include "sparse/spmv.hpp"
+
+#include "common/error.hpp"
+
+namespace memxct::sparse {
+
+void spmv_csr(const CsrMatrix& a, std::span<const real> x, std::span<real> y,
+              idx_t partsize) {
+  MEMXCT_CHECK(static_cast<idx_t>(x.size()) == a.num_cols);
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == a.num_rows);
+  MEMXCT_CHECK(partsize > 0);
+  const nnz_t* const displ = a.displ.data();
+  const idx_t* const ind = a.ind.data();
+  const real* const val = a.val.data();
+  const real* const xp = x.data();
+  real* const yp = y.data();
+#pragma omp parallel for schedule(dynamic, 128) firstprivate(partsize)
+  for (idx_t i = 0; i < a.num_rows; i += partsize) {
+    const idx_t end = i + partsize < a.num_rows ? i + partsize : a.num_rows;
+    for (idx_t r = i; r < end; ++r) {
+      real acc = 0;
+#pragma omp simd reduction(+ : acc)
+      for (nnz_t j = displ[r]; j < displ[r + 1]; ++j)
+        acc += xp[ind[j]] * val[j];
+      yp[r] = acc;
+    }
+  }
+}
+
+void spmv_library(const CsrMatrix& a, std::span<const real> x,
+                  std::span<real> y) {
+  MEMXCT_CHECK(static_cast<idx_t>(x.size()) == a.num_cols);
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == a.num_rows);
+  const nnz_t* const displ = a.displ.data();
+  const idx_t* const ind = a.ind.data();
+  const real* const val = a.val.data();
+  const real* const xp = x.data();
+  real* const yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (idx_t r = 0; r < a.num_rows; ++r) {
+    real acc = 0;
+    for (nnz_t j = displ[r]; j < displ[r + 1]; ++j)
+      acc += xp[ind[j]] * val[j];
+    yp[r] = acc;
+  }
+}
+
+perf::KernelWork csr_work(const CsrMatrix& a) {
+  perf::KernelWork w;
+  w.nnz = a.nnz();
+  w.bytes_per_fma = perf::RegularBytes::kBaseline;
+  return w;
+}
+
+}  // namespace memxct::sparse

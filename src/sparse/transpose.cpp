@@ -1,0 +1,92 @@
+#include "sparse/transpose.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace memxct::sparse {
+
+CsrMatrix transpose(const CsrMatrix& a) {
+  CsrMatrix t;
+  t.num_rows = a.num_cols;
+  t.num_cols = a.num_rows;
+  t.displ.assign(static_cast<std::size_t>(t.num_rows) + 1, 0);
+
+  // Pass 1: per-thread column histograms, then scan into displacements.
+  const int num_threads = omp_get_max_threads();
+  std::vector<std::vector<nnz_t>> hist(
+      static_cast<std::size_t>(num_threads),
+      std::vector<nnz_t>(static_cast<std::size_t>(a.num_cols), 0));
+#pragma omp parallel
+  {
+    auto& h = hist[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+    for (idx_t r = 0; r < a.num_rows; ++r)
+      for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+        ++h[static_cast<std::size_t>(a.ind[k])];
+  }
+  for (idx_t c = 0; c < a.num_cols; ++c) {
+    nnz_t count = 0;
+    for (const auto& h : hist) count += h[static_cast<std::size_t>(c)];
+    t.displ[static_cast<std::size_t>(c) + 1] =
+        t.displ[static_cast<std::size_t>(c)] + count;
+  }
+  MEMXCT_CHECK(t.displ.back() == a.nnz());
+
+  t.ind.resize(static_cast<std::size_t>(a.nnz()));
+  t.val.resize(static_cast<std::size_t>(a.nnz()));
+
+  // Pass 2: ordered placement. Walking source rows in ascending order and
+  // appending to each destination row's cursor yields transposed rows whose
+  // entries are sorted by (original) row index — this is the
+  // order-preserving property Section 3.5.1 requires. Serial by design:
+  // an atomic-parallel scatter would randomize that order.
+  std::vector<nnz_t> cursor(t.displ.begin(), t.displ.end() - 1);
+  for (idx_t r = 0; r < a.num_rows; ++r)
+    for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k) {
+      const auto c = static_cast<std::size_t>(a.ind[k]);
+      const nnz_t pos = cursor[c]++;
+      t.ind[static_cast<std::size_t>(pos)] = r;
+      t.val[static_cast<std::size_t>(pos)] = a.val[k];
+    }
+  return t;
+}
+
+CsrMatrix transpose_atomic(const CsrMatrix& a) {
+  CsrMatrix t;
+  t.num_rows = a.num_cols;
+  t.num_cols = a.num_rows;
+  t.displ.assign(static_cast<std::size_t>(t.num_rows) + 1, 0);
+  for (idx_t r = 0; r < a.num_rows; ++r)
+    for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+      ++t.displ[static_cast<std::size_t>(a.ind[k]) + 1];
+  for (idx_t c = 0; c < a.num_cols; ++c)
+    t.displ[static_cast<std::size_t>(c) + 1] +=
+        t.displ[static_cast<std::size_t>(c)];
+  t.ind.resize(static_cast<std::size_t>(a.nnz()));
+  t.val.resize(static_cast<std::size_t>(a.nnz()));
+
+  std::vector<std::atomic<nnz_t>> cursor(static_cast<std::size_t>(a.num_cols));
+  for (idx_t c = 0; c < a.num_cols; ++c)
+    cursor[static_cast<std::size_t>(c)].store(
+        t.displ[static_cast<std::size_t>(c)], std::memory_order_relaxed);
+  // Dynamic scheduling deliberately interleaves rows across threads; with
+  // more than one thread the within-row arrival order becomes
+  // nondeterministic (and even single-threaded, the dynamic chunk order
+  // need not be ascending).
+#pragma omp parallel for schedule(dynamic, 64)
+  for (idx_t r = 0; r < a.num_rows; ++r)
+    for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k) {
+      const nnz_t pos = cursor[static_cast<std::size_t>(a.ind[k])].fetch_add(
+          1, std::memory_order_relaxed);
+      t.ind[static_cast<std::size_t>(pos)] = r;
+      t.val[static_cast<std::size_t>(pos)] = a.val[k];
+    }
+  return t;
+}
+
+}  // namespace memxct::sparse

@@ -1,0 +1,26 @@
+// Scan-based, order-preserving sparse transposition (paper Section 3.5.1).
+//
+// MemXCT builds the backprojection matrix A^T from A with a scan-based
+// transposition that keeps row-segment relative order (so the pseudo-Hilbert
+// data locality survives), instead of an atomic scatter that would randomize
+// entry order.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace memxct::sparse {
+
+/// Returns A^T. Column counting is OpenMP-parallel with per-thread
+/// histograms reduced by scan; the placement pass walks rows in order so
+/// entries within each transposed row appear in increasing original-row
+/// order (and therefore sorted, preserving locality).
+[[nodiscard]] CsrMatrix transpose(const CsrMatrix& a);
+
+/// The alternative Section 3.5.1 rejects: an atomic-cursor parallel
+/// scatter whose thread interleaving *randomizes* the entry order within
+/// each transposed row. Numerically a valid transpose, but it destroys the
+/// pseudo-Hilbert locality the downstream kernels rely on — kept as the
+/// ablation comparator (bench_ablation_transpose).
+[[nodiscard]] CsrMatrix transpose_atomic(const CsrMatrix& a);
+
+}  // namespace memxct::sparse

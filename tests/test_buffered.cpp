@@ -1,0 +1,155 @@
+// Tests for the multi-stage input-buffered SpMV (Listing 3, Section 3.3).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <set>
+
+#include "sparse/buffered.hpp"
+#include "test_util.hpp"
+
+namespace memxct::sparse {
+namespace {
+
+struct BufferedCase {
+  idx_t rows, cols;
+  double density;
+  BufferConfig config;
+};
+
+class BufferedSweep : public ::testing::TestWithParam<BufferedCase> {};
+
+TEST_P(BufferedSweep, MatchesReference) {
+  const auto& param = GetParam();
+  const CsrMatrix a =
+      testutil::random_csr(param.rows, param.cols, param.density, 41);
+  const BufferedMatrix bm = build_buffered(a, param.config);
+  const auto x = testutil::random_vector(param.cols, 42);
+  AlignedVector<real> expected(static_cast<std::size_t>(param.rows));
+  AlignedVector<real> actual(static_cast<std::size_t>(param.rows), -3.0f);
+  spmv_reference(a, x, expected);
+  spmv_buffered(bm, x, actual);
+  EXPECT_LT(testutil::rel_error(actual, expected), 1e-5);
+}
+
+TEST_P(BufferedSweep, StructureIsValid) {
+  const auto& param = GetParam();
+  const CsrMatrix a =
+      testutil::random_csr(param.rows, param.cols, param.density, 43);
+  const BufferedMatrix bm = build_buffered(a, param.config);
+  EXPECT_NO_THROW(bm.validate());
+  EXPECT_EQ(bm.nnz(), a.nnz());
+  // Every stage respects the 16-bit buffer bound.
+  for (idx_t s = 0; s < bm.num_stages(); ++s)
+    EXPECT_LE(bm.stagenz[static_cast<std::size_t>(s)], bm.config.buffsize);
+}
+
+TEST_P(BufferedSweep, MapCoversExactlyPartitionFootprints) {
+  const auto& param = GetParam();
+  const CsrMatrix a =
+      testutil::random_csr(param.rows, param.cols, param.density, 45);
+  const BufferedMatrix bm = build_buffered(a, param.config);
+  // For each partition, the union of its stage maps must equal the set of
+  // distinct columns its rows touch.
+  for (idx_t p = 0; p < bm.num_partitions(); ++p) {
+    std::set<idx_t> expected_cols;
+    const idx_t r0 = p * bm.config.partsize;
+    const idx_t r1 = std::min<idx_t>(r0 + bm.config.partsize, a.num_rows);
+    for (idx_t r = r0; r < r1; ++r)
+      for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+        expected_cols.insert(a.ind[k]);
+    std::set<idx_t> staged_cols;
+    for (idx_t s = bm.partdispl[static_cast<std::size_t>(p)];
+         s < bm.partdispl[static_cast<std::size_t>(p) + 1]; ++s)
+      for (nnz_t m = bm.stagedispl[static_cast<std::size_t>(s)];
+           m < bm.stagedispl[static_cast<std::size_t>(s) + 1]; ++m)
+        staged_cols.insert(bm.map[static_cast<std::size_t>(m)]);
+    EXPECT_EQ(staged_cols, expected_cols) << "partition " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BufferedSweep,
+    ::testing::Values(
+        BufferedCase{1, 1, 1.0, {1, 1}},
+        BufferedCase{16, 16, 0.5, {4, 8}},
+        BufferedCase{100, 80, 0.1, {128, 4096}},
+        BufferedCase{100, 80, 0.1, {8, 16}},   // many small stages
+        BufferedCase{63, 200, 0.2, {16, 32}},  // footprint > buffer
+        BufferedCase{257, 129, 0.05, {32, 64}},
+        BufferedCase{512, 300, 0.02, {128, 256}},
+        BufferedCase{40, 40, 0.0, {16, 64}},   // empty matrix
+        BufferedCase{10, 70000, 0.9, {4, 65536}}));  // max buffsize bound
+
+TEST(Buffered, MultipleStagesWhenFootprintExceedsBuffer) {
+  // A partition touching 100 distinct columns with a 32-entry buffer needs
+  // ceil(100/32) = 4 stages.
+  CsrBuilder b(2, 100);
+  std::vector<std::pair<idx_t, real>> row;
+  for (idx_t c = 0; c < 100; ++c) row.emplace_back(c, 1.0f);
+  b.set_row(0, row);
+  b.set_row(1, row);
+  const CsrMatrix a = b.assemble();
+  const BufferedMatrix bm = build_buffered(a, {2, 32});
+  EXPECT_EQ(bm.num_partitions(), 1);
+  EXPECT_EQ(bm.num_stages(), 4);
+  EXPECT_EQ(bm.total_staged(), 100);  // distinct columns staged once
+}
+
+TEST(Buffered, SharedFootprintStagedOnce) {
+  // Rows of one partition sharing columns stage them once — the data-reuse
+  // benefit of Section 3.3.1. Two identical rows with 10 columns stage 10
+  // words, not 20.
+  CsrBuilder b(2, 50);
+  std::vector<std::pair<idx_t, real>> row;
+  for (idx_t c = 0; c < 10; ++c) row.emplace_back(c * 5, 2.0f);
+  b.set_row(0, row);
+  b.set_row(1, row);
+  const BufferedMatrix bm = build_buffered(b.assemble(), {2, 64});
+  EXPECT_EQ(bm.total_staged(), 10);
+}
+
+TEST(Buffered, SixteenBitIndexBound) {
+  EXPECT_THROW(build_buffered(testutil::random_csr(4, 4, 1.0, 1), {4, 65537}),
+               InvariantError);
+  EXPECT_THROW(build_buffered(testutil::random_csr(4, 4, 1.0, 1), {0, 16}),
+               InvariantError);
+  EXPECT_THROW(build_buffered(testutil::random_csr(4, 4, 1.0, 1), {4, 0}),
+               InvariantError);
+}
+
+TEST(Buffered, BandwidthAccountingUsesTwoByteIndices) {
+  const CsrMatrix a = testutil::random_csr(64, 64, 0.2, 47);
+  const BufferedMatrix bm = build_buffered(a, {16, 128});
+  const auto work = buffered_work(bm);
+  EXPECT_EQ(work.nnz, a.nnz());
+  EXPECT_DOUBLE_EQ(work.bytes_per_fma, 6.0);  // 2 B index + 4 B value
+  EXPECT_EQ(work.staged_words, bm.total_staged());
+  // Regular bytes = 6·nnz + 8·staged (map read + gathered value).
+  EXPECT_DOUBLE_EQ(work.regular_bytes(),
+                   6.0 * static_cast<double>(a.nnz()) +
+                       8.0 * static_cast<double>(bm.total_staged()));
+}
+
+TEST(Buffered, LastPartialPartitionHandled) {
+  // num_rows not divisible by partsize: trailing rows must still be exact.
+  const CsrMatrix a = testutil::random_csr(13, 30, 0.4, 49);
+  const BufferedMatrix bm = build_buffered(a, {8, 16});
+  const auto x = testutil::random_vector(30, 50);
+  AlignedVector<real> expected(13), actual(13);
+  spmv_reference(a, x, expected);
+  spmv_buffered(bm, x, actual);
+  EXPECT_LT(testutil::rel_error(actual, expected), 1e-5);
+}
+
+TEST(Buffered, HilbertLikeBandedMatrixFewStages) {
+  // Banded (compact-footprint) matrices — what pseudo-Hilbert ordering
+  // produces — need few stages per partition.
+  const CsrMatrix a = testutil::banded_csr(512, 512, 16, 51);
+  const BufferedMatrix bm = build_buffered(a, {64, 256});
+  // Each 64-row partition touches ≲ 64+2*16 distinct columns < 256.
+  EXPECT_EQ(bm.num_stages(), bm.num_partitions());
+}
+
+}  // namespace
+}  // namespace memxct::sparse

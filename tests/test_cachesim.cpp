@@ -1,0 +1,127 @@
+// Tests for the set-associative LRU cache simulator and trace replay.
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/spmv_trace.hpp"
+#include "hilbert/ordering.hpp"
+#include "test_util.hpp"
+
+namespace memxct::cachesim {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  CacheModel cache({1024, 64, 2});
+  EXPECT_FALSE(cache.access(0));   // compulsory miss
+  EXPECT_TRUE(cache.access(0));    // hit
+  EXPECT_TRUE(cache.access(63));   // same line
+  EXPECT_FALSE(cache.access(64));  // next line
+  EXPECT_EQ(cache.accesses(), 4);
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_DOUBLE_EQ(cache.miss_rate(), 0.5);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way, 2 sets (256 B total, 64 B lines): set = line index % 2.
+  CacheModel cache({256, 64, 2});
+  // Lines 0, 2, 4 all map to set 0. After 0,2 the set is full; 4 evicts 0.
+  cache.access(0 * 64);
+  cache.access(2 * 64);
+  cache.access(4 * 64);
+  EXPECT_TRUE(cache.access(2 * 64));   // still resident
+  EXPECT_TRUE(cache.access(4 * 64));   // resident
+  EXPECT_FALSE(cache.access(0 * 64));  // was evicted (LRU)
+}
+
+TEST(Cache, LruTouchRefreshesRecency) {
+  CacheModel cache({256, 64, 2});
+  cache.access(0 * 64);
+  cache.access(2 * 64);
+  cache.access(0 * 64);                // refresh line 0
+  cache.access(4 * 64);                // evicts line 2, not 0
+  EXPECT_TRUE(cache.access(0 * 64));
+  EXPECT_FALSE(cache.access(2 * 64));
+}
+
+TEST(Cache, FullyAssociativeCapacity) {
+  // 8 lines fully associative: 8 distinct lines fit, the 9th evicts.
+  CacheModel cache({512, 64, 8});
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(cache.access(i * 64u));
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(cache.access(i * 64u));
+  cache.access(8 * 64u);
+  EXPECT_FALSE(cache.access(0));  // LRU victim was line 0
+}
+
+TEST(Cache, ResetClearsState) {
+  CacheModel cache({1024, 64, 2});
+  cache.access(0);
+  cache.reset();
+  EXPECT_EQ(cache.accesses(), 0);
+  EXPECT_FALSE(cache.access(0));  // cold again
+}
+
+TEST(Cache, RejectsDegenerateGeometry) {
+  EXPECT_THROW((void)CacheConfig({32, 64, 2}).num_sets(), InvariantError);
+}
+
+TEST(Hierarchy, L2SeesOnlyL1Misses) {
+  CacheHierarchy h({128, 64, 2}, {1024, 64, 4});
+  h.access(0);
+  h.access(0);  // L1 hit — must not reach L2
+  EXPECT_EQ(h.l1().accesses(), 2);
+  EXPECT_EQ(h.l2().accesses(), 1);
+  EXPECT_EQ(h.l2().misses(), 1);
+}
+
+TEST(Footprint, DistinctLineCounting) {
+  // Indices into a float array with 64 B lines (16 floats per line).
+  const std::vector<idx_t> indices{0, 1, 2, 15, 16, 32, 33, 0};
+  const auto stats = footprint_misses(indices, 64);
+  EXPECT_EQ(stats.accesses, 8);
+  EXPECT_EQ(stats.misses, 3);  // lines 0, 1, 2
+}
+
+TEST(Replay, RowMajorWorseThanHilbertOnBandedMatrix) {
+  // Build a matrix whose gather footprint is compact in 2D: column = pixel
+  // of a 64x64 image, rows touch a 2D disk around a moving center. Replay
+  // the gather stream with columns numbered row-major vs Hilbert.
+  const idx_t n = 64;
+  const hilbert::Ordering hilbert_ord({n, n}, hilbert::CurveKind::Hilbert, 16);
+  sparse::CsrBuilder brm(256, n * n);
+  sparse::CsrBuilder bh(256, n * n);
+  std::vector<std::pair<idx_t, real>> row_rm, row_h;
+  for (idx_t r = 0; r < 256; ++r) {
+    row_rm.clear();
+    row_h.clear();
+    const idx_t cr = (r * 7) % (n - 8);
+    const idx_t cc = (r * 13) % (n - 8);
+    for (idx_t dr = 0; dr < 8; ++dr)
+      for (idx_t dc = 0; dc < 8; ++dc) {
+        const idx_t rr = cr + dr, cc2 = cc + dc;
+        row_rm.emplace_back(rr * n + cc2, 1.0f);
+        row_h.emplace_back(hilbert_ord.ordered_index(rr, cc2), 1.0f);
+      }
+    brm.set_row(r, row_rm);
+    bh.set_row(r, row_h);
+  }
+  const auto a_rm = brm.assemble();
+  const auto a_h = bh.assemble();
+  // Tiny cache so capacity misses matter.
+  CacheHierarchy h1({512, 64, 2}, {4096, 64, 4});
+  const auto rm_stats = replay_gather_stream(a_rm, h1);
+  CacheHierarchy h2({512, 64, 2}, {4096, 64, 4});
+  const auto h_stats = replay_gather_stream(a_h, h2);
+  EXPECT_LT(h_stats.l2_miss_rate(), rm_stats.l2_miss_rate());
+}
+
+TEST(Replay, SamplingPreservesRateApproximately) {
+  const auto a = testutil::banded_csr(2048, 2048, 32, 77);
+  CacheHierarchy full({1 << 10, 64, 2}, {1 << 13, 64, 4});
+  const auto full_stats = replay_gather_stream(a, full);
+  CacheHierarchy sampled({1 << 10, 64, 2}, {1 << 13, 64, 4});
+  const auto s = replay_gather_stream(a, sampled, 512);
+  EXPECT_LT(s.irregular_accesses, full_stats.irregular_accesses);
+  EXPECT_NEAR(s.l2_miss_rate(), full_stats.l2_miss_rate(), 0.15);
+}
+
+}  // namespace
+}  // namespace memxct::cachesim

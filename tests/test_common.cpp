@@ -1,0 +1,130 @@
+// Tests for common utilities: grid math, RNG determinism, aligned storage,
+// invariant checking.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+
+namespace memxct {
+namespace {
+
+TEST(Grid, RowMajorRoundTrip) {
+  const Extent2D ext{7, 13};
+  for (idx_t r = 0; r < ext.rows; ++r)
+    for (idx_t c = 0; c < ext.cols; ++c) {
+      const auto i = row_major_index(ext, r, c);
+      const Cell cell = row_major_cell(ext, i);
+      EXPECT_EQ(cell.row, r);
+      EXPECT_EQ(cell.col, c);
+    }
+}
+
+TEST(Grid, Contains) {
+  const Extent2D ext{4, 5};
+  EXPECT_TRUE(ext.contains(0, 0));
+  EXPECT_TRUE(ext.contains(3, 4));
+  EXPECT_FALSE(ext.contains(4, 0));
+  EXPECT_FALSE(ext.contains(0, 5));
+  EXPECT_FALSE(ext.contains(-1, 0));
+}
+
+TEST(Grid, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(1000), 1024);
+  EXPECT_EQ(next_pow2(1024), 1024);
+}
+
+TEST(Grid, IsPow2AndLog2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(log2_pow2(1), 0);
+  EXPECT_EQ(log2_pow2(256), 8);
+}
+
+TEST(Grid, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+}
+
+TEST(Error, CheckThrowsWithContext) {
+  EXPECT_THROW(MEMXCT_CHECK(false), InvariantError);
+  try {
+    MEMXCT_CHECK_MSG(1 == 2, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"), std::string::npos);
+  }
+  EXPECT_NO_THROW(MEMXCT_CHECK(true));
+}
+
+TEST(Aligned, VectorIsCacheLineAligned) {
+  AlignedVector<float> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+  AlignedVector<std::uint16_t> w(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(13);
+  for (const double mean : {0.5, 5.0, 50.0, 500.0}) {
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.1 + 0.1) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(17);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+}  // namespace
+}  // namespace memxct

@@ -1,0 +1,152 @@
+// Tests for CSR construction, validation, permutation, and the reference
+// multiply.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace memxct::sparse {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  CsrBuilder b(3, 3);
+  const std::vector<std::pair<idx_t, real>> r0{{0, 1.0f}, {2, 2.0f}};
+  const std::vector<std::pair<idx_t, real>> r2{{1, 4.0f}, {0, 3.0f}};
+  b.set_row(0, r0);
+  b.set_row(2, r2);
+  return b.assemble();
+}
+
+TEST(Csr, BuildAndValidate) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.num_rows, 3);
+  EXPECT_EQ(m.num_cols, 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_NO_THROW(m.validate());
+  // Row 2 was given unsorted; builder must sort.
+  EXPECT_EQ(m.ind[2], 0);
+  EXPECT_EQ(m.ind[3], 1);
+  EXPECT_FLOAT_EQ(m.val[2], 3.0f);
+}
+
+TEST(Csr, DuplicateColumnsCoalesce) {
+  CsrBuilder b(1, 4);
+  const std::vector<std::pair<idx_t, real>> row{
+      {2, 1.0f}, {2, 2.5f}, {0, 1.0f}};
+  b.set_row(0, row);
+  const CsrMatrix m = b.assemble();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.val[1], 3.5f);
+}
+
+TEST(Csr, ValidateCatchesCorruption) {
+  CsrMatrix m = small_matrix();
+  m.ind[0] = 99;  // out of range
+  EXPECT_THROW(m.validate(), InvariantError);
+}
+
+TEST(Csr, ValidateCatchesUnsortedColumns) {
+  CsrMatrix m = small_matrix();
+  std::swap(m.ind[0], m.ind[1]);
+  EXPECT_THROW(m.validate(), InvariantError);
+}
+
+TEST(Csr, MaxRowNnz) {
+  EXPECT_EQ(small_matrix().max_row_nnz(), 2);
+}
+
+TEST(Csr, RegularBytesAccounting) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.regular_bytes(),
+            static_cast<std::int64_t>(4 * (sizeof(idx_t) + sizeof(real)) +
+                                      4 * sizeof(nnz_t)));
+}
+
+TEST(Csr, ReferenceMultiply) {
+  const CsrMatrix m = small_matrix();
+  const AlignedVector<real> x{1.0f, 2.0f, 3.0f};
+  AlignedVector<real> y(3);
+  spmv_reference(m, x, y);
+  EXPECT_FLOAT_EQ(y[0], 7.0f);   // 1*1 + 2*3
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 11.0f);  // 3*1 + 4*2
+}
+
+TEST(Csr, PermuteRowsAndColumns) {
+  const CsrMatrix m = small_matrix();
+  // Reverse rows and reverse column numbering.
+  const std::vector<idx_t> row_perm{2, 1, 0};
+  const std::vector<idx_t> col_map{2, 1, 0};
+  const CsrMatrix p = permute(m, row_perm, col_map);
+  EXPECT_NO_THROW(p.validate());
+  // p(0, :) = m(2, :) with columns mirrored: entries (2-0 -> 2, 3.0),
+  // (2-1 -> 1, 4.0) sorted as (1,4),(2,3).
+  EXPECT_EQ(p.displ[1] - p.displ[0], 2);
+  EXPECT_EQ(p.ind[0], 1);
+  EXPECT_FLOAT_EQ(p.val[0], 4.0f);
+  EXPECT_EQ(p.ind[1], 2);
+  EXPECT_FLOAT_EQ(p.val[1], 3.0f);
+}
+
+TEST(Csr, PermuteIsSimilarityForMultiply) {
+  // y = A x  must equal  P_row(y') where y' = A' x' with A' the permuted
+  // matrix and x' the permuted input.
+  Rng rng(99);
+  const idx_t rows = 37, cols = 29;
+  CsrBuilder b(rows, cols);
+  std::vector<std::pair<idx_t, real>> entries;
+  for (idx_t r = 0; r < rows; ++r) {
+    entries.clear();
+    for (idx_t c = 0; c < cols; ++c)
+      if (rng.uniform() < 0.2)
+        entries.emplace_back(c, static_cast<real>(rng.uniform(-1, 1)));
+    b.set_row(r, entries);
+  }
+  const CsrMatrix a = b.assemble();
+
+  // Random permutations.
+  std::vector<idx_t> row_perm(rows), col_map(cols);
+  for (idx_t i = 0; i < rows; ++i) row_perm[i] = i;
+  for (idx_t i = 0; i < cols; ++i) col_map[i] = i;
+  for (idx_t i = rows - 1; i > 0; --i)
+    std::swap(row_perm[i], row_perm[rng.uniform_int(i + 1)]);
+  std::vector<idx_t> col_perm_to_old(cols);
+  for (idx_t i = cols - 1; i > 0; --i)
+    std::swap(col_map[i], col_map[rng.uniform_int(i + 1)]);
+  for (idx_t old = 0; old < cols; ++old) col_perm_to_old[col_map[old]] = old;
+
+  const CsrMatrix ap = permute(a, row_perm, col_map);
+  ap.validate();
+
+  AlignedVector<real> x(cols), xp(cols), y(rows), yp(rows);
+  for (idx_t i = 0; i < cols; ++i) x[i] = static_cast<real>(rng.uniform());
+  for (idx_t i = 0; i < cols; ++i) xp[i] = x[col_perm_to_old[i]];
+  spmv_reference(a, x, y);
+  spmv_reference(ap, xp, yp);
+  for (idx_t i = 0; i < rows; ++i)
+    EXPECT_NEAR(yp[i], y[row_perm[i]], 1e-5) << "row " << i;
+}
+
+TEST(Csr, EmptyMatrix) {
+  CsrBuilder b(0, 0);
+  const CsrMatrix m = b.assemble();
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Csr, BuilderRejectsBadIndices) {
+  CsrBuilder b(2, 2);
+  const std::vector<std::pair<idx_t, real>> row{{5, 1.0f}};
+  EXPECT_THROW(b.set_row(0, row), InvariantError);
+  EXPECT_THROW(b.set_row(7, {}), InvariantError);
+}
+
+}  // namespace
+}  // namespace memxct::sparse

@@ -1,0 +1,95 @@
+// Tests for the radix-2 FFT substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/aligned.hpp"
+#include "common/fft.hpp"
+#include "common/rng.hpp"
+
+namespace memxct {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  Rng rng(5);
+  for (const std::size_t n : {2u, 8u, 64u, 1024u}) {
+    std::vector<std::complex<double>> data(n), original(n);
+    for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    original = data;
+    fft_inplace(data);
+    fft_inplace(data, /*inverse=*/true);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[i].real() / static_cast<double>(n), original[i].real(),
+                  1e-9);
+      EXPECT_NEAR(data[i].imag() / static_cast<double>(n), original[i].imag(),
+                  1e-9);
+    }
+  }
+}
+
+TEST(Fft, DeltaHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(16, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft_inplace(data);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureToneConcentratesInOneBin) {
+  const std::size_t n = 64;
+  const int k = 5;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = {std::cos(2.0 * kPi * k * static_cast<double>(i) / n), 0.0};
+  fft_inplace(data);
+  // cos splits into bins k and n-k with magnitude n/2 each.
+  EXPECT_NEAR(std::abs(data[k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - k]), n / 2.0, 1e-9);
+  for (std::size_t i = 1; i < n - 1; ++i)
+    if (i != static_cast<std::size_t>(k) && i != n - k) {
+      EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-9) << "bin " << i;
+    }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(7);
+  const std::size_t n = 256;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (auto& v : data) {
+    v = {rng.uniform(-1, 1), 0.0};
+    time_energy += std::norm(v);
+  }
+  fft_inplace(data);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-9);
+}
+
+TEST(Fft, RealHelpersRoundTrip) {
+  Rng rng(9);
+  AlignedVector<real> input(37);
+  for (auto& v : input) v = static_cast<real>(rng.uniform(-2, 2));
+  auto spectrum = fft_real(input, 64);
+  const auto output = ifft_real(spectrum, input.size());
+  ASSERT_EQ(output.size(), input.size());
+  for (std::size_t i = 0; i < input.size(); ++i)
+    EXPECT_NEAR(output[i], input[i], 1e-5);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(12);
+  EXPECT_THROW(fft_inplace(data), InvariantError);
+  AlignedVector<real> v(10);
+  EXPECT_THROW(fft_real(v, 9), InvariantError);
+}
+
+}  // namespace
+}  // namespace memxct

@@ -1,0 +1,145 @@
+// Tests for the square Hilbert/Morton curves and tile symmetries.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "hilbert/hilbert_curve.hpp"
+
+namespace memxct::hilbert {
+namespace {
+
+class CurveSizes : public ::testing::TestWithParam<idx_t> {};
+
+TEST_P(CurveSizes, HilbertRoundTrip) {
+  const idx_t n = GetParam();
+  for (idx_t d = 0; d < n * n; ++d) {
+    const Cell c = hilbert_d2xy(n, d);
+    EXPECT_EQ(hilbert_xy2d(n, c.col, c.row), d);
+  }
+}
+
+TEST_P(CurveSizes, HilbertVisitsEveryCellOnce) {
+  const idx_t n = GetParam();
+  std::set<std::pair<idx_t, idx_t>> seen;
+  for (idx_t d = 0; d < n * n; ++d) {
+    const Cell c = hilbert_d2xy(n, d);
+    EXPECT_GE(c.row, 0);
+    EXPECT_LT(c.row, n);
+    EXPECT_GE(c.col, 0);
+    EXPECT_LT(c.col, n);
+    seen.insert({c.row, c.col});
+  }
+  EXPECT_EQ(static_cast<idx_t>(seen.size()), n * n);
+}
+
+TEST_P(CurveSizes, HilbertConsecutiveCellsAdjacent) {
+  const idx_t n = GetParam();
+  Cell prev = hilbert_d2xy(n, 0);
+  for (idx_t d = 1; d < n * n; ++d) {
+    const Cell cur = hilbert_d2xy(n, d);
+    EXPECT_EQ(std::abs(cur.row - prev.row) + std::abs(cur.col - prev.col), 1)
+        << "n=" << n << " d=" << d;
+    prev = cur;
+  }
+}
+
+TEST_P(CurveSizes, HilbertEndpointsAreCorners) {
+  const idx_t n = GetParam();
+  const Cell start = hilbert_d2xy(n, 0);
+  const Cell end = hilbert_d2xy(n, n * n - 1);
+  EXPECT_EQ(start.row, 0);
+  EXPECT_EQ(start.col, 0);
+  // The classic curve ends at (x=n-1, y=0).
+  EXPECT_EQ(end.row, 0);
+  EXPECT_EQ(end.col, n - 1);
+}
+
+TEST_P(CurveSizes, MortonRoundTrip) {
+  const idx_t n = GetParam();
+  std::set<std::pair<idx_t, idx_t>> seen;
+  for (idx_t d = 0; d < n * n; ++d) {
+    const Cell c = morton_d2xy(n, d);
+    EXPECT_EQ(morton_xy2d(n, c.col, c.row), d);
+    seen.insert({c.row, c.col});
+  }
+  EXPECT_EQ(static_cast<idx_t>(seen.size()), n * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, CurveSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+TEST(MortonCurve, QuadrantStructure) {
+  // First 4 indices of a 4x4 Morton curve fill the lower-left 2x2 quadrant.
+  std::set<std::pair<idx_t, idx_t>> quadrant;
+  for (idx_t d = 0; d < 4; ++d) {
+    const Cell c = morton_d2xy(4, d);
+    quadrant.insert({c.row, c.col});
+  }
+  EXPECT_TRUE(quadrant.count({0, 0}));
+  EXPECT_TRUE(quadrant.count({0, 1}));
+  EXPECT_TRUE(quadrant.count({1, 0}));
+  EXPECT_TRUE(quadrant.count({1, 1}));
+}
+
+TEST(MortonCurve, HasNonAdjacentJumps) {
+  // The Section 3.2.3 objection: Morton makes non-unit jumps.
+  const idx_t n = 8;
+  int jumps = 0;
+  Cell prev = morton_d2xy(n, 0);
+  for (idx_t d = 1; d < n * n; ++d) {
+    const Cell cur = morton_d2xy(n, d);
+    if (std::abs(cur.row - prev.row) + std::abs(cur.col - prev.col) > 1)
+      ++jumps;
+    prev = cur;
+  }
+  EXPECT_GT(jumps, 0);
+}
+
+TEST(TileTransform, AllEightAreBijections) {
+  const idx_t n = 8;
+  for (const auto& t : all_tile_transforms()) {
+    std::set<std::pair<idx_t, idx_t>> seen;
+    for (idx_t r = 0; r < n; ++r)
+      for (idx_t c = 0; c < n; ++c) {
+        const Cell mapped = t.apply(n, Cell{r, c});
+        EXPECT_GE(mapped.row, 0);
+        EXPECT_LT(mapped.row, n);
+        EXPECT_GE(mapped.col, 0);
+        EXPECT_LT(mapped.col, n);
+        seen.insert({mapped.row, mapped.col});
+      }
+    EXPECT_EQ(static_cast<idx_t>(seen.size()), n * n);
+  }
+}
+
+TEST(TileTransform, IdentityIsFirst) {
+  const auto& t = all_tile_transforms()[0];
+  const Cell c{3, 5};
+  const Cell mapped = t.apply(8, c);
+  EXPECT_EQ(mapped.row, c.row);
+  EXPECT_EQ(mapped.col, c.col);
+}
+
+TEST(TileTransform, TransformsAreDistinct) {
+  // Applying all 8 to an asymmetric cell yields 8 distinct images.
+  std::set<std::pair<idx_t, idx_t>> images;
+  for (const auto& t : all_tile_transforms()) {
+    const Cell m = t.apply(8, Cell{1, 3});
+    images.insert({m.row, m.col});
+  }
+  EXPECT_EQ(images.size(), 8u);
+}
+
+TEST(TileTransform, PreservesAdjacency) {
+  // Symmetries are isometries: adjacent cells stay adjacent.
+  const idx_t n = 4;
+  for (const auto& t : all_tile_transforms()) {
+    const Cell a = t.apply(n, Cell{1, 1});
+    const Cell b = t.apply(n, Cell{1, 2});
+    EXPECT_EQ(std::abs(a.row - b.row) + std::abs(a.col - b.col), 1);
+  }
+}
+
+}  // namespace
+}  // namespace memxct::hilbert

@@ -1,0 +1,99 @@
+// Tests for PGM image output and table/CSV rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/aligned.hpp"
+#include "io/pgm.hpp"
+#include "io/table.hpp"
+
+namespace memxct::io {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(Pgm, WritesCorrectHeaderAndSize) {
+  const Extent2D ext{3, 4};
+  const AlignedVector<real> data{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  const std::string path = "/tmp/memxct_test.pgm";
+  write_pgm(path, ext, std::span<const real>(data.data(), data.size()), 0.0f,
+            11.0f);
+  const std::string content = read_file(path);
+  EXPECT_EQ(content.substr(0, 2), "P5");
+  EXPECT_NE(content.find("4 3"), std::string::npos);
+  // Header + 12 pixel bytes.
+  EXPECT_EQ(content.size(), std::string("P5\n4 3\n255\n").size() + 12);
+  // Max value maps to 255, min to 0.
+  EXPECT_EQ(static_cast<unsigned char>(content.back()), 255);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, ClampsOutOfWindowValues) {
+  const Extent2D ext{1, 3};
+  const AlignedVector<real> data{-100.0f, 0.5f, 100.0f};
+  const std::string path = "/tmp/memxct_clamp.pgm";
+  write_pgm(path, ext, std::span<const real>(data.data(), data.size()), 0.0f,
+            1.0f);
+  const std::string content = read_file(path);
+  const auto* pixels = reinterpret_cast<const unsigned char*>(
+      content.data() + content.size() - 3);
+  EXPECT_EQ(pixels[0], 0);
+  EXPECT_EQ(pixels[1], 127);
+  EXPECT_EQ(pixels[2], 255);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, AutoscaleHandlesFlatImages) {
+  const Extent2D ext{2, 2};
+  const AlignedVector<real> data{5.0f, 5.0f, 5.0f, 5.0f};
+  const std::string path = "/tmp/memxct_flat.pgm";
+  EXPECT_NO_THROW(write_pgm_autoscale(
+      path, ext, std::span<const real>(data.data(), data.size())));
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, RejectsSizeMismatch) {
+  const Extent2D ext{2, 2};
+  const AlignedVector<real> data{1.0f};
+  EXPECT_THROW(write_pgm("/tmp/x.pgm", ext,
+                         std::span<const real>(data.data(), data.size()), 0,
+                         1),
+               InvariantError);
+}
+
+TEST(Table, CsvRoundTrip) {
+  TablePrinter t("Test Table");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"beta", "2"});
+  const std::string path = "/tmp/memxct_table.csv";
+  t.write_csv(path);
+  EXPECT_EQ(read_file(path), "name,value\nalpha,1\nbeta,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::time_s(0.5), "500.00 ms");
+  EXPECT_EQ(TablePrinter::time_s(2.0), "2.00 s");
+  EXPECT_EQ(TablePrinter::bytes(1024.0), "1.00 KiB");
+  EXPECT_EQ(TablePrinter::bytes(5.5 * 1024 * 1024 * 1024), "5.50 GiB");
+}
+
+TEST(Table, PrintDoesNotThrow) {
+  TablePrinter t("Smoke");
+  t.header({"a", "b", "c"});
+  t.row({"1", "22", "333"});
+  t.row({"only-one"});
+  EXPECT_NO_THROW(t.print());
+}
+
+}  // namespace
+}  // namespace memxct::io

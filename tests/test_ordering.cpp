@@ -1,0 +1,181 @@
+// Tests for the two-level pseudo-Hilbert ordering (Section 3.2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hilbert/locality.hpp"
+#include "hilbert/ordering.hpp"
+
+namespace memxct::hilbert {
+namespace {
+
+struct OrderingCase {
+  Extent2D extent;
+  CurveKind kind;
+  idx_t tile_size;
+};
+
+class OrderingSweep : public ::testing::TestWithParam<OrderingCase> {};
+
+TEST_P(OrderingSweep, IsBijection) {
+  const auto& param = GetParam();
+  const Ordering ord(param.extent, param.kind, param.tile_size);
+  ASSERT_EQ(static_cast<std::int64_t>(ord.size()), param.extent.size());
+  std::set<idx_t> grid_indices;
+  for (idx_t i = 0; i < ord.size(); ++i) {
+    const idx_t g = ord.grid_index(i);
+    EXPECT_GE(g, 0);
+    EXPECT_LT(static_cast<std::int64_t>(g), param.extent.size());
+    grid_indices.insert(g);
+    // Inverse consistency.
+    const Cell c = ord.cell(i);
+    EXPECT_EQ(ord.ordered_index(c.row, c.col), i);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(grid_indices.size()),
+            param.extent.size());
+}
+
+TEST_P(OrderingSweep, TilesAreContiguousAndCoverDomain) {
+  const auto& param = GetParam();
+  const Ordering ord(param.extent, param.kind, param.tile_size);
+  idx_t covered = 0;
+  idx_t prev_end = 0;
+  for (idx_t t = 0; t < ord.num_tiles(); ++t) {
+    const auto [begin, end] = ord.tile_range(t);
+    EXPECT_EQ(begin, prev_end);
+    EXPECT_LE(begin, end);
+    covered += end - begin;
+    prev_end = end;
+  }
+  EXPECT_EQ(covered, ord.size());
+}
+
+TEST_P(OrderingSweep, TilesAreSpatiallyCompact) {
+  const auto& param = GetParam();
+  if (param.kind == CurveKind::RowMajor) return;  // tiles are rows there
+  const Ordering ord(param.extent, param.kind, param.tile_size);
+  const idx_t a = ord.tile_size();
+  for (idx_t t = 0; t < ord.num_tiles(); ++t) {
+    const auto [begin, end] = ord.tile_range(t);
+    idx_t rmin = param.extent.rows, rmax = 0;
+    idx_t cmin = param.extent.cols, cmax = 0;
+    for (idx_t i = begin; i < end; ++i) {
+      const Cell c = ord.cell(i);
+      rmin = std::min(rmin, c.row);
+      rmax = std::max(rmax, c.row);
+      cmin = std::min(cmin, c.col);
+      cmax = std::max(cmax, c.col);
+    }
+    if (begin == end) continue;
+    EXPECT_LT(rmax - rmin, a);
+    EXPECT_LT(cmax - cmin, a);
+  }
+}
+
+TEST_P(OrderingSweep, TileOfOrderedConsistent) {
+  const auto& param = GetParam();
+  const Ordering ord(param.extent, param.kind, param.tile_size);
+  for (idx_t t = 0; t < ord.num_tiles(); ++t) {
+    const auto [begin, end] = ord.tile_range(t);
+    if (begin < end) {
+      EXPECT_EQ(ord.tile_of_ordered(begin), t);
+      EXPECT_EQ(ord.tile_of_ordered(end - 1), t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OrderingSweep,
+    ::testing::Values(
+        OrderingCase{{13, 11}, CurveKind::Hilbert, 4},  // paper's Fig 4
+        OrderingCase{{16, 16}, CurveKind::Hilbert, 4},
+        OrderingCase{{16, 16}, CurveKind::Morton, 4},
+        OrderingCase{{16, 16}, CurveKind::RowMajor, 0},
+        OrderingCase{{1, 1}, CurveKind::Hilbert, 4},
+        OrderingCase{{1, 37}, CurveKind::Hilbert, 4},
+        OrderingCase{{37, 1}, CurveKind::Hilbert, 4},
+        OrderingCase{{45, 32}, CurveKind::Hilbert, 8},
+        OrderingCase{{45, 32}, CurveKind::Morton, 8},
+        OrderingCase{{64, 64}, CurveKind::Hilbert, 16},
+        OrderingCase{{100, 60}, CurveKind::Hilbert, 0},   // auto tile
+        OrderingCase{{60, 100}, CurveKind::Morton, 0},
+        OrderingCase{{128, 96}, CurveKind::Hilbert, 32},
+        OrderingCase{{31, 17}, CurveKind::Hilbert, 4}));
+
+TEST(Ordering, RowMajorIsIdentity) {
+  const Extent2D ext{5, 9};
+  const Ordering ord(ext, CurveKind::RowMajor);
+  for (idx_t i = 0; i < ord.size(); ++i) EXPECT_EQ(ord.grid_index(i), i);
+}
+
+TEST(Ordering, HilbertFullyConnectedOnPow2Square) {
+  // On a power-of-two square with a single tile, the ordering is the plain
+  // Hilbert curve: 100% adjacent steps.
+  const Ordering ord(Extent2D{32, 32}, CurveKind::Hilbert, 32);
+  EXPECT_DOUBLE_EQ(adjacency_fraction(ord), 1.0);
+}
+
+TEST(Ordering, HilbertBeatsMortonOnConnectivity) {
+  const Extent2D ext{64, 48};
+  const Ordering hilbert(ext, CurveKind::Hilbert, 8);
+  const Ordering morton(ext, CurveKind::Morton, 8);
+  EXPECT_GT(adjacency_fraction(hilbert), adjacency_fraction(morton));
+  EXPECT_LT(mean_step_length(hilbert), mean_step_length(morton));
+  // The two-level Hilbert construction with connective rotations stays
+  // nearly fully connected even across tiles.
+  EXPECT_GT(adjacency_fraction(hilbert), 0.95);
+}
+
+TEST(Ordering, HilbertBeatsRowMajorOnWindowLocality) {
+  // A cache line's worth of consecutive Hilbert indices covers a compact
+  // 2D block (Fig 5's premise); row-major covers a 1x16 sliver.
+  const Extent2D ext{64, 64};
+  const Ordering hilbert(ext, CurveKind::Hilbert, 16);
+  const idx_t window = 16;  // 64 B line / 4 B value
+  double hilbert_extent = 0.0;
+  for (idx_t i = 0; i + window <= hilbert.size(); i += window) {
+    idx_t rmin = ext.rows, rmax = 0, cmin = ext.cols, cmax = 0;
+    for (idx_t j = i; j < i + window; ++j) {
+      const Cell c = hilbert.cell(j);
+      rmin = std::min(rmin, c.row);
+      rmax = std::max(rmax, c.row);
+      cmin = std::min(cmin, c.col);
+      cmax = std::max(cmax, c.col);
+    }
+    hilbert_extent =
+        std::max(hilbert_extent, static_cast<double>(rmax - rmin + cmax - cmin));
+  }
+  EXPECT_LE(hilbert_extent, 8.0);  // 4x4-ish blocks, never a 16-sliver
+}
+
+TEST(Ordering, DefaultTileSizeIsPow2AndBounded) {
+  for (const Extent2D ext : {Extent2D{13, 11}, Extent2D{360, 256},
+                             Extent2D{2048, 2048}, Extent2D{4, 4}}) {
+    const idx_t a = default_tile_size(ext);
+    EXPECT_TRUE(is_pow2(a));
+    EXPECT_GE(a, 4);
+    EXPECT_LE(a, 1024);
+  }
+}
+
+TEST(Ordering, Fig4TileCount) {
+  // Paper Fig 4: a 13x11 domain with 4x4 tiles uses 12 tiles.
+  const Ordering ord(Extent2D{11, 13}, CurveKind::Hilbert, 4);
+  EXPECT_EQ(ord.num_tiles(), 12);
+}
+
+TEST(Ordering, RejectsNonPow2Tile) {
+  EXPECT_THROW(Ordering(Extent2D{8, 8}, CurveKind::Hilbert, 3),
+               InvariantError);
+}
+
+TEST(Locality, LinesTouched) {
+  EXPECT_EQ(lines_touched(0, 16, 16), 1);
+  EXPECT_EQ(lines_touched(0, 17, 16), 2);
+  EXPECT_EQ(lines_touched(15, 17, 16), 2);
+  EXPECT_EQ(lines_touched(5, 5, 16), 0);
+  EXPECT_EQ(lines_touched(32, 48, 16), 1);
+}
+
+}  // namespace
+}  // namespace memxct::hilbert

@@ -1,0 +1,157 @@
+// Tests for phantom generation, sinogram synthesis, and the dataset
+// registry (Table 3 analogs).
+#include <gtest/gtest.h>
+
+#include "phantom/datasets.hpp"
+#include "phantom/phantom.hpp"
+
+namespace memxct::phantom {
+namespace {
+
+TEST(Phantom, SheppLoganBasicProperties) {
+  const idx_t n = 64;
+  const auto img = shepp_logan(n);
+  ASSERT_EQ(img.size(), static_cast<std::size_t>(n) * n);
+  // Head interior is positive, corners are empty.
+  EXPECT_GT(img[static_cast<std::size_t>(n / 2) * n + n / 2], 0.0f);
+  EXPECT_FLOAT_EQ(img[0], 0.0f);
+  EXPECT_FLOAT_EQ(img[static_cast<std::size_t>(n) * n - 1], 0.0f);
+}
+
+TEST(Phantom, ShaleDeterministicAndNonNegative) {
+  const auto a = shale_phantom(64, 7);
+  const auto b = shale_phantom(64, 7);
+  const auto c = shale_phantom(64, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (const real v : a) EXPECT_GE(v, 0.0f);
+}
+
+TEST(Phantom, BrainHasVesselsAboveBackground) {
+  const auto img = brain_phantom(128, 3);
+  real max_v = 0;
+  for (const real v : img) max_v = std::max(max_v, v);
+  EXPECT_GE(max_v, 1.5f);  // vessel intensity stamped at 1.8
+}
+
+TEST(Phantom, ForwardProjectZeroImageIsZero) {
+  const auto g = geometry::make_geometry(8, 16);
+  std::vector<real> zero(
+      static_cast<std::size_t>(g.tomogram_extent().size()), 0.0f);
+  const auto sino = forward_project(g, zero);
+  for (const real v : sino) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Phantom, ForwardProjectIsLinear) {
+  const auto g = geometry::make_geometry(6, 12);
+  const auto img = shepp_logan(g.image_size);
+  std::vector<real> doubled(img);
+  for (auto& v : doubled) v *= 2.0f;
+  const auto s1 = forward_project(g, img);
+  const auto s2 = forward_project(g, doubled);
+  for (std::size_t i = 0; i < s1.size(); ++i)
+    EXPECT_NEAR(s2[i], 2.0f * s1[i], 1e-4);
+}
+
+TEST(Phantom, UniformDiskProjectionPeaksAtCenter) {
+  const auto g = geometry::make_geometry(4, 32);
+  std::vector<real> img(
+      static_cast<std::size_t>(g.tomogram_extent().size()), 1.0f);
+  const auto sino = forward_project(g, img);
+  // For a uniform square, central channels never integrate shorter paths
+  // than edge channels; at oblique angles (45 deg = index 1) the corner
+  // channels are strictly shorter.
+  for (idx_t a = 0; a < g.num_angles; ++a) {
+    const real center = sino[static_cast<std::size_t>(
+        g.ray_index(a, g.num_channels / 2))];
+    const real edge = sino[static_cast<std::size_t>(g.ray_index(a, 0))];
+    EXPECT_GE(center, edge);
+  }
+  EXPECT_GT(
+      sino[static_cast<std::size_t>(g.ray_index(1, g.num_channels / 2))],
+      sino[static_cast<std::size_t>(g.ray_index(1, 0))]);
+}
+
+TEST(Noise, PoissonNoisePerturbsButPreservesScale) {
+  const auto g = geometry::make_geometry(8, 32);
+  const auto img = shepp_logan(g.image_size);
+  auto clean = forward_project(g, img);
+  auto noisy = clean;
+  Rng rng(5);
+  add_poisson_noise(noisy, 1e4, rng);
+  EXPECT_NE(clean, noisy);
+  EXPECT_NEAR(rmse(noisy, clean) / (rmse(clean, AlignedVector<real>(
+                                              clean.size(), 0.0f)) + 1e-12),
+              0.0, 0.2);
+}
+
+TEST(Noise, LowerDoseIsNoisier) {
+  const auto g = geometry::make_geometry(8, 32);
+  const auto img = shepp_logan(g.image_size);
+  const auto clean = forward_project(g, img);
+  auto low = clean, high = clean;
+  Rng rng1(9), rng2(9);
+  add_poisson_noise(low, 1e3, rng1);
+  add_poisson_noise(high, 1e6, rng2);
+  EXPECT_GT(rmse(low, clean), rmse(high, clean));
+}
+
+TEST(Datasets, RegistryMatchesTable3) {
+  const auto& all = all_datasets();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(dataset("ADS1").paper_angles, 360);
+  EXPECT_EQ(dataset("ADS1").paper_channels, 256);
+  EXPECT_EQ(dataset("ADS4").paper_angles, 2400);
+  EXPECT_EQ(dataset("RDS1").sample, SampleKind::Shale);
+  EXPECT_EQ(dataset("RDS2").sample, SampleKind::Brain);
+  EXPECT_EQ(dataset("RDS2").paper_channels, 11283);
+  EXPECT_THROW((void)dataset("nope"), InvalidArgument);
+}
+
+TEST(Datasets, WorkingDimsKeepAspectRatio) {
+  for (const auto& spec : all_datasets()) {
+    const double paper_ratio = static_cast<double>(spec.paper_angles) /
+                               spec.paper_channels;
+    const double working_ratio =
+        static_cast<double>(spec.angles) / spec.channels;
+    EXPECT_NEAR(working_ratio, paper_ratio, 0.15 * paper_ratio)
+        << spec.name;
+    EXPECT_LT(spec.channels, spec.paper_channels);
+  }
+}
+
+TEST(Datasets, AdsSeriesDoublesChannels) {
+  EXPECT_EQ(dataset("ADS2").channels, 2 * dataset("ADS1").channels);
+  EXPECT_EQ(dataset("ADS3").channels, 2 * dataset("ADS2").channels);
+  EXPECT_EQ(dataset("ADS4").channels, 2 * dataset("ADS3").channels);
+}
+
+TEST(Datasets, ScaledByProducesSmallerVariant) {
+  const auto small = dataset("ADS3").scaled_by(32);
+  EXPECT_LT(small.channels, dataset("ADS3").channels);
+  EXPECT_GE(small.channels, 16);
+  EXPECT_GE(small.angles, 8);
+}
+
+TEST(Datasets, GenerateProducesConsistentShapes) {
+  const auto spec = dataset("ADS1").scaled_by(16);
+  const auto data = generate(spec, 42);
+  EXPECT_EQ(static_cast<std::int64_t>(data.image.size()),
+            data.geometry.tomogram_extent().size());
+  EXPECT_EQ(static_cast<std::int64_t>(data.sinogram.size()),
+            data.geometry.sinogram_extent().size());
+  // Deterministic.
+  const auto again = generate(spec, 42);
+  EXPECT_EQ(data.sinogram, again.sinogram);
+}
+
+TEST(Datasets, GenerateWithNoiseDiffers) {
+  const auto spec = dataset("RDS1").scaled_by(64);
+  const auto clean = generate(spec, 42, 0.0);
+  const auto noisy = generate(spec, 42, 1e4);
+  EXPECT_NE(clean.sinogram, noisy.sinogram);
+  EXPECT_EQ(clean.image, noisy.image);  // ground truth unaffected
+}
+
+}  // namespace
+}  // namespace memxct::phantom

@@ -1,0 +1,119 @@
+// Tests for measurement preprocessing: transmission normalization and
+// center-of-rotation handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "phantom/phantom.hpp"
+#include "pre/normalize.hpp"
+
+namespace memxct::pre {
+namespace {
+
+TEST(Normalize, InvertsBeersLaw) {
+  // Synthesize raw counts from known line integrals and recover them.
+  const auto g = geometry::make_geometry(8, 16);
+  const auto img = phantom::shepp_logan(g.image_size);
+  const auto truth = phantom::forward_project(g, img);
+
+  const double i0 = 5e4, dark_level = 100.0;
+  AlignedVector<real> flat(16, static_cast<real>(i0 + dark_level));
+  AlignedVector<real> dark(16, static_cast<real>(dark_level));
+  AlignedVector<real> raw(truth.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    raw[i] = static_cast<real>(
+        dark_level + i0 * std::exp(-static_cast<double>(truth[i])));
+
+  const auto recovered = normalize_transmission(g, raw, flat, dark);
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    EXPECT_NEAR(recovered[i], truth[i], 1e-3 + 1e-3 * truth[i]);
+}
+
+TEST(Normalize, ClampsNonPhysicalCounts) {
+  // Counts above flat (transmission > 1) clamp to zero attenuation;
+  // counts below dark clamp without NaN/inf.
+  const auto g = geometry::make_geometry(1, 4);
+  const AlignedVector<real> flat{100, 100, 100, 100};
+  const AlignedVector<real> dark{10, 10, 10, 10};
+  const AlignedVector<real> raw{200, 5, 10, 55};
+  const auto p = normalize_transmission(g, raw, flat, dark);
+  EXPECT_FLOAT_EQ(p[0], 0.0f);          // transmission clamped to 1
+  EXPECT_TRUE(std::isfinite(p[1]));     // below dark: finite, large
+  EXPECT_GT(p[1], p[3]);
+  EXPECT_TRUE(std::isfinite(p[2]));
+  EXPECT_NEAR(p[3], -std::log(0.5), 1e-5);
+}
+
+TEST(Normalize, PerChannelGainCorrected) {
+  // A channel with double flat-field gain must yield the same attenuation.
+  const auto g = geometry::make_geometry(1, 2);
+  const AlignedVector<real> flat{100, 200};
+  const AlignedVector<real> dark{0, 0};
+  const AlignedVector<real> raw{50, 100};  // both 50% transmission
+  const auto p = normalize_transmission(g, raw, flat, dark);
+  EXPECT_NEAR(p[0], p[1], 1e-6);
+}
+
+TEST(CenterOffset, ZeroForCenteredObject) {
+  const auto g = geometry::make_geometry(32, 64);
+  const auto img = phantom::shepp_logan(g.image_size);
+  const auto sino = phantom::forward_project(g, img);
+  EXPECT_NEAR(estimate_center_offset(g, sino), 0.0, 0.5);
+}
+
+TEST(CenterOffset, RecoversKnownShift) {
+  const auto g = geometry::make_geometry(32, 64);
+  const auto img = phantom::shepp_logan(g.image_size);
+  const auto sino = phantom::forward_project(g, img);
+  for (const double shift : {-4.0, -1.5, 2.0, 5.0}) {
+    const auto shifted = shift_sinogram(g, sino, shift);
+    EXPECT_NEAR(estimate_center_offset(g, shifted), shift, 0.5)
+        << "shift " << shift;
+  }
+}
+
+TEST(CenterOffset, ShiftThenUnshiftIsNearIdentity) {
+  const auto g = geometry::make_geometry(16, 64);
+  const auto img = phantom::shepp_logan(g.image_size);
+  const auto sino = phantom::forward_project(g, img);
+  const auto there = shift_sinogram(g, sino, 3.0);
+  const auto back = shift_sinogram(g, there, -3.0);
+  // Interior channels (away from the zero-filled edges) round-trip.
+  double max_err = 0.0;
+  for (idx_t a = 0; a < g.num_angles; ++a)
+    for (idx_t c = 8; c < g.num_channels - 8; ++c) {
+      const auto i = static_cast<std::size_t>(g.ray_index(a, c));
+      max_err = std::max(max_err,
+                         std::abs(static_cast<double>(back[i]) - sino[i]));
+    }
+  EXPECT_LT(max_err, 0.5);
+}
+
+TEST(CenterOffset, IntegerShiftIsExact) {
+  const auto g = geometry::make_geometry(4, 16);
+  AlignedVector<real> sino(
+      static_cast<std::size_t>(g.sinogram_extent().size()));
+  Rng rng(31);
+  for (auto& v : sino) v = static_cast<real>(rng.uniform());
+  const auto shifted = shift_sinogram(g, sino, 2.0);
+  for (idx_t a = 0; a < g.num_angles; ++a)
+    for (idx_t c = 2; c < g.num_channels; ++c)
+      EXPECT_FLOAT_EQ(
+          shifted[static_cast<std::size_t>(g.ray_index(a, c))],
+          sino[static_cast<std::size_t>(g.ray_index(a, c - 2))]);
+}
+
+TEST(Normalize, RejectsMismatchedSizes) {
+  const auto g = geometry::make_geometry(2, 4);
+  const AlignedVector<real> raw(8), short_field(2);
+  const AlignedVector<real> field(4);
+  EXPECT_THROW(normalize_transmission(g, raw, short_field, field),
+               InvariantError);
+  EXPECT_THROW((void)estimate_center_offset(g, short_field),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace memxct::pre

@@ -1,0 +1,101 @@
+// Tests for the generalized-Hilbert curve over arbitrary rectangles
+// (the first ordering level of Section 3.2).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "hilbert/rect_curve.hpp"
+
+namespace memxct::hilbert {
+namespace {
+
+using Shape = std::pair<idx_t, idx_t>;
+
+class RectShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(RectShapes, CoversEveryCellExactlyOnce) {
+  const auto [w, h] = GetParam();
+  const auto cells = rect_hilbert_order(w, h);
+  ASSERT_EQ(static_cast<idx_t>(cells.size()), w * h);
+  std::set<std::pair<idx_t, idx_t>> seen;
+  for (const Cell c : cells) {
+    EXPECT_GE(c.row, 0);
+    EXPECT_LT(c.row, h);
+    EXPECT_GE(c.col, 0);
+    EXPECT_LT(c.col, w);
+    seen.insert({c.row, c.col});
+  }
+  EXPECT_EQ(static_cast<idx_t>(seen.size()), w * h);
+}
+
+TEST_P(RectShapes, StepsAreUnitOrRareDiagonal) {
+  // The pseudo-Hilbert construction is connected up to occasional diagonal
+  // steps forced by odd-sized sub-blocks (never a farther jump), and those
+  // diagonals are rare.
+  const auto [w, h] = GetParam();
+  const auto cells = rect_hilbert_order(w, h);
+  std::size_t non_unit = 0;
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    const idx_t dr = std::abs(cells[i].row - cells[i - 1].row);
+    const idx_t dc = std::abs(cells[i].col - cells[i - 1].col);
+    EXPECT_LE(dr, 1) << "w=" << w << " h=" << h << " i=" << i;
+    EXPECT_LE(dc, 1) << "w=" << w << " h=" << h << " i=" << i;
+    if (dr + dc != 1) ++non_unit;
+  }
+  EXPECT_LE(non_unit, 1 + cells.size() / 100)
+      << "w=" << w << " h=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixedShapes, RectShapes,
+    ::testing::Values(Shape{1, 1}, Shape{1, 7}, Shape{7, 1}, Shape{2, 2},
+                      Shape{3, 3}, Shape{4, 4}, Shape{5, 3}, Shape{3, 5},
+                      Shape{13, 11},  // the paper's Fig 4 example
+                      Shape{16, 16}, Shape{17, 5}, Shape{6, 31},
+                      Shape{40, 25}, Shape{64, 64}, Shape{100, 1},
+                      Shape{33, 32}));
+
+TEST(RectCurve, StartsAtOrigin) {
+  const auto cells = rect_hilbert_order(8, 8);
+  EXPECT_EQ(cells.front().row, 0);
+  EXPECT_EQ(cells.front().col, 0);
+}
+
+TEST(RectCurve, DegenerateSingleCell) {
+  const auto cells = rect_hilbert_order(1, 1);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].row, 0);
+  EXPECT_EQ(cells[0].col, 0);
+}
+
+TEST(RectCurve, RejectsInvalidShape) {
+  EXPECT_THROW(rect_hilbert_order(0, 4), InvariantError);
+  EXPECT_THROW(rect_hilbert_order(4, 0), InvariantError);
+}
+
+TEST(RectCurve, LocalityBeatsRowMajorScan) {
+  // Windowed locality: cells within a window of W consecutive curve
+  // positions should span a smaller bounding box than a row-major scan's
+  // (which spans the full width).
+  const idx_t w = 32, h = 32, window = 64;
+  const auto cells = rect_hilbert_order(w, h);
+  double max_extent = 0.0;
+  for (std::size_t i = 0; i + window <= cells.size(); i += window) {
+    idx_t rmin = h, rmax = 0, cmin = w, cmax = 0;
+    for (std::size_t j = i; j < i + window; ++j) {
+      rmin = std::min(rmin, cells[j].row);
+      rmax = std::max(rmax, cells[j].row);
+      cmin = std::min(cmin, cells[j].col);
+      cmax = std::max(cmax, cells[j].col);
+    }
+    max_extent = std::max(
+        max_extent, static_cast<double>((rmax - rmin) + (cmax - cmin)));
+  }
+  // 64 cells on a Hilbert-style curve stay within roughly a 8-16 wide
+  // region; a row-major scan of 64 cells spans 32 columns + 2 rows = 33+.
+  EXPECT_LT(max_extent, 30.0);
+}
+
+}  // namespace
+}  // namespace memxct::hilbert

@@ -1,0 +1,173 @@
+// Tests for the Eq. 1 regularization options: Tikhonov-damped CGLS and
+// non-negativity-constrained projected gradient descent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "solve/cgls.hpp"
+#include "solve/gd.hpp"
+#include "solve/vector_ops.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/transpose.hpp"
+#include "test_util.hpp"
+
+namespace memxct::solve {
+namespace {
+
+class CsrOperator final : public LinearOperator {
+ public:
+  explicit CsrOperator(sparse::CsrMatrix a)
+      : a_(std::move(a)), at_(sparse::transpose(a_)) {}
+  idx_t num_rows() const override { return a_.num_rows; }
+  idx_t num_cols() const override { return a_.num_cols; }
+  void apply(std::span<const real> x, std::span<real> y) const override {
+    sparse::spmv_csr(a_, x, y);
+  }
+  void apply_transpose(std::span<const real> y,
+                       std::span<real> x) const override {
+    sparse::spmv_csr(at_, y, x);
+  }
+
+ private:
+  sparse::CsrMatrix a_;
+  sparse::CsrMatrix at_;
+};
+
+TEST(Tikhonov, DampingShrinksSolutionNorm) {
+  const auto a = testutil::random_csr(60, 40, 0.2, 3);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 4);
+  CglsOptions plain;
+  plain.max_iterations = 40;
+  CglsOptions damped = plain;
+  damped.tikhonov_lambda = 2.0;
+  CglsOptions heavier = plain;
+  heavier.tikhonov_lambda = 8.0;
+  const double n0 = norm2(cgls(op, y, plain).x);
+  const double n2 = norm2(cgls(op, y, damped).x);
+  const double n8 = norm2(cgls(op, y, heavier).x);
+  EXPECT_GT(n0, n2);
+  EXPECT_GT(n2, n8);
+  EXPECT_GT(n8, 0.0);
+}
+
+TEST(Tikhonov, MatchesAugmentedSystemSolution) {
+  // Damped CGLS must solve (A^T A + λ²I) x = A^T y. Verify the normal
+  // equations' residual of the converged solution.
+  const auto a = testutil::random_csr(30, 12, 0.4, 5);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(30, 6);
+  const double lambda = 1.5;
+  CglsOptions opt;
+  opt.max_iterations = 200;
+  opt.tikhonov_lambda = lambda;
+  const auto result = cgls(op, y, opt);
+
+  // g = A^T (y - A x) - λ² x must vanish at the regularized optimum.
+  AlignedVector<real> ax(30), r(30), g(12);
+  op.apply(result.x, ax);
+  subtract(y, ax, r);
+  op.apply_transpose(r, g);
+  axpy(static_cast<real>(-lambda * lambda), result.x, g);
+  EXPECT_LT(norm2(g), 1e-3 * (norm2(y) + 1.0));
+}
+
+TEST(Tikhonov, ZeroLambdaIsPlainCgls) {
+  const auto a = testutil::random_csr(25, 15, 0.3, 7);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(25, 8);
+  CglsOptions opt;
+  opt.max_iterations = 10;
+  CglsOptions zero = opt;
+  zero.tikhonov_lambda = 0.0;
+  const auto r1 = cgls(op, y, opt);
+  const auto r2 = cgls(op, y, zero);
+  for (std::size_t i = 0; i < r1.x.size(); ++i)
+    EXPECT_FLOAT_EQ(r1.x[i], r2.x[i]);
+}
+
+TEST(WarmStart, ExactStartConvergesImmediately) {
+  const auto a = testutil::random_csr(40, 20, 0.3, 9);
+  const CsrOperator op(a);
+  const auto x_true = testutil::random_vector(20, 10);
+  AlignedVector<real> y(40);
+  sparse::spmv_reference(a, x_true, y);
+  // Solve once, then restart from the solution: residual already at floor.
+  const auto first = cgls(op, y, {.max_iterations = 100});
+  CglsOptions opt;
+  opt.max_iterations = 5;
+  const auto resumed = cgls_warm(op, y, first.x, opt);
+  EXPECT_LE(resumed.history.back().residual_norm,
+            first.history.back().residual_norm * 1.1);
+}
+
+TEST(WarmStart, NearbyStartNeedsFewerIterations) {
+  const auto a = testutil::random_csr(80, 50, 0.15, 11);
+  const CsrOperator op(a);
+  const auto x_true = testutil::random_vector(50, 12);
+  AlignedVector<real> y(80);
+  sparse::spmv_reference(a, x_true, y);
+  // Perturb the true solution slightly — the "adjacent slice" scenario.
+  AlignedVector<real> x0(x_true);
+  Rng rng(13);
+  for (auto& v : x0) v += static_cast<real>(0.01 * rng.normal());
+
+  const double target = 0.01 * norm2(y);
+  const auto iters_to = [&](std::span<const real> start) {
+    const auto r = cgls_warm(op, y, start, {.max_iterations = 100});
+    for (const auto& rec : r.history)
+      if (rec.residual_norm < target) return rec.iteration;
+    return 1000;
+  };
+  EXPECT_LT(iters_to(x0), iters_to({}));
+}
+
+TEST(WarmStart, RejectsWrongStartSize) {
+  const auto a = testutil::random_csr(10, 5, 0.5, 15);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(10, 16);
+  const AlignedVector<real> bad(3);
+  EXPECT_THROW((void)cgls_warm(op, y, bad, {}), InvariantError);
+}
+
+TEST(NonNegative, ProjectedGdRespectsConstraint) {
+  const auto a = testutil::random_csr(40, 25, 0.3, 17);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(40, 18);
+  GdOptions opt;
+  opt.max_iterations = 30;
+  opt.nonnegative = true;
+  const auto result = gradient_descent(op, y, opt);
+  for (const real v : result.x) EXPECT_GE(v, 0.0f);
+}
+
+TEST(NonNegative, MatchesUnconstrainedWhenSolutionIsPositive) {
+  // Nonnegative ground truth and nonnegative matrix: the constraint is
+  // inactive at the optimum, so both solvers converge to the same point.
+  sparse::CsrBuilder b(30, 10);
+  Rng rng(19);
+  std::vector<std::pair<idx_t, real>> entries;
+  for (idx_t r = 0; r < 30; ++r) {
+    entries.clear();
+    for (idx_t c = 0; c < 10; ++c)
+      if (rng.uniform() < 0.4)
+        entries.emplace_back(c, static_cast<real>(rng.uniform(0.1, 1.0)));
+    if (r < 10) entries.emplace_back(r, 2.0f);
+    b.set_row(r, entries);
+  }
+  const CsrOperator op(b.assemble());
+  AlignedVector<real> x_true(10);
+  for (auto& v : x_true) v = static_cast<real>(rng.uniform(0.5, 2.0));
+  AlignedVector<real> y(30);
+  op.apply(x_true, y);
+
+  GdOptions unconstrained{.max_iterations = 200};
+  GdOptions constrained{.max_iterations = 200, .nonnegative = true};
+  const auto ru = gradient_descent(op, y, unconstrained);
+  const auto rc = gradient_descent(op, y, constrained);
+  EXPECT_LT(testutil::rel_error(rc.x, ru.x), 1e-2);
+}
+
+}  // namespace
+}  // namespace memxct::solve

@@ -1,0 +1,161 @@
+// Tests for the row/coordinate-action solvers (SGD / ICD, Section 3.5.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "solve/cgls.hpp"
+#include "solve/icd.hpp"
+#include "solve/sgd.hpp"
+#include "solve/vector_ops.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/transpose.hpp"
+#include "test_util.hpp"
+
+namespace memxct::solve {
+namespace {
+
+struct System {
+  sparse::CsrMatrix a;
+  sparse::CsrMatrix at;
+  AlignedVector<real> x_true;
+  AlignedVector<real> y;
+};
+
+System consistent_system(idx_t rows, idx_t cols, std::uint64_t seed) {
+  System s;
+  // Diagonal-boosted random matrix: well conditioned, full column rank.
+  Rng rng(seed);
+  sparse::CsrBuilder b(rows, cols);
+  std::vector<std::pair<idx_t, real>> entries;
+  for (idx_t r = 0; r < rows; ++r) {
+    entries.clear();
+    for (idx_t c = 0; c < cols; ++c)
+      if (rng.uniform() < 0.15)
+        entries.emplace_back(c, static_cast<real>(rng.uniform(-0.3, 0.3)));
+    if (r < cols) entries.emplace_back(r, 2.0f);
+    b.set_row(r, entries);
+  }
+  s.a = b.assemble();
+  s.at = sparse::transpose(s.a);
+  s.x_true = testutil::random_vector(cols, seed + 1);
+  s.y.resize(static_cast<std::size_t>(rows));
+  sparse::spmv_reference(s.a, s.x_true, s.y);
+  return s;
+}
+
+double residual_norm(const System& s, std::span<const real> x) {
+  AlignedVector<real> ax(static_cast<std::size_t>(s.a.num_rows));
+  sparse::spmv_reference(s.a, x, ax);
+  AlignedVector<real> r(ax.size());
+  subtract(s.y, ax, r);
+  return norm2(r);
+}
+
+TEST(Sgd, ConvergesOnConsistentSystem) {
+  const auto s = consistent_system(80, 50, 41);
+  const auto result = sgd(s.a, s.y, {.epochs = 40});
+  EXPECT_LT(testutil::rel_error(result.x, s.x_true), 0.05);
+}
+
+TEST(Sgd, ResidualDecreasesOverEpochs) {
+  const auto s = consistent_system(60, 40, 43);
+  const auto result = sgd(s.a, s.y, {.epochs = 20});
+  ASSERT_EQ(result.history.size(), 20u);
+  EXPECT_LT(result.history.back().residual_norm,
+            0.2 * result.history.front().residual_norm);
+}
+
+TEST(Sgd, DeterministicBySeed) {
+  const auto s = consistent_system(30, 20, 45);
+  const auto r1 = sgd(s.a, s.y, {.epochs = 3, .seed = 7});
+  const auto r2 = sgd(s.a, s.y, {.epochs = 3, .seed = 7});
+  const auto r3 = sgd(s.a, s.y, {.epochs = 3, .seed = 8});
+  EXPECT_EQ(r1.x, r2.x);
+  EXPECT_NE(r1.x, r3.x);
+}
+
+TEST(Sgd, HandlesEmptyRows) {
+  sparse::CsrBuilder b(4, 3);
+  const std::vector<std::pair<idx_t, real>> row{{0, 1.0f}, {2, 1.0f}};
+  b.set_row(1, row);
+  const auto a = b.assemble();
+  const AlignedVector<real> y{0.0f, 2.0f, 0.0f, 0.0f};
+  const auto result = sgd(a, y, {.epochs = 5});
+  for (const real v : result.x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Sgd, RejectsBadRelaxation) {
+  const auto s = consistent_system(10, 5, 47);
+  EXPECT_THROW((void)sgd(s.a, s.y, {.relaxation = 2.5f}), InvariantError);
+  EXPECT_THROW((void)sgd(s.a, s.y, {.relaxation = 0.0f}), InvariantError);
+}
+
+TEST(Icd, ConvergesOnConsistentSystem) {
+  const auto s = consistent_system(80, 50, 51);
+  const auto result = icd(s.a, s.at, s.y, {.sweeps = 40});
+  EXPECT_LT(testutil::rel_error(result.x, s.x_true), 0.05);
+}
+
+TEST(Icd, ResidualIsMonotonePerSweep) {
+  // Exact coordinate minimization never increases the objective.
+  const auto s = consistent_system(60, 40, 53);
+  const auto result = icd(s.a, s.at, s.y, {.sweeps = 15});
+  for (std::size_t i = 1; i < result.history.size(); ++i)
+    EXPECT_LE(result.history[i].residual_norm,
+              result.history[i - 1].residual_norm * (1.0 + 1e-5));
+}
+
+TEST(Icd, MaintainedResidualMatchesRecomputed) {
+  // The incremental residual update must not drift from the true residual.
+  const auto s = consistent_system(50, 30, 55);
+  const auto result = icd(s.a, s.at, s.y, {.sweeps = 10});
+  EXPECT_NEAR(result.history.back().residual_norm, residual_norm(s, result.x),
+              1e-2 + 1e-3 * residual_norm(s, result.x));
+}
+
+TEST(Icd, RejectsMismatchedTranspose) {
+  const auto s = consistent_system(20, 10, 57);
+  const auto wrong = testutil::random_csr(10, 20, 0.2, 58);
+  EXPECT_THROW((void)icd(s.a, wrong, s.y, {}), InvariantError);
+}
+
+TEST(SolverFamily, CgConvergesInFewestPasses) {
+  // All three schemes cost ~O(nnz) per pass; CG needs the fewest passes —
+  // the paper's rationale for choosing CG (Section 3.5.2).
+  const auto s = consistent_system(100, 64, 59);
+
+  class Op final : public LinearOperator {
+   public:
+    explicit Op(const System& sys) : s_(sys) {}
+    idx_t num_rows() const override { return s_.a.num_rows; }
+    idx_t num_cols() const override { return s_.a.num_cols; }
+    void apply(std::span<const real> x, std::span<real> y) const override {
+      sparse::spmv_csr(s_.a, x, y);
+    }
+    void apply_transpose(std::span<const real> y,
+                         std::span<real> x) const override {
+      sparse::spmv_csr(s_.at, y, x);
+    }
+
+   private:
+    const System& s_;
+  } op(s);
+
+  const double target = 0.01 * norm2(s.y);
+  const auto passes_to = [&](const std::vector<IterationRecord>& history) {
+    for (const auto& rec : history)
+      if (rec.residual_norm < target) return rec.iteration;
+    return 10000;
+  };
+  const auto cg = cgls(op, s.y, {.max_iterations = 60});
+  const auto k = sgd(s.a, s.y, {.epochs = 60});
+  const auto cd = icd(s.a, s.at, s.y, {.sweeps = 60});
+  const int cg_passes = passes_to(cg.history);
+  EXPECT_LE(cg_passes, passes_to(k.history));
+  EXPECT_LE(cg_passes, passes_to(cd.history));
+  EXPECT_LT(cg_passes, 10000);
+}
+
+}  // namespace
+}  // namespace memxct::solve

@@ -1,0 +1,128 @@
+// Tests for binary matrix/vector serialization (preprocessing cache).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "io/serialize.hpp"
+#include "sparse/buffered.hpp"
+#include "test_util.hpp"
+
+namespace memxct::io {
+namespace {
+
+TEST(Serialize, CsrRoundTripBitExact) {
+  const auto a = testutil::random_csr(57, 43, 0.15, 21);
+  const std::string path = "/tmp/memxct_roundtrip.csr";
+  save_csr(path, a);
+  const auto b = load_csr(path);
+  EXPECT_EQ(b.num_rows, a.num_rows);
+  EXPECT_EQ(b.num_cols, a.num_cols);
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (idx_t r = 0; r <= a.num_rows; ++r) EXPECT_EQ(b.displ[r], a.displ[r]);
+  for (nnz_t k = 0; k < a.nnz(); ++k) {
+    EXPECT_EQ(b.ind[k], a.ind[k]);
+    EXPECT_EQ(b.val[k], a.val[k]);  // bit-exact float
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, EmptyMatrixRoundTrip) {
+  sparse::CsrBuilder builder(3, 4);
+  const auto a = builder.assemble();
+  const std::string path = "/tmp/memxct_empty.csr";
+  save_csr(path, a);
+  const auto b = load_csr(path);
+  EXPECT_EQ(b.num_rows, 3);
+  EXPECT_EQ(b.num_cols, 4);
+  EXPECT_EQ(b.nnz(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BufferedMatrixRoundTrip) {
+  const auto a = testutil::banded_csr(100, 120, 8, 26);
+  const auto bm = sparse::build_buffered(a, {16, 64});
+  const std::string path = "/tmp/memxct_buffered.bin";
+  save_buffered(path, bm);
+  const auto loaded = load_buffered(path);
+  EXPECT_EQ(loaded.num_rows, bm.num_rows);
+  EXPECT_EQ(loaded.config.partsize, bm.config.partsize);
+  EXPECT_EQ(loaded.config.buffsize, bm.config.buffsize);
+  EXPECT_EQ(loaded.num_stages(), bm.num_stages());
+  EXPECT_EQ(loaded.map, bm.map);
+  EXPECT_EQ(loaded.ind, bm.ind);
+  EXPECT_EQ(loaded.val, bm.val);
+  // The loaded structure must compute identically.
+  const auto x = testutil::random_vector(120, 27);
+  AlignedVector<real> y1(100), y2(100);
+  sparse::spmv_buffered(bm, x, y1);
+  sparse::spmv_buffered(loaded, x, y2);
+  EXPECT_EQ(y1, y2);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BufferedRejectsWrongMagic) {
+  const auto a = testutil::random_csr(10, 10, 0.4, 28);
+  const std::string path = "/tmp/memxct_notbuf.bin";
+  save_csr(path, a);
+  EXPECT_THROW(load_buffered(path), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  const auto v = testutil::random_vector(1234, 22);
+  const std::string path = "/tmp/memxct_vec.bin";
+  save_vector(path, v);
+  const auto w = load_vector(path);
+  ASSERT_EQ(w.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(w[i], v[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  const std::string path = "/tmp/memxct_badmagic.bin";
+  const auto v = testutil::random_vector(8, 23);
+  save_vector(path, v);
+  EXPECT_THROW(load_csr(path), InvalidArgument);  // vector file as CSR
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_THROW(load_csr("/tmp/does_not_exist.csr"), InvalidArgument);
+  EXPECT_THROW(load_vector("/tmp/does_not_exist.vec"), InvalidArgument);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  const auto a = testutil::random_csr(20, 20, 0.3, 24);
+  const std::string path = "/tmp/memxct_trunc.csr";
+  save_csr(path, a);
+  // Truncate to half size.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_THROW(load_csr(path), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ValidatesLoadedStructure) {
+  // Corrupt an index beyond num_cols: load must throw from validate().
+  const auto a = testutil::random_csr(10, 10, 0.5, 25);
+  const std::string path = "/tmp/memxct_corrupt.csr";
+  save_csr(path, a);
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  // Header: 8 magic + 24 dims; displ: (rows+1)*8; first ind entry follows.
+  std::fseek(f, 8 + 24 + 11 * 8, SEEK_SET);
+  const idx_t bad = 999;
+  std::fwrite(&bad, sizeof(bad), 1, f);
+  std::fclose(f);
+  EXPECT_THROW(load_csr(path), InvariantError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace memxct::io

@@ -1,0 +1,137 @@
+// Tests for the Siddon ray tracer: geometric invariants of intersection
+// lengths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "geometry/siddon.hpp"
+
+namespace memxct::geometry {
+namespace {
+
+double traced_length(const Geometry& g, idx_t angle, idx_t channel) {
+  std::vector<std::pair<idx_t, real>> segments;
+  trace_ray(g, angle, channel, segments);
+  double total = 0.0;
+  for (const auto& [pixel, len] : segments) total += len;
+  return total;
+}
+
+class GeometrySweep
+    : public ::testing::TestWithParam<std::pair<idx_t, idx_t>> {};
+
+TEST_P(GeometrySweep, LengthsSumToChord) {
+  const auto [angles, channels] = GetParam();
+  const Geometry g = make_geometry(angles, channels);
+  for (idx_t a = 0; a < angles; ++a)
+    for (idx_t c = 0; c < channels; ++c) {
+      const double chord = chord_length(g, a, c);
+      const double traced = traced_length(g, a, c);
+      EXPECT_NEAR(traced, chord, 1e-6 * g.image_size + 1e-9)
+          << "angle " << a << " channel " << c;
+    }
+}
+
+TEST_P(GeometrySweep, SegmentsArePositiveAndInRange) {
+  const auto [angles, channels] = GetParam();
+  const Geometry g = make_geometry(angles, channels);
+  std::vector<std::pair<idx_t, real>> segments;
+  const std::int64_t pixels = g.tomogram_extent().size();
+  for (idx_t a = 0; a < angles; ++a)
+    for (idx_t c = 0; c < channels; ++c) {
+      trace_ray(g, a, c, segments);
+      for (const auto& [pixel, len] : segments) {
+        EXPECT_GE(pixel, 0);
+        EXPECT_LT(static_cast<std::int64_t>(pixel), pixels);
+        EXPECT_GT(len, 0.0f);
+        // No pixel crossing exceeds the pixel diagonal.
+        EXPECT_LE(len, static_cast<real>(std::sqrt(2.0) + 1e-5));
+      }
+    }
+}
+
+TEST_P(GeometrySweep, NoDuplicatePixelsWithinRay) {
+  const auto [angles, channels] = GetParam();
+  const Geometry g = make_geometry(angles, channels);
+  std::vector<std::pair<idx_t, real>> segments;
+  for (idx_t a = 0; a < angles; ++a)
+    for (idx_t c = 0; c < channels; ++c) {
+      trace_ray(g, a, c, segments);
+      std::vector<idx_t> pixels;
+      for (const auto& [pixel, len] : segments) pixels.push_back(pixel);
+      std::sort(pixels.begin(), pixels.end());
+      EXPECT_TRUE(std::adjacent_find(pixels.begin(), pixels.end()) ==
+                  pixels.end());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeometrySweep,
+                         ::testing::Values(std::pair<idx_t, idx_t>{8, 16},
+                                           std::pair<idx_t, idx_t>{16, 17},
+                                           std::pair<idx_t, idx_t>{45, 32},
+                                           std::pair<idx_t, idx_t>{90, 64},
+                                           std::pair<idx_t, idx_t>{7, 33}));
+
+TEST(Siddon, AxisAlignedRayCrossesExactlyOneColumn) {
+  // Angle 0: direction (1, 0) — ray runs along x through one pixel row.
+  const Geometry g = make_geometry(4, 8);  // angles at 0, 45, 90, 135 deg
+  std::vector<std::pair<idx_t, real>> segments;
+  trace_ray(g, 0, 3, segments);
+  ASSERT_EQ(segments.size(), 8u);  // crosses all 8 columns of one row
+  for (const auto& [pixel, len] : segments) EXPECT_NEAR(len, 1.0f, 1e-6);
+  // All pixels share the same row.
+  const idx_t row = segments[0].first / g.image_size;
+  for (const auto& [pixel, len] : segments)
+    EXPECT_EQ(pixel / g.image_size, row);
+}
+
+TEST(Siddon, PerpendicularRayCrossesExactlyOneRow) {
+  const Geometry g = make_geometry(4, 8);
+  std::vector<std::pair<idx_t, real>> segments;
+  trace_ray(g, 2, 5, segments);  // 90 degrees
+  ASSERT_EQ(segments.size(), 8u);
+  const idx_t col = segments[0].first % g.image_size;
+  for (const auto& [pixel, len] : segments)
+    EXPECT_EQ(pixel % g.image_size, col);
+}
+
+TEST(Siddon, DiagonalCentralRay) {
+  // 45-degree ray near the center crosses ~N*sqrt(2) length.
+  const Geometry g = make_geometry(4, 16);
+  const double len = traced_length(g, 1, 8);
+  EXPECT_NEAR(len, 16.0 * std::sqrt(2.0), 1.5);
+}
+
+TEST(Siddon, OutsideChannelMissesGrid) {
+  // A geometry with detector wider than the image: edge channels miss.
+  Geometry g{4, 32, 16};  // 32 channels over a 16x16 image
+  g.validate();
+  std::vector<std::pair<idx_t, real>> segments;
+  trace_ray(g, 1, 0, segments);  // far edge channel, diagonal view
+  EXPECT_TRUE(segments.empty());
+  EXPECT_DOUBLE_EQ(chord_length(g, 1, 0), 0.0);
+}
+
+TEST(Siddon, SinogramMassEqualsImageMassTimesUnitRays) {
+  // For angle 0 the projection sums each row exactly once: total traced
+  // length equals N*N (every pixel crossed once with length 1).
+  const Geometry g = make_geometry(2, 32);
+  double total = 0.0;
+  for (idx_t c = 0; c < g.num_channels; ++c) total += traced_length(g, 0, c);
+  EXPECT_NEAR(total, 32.0 * 32.0, 1e-3);
+}
+
+TEST(Siddon, ChannelOffsetsAreCentered) {
+  const Geometry g = make_geometry(8, 4);
+  EXPECT_DOUBLE_EQ(g.channel_offset(0), -1.5);
+  EXPECT_DOUBLE_EQ(g.channel_offset(3), 1.5);
+}
+
+TEST(Siddon, ValidateRejectsDegenerate) {
+  Geometry g{0, 4, 4};
+  EXPECT_THROW(g.validate(), InvariantError);
+}
+
+}  // namespace
+}  // namespace memxct::geometry

@@ -1,0 +1,116 @@
+// Tests for the simulated message-passing runtime.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "dist/simmpi.hpp"
+
+namespace memxct::dist {
+namespace {
+
+TEST(SimComm, AlltoallvMovesDataCorrectly) {
+  SimComm comm(3);
+  // Rank p sends value 100*p + q to rank q.
+  std::vector<AlignedVector<real>> send(3);
+  std::vector<std::vector<nnz_t>> send_displ(3);
+  for (int p = 0; p < 3; ++p) {
+    send[p] = {static_cast<real>(100 * p + 0), static_cast<real>(100 * p + 1),
+               static_cast<real>(100 * p + 2)};
+    send_displ[p] = {0, 1, 2, 3};
+  }
+  std::vector<AlignedVector<real>> recv;
+  comm.alltoallv(send, send_displ, recv);
+  for (int q = 0; q < 3; ++q) {
+    ASSERT_EQ(recv[q].size(), 3u);
+    for (int p = 0; p < 3; ++p)
+      EXPECT_FLOAT_EQ(recv[q][static_cast<std::size_t>(p)],
+                      static_cast<real>(100 * p + q));
+  }
+}
+
+TEST(SimComm, VariableCountsAndEmptyPairs) {
+  SimComm comm(2);
+  std::vector<AlignedVector<real>> send(2);
+  std::vector<std::vector<nnz_t>> send_displ(2);
+  send[0] = {1.0f, 2.0f, 3.0f};  // all to rank 1
+  send_displ[0] = {0, 0, 3};
+  send[1] = {};  // sends nothing
+  send_displ[1] = {0, 0, 0};
+  std::vector<AlignedVector<real>> recv;
+  comm.alltoallv(send, send_displ, recv);
+  EXPECT_TRUE(recv[0].empty());
+  ASSERT_EQ(recv[1].size(), 3u);
+  EXPECT_FLOAT_EQ(recv[1][2], 3.0f);
+  // recv_displ groups by source.
+  EXPECT_EQ(comm.recv_displ(1)[0], 0);
+  EXPECT_EQ(comm.recv_displ(1)[1], 3);  // 3 from rank 0
+  EXPECT_EQ(comm.recv_displ(1)[2], 3);  // 0 from rank 1
+}
+
+TEST(SimComm, StatsExcludeSelfTraffic) {
+  SimComm comm(2);
+  std::vector<AlignedVector<real>> send(2);
+  std::vector<std::vector<nnz_t>> send_displ(2);
+  send[0] = {1.0f, 2.0f};  // one element to self, one to rank 1
+  send_displ[0] = {0, 1, 2};
+  send[1] = {};
+  send_displ[1] = {0, 0, 0};
+  std::vector<AlignedVector<real>> recv;
+  comm.alltoallv(send, send_displ, recv);
+  EXPECT_EQ(comm.last_stats(0).bytes_sent,
+            static_cast<std::int64_t>(sizeof(real)));
+  EXPECT_EQ(comm.last_stats(0).messages_sent, 1);
+  EXPECT_EQ(comm.last_stats(1).bytes_received,
+            static_cast<std::int64_t>(sizeof(real)));
+  // Traffic matrix still includes self (for Fig 7 totals).
+  EXPECT_EQ(comm.traffic_matrix()[0 * 2 + 0], 1);
+  EXPECT_EQ(comm.traffic_matrix()[0 * 2 + 1], 1);
+}
+
+TEST(SimComm, StatsAccumulateAndReset) {
+  SimComm comm(2);
+  std::vector<AlignedVector<real>> send(2);
+  std::vector<std::vector<nnz_t>> send_displ(2);
+  send[0] = {1.0f};
+  send_displ[0] = {0, 0, 1};
+  send[1] = {};
+  send_displ[1] = {0, 0, 0};
+  std::vector<AlignedVector<real>> recv;
+  comm.alltoallv(send, send_displ, recv);
+  comm.alltoallv(send, send_displ, recv);
+  EXPECT_EQ(comm.total_stats(0).messages_sent, 2);
+  comm.reset_stats();
+  EXPECT_EQ(comm.total_stats(0).messages_sent, 0);
+  EXPECT_EQ(comm.traffic_matrix()[1], 0);
+}
+
+TEST(SimComm, ModeledExchangeTimePositiveAndBandwidthSensitive) {
+  SimComm comm(2);
+  std::vector<AlignedVector<real>> send(2);
+  std::vector<std::vector<nnz_t>> send_displ(2);
+  send[0].assign(10000, 1.0f);
+  send_displ[0] = {0, 0, 10000};
+  send[1] = {};
+  send_displ[1] = {0, 0, 0};
+  std::vector<AlignedVector<real>> recv;
+  comm.alltoallv(send, send_displ, recv);
+  const double theta = comm.last_exchange_seconds(perf::machine("Theta"));
+  const double bw = comm.last_exchange_seconds(perf::machine("BlueWaters"));
+  EXPECT_GT(theta, 0.0);
+  EXPECT_GT(bw, theta);  // Blue Waters' Gemini is slower than Theta's Aries
+}
+
+TEST(SimComm, MismatchedDisplRejected) {
+  SimComm comm(2);
+  std::vector<AlignedVector<real>> send(2);
+  std::vector<std::vector<nnz_t>> send_displ(2);
+  send[0] = {1.0f};
+  send_displ[0] = {0, 0, 2};  // claims 2 elements, buffer has 1
+  send[1] = {};
+  send_displ[1] = {0, 0, 0};
+  std::vector<AlignedVector<real>> recv;
+  EXPECT_THROW(comm.alltoallv(send, send_displ, recv), InvariantError);
+}
+
+}  // namespace
+}  // namespace memxct::dist

@@ -1,0 +1,225 @@
+// Tests for the iterative solvers (CGLS, SIRT, GD) and vector kernels.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "solve/cgls.hpp"
+#include "solve/gd.hpp"
+#include "solve/sirt.hpp"
+#include "solve/vector_ops.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/transpose.hpp"
+#include "test_util.hpp"
+
+namespace memxct::solve {
+namespace {
+
+/// Operator backed by an explicit CSR pair, for solver unit tests.
+class CsrOperator final : public LinearOperator {
+ public:
+  explicit CsrOperator(sparse::CsrMatrix a)
+      : a_(std::move(a)), at_(sparse::transpose(a_)) {}
+  idx_t num_rows() const override { return a_.num_rows; }
+  idx_t num_cols() const override { return a_.num_cols; }
+  void apply(std::span<const real> x, std::span<real> y) const override {
+    sparse::spmv_csr(a_, x, y);
+  }
+  void apply_transpose(std::span<const real> y,
+                       std::span<real> x) const override {
+    sparse::spmv_csr(at_, y, x);
+  }
+
+ private:
+  sparse::CsrMatrix a_;
+  sparse::CsrMatrix at_;
+};
+
+sparse::CsrMatrix well_conditioned(idx_t rows, idx_t cols,
+                                   std::uint64_t seed) {
+  // Random tall matrix plus a strong diagonal: the normal equations are
+  // then well conditioned and CGLS converges fast.
+  auto a = testutil::random_csr(rows, cols, 0.1, seed);
+  sparse::CsrBuilder b(rows, cols);
+  std::vector<std::pair<idx_t, real>> entries;
+  for (idx_t r = 0; r < rows; ++r) {
+    entries.clear();
+    for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+      entries.emplace_back(a.ind[k], a.val[k] * 0.1f);
+    if (r < cols) entries.emplace_back(r, 3.0f);
+    b.set_row(r, entries);
+  }
+  return b.assemble();
+}
+
+TEST(VectorOps, DotAndNorm) {
+  const AlignedVector<real> a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(norm2(a), std::sqrt(14.0));
+}
+
+TEST(VectorOps, AxpyXpbySubtractScale) {
+  AlignedVector<real> y{1, 1, 1};
+  const AlignedVector<real> x{1, 2, 3};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[2], 7.0f);
+  xpby(x, 0.5f, y);  // y = x + 0.5 y
+  EXPECT_FLOAT_EQ(y[0], 1.0f + 1.5f);
+  AlignedVector<real> d(3);
+  subtract(x, y, d);
+  EXPECT_FLOAT_EQ(d[0], x[0] - y[0]);
+  scale(0.0f, d);
+  EXPECT_FLOAT_EQ(d[1], 0.0f);
+  set_zero(y);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  AlignedVector<real> a(3), b(4);
+  EXPECT_THROW((void)dot(a, b), InvariantError);
+  EXPECT_THROW(axpy(1.0f, a, b), InvariantError);
+}
+
+TEST(Cgls, SolvesConsistentSystemExactly) {
+  // For consistent y = A x*, CGLS must recover x* (well-conditioned A).
+  const auto a = well_conditioned(60, 40, 3);
+  const CsrOperator op(a);
+  const auto x_true = testutil::random_vector(40, 4);
+  AlignedVector<real> y(60);
+  sparse::spmv_reference(a, x_true, y);
+  CglsOptions opt;
+  opt.max_iterations = 60;
+  const auto result = cgls(op, y, opt);
+  EXPECT_LT(testutil::rel_error(result.x, x_true), 1e-3);
+  EXPECT_LT(result.history.back().residual_norm, 1e-3 * norm2(y));
+}
+
+TEST(Cgls, ResidualIsMonotoneNonIncreasing) {
+  const auto a = well_conditioned(80, 50, 5);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(80, 6);
+  const auto result = cgls(op, y, {.max_iterations = 30});
+  for (std::size_t i = 1; i < result.history.size(); ++i)
+    EXPECT_LE(result.history[i].residual_norm,
+              result.history[i - 1].residual_norm * (1.0 + 1e-6));
+}
+
+TEST(Cgls, SolutionNormGrowsAlongLCurve) {
+  const auto a = well_conditioned(80, 50, 7);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(80, 8);
+  const auto result = cgls(op, y, {.max_iterations = 20});
+  EXPECT_GT(result.history.back().solution_norm,
+            result.history.front().solution_norm * 0.99);
+}
+
+TEST(Cgls, EarlyStopTriggersNearConvergence) {
+  const auto a = well_conditioned(60, 40, 9);
+  const CsrOperator op(a);
+  const auto x_true = testutil::random_vector(40, 10);
+  AlignedVector<real> y(60);
+  sparse::spmv_reference(a, x_true, y);
+  CglsOptions opt;
+  opt.max_iterations = 500;
+  opt.early_stop = true;
+  const auto result = cgls(op, y, opt);
+  EXPECT_LT(result.iterations, 500);
+}
+
+TEST(Cgls, ZeroMeasurementGivesZeroSolution) {
+  const auto a = well_conditioned(20, 10, 11);
+  const CsrOperator op(a);
+  AlignedVector<real> y(20, 0.0f);
+  const auto result = cgls(op, y, {.max_iterations = 5});
+  for (const real v : result.x) EXPECT_FLOAT_EQ(v, 0.0f);
+  EXPECT_EQ(result.iterations, 0);  // gamma == 0 at start
+}
+
+// SIRT's R/C scaling assumes nonnegative weights (true for CT intersection
+// lengths); its convergence tests use a nonnegative system.
+sparse::CsrMatrix nonneg_system(idx_t rows, idx_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  sparse::CsrBuilder b(rows, cols);
+  std::vector<std::pair<idx_t, real>> entries;
+  for (idx_t r = 0; r < rows; ++r) {
+    entries.clear();
+    for (idx_t c = 0; c < cols; ++c)
+      if (rng.uniform() < 0.15)
+        entries.emplace_back(c, static_cast<real>(rng.uniform(0.1, 1.0)));
+    if (r < cols) entries.emplace_back(r, 2.0f);
+    b.set_row(r, entries);
+  }
+  return b.assemble();
+}
+
+TEST(Sirt, ReducesResidual) {
+  const auto a = nonneg_system(60, 40, 13);
+  const CsrOperator op(a);
+  const auto x_true = testutil::random_vector(40, 14);
+  AlignedVector<real> y(60);
+  sparse::spmv_reference(a, x_true, y);
+  const auto result = sirt(op, y, {.max_iterations = 50});
+  EXPECT_LT(result.history.back().residual_norm,
+            0.5 * result.history.front().residual_norm);
+}
+
+TEST(Sirt, NonNegativeScalingHandlesEmptyRows) {
+  // A matrix with empty rows/columns must not produce NaNs (division
+  // guarded by inv_or_zero).
+  sparse::CsrBuilder b(4, 4);
+  const std::vector<std::pair<idx_t, real>> row{{1, 1.0f}, {2, 2.0f}};
+  b.set_row(0, row);
+  b.set_row(2, row);
+  const CsrOperator op(b.assemble());
+  AlignedVector<real> y{1.0f, 0.0f, 2.0f, 0.0f};
+  const auto result = sirt(op, y, {.max_iterations = 10});
+  for (const real v : result.x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Gd, ReducesResidual) {
+  const auto a = well_conditioned(60, 40, 15);
+  const CsrOperator op(a);
+  const auto x_true = testutil::random_vector(40, 16);
+  AlignedVector<real> y(60);
+  sparse::spmv_reference(a, x_true, y);
+  const auto result = gradient_descent(op, y, {.max_iterations = 40});
+  EXPECT_LT(result.history.back().residual_norm,
+            0.3 * result.history.front().residual_norm);
+}
+
+TEST(Convergence, CgBeatsSirtPerIteration) {
+  // Fig 8's qualitative claim: CG reaches a given residual in far fewer
+  // iterations than SIRT.
+  const auto a = nonneg_system(100, 64, 17);
+  const CsrOperator op(a);
+  const auto x_true = testutil::random_vector(64, 18);
+  AlignedVector<real> y(100);
+  sparse::spmv_reference(a, x_true, y);
+  const double target = 0.05 * norm2(y);
+
+  const auto cg_result = cgls(op, y, {.max_iterations = 100});
+  const auto sirt_result = sirt(op, y, {.max_iterations = 100});
+  const auto iters_to_reach = [&](const SolveResult& r) {
+    for (const auto& rec : r.history)
+      if (rec.residual_norm < target) return rec.iteration;
+    return 1000;
+  };
+  EXPECT_LT(iters_to_reach(cg_result), iters_to_reach(sirt_result));
+}
+
+TEST(EarlyStopHeuristic, StopsOnPlateau) {
+  EarlyStop stop(1e-3, 3);
+  EXPECT_FALSE(stop.should_stop(100.0));
+  EXPECT_FALSE(stop.should_stop(50.0));
+  EXPECT_FALSE(stop.should_stop(25.0));
+  EXPECT_FALSE(stop.should_stop(12.0));  // still improving fast
+  EXPECT_FALSE(stop.should_stop(6.0));
+  // Plateau: barely any improvement over the window.
+  EXPECT_FALSE(stop.should_stop(5.999));
+  EXPECT_FALSE(stop.should_stop(5.998));
+  EXPECT_TRUE(stop.should_stop(5.997));
+}
+
+}  // namespace
+}  // namespace memxct::solve

@@ -1,0 +1,87 @@
+// Tests for the baseline (Listing 2) and library-reference SpMV kernels.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "sparse/spmv.hpp"
+#include "test_util.hpp"
+
+namespace memxct::sparse {
+namespace {
+
+struct SpmvCase {
+  idx_t rows, cols;
+  double density;
+  idx_t partsize;
+};
+
+class SpmvSweep : public ::testing::TestWithParam<SpmvCase> {};
+
+TEST_P(SpmvSweep, BaselineMatchesReference) {
+  const auto& param = GetParam();
+  const CsrMatrix a =
+      testutil::random_csr(param.rows, param.cols, param.density, 3);
+  const auto x = testutil::random_vector(param.cols, 4);
+  AlignedVector<real> expected(static_cast<std::size_t>(param.rows));
+  AlignedVector<real> actual(static_cast<std::size_t>(param.rows), -1.0f);
+  spmv_reference(a, x, expected);
+  spmv_csr(a, x, actual, param.partsize);
+  EXPECT_LT(testutil::rel_error(actual, expected), 1e-5);
+}
+
+TEST_P(SpmvSweep, LibraryMatchesReference) {
+  const auto& param = GetParam();
+  const CsrMatrix a =
+      testutil::random_csr(param.rows, param.cols, param.density, 5);
+  const auto x = testutil::random_vector(param.cols, 6);
+  AlignedVector<real> expected(static_cast<std::size_t>(param.rows));
+  AlignedVector<real> actual(static_cast<std::size_t>(param.rows), -1.0f);
+  spmv_reference(a, x, expected);
+  spmv_library(a, x, actual);
+  EXPECT_LT(testutil::rel_error(actual, expected), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpmvSweep,
+    ::testing::Values(SpmvCase{1, 1, 1.0, 1}, SpmvCase{16, 16, 0.5, 4},
+                      SpmvCase{100, 80, 0.1, 128},
+                      SpmvCase{80, 100, 0.1, 7},
+                      SpmvCase{257, 129, 0.05, 32},
+                      SpmvCase{512, 512, 0.01, 128},
+                      SpmvCase{33, 1000, 0.02, 8},
+                      SpmvCase{50, 50, 0.0, 16}));
+
+TEST(Spmv, EmptyRowsProduceZero) {
+  CsrBuilder b(4, 4);
+  const std::vector<std::pair<idx_t, real>> row{{1, 2.0f}};
+  b.set_row(2, row);
+  const CsrMatrix a = b.assemble();
+  const AlignedVector<real> x{1.0f, 1.0f, 1.0f, 1.0f};
+  AlignedVector<real> y(4, 99.0f);
+  spmv_csr(a, x, y);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(Spmv, RejectsWrongSizes) {
+  const CsrMatrix a = testutil::random_csr(4, 5, 0.5, 1);
+  AlignedVector<real> x(5), y(4), bad(3);
+  EXPECT_THROW(spmv_csr(a, bad, y), InvariantError);
+  EXPECT_THROW(spmv_csr(a, x, bad), InvariantError);
+  EXPECT_THROW(spmv_library(a, bad, y), InvariantError);
+}
+
+TEST(Spmv, WorkAccounting) {
+  const CsrMatrix a = testutil::random_csr(20, 20, 0.3, 9);
+  const auto work = csr_work(a);
+  EXPECT_EQ(work.nnz, a.nnz());
+  EXPECT_DOUBLE_EQ(work.flops(), 2.0 * static_cast<double>(a.nnz()));
+  EXPECT_DOUBLE_EQ(work.bytes_per_fma, 8.0);  // 4 B index + 4 B value
+  EXPECT_GT(work.gflops(1.0), 0.0);
+  EXPECT_EQ(work.gflops(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace memxct::sparse

@@ -1,0 +1,136 @@
+// Tests for the multi-slice volume pipeline (Table 5's "all slices"
+// workflow) with shared preprocessing and warm-started CG.
+#include <gtest/gtest.h>
+
+#include "core/volume.hpp"
+#include "phantom/datasets.hpp"
+#include "phantom/phantom.hpp"
+#include "test_util.hpp"
+
+namespace memxct::core {
+namespace {
+
+/// A small synthetic 3D stack: shale slices whose seed drifts slowly, so
+/// adjacent slices are similar but not identical (like a real volume).
+AlignedVector<real> slice_sinogram(const geometry::Geometry& g, int slice) {
+  // Blend two phantoms to make neighbouring slices strongly correlated.
+  const auto base = phantom::shale_phantom(g.image_size, 100);
+  const auto drift =
+      phantom::shale_phantom(g.image_size, 200 + static_cast<unsigned>(slice) / 4);
+  std::vector<real> image(base.size());
+  const real w = static_cast<real>(0.1 + 0.02 * slice);
+  for (std::size_t i = 0; i < image.size(); ++i)
+    image[i] = (1.0f - w) * base[i] + w * drift[i];
+  return phantom::forward_project(g, image);
+}
+
+TEST(Volume, ReconstructsAllSlicesWithOnePreprocessing) {
+  const auto spec = phantom::dataset("RDS1").scaled_by(32);
+  const auto g = spec.geometry();
+  Config config;
+  config.iterations = 8;
+  const VolumeReconstructor volume(g, config);
+  const auto result = volume.reconstruct(
+      4, [&](int s) { return slice_sinogram(g, s); });
+  ASSERT_EQ(result.slices.size(), 4u);
+  ASSERT_EQ(result.stats.size(), 4u);
+  for (const auto& slice : result.slices)
+    EXPECT_EQ(static_cast<std::int64_t>(slice.size()),
+              g.tomogram_extent().size());
+  for (const auto& s : result.stats) {
+    EXPECT_EQ(s.iterations, 8);
+    EXPECT_GT(s.seconds, 0.0);
+    EXPECT_GT(s.residual_norm, 0.0);
+  }
+  EXPECT_GT(result.preprocess_seconds, 0.0);
+  // Slices differ (it is a volume, not a repeated slice).
+  EXPECT_NE(result.slices[0], result.slices[3]);
+}
+
+TEST(Volume, WarmStartMatchesColdQuality) {
+  const auto spec = phantom::dataset("RDS1").scaled_by(32);
+  const auto g = spec.geometry();
+  Config config;
+  config.iterations = 12;
+  const VolumeReconstructor volume(g, config);
+  const auto source = [&](int s) { return slice_sinogram(g, s); };
+  const auto cold = volume.reconstruct(3, source, {.warm_start = false});
+  const auto warm = volume.reconstruct(3, source, {.warm_start = true});
+  for (std::size_t s = 0; s < 3; ++s)
+    EXPECT_LT(testutil::rel_error(warm.slices[s], cold.slices[s]), 0.05)
+        << "slice " << s;
+}
+
+TEST(Volume, WarmStartLowersResidualAtFixedIterations) {
+  // Same iteration budget: warm-started later slices must end at a lower
+  // (or equal) residual than cold-started ones.
+  const auto spec = phantom::dataset("RDS1").scaled_by(32);
+  const auto g = spec.geometry();
+  Config config;
+  config.iterations = 4;  // deliberately tight budget
+  const VolumeReconstructor volume(g, config);
+  const auto source = [&](int s) { return slice_sinogram(g, s); };
+  const auto cold = volume.reconstruct(3, source, {.warm_start = false});
+  const auto warm = volume.reconstruct(3, source, {.warm_start = true});
+  // Slice 0 is identical (nothing to warm from); later slices benefit.
+  for (std::size_t s = 1; s < 3; ++s)
+    EXPECT_LT(warm.stats[s].residual_norm,
+              cold.stats[s].residual_norm * 1.01)
+        << "slice " << s;
+}
+
+TEST(Volume, ZRegularizationCouplesAdjacentSlices) {
+  // With strong z_lambda, consecutive reconstructed slices must be closer
+  // to each other than without coupling (the prior pulls each slice toward
+  // its neighbour).
+  const auto spec = phantom::dataset("RDS1").scaled_by(32);
+  const auto g = spec.geometry();
+  Config config;
+  config.iterations = 10;
+  const VolumeReconstructor volume(g, config);
+  const auto source = [&](int s) { return slice_sinogram(g, s); };
+  const auto plain = volume.reconstruct(3, source, {});
+  const auto coupled =
+      volume.reconstruct(3, source, {.warm_start = false, .z_lambda = 50.0});
+  const auto slice_gap = [](const VolumeResult& r) {
+    double total = 0.0;
+    for (std::size_t s = 1; s < r.slices.size(); ++s)
+      total += phantom::rmse(r.slices[s], r.slices[s - 1]);
+    return total;
+  };
+  EXPECT_LT(slice_gap(coupled), slice_gap(plain));
+}
+
+TEST(Volume, MildZRegularizationPreservesQuality) {
+  const auto spec = phantom::dataset("RDS1").scaled_by(32);
+  const auto g = spec.geometry();
+  Config config;
+  config.iterations = 10;
+  const VolumeReconstructor volume(g, config);
+  const auto source = [&](int s) { return slice_sinogram(g, s); };
+  const auto plain = volume.reconstruct(2, source, {});
+  const auto mild =
+      volume.reconstruct(2, source, {.warm_start = false, .z_lambda = 0.5});
+  for (std::size_t s = 0; s < 2; ++s)
+    EXPECT_LT(testutil::rel_error(mild.slices[s], plain.slices[s]), 0.1)
+        << "slice " << s;
+}
+
+TEST(Volume, ZeroSlicesIsValid) {
+  const auto spec = phantom::dataset("ADS1").scaled_by(16);
+  const VolumeReconstructor volume(spec.geometry(), []{ Config c; c.iterations = 2; return c; }());
+  const auto result =
+      volume.reconstruct(0, [&](int) { return AlignedVector<real>{}; });
+  EXPECT_TRUE(result.slices.empty());
+}
+
+TEST(Volume, RejectsWrongSliceSize) {
+  const auto spec = phantom::dataset("ADS1").scaled_by(16);
+  const VolumeReconstructor volume(spec.geometry(), []{ Config c; c.iterations = 2; return c; }());
+  EXPECT_THROW(
+      volume.reconstruct(1, [&](int) { return AlignedVector<real>(7); }),
+      InvariantError);
+}
+
+}  // namespace
+}  // namespace memxct::core
