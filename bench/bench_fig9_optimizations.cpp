@@ -10,7 +10,15 @@
 //   (d)-(f)-style: modeled device GFLOPS for KNL and the three GPU
 //       generations, driven by the measured per-FMA byte costs, the
 //       simulated miss rates, and each dataset's paper-scale MCDRAM fit.
+// The --schedule=dynamic|static-plan flag selects the thread work-sharing
+// strategy of the timed host kernels: the historical per-apply
+// schedule(dynamic) loops (default), or the nnz-balanced static apply plans
+// of sparse/plan.hpp.
+#include <omp.h>
+
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -18,10 +26,25 @@
 #include "io/table.hpp"
 #include "perf/machine_model.hpp"
 #include "sparse/buffered.hpp"
+#include "sparse/plan.hpp"
 #include "sparse/spmv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memxct;
+  bool planned = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--schedule=static-plan") {
+      planned = true;
+    } else if (arg != "--schedule=dynamic") {
+      std::fprintf(stderr,
+                   "usage: %s [--schedule=dynamic|static-plan]\n", argv[0]);
+      return 1;
+    }
+  }
+  const int slots = omp_get_max_threads();
+  std::printf("host kernels: %s schedule\n",
+              planned ? "static-plan" : "dynamic");
   struct Result {
     std::string name;
     double gflops[3];       // host measured per level
@@ -49,8 +72,16 @@ int main() {
       x.assign(static_cast<std::size_t>(natural.num_cols), 1.0f);
       y.assign(static_cast<std::size_t>(natural.num_rows), 0.0f);
       res.work[0] = sparse::csr_work(natural);
-      const double t =
-          bench::time_kernel([&] { sparse::spmv_csr(natural, x, y); });
+      sparse::ApplyPlan plan;
+      if (planned)
+        plan = sparse::ApplyPlan::build(
+            sparse::partition_nnz(natural, sparse::kCsrPartsize), slots);
+      const double t = bench::time_kernel([&] {
+        if (planned)
+          sparse::spmv_csr_planned(natural, sparse::kCsrPartsize, plan, x, y);
+        else
+          sparse::spmv_csr(natural, x, y);
+      });
       res.gflops[0] = res.work[0].gflops(t);
       res.bandwidth[0] = res.work[0].bandwidth_gbs(t);
       auto hierarchy = cachesim::knl_core_hierarchy();
@@ -62,8 +93,16 @@ int main() {
       const auto ordered =
           bench::build_matrix(spec, hilbert::CurveKind::Hilbert);
       res.work[1] = sparse::csr_work(ordered);
-      const double t =
-          bench::time_kernel([&] { sparse::spmv_csr(ordered, x, y); });
+      sparse::ApplyPlan plan;
+      if (planned)
+        plan = sparse::ApplyPlan::build(
+            sparse::partition_nnz(ordered, sparse::kCsrPartsize), slots);
+      const double t = bench::time_kernel([&] {
+        if (planned)
+          sparse::spmv_csr_planned(ordered, sparse::kCsrPartsize, plan, x, y);
+        else
+          sparse::spmv_csr(ordered, x, y);
+      });
       res.gflops[1] = res.work[1].gflops(t);
       res.bandwidth[1] = res.work[1].bandwidth_gbs(t);
       auto hierarchy = cachesim::knl_core_hierarchy();
@@ -73,8 +112,20 @@ int main() {
 
       const auto buffered = sparse::build_buffered(ordered, {128, 4096});
       res.work[2] = sparse::buffered_work(buffered);
-      const double tb =
-          bench::time_kernel([&] { sparse::spmv_buffered(buffered, x, y); });
+      sparse::ApplyPlan buf_plan;
+      sparse::Workspace buf_ws;
+      if (planned) {
+        buf_plan =
+            sparse::ApplyPlan::build(sparse::partition_nnz(buffered), slots);
+        buf_ws = sparse::Workspace(slots, buffered.config.buffsize,
+                                   buffered.config.partsize);
+      }
+      const double tb = bench::time_kernel([&] {
+        if (planned)
+          sparse::spmv_buffered_planned(buffered, buf_plan, buf_ws, x, y);
+        else
+          sparse::spmv_buffered(buffered, x, y);
+      });
       res.gflops[2] = res.work[2].gflops(tb);
       res.bandwidth[2] = res.work[2].bandwidth_gbs(tb);
     }

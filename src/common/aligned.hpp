@@ -5,6 +5,7 @@
 // per-thread output partitions.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdlib>
 #include <limits>
@@ -14,6 +15,14 @@
 #include "common/types.hpp"
 
 namespace memxct {
+
+/// Test hook: process-wide count of AlignedAllocator heap allocations.
+/// The hot-path contract (apply() allocates nothing after operator
+/// construction) is asserted by diffing this counter around kernel calls.
+inline std::atomic<std::int64_t>& aligned_alloc_count() noexcept {
+  static std::atomic<std::int64_t> count{0};
+  return count;
+}
 
 /// Minimal allocator returning kCacheLineBytes-aligned memory.
 template <class T>
@@ -33,6 +42,7 @@ class AlignedAllocator {
         kCacheLineBytes;
     void* p = std::aligned_alloc(kCacheLineBytes, bytes);
     if (p == nullptr) throw std::bad_alloc();
+    aligned_alloc_count().fetch_add(1, std::memory_order_relaxed);
     return static_cast<T*>(p);
   }
 

@@ -19,6 +19,15 @@ enum class KernelKind {
 
 [[nodiscard]] const char* to_string(KernelKind kind) noexcept;
 
+/// Thread work-sharing strategy for operator applies.
+enum class ScheduleKind {
+  Dynamic,     ///< Per-apply `schedule(dynamic)` partition distribution.
+  StaticPlan,  ///< nnz-balanced static plan: fixed partition → thread map,
+               ///< persistent workspaces, bitwise-deterministic output.
+};
+
+[[nodiscard]] const char* to_string(ScheduleKind kind) noexcept;
+
 /// Iterative scheme (Section 3.5.2's plug-and-play solvers).
 enum class SolverKind { CGLS, SIRT, GradientDescent };
 
@@ -33,6 +42,8 @@ struct Config {
   KernelKind kernel = KernelKind::Buffered;
   sparse::BufferConfig buffer;  ///< partsize/buffsize tuning (Fig 10).
   idx_t ell_block_rows = 64;    ///< Partition size for the ELL layout.
+  /// Apply-time work sharing; StaticPlan is the allocation-free default.
+  ScheduleKind schedule = ScheduleKind::StaticPlan;
 
   SolverKind solver = SolverKind::CGLS;
   int iterations = 30;      ///< Paper's CG default.

@@ -1,5 +1,7 @@
 #include "core/operator.hpp"
 
+#include <omp.h>
+
 #include "common/error.hpp"
 #include "sparse/spmv.hpp"
 #include "sparse/transpose.hpp"
@@ -20,6 +22,16 @@ const char* to_string(KernelKind kind) noexcept {
   return "?";
 }
 
+const char* to_string(ScheduleKind kind) noexcept {
+  switch (kind) {
+    case ScheduleKind::Dynamic:
+      return "dynamic";
+    case ScheduleKind::StaticPlan:
+      return "static-plan";
+  }
+  return "?";
+}
+
 const char* to_string(SolverKind kind) noexcept {
   switch (kind) {
     case SolverKind::CGLS:
@@ -34,9 +46,9 @@ const char* to_string(SolverKind kind) noexcept {
 
 MemXCTOperator::MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
                                const sparse::BufferConfig& buffer,
-                               idx_t ell_block_rows)
-    : kind_(kind), num_rows_(a.num_rows), num_cols_(a.num_cols),
-      nnz_(a.nnz()) {
+                               idx_t ell_block_rows, ScheduleKind schedule)
+    : kind_(kind), schedule_(schedule), num_rows_(a.num_rows),
+      num_cols_(a.num_cols), nnz_(a.nnz()) {
   sparse::CsrMatrix at = sparse::transpose(a);
   switch (kind_) {
     case KernelKind::Baseline:
@@ -62,39 +74,96 @@ MemXCTOperator::MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
               static_cast<std::int64_t>(sizeof(idx_t));
       break;
   }
+
+  if (schedule_ != ScheduleKind::StaticPlan) return;
+  // Static-plan state: nnz-balanced partition → thread assignments for both
+  // directions, plus persistent per-thread workspaces sized for the kernel's
+  // staging needs. After this point apply()/apply_transpose() never allocate.
+  const int slots = omp_get_max_threads();
+  switch (kind_) {
+    case KernelKind::Baseline:
+      plan_fwd_ = sparse::ApplyPlan::build(
+          sparse::partition_nnz(*csr_fwd_, sparse::kCsrPartsize), slots);
+      plan_bwd_ = sparse::ApplyPlan::build(
+          sparse::partition_nnz(*csr_bwd_, sparse::kCsrPartsize), slots);
+      break;
+    case KernelKind::Library:
+      // The general-library stand-in keeps its untuned schedule by design.
+      break;
+    case KernelKind::EllBlock:
+      plan_fwd_ =
+          sparse::ApplyPlan::build(sparse::partition_nnz(*ell_fwd_), slots);
+      plan_bwd_ =
+          sparse::ApplyPlan::build(sparse::partition_nnz(*ell_bwd_), slots);
+      ws_fwd_ = sparse::Workspace(slots, 0, ell_fwd_->block_rows);
+      ws_bwd_ = sparse::Workspace(slots, 0, ell_bwd_->block_rows);
+      break;
+    case KernelKind::Buffered:
+      plan_fwd_ =
+          sparse::ApplyPlan::build(sparse::partition_nnz(*buf_fwd_), slots);
+      plan_bwd_ =
+          sparse::ApplyPlan::build(sparse::partition_nnz(*buf_bwd_), slots);
+      ws_fwd_ = sparse::Workspace(slots, buf_fwd_->config.buffsize,
+                                  buf_fwd_->config.partsize);
+      ws_bwd_ = sparse::Workspace(slots, buf_bwd_->config.buffsize,
+                                  buf_bwd_->config.partsize);
+      break;
+  }
 }
 
 void MemXCTOperator::apply(std::span<const real> x, std::span<real> y) const {
+  const bool planned = schedule_ == ScheduleKind::StaticPlan;
   switch (kind_) {
     case KernelKind::Baseline:
-      sparse::spmv_csr(*csr_fwd_, x, y);
+      if (planned)
+        sparse::spmv_csr_planned(*csr_fwd_, sparse::kCsrPartsize, plan_fwd_, x,
+                                 y);
+      else
+        sparse::spmv_csr(*csr_fwd_, x, y);
       break;
     case KernelKind::Library:
       sparse::spmv_library(*csr_fwd_, x, y);
       break;
     case KernelKind::EllBlock:
-      sparse::spmv_ell(*ell_fwd_, x, y);
+      if (planned)
+        sparse::spmv_ell_planned(*ell_fwd_, plan_fwd_, ws_fwd_, x, y);
+      else
+        sparse::spmv_ell(*ell_fwd_, x, y);
       break;
     case KernelKind::Buffered:
-      sparse::spmv_buffered(*buf_fwd_, x, y);
+      if (planned)
+        sparse::spmv_buffered_planned(*buf_fwd_, plan_fwd_, ws_fwd_, x, y);
+      else
+        sparse::spmv_buffered(*buf_fwd_, x, y);
       break;
   }
 }
 
 void MemXCTOperator::apply_transpose(std::span<const real> y,
                                      std::span<real> x) const {
+  const bool planned = schedule_ == ScheduleKind::StaticPlan;
   switch (kind_) {
     case KernelKind::Baseline:
-      sparse::spmv_csr(*csr_bwd_, y, x);
+      if (planned)
+        sparse::spmv_csr_planned(*csr_bwd_, sparse::kCsrPartsize, plan_bwd_, y,
+                                 x);
+      else
+        sparse::spmv_csr(*csr_bwd_, y, x);
       break;
     case KernelKind::Library:
       sparse::spmv_library(*csr_bwd_, y, x);
       break;
     case KernelKind::EllBlock:
-      sparse::spmv_ell(*ell_bwd_, y, x);
+      if (planned)
+        sparse::spmv_ell_planned(*ell_bwd_, plan_bwd_, ws_bwd_, y, x);
+      else
+        sparse::spmv_ell(*ell_bwd_, y, x);
       break;
     case KernelKind::Buffered:
-      sparse::spmv_buffered(*buf_bwd_, y, x);
+      if (planned)
+        sparse::spmv_buffered_planned(*buf_bwd_, plan_bwd_, ws_bwd_, y, x);
+      else
+        sparse::spmv_buffered(*buf_bwd_, y, x);
       break;
   }
 }

@@ -10,11 +10,20 @@
 #include "sparse/buffered.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ell.hpp"
+#include "sparse/plan.hpp"
 
 namespace memxct::core {
 
 /// Owns the forward matrix A (and its transpose) in whichever storage the
 /// configured kernel needs, and dispatches apply/apply_transpose to it.
+///
+/// Under ScheduleKind::StaticPlan (the default) construction also builds an
+/// nnz-balanced static execution plan per direction plus persistent
+/// per-thread workspaces, so every apply is allocation-free, runs the same
+/// partitions on the same threads, and produces bitwise-identical output
+/// independent of thread count. The workspaces are per-operator scratch:
+/// concurrent applies on one operator instance are not supported (solvers
+/// apply serially).
 class MemXCTOperator final : public solve::LinearOperator {
  public:
   /// Takes the ordered-space forward matrix; builds the transpose and any
@@ -22,7 +31,8 @@ class MemXCTOperator final : public solve::LinearOperator {
   /// kernel does not need.
   MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
                  const sparse::BufferConfig& buffer = {},
-                 idx_t ell_block_rows = 64);
+                 idx_t ell_block_rows = 64,
+                 ScheduleKind schedule = ScheduleKind::StaticPlan);
 
   [[nodiscard]] idx_t num_rows() const override { return num_rows_; }
   [[nodiscard]] idx_t num_cols() const override { return num_cols_; }
@@ -32,7 +42,17 @@ class MemXCTOperator final : public solve::LinearOperator {
                        std::span<real> x) const override;
 
   [[nodiscard]] KernelKind kind() const noexcept { return kind_; }
+  [[nodiscard]] ScheduleKind schedule() const noexcept { return schedule_; }
   [[nodiscard]] nnz_t nnz() const noexcept { return nnz_; }
+
+  /// Load-balance summaries of the static plans (empty when the kernel has
+  /// no planned path, e.g. Library, or schedule is Dynamic).
+  [[nodiscard]] sparse::PlanStats forward_plan_stats() const noexcept {
+    return plan_fwd_.stats();
+  }
+  [[nodiscard]] sparse::PlanStats transpose_plan_stats() const noexcept {
+    return plan_bwd_.stats();
+  }
 
   /// Work accounting of one forward apply (for GFLOPS / bandwidth).
   [[nodiscard]] perf::KernelWork forward_work() const;
@@ -44,6 +64,7 @@ class MemXCTOperator final : public solve::LinearOperator {
 
  private:
   KernelKind kind_;
+  ScheduleKind schedule_;
   idx_t num_rows_ = 0, num_cols_ = 0;
   nnz_t nnz_ = 0;
   std::int64_t regular_bytes_ = 0;
@@ -51,6 +72,11 @@ class MemXCTOperator final : public solve::LinearOperator {
   std::optional<sparse::CsrMatrix> csr_fwd_, csr_bwd_;
   std::optional<sparse::EllBlockMatrix> ell_fwd_, ell_bwd_;
   std::optional<sparse::BufferedMatrix> buf_fwd_, buf_bwd_;
+  // Static-plan execution state (built once at construction).
+  sparse::ApplyPlan plan_fwd_, plan_bwd_;
+  // Apply-time scratch, persistent so apply() never allocates; mutable
+  // because LinearOperator::apply is const (see class comment on reentrancy).
+  mutable sparse::Workspace ws_fwd_, ws_bwd_;
 };
 
 }  // namespace memxct::core

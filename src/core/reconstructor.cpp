@@ -59,7 +59,8 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
     // Steps 3-4: scan transposition and kernel-specific structures.
     phase.reset();
     serial_op_ = std::make_unique<MemXCTOperator>(
-        std::move(a), config_.kernel, config_.buffer, config_.ell_block_rows);
+        std::move(a), config_.kernel, config_.buffer, config_.ell_block_rows,
+        config_.schedule);
     report_.transpose_seconds = phase.seconds();
     report_.regular_bytes = serial_op_->regular_bytes();
     active_op_ = serial_op_.get();

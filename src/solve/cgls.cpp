@@ -7,9 +7,11 @@
 namespace memxct::solve {
 
 bool EarlyStop::should_stop(double residual_norm) {
-  history_.push_back(residual_norm);
-  if (static_cast<int>(history_.size()) <= window_) return false;
-  const double prev = history_[history_.size() - 1 - window_];
+  ring_[count_ % ring_.size()] = residual_norm;
+  ++count_;
+  if (count_ <= static_cast<std::size_t>(window_)) return false;
+  const double prev =
+      ring_[(count_ - 1 - static_cast<std::size_t>(window_)) % ring_.size()];
   if (prev <= 0.0) return true;
   const double improvement = (prev - residual_norm) / prev;
   return improvement < tolerance_;
@@ -58,17 +60,20 @@ SolveResult cgls_warm(const LinearOperator& op, std::span<const real> y,
     const double qq = dot(q, q) + lambda2 * dot(p, p);
     if (qq == 0.0) break;
     const double alpha = gamma / qq;
-    axpy(static_cast<real>(alpha), p, result.x);
-    axpy(static_cast<real>(-alpha), q, r);
+    // Fused: x += alpha·p and r -= alpha·q in one parallel region.
+    axpy2(static_cast<real>(alpha), p, result.x, static_cast<real>(-alpha), q,
+          r);
     op.apply_transpose(r, s);
-    if (lambda2 > 0.0)
-      axpy(static_cast<real>(-lambda2), result.x, s);
-    const double gamma_new = dot(s, s);
+    // Fused: the damped-gradient update s -= lambda²·x and gamma = <s,s>
+    // share one pass over s.
+    const double gamma_new =
+        lambda2 > 0.0 ? axpy_dot(static_cast<real>(-lambda2), result.x, s)
+                      : dot(s, s);
     const double beta = gamma_new / gamma;
-    xpby(s, static_cast<real>(beta), p);
+    // Fused: direction update p = s + beta·p and ||r|| in one region.
+    const double rnorm = xpby_norm(s, static_cast<real>(beta), p, r);
     gamma = gamma_new;
 
-    const double rnorm = norm2(r);
     if (options.record_history)
       result.history.push_back({iter + 1, rnorm, norm2(result.x)});
     if (options.early_stop && stop.should_stop(rnorm)) {

@@ -1,5 +1,7 @@
 #include "solve/gd.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "perf/timer.hpp"
 #include "solve/vector_ops.hpp"
@@ -20,18 +22,25 @@ SolveResult gradient_descent(const LinearOperator& op, std::span<const real> y,
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
     op.apply(result.x, forward);
-    subtract(y, forward, residual);
+    // Fused: residual = y - forward and its norm in one pass.
+    const double rnorm = subtract_norm(y, forward, residual);
     op.apply_transpose(residual, g);
     op.apply(g, ag);
     const double gg = dot(g, g);
     const double agag = dot(ag, ag);
     if (agag == 0.0) break;
     const double alpha = gg / agag;
-    axpy(static_cast<real>(alpha), g, result.x);
-    if (options.nonnegative)
-      for (auto& v : result.x) v = v < real{0} ? real{0} : v;
+    double xnorm = 0.0;
+    if (options.nonnegative) {
+      axpy(static_cast<real>(alpha), g, result.x);
+      clamp_nonneg(result.x);
+      if (options.record_history) xnorm = norm2(result.x);
+    } else {
+      // Fused: solution update and <x,x> share one pass.
+      xnorm = std::sqrt(axpy_dot(static_cast<real>(alpha), g, result.x));
+    }
     if (options.record_history)
-      result.history.push_back({iter + 1, norm2(residual), norm2(result.x)});
+      result.history.push_back({iter + 1, rnorm, xnorm});
   }
   result.iterations = iter;
   result.seconds = timer.seconds();

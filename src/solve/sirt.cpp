@@ -1,5 +1,7 @@
 #include "solve/sirt.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "perf/timer.hpp"
 #include "solve/vector_ops.hpp"
@@ -28,19 +30,21 @@ SolveResult sirt(const LinearOperator& op, std::span<const real> y,
   for (auto& v : col_sum) v = inv_or_zero(v);  // now C
 
   AlignedVector<real> forward(m), residual(m), gradient(n);
+  double xnorm = 0.0;  // ||x_0|| for the zero start
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
     op.apply(result.x, forward);
-    subtract(y, forward, residual);
-    // Record the L-curve point of the *current* iterate so residual and
-    // solution norms describe the same x (Fig 8 pairs them).
+    // Fused: residual = (y - forward)·R with the unscaled ||y - forward||
+    // from the same pass. The recorded L-curve point pairs that residual
+    // with the norm of the *current* iterate (Fig 8 pairs them), which the
+    // previous iteration's fused update already produced.
+    const double rnorm = sub_scale_norm(y, forward, row_sum, residual);
     if (options.record_history)
-      result.history.push_back({iter, norm2(residual), norm2(result.x)});
-    // Scale by R, backproject, scale by C, update.
-    for (std::size_t i = 0; i < m; ++i) residual[i] *= row_sum[i];
+      result.history.push_back({iter, rnorm, xnorm});
     op.apply_transpose(residual, gradient);
-    for (std::size_t i = 0; i < n; ++i)
-      result.x[i] += options.relaxation * col_sum[i] * gradient[i];
+    // Fused: x += relax·C·gradient and <x,x> of the update in one pass.
+    xnorm = std::sqrt(
+        diag_axpy_dot(options.relaxation, col_sum, gradient, result.x));
   }
   result.iterations = iter;
   result.seconds = timer.seconds();

@@ -32,7 +32,8 @@ struct SolveResult {
 class EarlyStop {
  public:
   EarlyStop(double tolerance = 1e-3, int window = 3)
-      : tolerance_(tolerance), window_(window) {}
+      : tolerance_(tolerance), window_(window),
+        ring_(static_cast<std::size_t>(window) + 1) {}
 
   /// Feeds one residual norm; returns true when iteration should stop.
   bool should_stop(double residual_norm);
@@ -40,7 +41,11 @@ class EarlyStop {
  private:
   double tolerance_;
   int window_;
-  std::vector<double> history_;
+  /// Bounded ring of the last window_+1 residuals — the decision only ever
+  /// looks `window_` entries back, so memory stays O(window) no matter how
+  /// many iterations run.
+  std::vector<double> ring_;
+  std::size_t count_ = 0;  ///< Residuals fed so far.
 };
 
 }  // namespace memxct::solve

@@ -1,20 +1,51 @@
 #include "solve/vector_ops.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 
 namespace memxct::solve {
 
+namespace {
+
+// Elements per deterministic-reduction chunk. Chunk boundaries depend only
+// on the vector length, per-chunk partials are accumulated in index order,
+// and the partials are summed serially — so every reduction result is
+// bitwise-identical for any thread count.
+constexpr std::int64_t kRedChunk = 8192;
+
+inline std::int64_t chunk_count(std::int64_t n) {
+  return (n + kRedChunk - 1) / kRedChunk;
+}
+
+inline double serial_sum(const std::vector<double>& partial) {
+  double acc = 0.0;
+  for (const double v : partial) acc += v;
+  return acc;
+}
+
+}  // namespace
+
 double dot(std::span<const real> a, std::span<const real> b) {
   MEMXCT_CHECK(a.size() == b.size());
-  double acc = 0.0;
   const auto n = static_cast<std::int64_t>(a.size());
-#pragma omp parallel for reduction(+ : acc) schedule(static)
-  for (std::int64_t i = 0; i < n; ++i)
-    acc += static_cast<double>(a[static_cast<std::size_t>(i)]) *
-           static_cast<double>(b[static_cast<std::size_t>(i)]);
-  return acc;
+  const std::int64_t nchunks = chunk_count(n);
+  std::vector<double> partial(static_cast<std::size_t>(nchunks));
+  const real* const ap = a.data();
+  const real* const bp = b.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    const std::int64_t lo = c * kRedChunk;
+    const std::int64_t hi = std::min(lo + kRedChunk, n);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::int64_t i = lo; i < hi; ++i)
+      acc += static_cast<double>(ap[i]) * static_cast<double>(bp[i]);
+    partial[static_cast<std::size_t>(c)] = acc;
+  }
+  return serial_sum(partial);
 }
 
 double norm2(std::span<const real> a) { return std::sqrt(dot(a, a)); }
@@ -56,6 +87,159 @@ void set_zero(std::span<real> a) {
   const auto n = static_cast<std::int64_t>(a.size());
 #pragma omp parallel for schedule(static)
   for (std::int64_t i = 0; i < n; ++i) a[static_cast<std::size_t>(i)] = 0;
+}
+
+void clamp_nonneg(std::span<real> a) {
+  const auto n = static_cast<std::int64_t>(a.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    real& v = a[static_cast<std::size_t>(i)];
+    v = v < real{0} ? real{0} : v;
+  }
+}
+
+void axpy2(real alpha, std::span<const real> p, std::span<real> x, real beta,
+           std::span<const real> q, std::span<real> r) {
+  MEMXCT_CHECK(p.size() == x.size());
+  MEMXCT_CHECK(q.size() == r.size());
+  const auto n = static_cast<std::int64_t>(p.size());
+  const auto m = static_cast<std::int64_t>(q.size());
+  const real* const pp = p.data();
+  real* const xp = x.data();
+  const real* const qp = q.data();
+  real* const rp = r.data();
+#pragma omp parallel
+  {
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = 0; i < n; ++i) xp[i] += alpha * pp[i];
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < m; ++i) rp[i] += beta * qp[i];
+  }
+}
+
+double xpby_norm(std::span<const real> s, real beta, std::span<real> p,
+                 std::span<const real> r) {
+  MEMXCT_CHECK(s.size() == p.size());
+  const auto n = static_cast<std::int64_t>(s.size());
+  const auto m = static_cast<std::int64_t>(r.size());
+  const std::int64_t nchunks = chunk_count(m);
+  std::vector<double> partial(static_cast<std::size_t>(nchunks));
+  const real* const sp = s.data();
+  real* const pp = p.data();
+  const real* const rp = r.data();
+#pragma omp parallel
+  {
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = 0; i < n; ++i) pp[i] = sp[i] + beta * pp[i];
+#pragma omp for schedule(static)
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      const std::int64_t lo = c * kRedChunk;
+      const std::int64_t hi = std::min(lo + kRedChunk, m);
+      double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+      for (std::int64_t i = lo; i < hi; ++i)
+        acc += static_cast<double>(rp[i]) * static_cast<double>(rp[i]);
+      partial[static_cast<std::size_t>(c)] = acc;
+    }
+  }
+  return std::sqrt(serial_sum(partial));
+}
+
+double axpy_dot(real alpha, std::span<const real> x, std::span<real> y) {
+  MEMXCT_CHECK(x.size() == y.size());
+  const auto n = static_cast<std::int64_t>(x.size());
+  const std::int64_t nchunks = chunk_count(n);
+  std::vector<double> partial(static_cast<std::size_t>(nchunks));
+  const real* const xp = x.data();
+  real* const yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    const std::int64_t lo = c * kRedChunk;
+    const std::int64_t hi = std::min(lo + kRedChunk, n);
+#pragma omp simd
+    for (std::int64_t i = lo; i < hi; ++i) yp[i] += alpha * xp[i];
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::int64_t i = lo; i < hi; ++i)
+      acc += static_cast<double>(yp[i]) * static_cast<double>(yp[i]);
+    partial[static_cast<std::size_t>(c)] = acc;
+  }
+  return serial_sum(partial);
+}
+
+double subtract_norm(std::span<const real> a, std::span<const real> b,
+                     std::span<real> y) {
+  MEMXCT_CHECK(a.size() == b.size() && a.size() == y.size());
+  const auto n = static_cast<std::int64_t>(a.size());
+  const std::int64_t nchunks = chunk_count(n);
+  std::vector<double> partial(static_cast<std::size_t>(nchunks));
+  const real* const ap = a.data();
+  const real* const bp = b.data();
+  real* const yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    const std::int64_t lo = c * kRedChunk;
+    const std::int64_t hi = std::min(lo + kRedChunk, n);
+#pragma omp simd
+    for (std::int64_t i = lo; i < hi; ++i) yp[i] = ap[i] - bp[i];
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::int64_t i = lo; i < hi; ++i)
+      acc += static_cast<double>(yp[i]) * static_cast<double>(yp[i]);
+    partial[static_cast<std::size_t>(c)] = acc;
+  }
+  return std::sqrt(serial_sum(partial));
+}
+
+double sub_scale_norm(std::span<const real> a, std::span<const real> b,
+                      std::span<const real> w, std::span<real> y) {
+  MEMXCT_CHECK(a.size() == b.size() && a.size() == w.size() &&
+               a.size() == y.size());
+  const auto n = static_cast<std::int64_t>(a.size());
+  const std::int64_t nchunks = chunk_count(n);
+  std::vector<double> partial(static_cast<std::size_t>(nchunks));
+  const real* const ap = a.data();
+  const real* const bp = b.data();
+  const real* const wp = w.data();
+  real* const yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    const std::int64_t lo = c * kRedChunk;
+    const std::int64_t hi = std::min(lo + kRedChunk, n);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const real d = ap[i] - bp[i];
+      acc += static_cast<double>(d) * static_cast<double>(d);
+      yp[i] = d * wp[i];
+    }
+    partial[static_cast<std::size_t>(c)] = acc;
+  }
+  return std::sqrt(serial_sum(partial));
+}
+
+double diag_axpy_dot(real alpha, std::span<const real> w,
+                     std::span<const real> x, std::span<real> y) {
+  MEMXCT_CHECK(w.size() == x.size() && x.size() == y.size());
+  const auto n = static_cast<std::int64_t>(x.size());
+  const std::int64_t nchunks = chunk_count(n);
+  std::vector<double> partial(static_cast<std::size_t>(nchunks));
+  const real* const wp = w.data();
+  const real* const xp = x.data();
+  real* const yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    const std::int64_t lo = c * kRedChunk;
+    const std::int64_t hi = std::min(lo + kRedChunk, n);
+#pragma omp simd
+    for (std::int64_t i = lo; i < hi; ++i) yp[i] += alpha * wp[i] * xp[i];
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::int64_t i = lo; i < hi; ++i)
+      acc += static_cast<double>(yp[i]) * static_cast<double>(yp[i]);
+    partial[static_cast<std::size_t>(c)] = acc;
+  }
+  return serial_sum(partial);
 }
 
 }  // namespace memxct::solve

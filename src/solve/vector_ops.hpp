@@ -2,6 +2,16 @@
 //
 // Dot products accumulate in double: CG three-term recursions are sensitive
 // to reduction error at paper-scale vector lengths.
+//
+// All reductions use a fixed-chunk deterministic scheme: the vector is split
+// into chunks whose boundaries depend only on its length, per-chunk partials
+// are computed in index order, and the partials are summed serially. The
+// result is therefore bitwise-identical for any thread count — the property
+// the static-plan operator extends to whole solver runs.
+//
+// The fused kernels (axpy2, xpby_norm, axpy_dot, subtract_norm, ...) combine
+// updates that the solver iteration bodies would otherwise run as separate
+// parallel regions, halving the non-SpMV memory passes per CGLS iteration.
 #pragma once
 
 #include <span>
@@ -10,7 +20,7 @@
 
 namespace memxct::solve {
 
-/// <a, b> with double accumulation.
+/// <a, b> with double accumulation (deterministic chunked reduction).
 [[nodiscard]] double dot(std::span<const real> a, std::span<const real> b);
 
 /// ||a||_2.
@@ -31,5 +41,43 @@ void scale(real alpha, std::span<real> a);
 
 /// a = 0.
 void set_zero(std::span<real> a);
+
+/// a = max(a, 0) elementwise (the non-negativity projection).
+void clamp_nonneg(std::span<real> a);
+
+/// Fused pair of updates in one parallel region: x += alpha·p (solution
+/// update, length n) and r += beta·q (residual update, length m). One
+/// fork-join instead of two.
+void axpy2(real alpha, std::span<const real> p, std::span<real> x, real beta,
+           std::span<const real> q, std::span<real> r);
+
+/// Fused CG direction update and residual norm: p = s + beta·p, returns
+/// ||r||_2, both in one parallel region.
+[[nodiscard]] double xpby_norm(std::span<const real> s, real beta,
+                               std::span<real> p, std::span<const real> r);
+
+/// Fused damped-gradient update and self product: y += alpha·x, returns
+/// <y, y> of the updated y in the same pass.
+[[nodiscard]] double axpy_dot(real alpha, std::span<const real> x,
+                              std::span<real> y);
+
+/// Fused residual formation and norm: y = a - b, returns ||y||_2 of the
+/// result in the same pass.
+[[nodiscard]] double subtract_norm(std::span<const real> a,
+                                   std::span<const real> b,
+                                   std::span<real> y);
+
+/// Fused SIRT residual step: y = (a - b) · w elementwise, returns the
+/// *unscaled* ||a - b||_2 (the L-curve residual of the current iterate).
+[[nodiscard]] double sub_scale_norm(std::span<const real> a,
+                                    std::span<const real> b,
+                                    std::span<const real> w,
+                                    std::span<real> y);
+
+/// Fused SIRT solution update: y += alpha · w · x elementwise, returns
+/// <y, y> of the updated y in the same pass.
+[[nodiscard]] double diag_axpy_dot(real alpha, std::span<const real> w,
+                                   std::span<const real> x,
+                                   std::span<real> y);
 
 }  // namespace memxct::solve

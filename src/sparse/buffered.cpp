@@ -238,10 +238,12 @@ void spmv_buffered(const BufferedMatrix& a, std::span<const real> x,
           output[j] += acc;
         }
       }
+      // Tail guard hoisted out of the store loop: full partitions take the
+      // branchless full-width path, only the last partition truncates.
       const idx_t rstart = part * partsize;
+      const idx_t rows_here = std::min<idx_t>(partsize, num_rows - rstart);
 #pragma omp simd
-      for (idx_t i = 0; i < partsize; ++i)
-        if (rstart + i < num_rows) yp[rstart + i] = output[i];
+      for (idx_t i = 0; i < rows_here; ++i) yp[rstart + i] = output[i];
     }
   }
 }

@@ -1,0 +1,254 @@
+#include "sparse/plan.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/grid.hpp"
+
+namespace memxct::sparse {
+
+ApplyPlan ApplyPlan::build(std::span<const nnz_t> part_nnz, int num_slots) {
+  MEMXCT_CHECK(num_slots >= 1);
+  const auto numparts = static_cast<idx_t>(part_nnz.size());
+  ApplyPlan plan;
+  plan.bounds_.resize(static_cast<std::size_t>(num_slots) + 1);
+  plan.slot_nnz_.resize(static_cast<std::size_t>(num_slots));
+
+  std::vector<nnz_t> prefix(static_cast<std::size_t>(numparts) + 1, 0);
+  for (idx_t p = 0; p < numparts; ++p) {
+    MEMXCT_CHECK(part_nnz[static_cast<std::size_t>(p)] >= 0);
+    prefix[static_cast<std::size_t>(p) + 1] =
+        prefix[static_cast<std::size_t>(p)] +
+        part_nnz[static_cast<std::size_t>(p)];
+  }
+  const nnz_t total = prefix.back();
+
+  plan.bounds_[0] = 0;
+  plan.bounds_[static_cast<std::size_t>(num_slots)] = numparts;
+  for (int s = 1; s < num_slots; ++s) {
+    // First partition boundary whose prefix reaches the ideal s/num_slots
+    // share; clamped monotone so slots stay contiguous and disjoint.
+    const nnz_t target =
+        static_cast<nnz_t>((static_cast<double>(total) * s) / num_slots);
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    const auto cut = static_cast<idx_t>(it - prefix.begin());
+    plan.bounds_[static_cast<std::size_t>(s)] = std::clamp<idx_t>(
+        cut, plan.bounds_[static_cast<std::size_t>(s) - 1], numparts);
+  }
+  for (int s = 0; s < num_slots; ++s)
+    plan.slot_nnz_[static_cast<std::size_t>(s)] =
+        prefix[static_cast<std::size_t>(
+            plan.bounds_[static_cast<std::size_t>(s) + 1])] -
+        prefix[static_cast<std::size_t>(
+            plan.bounds_[static_cast<std::size_t>(s)])];
+  return plan;
+}
+
+PlanStats ApplyPlan::stats() const noexcept {
+  PlanStats st;
+  st.num_slots = num_slots();
+  if (st.num_slots == 0) return st;
+  st.min_slot_nnz = slot_nnz_.front();
+  for (const nnz_t w : slot_nnz_) {
+    st.total_nnz += w;
+    st.max_slot_nnz = std::max(st.max_slot_nnz, w);
+    st.min_slot_nnz = std::min(st.min_slot_nnz, w);
+  }
+  return st;
+}
+
+Workspace::Workspace(int num_slots, idx_t input_capacity,
+                     idx_t output_capacity) {
+  MEMXCT_CHECK(num_slots >= 0);
+  MEMXCT_CHECK(input_capacity >= 0 && output_capacity >= 0);
+  slots_.resize(static_cast<std::size_t>(num_slots));
+  // First-touch: each slot's buffers are allocated and zero-filled by the
+  // thread that will execute the slot under the round-robin slot → thread
+  // map, placing the pages on that thread's NUMA node.
+#pragma omp parallel
+  {
+    const int nthreads = omp_get_num_threads();
+    for (int s = omp_get_thread_num(); s < num_slots; s += nthreads) {
+      auto& buffers = slots_[static_cast<std::size_t>(s)];
+      buffers.input.assign(static_cast<std::size_t>(input_capacity), real{0});
+      buffers.output.assign(static_cast<std::size_t>(output_capacity),
+                            real{0});
+    }
+  }
+}
+
+std::vector<nnz_t> partition_nnz(const CsrMatrix& a, idx_t partsize) {
+  MEMXCT_CHECK(partsize > 0);
+  const idx_t numparts = std::max<idx_t>(1, ceil_div(a.num_rows, partsize));
+  std::vector<nnz_t> weights(static_cast<std::size_t>(numparts));
+  for (idx_t p = 0; p < numparts; ++p) {
+    const idx_t r0 = std::min<idx_t>(p * partsize, a.num_rows);
+    const idx_t r1 = std::min<idx_t>(r0 + partsize, a.num_rows);
+    weights[static_cast<std::size_t>(p)] = a.displ[r1] - a.displ[r0];
+  }
+  return weights;
+}
+
+std::vector<nnz_t> partition_nnz(const EllBlockMatrix& a) {
+  std::vector<nnz_t> weights(static_cast<std::size_t>(a.num_blocks()));
+  for (idx_t b = 0; b < a.num_blocks(); ++b)
+    weights[static_cast<std::size_t>(b)] =
+        a.block_displ[static_cast<std::size_t>(b) + 1] -
+        a.block_displ[static_cast<std::size_t>(b)];
+  return weights;
+}
+
+std::vector<nnz_t> partition_nnz(const BufferedMatrix& a) {
+  const idx_t partsize = a.config.partsize;
+  std::vector<nnz_t> weights(static_cast<std::size_t>(a.num_partitions()));
+  for (idx_t p = 0; p < a.num_partitions(); ++p) {
+    // A partition's entries span one contiguous run of the stage-major
+    // layout, bounded by its first and one-past-last stage rows.
+    const auto cell0 = static_cast<std::size_t>(
+                           a.partdispl[static_cast<std::size_t>(p)]) *
+                       partsize;
+    const auto cell1 = static_cast<std::size_t>(
+                           a.partdispl[static_cast<std::size_t>(p) + 1]) *
+                       partsize;
+    weights[static_cast<std::size_t>(p)] = a.displ[cell1] - a.displ[cell0];
+  }
+  return weights;
+}
+
+void spmv_csr_planned(const CsrMatrix& a, idx_t partsize,
+                      const ApplyPlan& plan, std::span<const real> x,
+                      std::span<real> y) {
+  MEMXCT_CHECK(static_cast<idx_t>(x.size()) == a.num_cols);
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == a.num_rows);
+  MEMXCT_CHECK(partsize > 0);
+  MEMXCT_CHECK(plan.num_partitions() ==
+               std::max<idx_t>(1, ceil_div(a.num_rows, partsize)));
+  const idx_t num_rows = a.num_rows;
+  const nnz_t* const displ = a.displ.data();
+  const idx_t* const ind = a.ind.data();
+  const real* const val = a.val.data();
+  const real* const xp = x.data();
+  real* const yp = y.data();
+  const int num_slots = plan.num_slots();
+
+#pragma omp parallel
+  {
+    const int nthreads = omp_get_num_threads();
+    for (int s = omp_get_thread_num(); s < num_slots; s += nthreads) {
+      for (idx_t part = plan.slot_begin(s); part < plan.slot_end(s); ++part) {
+        const idx_t r0 = std::min<idx_t>(part * partsize, num_rows);
+        const idx_t r1 = std::min<idx_t>(r0 + partsize, num_rows);
+        for (idx_t r = r0; r < r1; ++r) {
+          real acc = 0;
+#pragma omp simd reduction(+ : acc)
+          for (nnz_t j = displ[r]; j < displ[r + 1]; ++j)
+            acc += xp[ind[j]] * val[j];
+          yp[r] = acc;
+        }
+      }
+    }
+  }
+}
+
+void spmv_ell_planned(const EllBlockMatrix& a, const ApplyPlan& plan,
+                      Workspace& ws, std::span<const real> x,
+                      std::span<real> y) {
+  MEMXCT_CHECK(static_cast<idx_t>(x.size()) == a.num_cols);
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == a.num_rows);
+  MEMXCT_CHECK(plan.num_partitions() == a.num_blocks());
+  MEMXCT_CHECK(ws.num_slots() >= plan.num_slots());
+  const idx_t* const ind = a.ind.data();
+  const real* const val = a.val.data();
+  const real* const xp = x.data();
+  real* const yp = y.data();
+  const idx_t block_rows = a.block_rows;
+  const int num_slots = plan.num_slots();
+
+#pragma omp parallel
+  {
+    const int nthreads = omp_get_num_threads();
+    for (int s = omp_get_thread_num(); s < num_slots; s += nthreads) {
+      const std::span<real> acc_span = ws.output(s);
+      MEMXCT_CHECK(static_cast<idx_t>(acc_span.size()) >= block_rows);
+      real* const acc = acc_span.data();
+      for (idx_t b = plan.slot_begin(s); b < plan.slot_end(s); ++b) {
+        const idx_t r0 = b * block_rows;
+        const idx_t lanes = std::min<idx_t>(block_rows, a.num_rows - r0);
+        const nnz_t base = a.block_displ[static_cast<std::size_t>(b)];
+        const idx_t width = a.block_width[static_cast<std::size_t>(b)];
+        std::fill(acc, acc + lanes, real{0});
+        for (idx_t w = 0; w < width; ++w) {
+          const idx_t* const indw =
+              ind + base + static_cast<nnz_t>(w) * block_rows;
+          const real* const valw =
+              val + base + static_cast<nnz_t>(w) * block_rows;
+#pragma omp simd
+          for (idx_t l = 0; l < lanes; ++l) acc[l] += xp[indw[l]] * valw[l];
+        }
+        for (idx_t l = 0; l < lanes; ++l) yp[r0 + l] = acc[l];
+      }
+    }
+  }
+}
+
+void spmv_buffered_planned(const BufferedMatrix& a, const ApplyPlan& plan,
+                           Workspace& ws, std::span<const real> x,
+                           std::span<real> y) {
+  MEMXCT_CHECK(static_cast<idx_t>(x.size()) == a.num_cols);
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == a.num_rows);
+  MEMXCT_CHECK(plan.num_partitions() == a.num_partitions());
+  MEMXCT_CHECK(ws.num_slots() >= plan.num_slots());
+  const idx_t partsize = a.config.partsize;
+  const idx_t num_rows = a.num_rows;
+  const idx_t* const partdispl = a.partdispl.data();
+  const nnz_t* const stagedispl = a.stagedispl.data();
+  const idx_t* const stagenz = a.stagenz.data();
+  const idx_t* const map = a.map.data();
+  const nnz_t* const displ = a.displ.data();
+  const buf_idx_t* const ind = a.ind.data();
+  const real* const val = a.val.data();
+  const real* const xp = x.data();
+  real* const yp = y.data();
+  const int num_slots = plan.num_slots();
+
+#pragma omp parallel
+  {
+    const int nthreads = omp_get_num_threads();
+    for (int s = omp_get_thread_num(); s < num_slots; s += nthreads) {
+      const std::span<real> input_span = ws.input(s);
+      const std::span<real> output_span = ws.output(s);
+      MEMXCT_CHECK(static_cast<idx_t>(input_span.size()) >= a.config.buffsize);
+      MEMXCT_CHECK(static_cast<idx_t>(output_span.size()) >= partsize);
+      real* const input = input_span.data();
+      real* const output = output_span.data();
+      for (idx_t part = plan.slot_begin(s); part < plan.slot_end(s); ++part) {
+        std::fill(output, output + partsize, real{0});
+        for (idx_t stage = partdispl[part]; stage < partdispl[part + 1];
+             ++stage) {
+          const nnz_t mstart = stagedispl[stage];
+          const idx_t nz = stagenz[stage];
+#pragma omp simd
+          for (idx_t i = 0; i < nz; ++i) input[i] = xp[map[mstart + i]];
+          const nnz_t dstart = static_cast<nnz_t>(stage) * partsize;
+          for (idx_t j = 0; j < partsize; ++j) {
+            real acc = 0;
+#pragma omp simd reduction(+ : acc)
+            for (nnz_t i = displ[dstart + j]; i < displ[dstart + j + 1]; ++i)
+              acc += input[ind[i]] * val[i];
+            output[j] += acc;
+          }
+        }
+        // Tail guard hoisted out of the store loop: full partitions take the
+        // branchless full-width path, only the last partition truncates.
+        const idx_t rstart = part * partsize;
+        const idx_t rows_here = std::min<idx_t>(partsize, num_rows - rstart);
+#pragma omp simd
+        for (idx_t i = 0; i < rows_here; ++i) yp[rstart + i] = output[i];
+      }
+    }
+  }
+}
+
+}  // namespace memxct::sparse

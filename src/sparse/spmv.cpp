@@ -14,7 +14,7 @@ void spmv_csr(const CsrMatrix& a, std::span<const real> x, std::span<real> y,
   const real* const val = a.val.data();
   const real* const xp = x.data();
   real* const yp = y.data();
-#pragma omp parallel for schedule(dynamic, 128) firstprivate(partsize)
+#pragma omp parallel for schedule(dynamic, 128)
   for (idx_t i = 0; i < a.num_rows; i += partsize) {
     const idx_t end = i + partsize < a.num_rows ? i + partsize : a.num_rows;
     for (idx_t r = i; r < end; ++r) {

@@ -9,11 +9,15 @@
 
 namespace memxct::sparse {
 
+/// Default row-partition size of the baseline kernel; the planned execution
+/// path (sparse/plan.hpp) must partition with the same granularity.
+inline constexpr idx_t kCsrPartsize = 128;
+
 /// Baseline MemXCT kernel (paper Listing 2): dynamically scheduled row
 /// partitions of `partsize` rows, vectorized inner gather-FMA loop.
 /// Overwrites y = A·x.
 void spmv_csr(const CsrMatrix& a, std::span<const real> x, std::span<real> y,
-              idx_t partsize = 128);
+              idx_t partsize = kCsrPartsize);
 
 /// General-purpose reference SpMV standing in for the MKL/cuSPARSE CSR
 /// kernels of Table 6: statically scheduled, no application-specific tuning.
