@@ -11,10 +11,17 @@
 //   --kernel buffered|baseline|ell|library                 (default buffered)
 //   --ranks P                  simulated distributed ranks (default 1)
 //   --noise I0                 Poisson dose for --demo     (default clean)
+//   --ingest passthrough|reject|sanitize                   (default passthrough)
+//   --cache DIR                checksummed preprocessing cache directory
+//   --checkpoint FILE          solver checkpoint/restart file
+//   --checkpoint-interval K    snapshot every K iterations (default 10)
 //   --save-sino file.vec       dump the sinogram used
 //   --fbp filter               also run FBP (ramp|shepp|hann) for comparison
 //
 // Input sinograms are .vec files (io::save_vector format), angles-major.
+//
+// Exit codes: 0 success, 2 usage, 3 invalid argument/data, 4 I/O or
+// corruption error, 5 internal invariant violation.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,15 +44,43 @@ using namespace memxct;
                "--demo shepp|shale|brain [--size N]) [--solver cg|sirt|gd] "
                "[--iterations K] [--lambda L] [--ordering hilbert|rowmajor|"
                "morton] [--kernel buffered|baseline|ell|library] [--ranks P] "
-               "[--noise I0] [--save-sino f.vec] [--fbp ramp|shepp|hann] "
+               "[--noise I0] [--ingest passthrough|reject|sanitize] "
+               "[--cache DIR] [--checkpoint FILE] [--checkpoint-interval K] "
+               "[--save-sino f.vec] [--fbp ramp|shepp|hann] "
                "[--output img.pgm]\n",
                argv0);
   std::exit(2);
 }
 
+int run(int argc, char** argv);
+
 }  // namespace
 
+// One-line diagnostics with distinct exit codes per error class, instead of
+// std::terminate backtraces: scripts driving the CLI can distinguish "your
+// input is wrong" (3) from "a file is corrupt" (4) from "this is a bug" (5).
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const InvalidArgument& e) {
+    std::fprintf(stderr, "memxct_cli: invalid argument: %s\n", e.what());
+    return 3;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "memxct_cli: I/O error: %s\n", e.what());
+    return 4;
+  } catch (const InvariantError& e) {
+    std::fprintf(stderr, "memxct_cli: internal invariant violated: %s\n",
+                 e.what());
+    return 5;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "memxct_cli: error: %s\n", e.what());
+    return 1;
+  }
+}
+
+namespace {
+
+int run(int argc, char** argv) {
   std::string input, output = "reconstruction.pgm", demo, save_sino, fbp;
   core::Config config;
   idx_t angles = 0, channels = 0, size = 128;
@@ -70,7 +105,19 @@ int main(int argc, char** argv) {
     else if (arg == "--noise") noise = std::atof(next());
     else if (arg == "--save-sino") save_sino = next();
     else if (arg == "--fbp") fbp = next();
-    else if (arg == "--solver") {
+    else if (arg == "--cache") config.cache_dir = next();
+    else if (arg == "--checkpoint") config.checkpoint_path = next();
+    else if (arg == "--checkpoint-interval")
+      config.checkpoint_interval = std::atoi(next());
+    else if (arg == "--ingest") {
+      const std::string v = next();
+      if (v == "passthrough")
+        config.ingest.policy = resil::IngestPolicy::Passthrough;
+      else if (v == "reject") config.ingest.policy = resil::IngestPolicy::Reject;
+      else if (v == "sanitize")
+        config.ingest.policy = resil::IngestPolicy::Sanitize;
+      else usage(argv[0]);
+    } else if (arg == "--solver") {
       const std::string v = next();
       if (v == "cg") config.solver = core::SolverKind::CGLS;
       else if (v == "sirt") config.solver = core::SolverKind::SIRT;
@@ -129,11 +176,15 @@ int main(int argc, char** argv) {
   const auto g = geometry::make_geometry(angles, channels);
   const core::Reconstructor recon(g, config);
   const auto& report = recon.preprocess_report();
-  std::printf("preprocessing %.2f s (%lld nnz, %s regular data)\n",
+  std::printf("preprocessing %.2f s (%lld nnz, %s regular data%s)\n",
               report.total_seconds, static_cast<long long>(report.nnz),
               io::TablePrinter::bytes(
-                  static_cast<double>(report.regular_bytes)).c_str());
+                  static_cast<double>(report.regular_bytes)).c_str(),
+              report.cache_hit ? ", cache hit" : "");
   const auto result = recon.reconstruct(sinogram);
+  if (config.ingest.policy == resil::IngestPolicy::Sanitize &&
+      !result.ingest.clean())
+    std::printf("ingest: %s\n", result.ingest.summary().c_str());
   std::printf("%s: %d iterations in %.2f s (%.1f ms/iter), residual %.4g\n",
               to_string(config.solver), result.solve.iterations,
               result.solve.seconds, result.solve.per_iteration_s * 1e3,
@@ -157,3 +208,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace

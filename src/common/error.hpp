@@ -25,6 +25,15 @@ class InvalidArgument : public std::invalid_argument {
       : std::invalid_argument(what) {}
 };
 
+/// Thrown when an I/O operation fails or persisted data is corrupt
+/// (checksum mismatch, truncation, stale or incompatible format). Callers
+/// that can rebuild the data (the preprocessing cache, solver checkpoints)
+/// catch this type and degrade gracefully instead of crashing.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "hilbert/ordering.hpp"
+#include "resil/ingest.hpp"
 #include "sparse/buffered.hpp"
 
 namespace memxct::core {
@@ -51,6 +52,22 @@ struct Config {
   /// Tikhonov damping for CGLS (the R(x) = λ²||x||² regularizer of Eq. 1);
   /// 0 disables.
   double tikhonov_lambda = 0.0;
+
+  /// Measurement ingest policy: how reconstruct() treats NaN/Inf samples,
+  /// dead/hot detector channels, and zingers in the incoming sinogram.
+  /// Passthrough (the default) trusts the caller; Reject throws
+  /// InvalidArgument on any anomaly; Sanitize repairs in place and reports.
+  resil::IngestOptions ingest;
+
+  /// Directory for the checksummed preprocessing cache; empty disables
+  /// caching. A corrupt or stale cache file is rebuilt, never trusted.
+  std::string cache_dir;
+
+  /// Solver checkpoint file; empty disables on-disk checkpoint/restart.
+  /// When set, reconstruct() resumes from a compatible checkpoint and
+  /// snapshots every checkpoint_interval iterations.
+  std::string checkpoint_path;
+  int checkpoint_interval = 10;
 
   /// >1 runs the distributed R·C·A_p path over simmpi with this many ranks.
   int num_ranks = 1;

@@ -1,14 +1,60 @@
 #include "core/reconstructor.hpp"
 
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
 #include "common/error.hpp"
 #include "dist/partition.hpp"
 #include "geometry/projector.hpp"
 #include "perf/timer.hpp"
+#include "resil/checked_io.hpp"
 #include "solve/cgls.hpp"
 #include "solve/gd.hpp"
 #include "solve/sirt.hpp"
 
 namespace memxct::core {
+
+namespace {
+
+/// Cache file name keyed by everything the traced matrix depends on:
+/// geometry shape, angular span, ordering scheme, and tile size. A config
+/// change keys a different file, so stale caches are simply never opened;
+/// a file that *was* tampered with to the right name still fails its
+/// checksum or the dimension cross-check below.
+std::string cache_file_name(const geometry::Geometry& g, const Config& c) {
+  std::ostringstream os;
+  os << "memxct-a" << g.num_angles << "-c" << g.num_channels << "-i"
+     << g.image_size << "-s" << g.angle_span << "-" << to_string(c.ordering)
+     << "-t" << c.tile_size << ".csr";
+  return os.str();
+}
+
+/// Loads the traced matrix from the cache if possible. Any failure —
+/// missing file, checksum mismatch, truncation, wrong dimensions — returns
+/// false and the caller rebuilds; corruption is reported on stderr but
+/// never crashes preprocessing (the cache is an optimization, not a
+/// dependency).
+bool try_load_cache(const std::string& path, const geometry::Geometry& g,
+                    sparse::CsrMatrix& a) {
+  if (!resil::file_exists(path)) return false;
+  try {
+    a = resil::load_csr_checked(path);
+    if (static_cast<std::int64_t>(a.num_rows) != g.sinogram_extent().size() ||
+        static_cast<std::int64_t>(a.num_cols) != g.tomogram_extent().size())
+      throw IoError(path + ": cached matrix shape does not match geometry");
+    return true;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "memxct: cache unusable (%s); rebuilding\n",
+                 e.what());
+  } catch (const InvariantError& e) {
+    std::fprintf(stderr, "memxct: cache corrupt (%s); rebuilding\n",
+                 e.what());
+  }
+  return false;
+}
+
+}  // namespace
 
 Reconstructor::Reconstructor(const geometry::Geometry& geometry,
                              const Config& config)
@@ -25,10 +71,30 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
       geometry_.tomogram_extent(), config_.ordering, config_.tile_size);
   report_.ordering_seconds = phase.seconds();
 
-  // Step 2: memoized ray tracing into the ordered projection matrix.
+  // Step 2: memoized ray tracing into the ordered projection matrix —
+  // loaded from the checked cache when one is configured and intact, else
+  // recomputed (and the cache repopulated with an atomic write).
   phase.reset();
-  sparse::CsrMatrix a =
-      geometry::build_projection_matrix(geometry_, *sino_order_, *tomo_order_);
+  sparse::CsrMatrix a;
+  std::string cache_path;
+  if (!config_.cache_dir.empty()) {
+    cache_path = config_.cache_dir + "/" + cache_file_name(geometry_, config_);
+    report_.cache_hit = try_load_cache(cache_path, geometry_, a);
+  }
+  if (!report_.cache_hit) {
+    a = geometry::build_projection_matrix(geometry_, *sino_order_,
+                                          *tomo_order_);
+    if (!cache_path.empty()) {
+      try {
+        std::error_code ec;  // a failed mkdir surfaces as the write error
+        std::filesystem::create_directories(config_.cache_dir, ec);
+        resil::save_csr_checked(cache_path, a);
+      } catch (const IoError& e) {
+        std::fprintf(stderr, "memxct: cache write failed (%s); continuing\n",
+                     e.what());
+      }
+    }
+  }
   report_.trace_seconds = phase.seconds();
   report_.nnz = a.nnz();
   report_.irregular_bytes =
@@ -75,11 +141,42 @@ ReconstructionResult Reconstructor::reconstruct(
   MEMXCT_CHECK(static_cast<std::int64_t>(sinogram.size()) ==
                geometry_.sinogram_extent().size());
 
+  // Ingest gate: a NaN here would poison every solver inner product from
+  // the first backprojection on, so anomalies are rejected or repaired
+  // before any arithmetic sees the data.
+  resil::IngestReport ingest;
+  AlignedVector<real> sanitized;
+  std::span<const real> measurements = sinogram;
+  switch (config_.ingest.policy) {
+    case resil::IngestPolicy::Passthrough:
+      break;
+    case resil::IngestPolicy::Reject:
+      ingest = resil::validate_sinogram(geometry_.num_angles,
+                                        geometry_.num_channels, sinogram,
+                                        config_.ingest);
+      if (!ingest.clean())
+        throw InvalidArgument("sinogram rejected by ingest validation: " +
+                              ingest.summary());
+      break;
+    case resil::IngestPolicy::Sanitize:
+      sanitized.assign(sinogram.begin(), sinogram.end());
+      ingest = resil::sanitize_sinogram(geometry_.num_angles,
+                                        geometry_.num_channels, sanitized,
+                                        config_.ingest);
+      measurements = sanitized;
+      break;
+  }
+
   // Permute measurements into ordered sinogram space.
-  AlignedVector<real> y(sinogram.size());
+  AlignedVector<real> y(measurements.size());
   const auto& to_grid = sino_order_->to_grid();
   for (std::size_t i = 0; i < y.size(); ++i)
-    y[i] = sinogram[static_cast<std::size_t>(to_grid[i])];
+    y[i] = measurements[static_cast<std::size_t>(to_grid[i])];
+
+  solve::CheckpointOptions checkpoint;
+  checkpoint.path = config_.checkpoint_path;
+  if (!config_.checkpoint_path.empty())
+    checkpoint.interval = config_.checkpoint_interval;
 
   solve::SolveResult solved;
   switch (config_.solver) {
@@ -88,18 +185,21 @@ ReconstructionResult Reconstructor::reconstruct(
       opt.max_iterations = config_.iterations;
       opt.early_stop = config_.early_stop;
       opt.tikhonov_lambda = config_.tikhonov_lambda;
+      opt.checkpoint = checkpoint;
       solved = solve::cgls(*active_op_, y, opt);
       break;
     }
     case SolverKind::SIRT: {
       solve::SirtOptions opt;
       opt.max_iterations = config_.iterations;
+      opt.checkpoint = checkpoint;
       solved = solve::sirt(*active_op_, y, opt);
       break;
     }
     case SolverKind::GradientDescent: {
       solve::GdOptions opt;
       opt.max_iterations = config_.iterations;
+      opt.checkpoint = checkpoint;
       solved = solve::gradient_descent(*active_op_, y, opt);
       break;
     }
@@ -107,6 +207,7 @@ ReconstructionResult Reconstructor::reconstruct(
 
   // De-permute the solution into natural row-major layout.
   ReconstructionResult result;
+  result.ingest = std::move(ingest);
   result.image.resize(
       static_cast<std::size_t>(geometry_.tomogram_extent().size()));
   const auto& tomo_to_grid = tomo_order_->to_grid();

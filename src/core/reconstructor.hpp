@@ -35,12 +35,17 @@ struct PreprocessReport {
   nnz_t nnz = 0;
   std::int64_t regular_bytes = 0;    ///< Memoized matrix footprint.
   std::int64_t irregular_bytes = 0;  ///< Tomogram + sinogram vectors.
+  bool cache_hit = false;  ///< Ray tracing was loaded from the checked
+                           ///< cache instead of being recomputed.
 };
 
 /// Reconstruction output in natural (row-major) tomogram layout.
 struct ReconstructionResult {
   std::vector<real> image;
   solve::SolveResult solve;
+  /// What ingest validation/sanitization found (empty per-angle stats under
+  /// the Passthrough policy).
+  resil::IngestReport ingest;
 };
 
 class Reconstructor {

@@ -99,6 +99,10 @@ class DistOperator final : public solve::LinearOperator {
   }
   void reset_kernel_times() { times_ = KernelTimes{}; }
 
+  /// The simulated interconnect, exposed so callers can enable exchange
+  /// validation or install a fault hook (resilience testing).
+  [[nodiscard]] SimComm& comm() noexcept { return comm_; }
+
  private:
   struct RankLocal {
     idx_t col_begin = 0, col_end = 0;  ///< Owned tomogram range.

@@ -1,6 +1,8 @@
 #include "dist/simmpi.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -47,7 +49,32 @@ void SimComm::alltoallv(const std::vector<AlignedVector<real>>& send,
                   static_cast<std::size_t>(count),
                   recv[q].begin() + recv_displ_[q][p]);
       traffic_matrix_[p * ranks + q] += count;
-      if (p == q) continue;
+      if (p == q) continue;  // self-copies never traverse the network
+      const std::span<real> block(recv[q].data() + recv_displ_[q][p],
+                                  static_cast<std::size_t>(count));
+      std::size_t delivered = block.size();
+      if (fault_hook_)
+        delivered = std::min(
+            fault_hook_(static_cast<int>(p), static_cast<int>(q), block),
+            block.size());
+      if (validate_) {
+        if (delivered != block.size())
+          throw IoError("SimComm: truncated exchange from rank " +
+                        std::to_string(p) + " to rank " + std::to_string(q) +
+                        " (" + std::to_string(delivered) + " of " +
+                        std::to_string(block.size()) + " elements)");
+        for (const real v : block)
+          if (!std::isfinite(v))
+            throw IoError("SimComm: non-finite payload in exchange from "
+                          "rank " +
+                          std::to_string(p) + " to rank " +
+                          std::to_string(q));
+      } else if (delivered < block.size()) {
+        // Unvalidated data loss degrades to zeros (deterministic, visible
+        // in the reconstruction) rather than leaving stale buffer contents.
+        std::fill(block.begin() + static_cast<std::ptrdiff_t>(delivered),
+                  block.end(), real{0});
+      }
       const auto bytes = static_cast<std::int64_t>(count) *
                          static_cast<std::int64_t>(sizeof(real));
       last_stats_[p].bytes_sent += bytes;

@@ -9,6 +9,8 @@
 // interconnect. A port to real MPI replaces only this class.
 #pragma once
 
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -16,6 +18,15 @@
 #include "perf/network_model.hpp"
 
 namespace memxct::dist {
+
+/// Optional fault hook for resilience testing: invoked on each nonzero
+/// off-rank block after it lands in the receive buffer, with (source rank,
+/// destination rank, payload). It may perturb the payload in place and/or
+/// return a reduced element count to model a truncated message (undelivered
+/// tail elements are zero-filled). resil::FaultInjector supplies standard
+/// hooks; tests install their own.
+using FaultHook = std::function<std::size_t(int src, int dst,
+                                            std::span<real> payload)>;
 
 /// Per-rank variable-size exchange (MPI_Alltoallv equivalent).
 class SimComm {
@@ -63,12 +74,26 @@ class SimComm {
 
   void reset_stats();
 
+  /// Installs (or clears, with an empty function) the fault hook applied to
+  /// every off-rank block of subsequent exchanges.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Enables exchange validation: every off-rank block must arrive complete
+  /// (no truncation) and finite, or alltoallv throws IoError. This is the
+  /// in-process stand-in for the integrity checking a real transport layers
+  /// under MPI; off by default because it adds a full scan of received
+  /// data per exchange.
+  void set_validation(bool on) noexcept { validate_ = on; }
+  [[nodiscard]] bool validation() const noexcept { return validate_; }
+
  private:
   int num_ranks_;
   std::vector<std::vector<nnz_t>> recv_displ_;
   std::vector<perf::CommStats> last_stats_;
   std::vector<perf::CommStats> total_stats_;
   std::vector<std::int64_t> traffic_matrix_;
+  FaultHook fault_hook_;
+  bool validate_ = false;
 };
 
 }  // namespace memxct::dist

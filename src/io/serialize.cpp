@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 
 #include "common/error.hpp"
@@ -30,6 +31,7 @@ File open_or_throw(const std::string& path, const char* mode) {
 template <class T>
 void write_array(std::FILE* f, const T* data, std::size_t count,
                  const std::string& path) {
+  if (count == 0) return;  // empty vectors have a null data() — UB in fwrite
   if (std::fwrite(data, sizeof(T), count, f) != count)
     throw InvalidArgument("short write to " + path);
 }
@@ -37,9 +39,58 @@ void write_array(std::FILE* f, const T* data, std::size_t count,
 template <class T>
 void read_array(std::FILE* f, T* data, std::size_t count,
                 const std::string& path) {
+  if (count == 0) return;
   if (std::fread(data, sizeof(T), count, f) != count)
     throw InvalidArgument("short read from " + path);
 }
+
+/// Size of the already-open file (restores the read position).
+std::int64_t file_size(std::FILE* f, const std::string& path) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0)
+    throw InvalidArgument("cannot seek " + path);
+  const long size = std::ftell(f);
+  if (size < 0 || std::fseek(f, pos, SEEK_SET) != 0)
+    throw InvalidArgument("cannot seek " + path);
+  return size;
+}
+
+/// Header counts are untrusted until proven consistent with the actual file
+/// size: a corrupt count must yield InvalidArgument here, not a multi-GB
+/// resize or std::bad_alloc. Counts are individually bounded (division, so
+/// the products cannot overflow) and then the exact total is required.
+class SizeBudget {
+ public:
+  SizeBudget(std::FILE* f, std::int64_t header_bytes, std::string path)
+      : remaining_(file_size(f, path) - header_bytes), path_(std::move(path)) {
+    if (remaining_ < 0)
+      throw InvalidArgument(path_ + " is truncated (shorter than header)");
+  }
+
+  /// Claims `count` elements of size `elem_bytes`; throws if the file
+  /// cannot hold them.
+  template <class T>
+  std::size_t claim(std::int64_t count) {
+    if (count < 0 ||
+        count > remaining_ / static_cast<std::int64_t>(sizeof(T)))
+      throw InvalidArgument(path_ + ": header count " +
+                            std::to_string(count) +
+                            " exceeds file size (corrupt header)");
+    remaining_ -= count * static_cast<std::int64_t>(sizeof(T));
+    return static_cast<std::size_t>(count);
+  }
+
+  /// After all claims: leftover bytes mean a corrupt or foreign file.
+  void expect_exhausted() const {
+    if (remaining_ != 0)
+      throw InvalidArgument(path_ + ": " + std::to_string(remaining_) +
+                            " trailing bytes (corrupt header or file)");
+  }
+
+ private:
+  std::int64_t remaining_;
+  std::string path_;
+};
 
 }  // namespace
 
@@ -64,12 +115,14 @@ sparse::CsrMatrix load_csr(const std::string& path) {
   std::int64_t header[3];
   read_array(f.get(), header, 3, path);
   MEMXCT_CHECK(header[0] >= 0 && header[1] >= 0 && header[2] >= 0);
+  SizeBudget budget(f.get(), 8 + 3 * 8, path);
   sparse::CsrMatrix m;
   m.num_rows = static_cast<idx_t>(header[0]);
   m.num_cols = static_cast<idx_t>(header[1]);
-  m.displ.resize(static_cast<std::size_t>(m.num_rows) + 1);
-  m.ind.resize(static_cast<std::size_t>(header[2]));
-  m.val.resize(static_cast<std::size_t>(header[2]));
+  m.displ.resize(budget.claim<nnz_t>(header[0] + 1));
+  m.ind.resize(budget.claim<idx_t>(header[2]));
+  m.val.resize(budget.claim<real>(header[2]));
+  budget.expect_exhausted();
   read_array(f.get(), m.displ.data(), m.displ.size(), path);
   read_array(f.get(), m.ind.data(), m.ind.size(), path);
   read_array(f.get(), m.val.data(), m.val.size(), path);
@@ -115,20 +168,25 @@ sparse::BufferedMatrix load_buffered(const std::string& path) {
   std::int64_t header[8];
   read_array(f.get(), header, 8, path);
   for (const auto v : header) MEMXCT_CHECK(v >= 0);
+  SizeBudget budget(f.get(), 8 + 8 * 8, path);
   sparse::BufferedMatrix m;
   m.num_rows = static_cast<idx_t>(header[0]);
   m.num_cols = static_cast<idx_t>(header[1]);
   m.config.partsize = static_cast<idx_t>(header[2]);
   m.config.buffsize = static_cast<idx_t>(header[3]);
-  m.partdispl.resize(static_cast<std::size_t>(header[4]));
-  m.stagedispl.resize(static_cast<std::size_t>(header[5]) + 1);
-  m.stagenz.resize(static_cast<std::size_t>(header[5]));
-  m.map.resize(static_cast<std::size_t>(header[6]));
-  m.displ.resize(static_cast<std::size_t>(header[5]) *
-                     static_cast<std::size_t>(m.config.partsize) +
-                 1);
-  m.ind.resize(static_cast<std::size_t>(header[7]));
-  m.val.resize(static_cast<std::size_t>(header[7]));
+  m.partdispl.resize(budget.claim<idx_t>(header[4]));
+  m.stagedispl.resize(budget.claim<nnz_t>(header[5] + 1));
+  m.stagenz.resize(budget.claim<idx_t>(header[5]));
+  m.map.resize(budget.claim<idx_t>(header[6]));
+  // The displ count is derived from two header fields; guard the product
+  // against overflow before claiming it.
+  if (header[2] > 0 && header[5] > (std::numeric_limits<std::int64_t>::max() -
+                                    1) / header[2])
+    throw InvalidArgument(path + ": stage count overflows (corrupt header)");
+  m.displ.resize(budget.claim<nnz_t>(header[5] * header[2] + 1));
+  m.ind.resize(budget.claim<buf_idx_t>(header[7]));
+  m.val.resize(budget.claim<real>(header[7]));
+  budget.expect_exhausted();
   read_array(f.get(), m.partdispl.data(), m.partdispl.size(), path);
   read_array(f.get(), m.stagedispl.data(), m.stagedispl.size(), path);
   read_array(f.get(), m.stagenz.data(), m.stagenz.size(), path);
@@ -157,7 +215,9 @@ AlignedVector<real> load_vector(const std::string& path) {
   std::int64_t count = 0;
   read_array(f.get(), &count, 1, path);
   MEMXCT_CHECK(count >= 0);
-  AlignedVector<real> data(static_cast<std::size_t>(count));
+  SizeBudget budget(f.get(), 8 + 8, path);
+  AlignedVector<real> data(budget.claim<real>(count));
+  budget.expect_exhausted();
   read_array(f.get(), data.data(), data.size(), path);
   return data;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -22,6 +23,15 @@ AlignedVector<real> normalize_transmission(const geometry::Geometry& g,
   for (idx_t a = 0; a < g.num_angles; ++a)
     for (idx_t c = 0; c < g.num_channels; ++c) {
       const auto i = static_cast<std::size_t>(g.ray_index(a, c));
+      // A non-finite count (detector readout fault) must not silently
+      // become a plausible attenuation value: mark it NaN so the ingest
+      // layer (resil::sanitize_sinogram, Config::ingest) detects and
+      // repairs it explicitly.
+      if (!std::isfinite(raw[i]) || !std::isfinite(flat[c]) ||
+          !std::isfinite(dark[c])) {
+        sinogram[i] = std::numeric_limits<real>::quiet_NaN();
+        continue;
+      }
       const double denom =
           std::max(1e-9, static_cast<double>(flat[c]) - dark[c]);
       const double numer =

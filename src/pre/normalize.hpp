@@ -19,6 +19,9 @@ namespace memxct::pre {
 /// Converts raw transmission counts to attenuation line integrals:
 ///   p = -log( (raw - dark) / (flat - dark) ), clamped to >= 0.
 /// `raw` is angles-major (M×N); `flat`/`dark` are per-channel (N).
+/// Non-finite counts (detector readout faults) yield NaN markers rather
+/// than fabricated attenuation values; run the result through the ingest
+/// layer (resil::sanitize_sinogram or Config::ingest) to repair them.
 [[nodiscard]] AlignedVector<real> normalize_transmission(
     const geometry::Geometry& geometry, std::span<const real> raw,
     std::span<const real> flat, std::span<const real> dark);

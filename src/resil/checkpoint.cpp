@@ -1,0 +1,43 @@
+#include "resil/checkpoint.hpp"
+
+#include "resil/checked_io.hpp"
+
+namespace memxct::resil {
+
+void save_checkpoint(const std::string& path, const SolverCheckpoint& cp) {
+  BlobWriter w;
+  w.put_scalar<std::int32_t>(cp.solver_kind);
+  w.put_scalar<std::int64_t>(cp.iteration);
+  w.put_array<double>(cp.scalars);
+  w.put_scalar<std::uint64_t>(cp.vectors.size());
+  for (const auto& v : cp.vectors) w.put_array<real>(v);
+  w.put_array<double>(cp.residual_log);
+  w.put_array<double>(cp.xnorm_log);
+  write_checked(path, BlobKind::Checkpoint, w.payload());
+}
+
+SolverCheckpoint load_checkpoint(const std::string& path) {
+  const auto payload = read_checked(path, BlobKind::Checkpoint);
+  BlobReader r(payload, path);
+  SolverCheckpoint cp;
+  cp.solver_kind = r.get_scalar<std::int32_t>();
+  cp.iteration = r.get_scalar<std::int64_t>();
+  r.get_array(cp.scalars);
+  const auto num_vectors = r.get_scalar<std::uint64_t>();
+  // Each vector costs at least its count prefix; bounding by the remaining
+  // payload keeps a corrupt (post-CRC-collision) count from allocating.
+  if (num_vectors > r.remaining() / sizeof(std::uint64_t))
+    throw IoError(path + ": vector count exceeds payload");
+  cp.vectors.resize(static_cast<std::size_t>(num_vectors));
+  for (auto& v : cp.vectors) r.get_array(v);
+  r.get_array(cp.residual_log);
+  r.get_array(cp.xnorm_log);
+  r.expect_end();
+  if (cp.iteration < 0 ||
+      cp.residual_log.size() != static_cast<std::size_t>(cp.iteration) ||
+      cp.xnorm_log.size() != cp.residual_log.size())
+    throw IoError(path + ": inconsistent checkpoint iteration logs");
+  return cp;
+}
+
+}  // namespace memxct::resil

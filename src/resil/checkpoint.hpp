@@ -1,0 +1,43 @@
+// Solver checkpoint/restart snapshots.
+//
+// Paper-scale solves run for hours across thousands of nodes; losing a run
+// to a node failure — or to late-iteration divergence from corrupted input
+// — forfeits all the work done. A checkpoint captures the complete
+// recursion state of an iterative solver at an iteration boundary, so a
+// resumed solve replays the *identical* arithmetic from that point: the
+// acceptance bar is bitwise equality with an uninterrupted run (which the
+// deterministic StaticPlan kernels make meaningful).
+//
+// The container is solver-agnostic: a solver kind tag, the iteration
+// counter, named-by-position scalar and vector state, and the residual /
+// solution-norm logs needed to rebuild the iteration history and the
+// EarlyStop window. Files use the checked atomic format, so a checkpoint
+// torn by a crash or corrupted on disk is detected (IoError) rather than
+// resumed from — callers then fall back to a cold start.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+
+namespace memxct::resil {
+
+struct SolverCheckpoint {
+  std::int32_t solver_kind = 0;  ///< Caller-defined tag; mismatches reject.
+  std::int64_t iteration = 0;    ///< Completed iterations at snapshot time.
+  std::vector<double> scalars;   ///< Solver recursion scalars (e.g. gamma).
+  std::vector<AlignedVector<real>> vectors;  ///< Iterate + recursion vectors.
+  std::vector<double> residual_log;  ///< ||r|| per completed iteration.
+  std::vector<double> xnorm_log;     ///< ||x|| per completed iteration.
+};
+
+/// Writes atomically in the checked format; throws IoError on I/O failure.
+void save_checkpoint(const std::string& path, const SolverCheckpoint& cp);
+
+/// Loads and validates (magic/version/CRC/bounds); throws IoError if the
+/// file is missing, corrupt, or not a checkpoint.
+[[nodiscard]] SolverCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace memxct::resil

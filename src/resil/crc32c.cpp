@@ -1,0 +1,51 @@
+#include "resil/crc32c.hpp"
+
+#include <array>
+
+namespace memxct::resil {
+
+namespace {
+
+// Reflected Castagnoli polynomial (0x1EDC6F41 bit-reversed).
+constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
+
+// Slice-by-4 tables, generated at compile time. table[0] is the classic
+// byte-at-a-time table; tables 1-3 advance the CRC by the same byte seen
+// 1/2/3 positions earlier, letting the hot loop consume 4 bytes per step.
+constexpr auto make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+    t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i)
+    for (std::size_t k = 1; k < 4; ++k)
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+  return t;
+}
+
+constexpr auto kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                            std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (len >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables[3][crc & 0xFFu] ^ kTables[2][(crc >> 8) & 0xFFu] ^
+          kTables[1][(crc >> 16) & 0xFFu] ^ kTables[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) crc = (crc >> 8) ^ kTables[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace memxct::resil

@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli) checksums for cached-operator and checkpoint files.
+//
+// Preprocessing is memoized to disk precisely because it is expensive
+// (Table 5's amortization argument); a flipped bit in a multi-gigabyte
+// cached matrix must be detected at load time, not discovered as a wrong
+// reconstruction hours later. CRC32C is the standard storage checksum
+// (iSCSI, ext4, RocksDB) with hardware support on x86/ARM; this is the
+// portable table-driven software form, bit-compatible with the hardware
+// instruction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace memxct::resil {
+
+/// Extends a running CRC32C over `len` bytes. Start a stream with crc = 0;
+/// the result of one call feeds the next, so large files can be checksummed
+/// incrementally without buffering.
+[[nodiscard]] std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                                          std::size_t len) noexcept;
+
+/// One-shot CRC32C of a buffer.
+[[nodiscard]] inline std::uint32_t crc32c(const void* data,
+                                          std::size_t len) noexcept {
+  return crc32c_extend(0, data, len);
+}
+
+}  // namespace memxct::resil

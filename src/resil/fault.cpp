@@ -1,0 +1,119 @@
+#include "resil/fault.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace memxct::resil {
+
+namespace {
+
+[[nodiscard]] std::int64_t size_or_throw(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0)
+    throw IoError("cannot stat " + path);
+  return static_cast<std::int64_t>(st.st_size);
+}
+
+}  // namespace
+
+std::int64_t FaultInjector::flip_random_byte(const std::string& path) {
+  const std::int64_t size = size_or_throw(path);
+  if (size <= 0) throw IoError(path + " is empty; nothing to corrupt");
+  const auto offset = static_cast<std::int64_t>(
+      rng_.uniform_int(static_cast<std::uint64_t>(size)));
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) throw IoError("cannot open " + path + " for corruption");
+  unsigned char byte = 0;
+  const auto mask = static_cast<unsigned char>(1u << rng_.uniform_int(8));
+  bool ok = std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0 &&
+            std::fread(&byte, 1, 1, f) == 1 &&
+            std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0;
+  byte ^= mask;
+  ok = ok && std::fwrite(&byte, 1, 1, f) == 1;
+  std::fclose(f);
+  if (!ok) throw IoError("byte flip in " + path + " failed");
+  return offset;
+}
+
+void FaultInjector::flip_byte_at(const std::string& path,
+                                 std::int64_t offset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) throw IoError("cannot open " + path + " for corruption");
+  unsigned char byte = 0;
+  bool ok = std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0 &&
+            std::fread(&byte, 1, 1, f) == 1 &&
+            std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0;
+  byte ^= 0x40;
+  ok = ok && std::fwrite(&byte, 1, 1, f) == 1;
+  std::fclose(f);
+  if (!ok) throw IoError("byte flip in " + path + " failed");
+}
+
+void FaultInjector::truncate_file(const std::string& path,
+                                  double keep_fraction) {
+  const std::int64_t size = size_or_throw(path);
+  const auto keep = static_cast<off_t>(
+      std::max(0.0, std::min(1.0, keep_fraction)) *
+      static_cast<double>(size));
+  if (::truncate(path.c_str(), keep) != 0)
+    throw IoError("cannot truncate " + path);
+}
+
+void FaultInjector::inject_nan(std::span<real> data, std::size_t count) {
+  if (data.empty()) return;
+  for (std::size_t k = 0; k < count; ++k)
+    data[rng_.uniform_int(data.size())] =
+        std::numeric_limits<real>::quiet_NaN();
+}
+
+void FaultInjector::inject_spikes(std::span<real> data, std::size_t count,
+                                  real magnitude) {
+  if (data.empty()) return;
+  for (std::size_t k = 0; k < count; ++k) {
+    auto& v = data[rng_.uniform_int(data.size())];
+    v = v == real{0} ? magnitude : v * magnitude;
+  }
+}
+
+void FaultInjector::kill_channel(std::span<real> sinogram, idx_t num_angles,
+                                 idx_t num_channels, idx_t channel) {
+  for (idx_t a = 0; a < num_angles; ++a)
+    sinogram[static_cast<std::size_t>(a) * num_channels + channel] = 0;
+}
+
+void FaultInjector::saturate_channel(std::span<real> sinogram,
+                                     idx_t num_angles, idx_t num_channels,
+                                     idx_t channel, real value) {
+  for (idx_t a = 0; a < num_angles; ++a)
+    sinogram[static_cast<std::size_t>(a) * num_channels + channel] = value;
+}
+
+std::function<std::size_t(int, int, std::span<real>)>
+FaultInjector::nan_exchange_hook(double probability) {
+  // The hook owns its own generator (seeded from this injector) so it stays
+  // deterministic however many exchanges run.
+  return [rng = Rng(rng_.next_u64()), probability](
+             int, int, std::span<real> payload) mutable -> std::size_t {
+    if (!payload.empty() && rng.uniform() < probability)
+      payload[rng.uniform_int(payload.size())] =
+          std::numeric_limits<real>::quiet_NaN();
+    return payload.size();
+  };
+}
+
+std::function<std::size_t(int, int, std::span<real>)>
+FaultInjector::truncate_exchange_hook(double keep_fraction) {
+  return [keep_fraction](int, int, std::span<real> payload) -> std::size_t {
+    return static_cast<std::size_t>(
+        std::max(0.0, std::min(1.0, keep_fraction)) *
+        static_cast<double>(payload.size()));
+  };
+}
+
+}  // namespace memxct::resil

@@ -1,0 +1,70 @@
+// Seeded fault injection for resilience testing.
+//
+// The failure model (DESIGN.md) is only credible if every corruption class
+// it claims to handle is exercised: tests must *prove* that a flipped byte
+// in a cache file, a truncated checkpoint, a NaN or zinger in a sinogram, a
+// dead detector channel, and a perturbed interconnect exchange are each
+// either rejected with a typed error or repaired. FaultInjector produces
+// exactly those corruptions, deterministically from a seed, so failures
+// reproduce.
+//
+// The exchange hooks match dist::SimComm's FaultHook signature
+// (src rank, dst rank, payload) -> delivered element count, without
+// depending on the dist library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace memxct::resil {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// XORs a random nonzero mask into one random byte of the file; returns
+  /// the offset flipped. Throws IoError if the file cannot be modified.
+  std::int64_t flip_random_byte(const std::string& path);
+
+  /// Flips (XOR 0x40) the byte at a fixed offset.
+  void flip_byte_at(const std::string& path, std::int64_t offset);
+
+  /// Truncates the file to keep_fraction of its current size.
+  void truncate_file(const std::string& path, double keep_fraction);
+
+  /// Overwrites `count` random samples with quiet NaN.
+  void inject_nan(std::span<real> data, std::size_t count);
+
+  /// Multiplies `count` random samples by `magnitude` (zinger spikes).
+  void inject_spikes(std::span<real> data, std::size_t count, real magnitude);
+
+  /// Zeroes one detector channel across all angles (dead channel).
+  static void kill_channel(std::span<real> sinogram, idx_t num_angles,
+                           idx_t num_channels, idx_t channel);
+
+  /// Sets one channel to `value` across all angles (hot/stuck channel).
+  static void saturate_channel(std::span<real> sinogram, idx_t num_angles,
+                               idx_t num_channels, idx_t channel, real value);
+
+  /// Exchange hook that replaces one element of each nonzero block with
+  /// NaN, with the given per-block probability.
+  [[nodiscard]] std::function<std::size_t(int, int, std::span<real>)>
+  nan_exchange_hook(double probability);
+
+  /// Exchange hook that delivers only keep_fraction of each block
+  /// (truncated message).
+  [[nodiscard]] static std::function<std::size_t(int, int, std::span<real>)>
+  truncate_exchange_hook(double keep_fraction);
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace memxct::resil

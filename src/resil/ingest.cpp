@@ -1,0 +1,255 @@
+#include "resil/ingest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace memxct::resil {
+
+const char* to_string(IngestPolicy policy) noexcept {
+  switch (policy) {
+    case IngestPolicy::Passthrough: return "passthrough";
+    case IngestPolicy::Reject: return "reject";
+    case IngestPolicy::Sanitize: return "sanitize";
+  }
+  return "?";
+}
+
+std::string IngestReport::summary() const {
+  std::ostringstream os;
+  os << nonfinite << " non-finite, " << zingers << " zingers, "
+     << dead_channels.size() << " dead channels, " << hot_channels.size()
+     << " hot channels";
+  return os.str();
+}
+
+namespace {
+
+[[nodiscard]] bool finite(real v) noexcept { return std::isfinite(v); }
+
+/// Per-channel mean over finite samples (0 for all-bad channels).
+std::vector<double> channel_means(idx_t angles, idx_t channels,
+                                  std::span<const real> sino) {
+  std::vector<double> sum(static_cast<std::size_t>(channels), 0.0);
+  std::vector<idx_t> count(static_cast<std::size_t>(channels), 0);
+  for (idx_t a = 0; a < angles; ++a)
+    for (idx_t c = 0; c < channels; ++c) {
+      const real v = sino[static_cast<std::size_t>(a) * channels + c];
+      if (finite(v)) {
+        sum[static_cast<std::size_t>(c)] += v;
+        ++count[static_cast<std::size_t>(c)];
+      }
+    }
+  for (idx_t c = 0; c < channels; ++c)
+    if (count[static_cast<std::size_t>(c)] > 0)
+      sum[static_cast<std::size_t>(c)] /= count[static_cast<std::size_t>(c)];
+  return sum;
+}
+
+/// Flags channels whose mean deviates grossly from their neighbourhood.
+/// The comparison is local so contiguous low regions (air outside the
+/// sample) are not misread as banks of dead detectors.
+void classify_channels(std::span<const double> means,
+                       const IngestOptions& opt, std::vector<idx_t>& dead,
+                       std::vector<idx_t>& hot) {
+  const auto n = static_cast<idx_t>(means.size());
+  // Floor scaled to the sinogram's overall signal level, below which a
+  // neighbourhood is "dark" and cannot anchor a ratio comparison.
+  double global = 0.0;
+  for (const double m : means) global += m;
+  global /= n > 0 ? n : 1;
+  const double floor = std::max(1e-12, 0.01 * global);
+  const auto side_mean = [&](idx_t c, int dir) {
+    double sum = 0.0;
+    idx_t count = 0;
+    for (idx_t d = 1; d <= opt.neighbor_window; ++d) {
+      const idx_t j = c + dir * d;
+      if (j < 0 || j >= n) break;
+      sum += means[static_cast<std::size_t>(j)];
+      ++count;
+    }
+    return count > 0 ? sum / count : -1.0;
+  };
+  for (idx_t c = 0; c < n; ++c) {
+    const double left = side_mean(c, -1), right = side_mean(c, +1);
+    const double mean = means[static_cast<std::size_t>(c)];
+    // Dead means dark while BOTH sides are bright — at the edge of the
+    // sample (or the detector) the outward side is legitimately dark, so a
+    // one-sided comparison would misread the transition as a dead bank.
+    if (left > floor && right > floor &&
+        mean < opt.dead_fraction * std::min(left, right)) {
+      dead.push_back(c);
+      continue;
+    }
+    // Hot means grossly above the BRIGHTER side; against the floor when
+    // the whole neighbourhood is dark (a stuck-high detector in air is
+    // still stuck).
+    if (mean > opt.hot_fraction * std::max({left, right, floor}))
+      hot.push_back(c);
+  }
+}
+
+/// Mean and stddev of one angle over finite samples in unflagged channels.
+void angle_moments(std::span<const real> row, std::span<const char> flagged,
+                   double& mean, double& stddev, idx_t& used) {
+  double sum = 0.0, sum2 = 0.0;
+  used = 0;
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (flagged[c] || !finite(row[c])) continue;
+    sum += row[c];
+    sum2 += static_cast<double>(row[c]) * row[c];
+    ++used;
+  }
+  mean = used > 0 ? sum / used : 0.0;
+  const double var = used > 0 ? std::max(0.0, sum2 / used - mean * mean) : 0.0;
+  stddev = std::sqrt(var);
+}
+
+/// Linear interpolation across flagged/non-finite channels of one angle.
+/// `bad(c)` says whether channel c needs repair; values are taken from the
+/// nearest good channels on each side (one-sided copy at the edges, 0 if
+/// the whole row is bad).
+template <class BadFn>
+void repair_row(std::span<real> row, BadFn bad) {
+  const auto n = static_cast<idx_t>(row.size());
+  for (idx_t c = 0; c < n; ++c) {
+    if (!bad(c)) continue;
+    idx_t lo = c - 1, hi = c + 1;
+    while (lo >= 0 && bad(lo)) --lo;
+    while (hi < n && bad(hi)) ++hi;
+    const bool has_lo = lo >= 0, has_hi = hi < n;
+    if (has_lo && has_hi) {
+      const double t = static_cast<double>(c - lo) / (hi - lo);
+      row[static_cast<std::size_t>(c)] = static_cast<real>(
+          row[static_cast<std::size_t>(lo)] +
+          t * (row[static_cast<std::size_t>(hi)] -
+               row[static_cast<std::size_t>(lo)]));
+    } else if (has_lo) {
+      row[static_cast<std::size_t>(c)] = row[static_cast<std::size_t>(lo)];
+    } else if (has_hi) {
+      row[static_cast<std::size_t>(c)] = row[static_cast<std::size_t>(hi)];
+    } else {
+      row[static_cast<std::size_t>(c)] = 0;
+    }
+  }
+}
+
+void check_shape(idx_t angles, idx_t channels, std::size_t size) {
+  MEMXCT_CHECK(angles > 0 && channels > 0);
+  MEMXCT_CHECK(size == static_cast<std::size_t>(angles) *
+                           static_cast<std::size_t>(channels));
+}
+
+}  // namespace
+
+IngestReport validate_sinogram(idx_t angles, idx_t channels,
+                               std::span<const real> sino,
+                               const IngestOptions& opt) {
+  check_shape(angles, channels, sino.size());
+  IngestReport report;
+
+  const auto means = channel_means(angles, channels, sino);
+  classify_channels(means, opt, report.dead_channels, report.hot_channels);
+  std::vector<char> flagged(static_cast<std::size_t>(channels), 0);
+  for (const idx_t c : report.dead_channels)
+    flagged[static_cast<std::size_t>(c)] = 1;
+  for (const idx_t c : report.hot_channels)
+    flagged[static_cast<std::size_t>(c)] = 1;
+
+  report.per_angle.resize(static_cast<std::size_t>(angles));
+  for (idx_t a = 0; a < angles; ++a) {
+    const auto row = sino.subspan(
+        static_cast<std::size_t>(a) * channels, static_cast<std::size_t>(channels));
+    auto& st = report.per_angle[static_cast<std::size_t>(a)];
+    double mean = 0.0, stddev = 0.0;
+    idx_t used = 0;
+    angle_moments(row, flagged, mean, stddev, used);
+    st.mean = mean;
+    bool any = false;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const real v = row[c];
+      if (!finite(v)) {
+        ++st.nonfinite;
+        continue;
+      }
+      if (!any || v < st.min) st.min = v;
+      if (!any || v > st.max) st.max = v;
+      any = true;
+      if (!flagged[c] && stddev > 0.0 &&
+          v > mean + opt.zinger_sigma * stddev)
+        ++st.zingers;
+    }
+    report.nonfinite += st.nonfinite;
+    report.zingers += st.zingers;
+  }
+  return report;
+}
+
+IngestReport sanitize_sinogram(idx_t angles, idx_t channels,
+                               std::span<real> sino,
+                               const IngestOptions& opt) {
+  check_shape(angles, channels, sino.size());
+  IngestReport report;
+
+  // Pass 1: repair non-finite samples by interpolation within each angle.
+  for (idx_t a = 0; a < angles; ++a) {
+    const auto row = sino.subspan(
+        static_cast<std::size_t>(a) * channels, static_cast<std::size_t>(channels));
+    idx_t bad = 0;
+    for (const real v : row)
+      if (!finite(v)) ++bad;
+    if (bad > 0) {
+      report.nonfinite += bad;
+      repair_row(row, [&](idx_t c) {
+        return !finite(row[static_cast<std::size_t>(c)]);
+      });
+    }
+  }
+
+  // Pass 2: detect dead/hot channels on the repaired data, interpolate them
+  // away from the surviving channels.
+  const auto means = channel_means(angles, channels, sino);
+  classify_channels(means, opt, report.dead_channels, report.hot_channels);
+  std::vector<char> flagged(static_cast<std::size_t>(channels), 0);
+  for (const idx_t c : report.dead_channels)
+    flagged[static_cast<std::size_t>(c)] = 1;
+  for (const idx_t c : report.hot_channels)
+    flagged[static_cast<std::size_t>(c)] = 1;
+  if (!report.dead_channels.empty() || !report.hot_channels.empty())
+    for (idx_t a = 0; a < angles; ++a) {
+      const auto row = sino.subspan(static_cast<std::size_t>(a) * channels,
+                                    static_cast<std::size_t>(channels));
+      repair_row(row,
+                 [&](idx_t c) { return flagged[static_cast<std::size_t>(c)] != 0; });
+    }
+
+  // Pass 3: per-angle statistics and zinger clipping on the repaired data.
+  report.per_angle.resize(static_cast<std::size_t>(angles));
+  const std::vector<char> none(static_cast<std::size_t>(channels), 0);
+  for (idx_t a = 0; a < angles; ++a) {
+    const auto row = sino.subspan(
+        static_cast<std::size_t>(a) * channels, static_cast<std::size_t>(channels));
+    auto& st = report.per_angle[static_cast<std::size_t>(a)];
+    double mean = 0.0, stddev = 0.0;
+    idx_t used = 0;
+    angle_moments(row, none, mean, stddev, used);
+    st.mean = mean;
+    const double threshold = mean + opt.zinger_sigma * stddev;
+    bool any = false;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (stddev > 0.0 && row[c] > threshold) {
+        row[c] = static_cast<real>(threshold);
+        ++st.zingers;
+      }
+      if (!any || row[c] < st.min) st.min = row[c];
+      if (!any || row[c] > st.max) st.max = row[c];
+      any = true;
+    }
+    report.zingers += st.zingers;
+  }
+  return report;
+}
+
+}  // namespace memxct::resil

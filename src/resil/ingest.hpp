@@ -1,0 +1,87 @@
+// Sinogram ingest validation and sanitization.
+//
+// Real beamline measurements arrive with detector artifacts the solvers
+// cannot tolerate: a single NaN poisons every CGLS inner product from the
+// first backprojection on, dead or hot detector channels print ring
+// artifacts through the reconstruction, and zingers (cosmic-ray spikes)
+// dominate the least-squares objective. This module gives the pipeline an
+// explicit ingest policy:
+//
+//   Passthrough — trust the caller (synthetic phantoms, pre-cleaned data);
+//   Reject      — validate and throw InvalidArgument on any anomaly;
+//   Sanitize    — repair in place (interpolate non-finite samples and
+//                 dead/hot channels, clip zingers) and report what changed.
+//
+// Detection is local and robust: channels are compared against their
+// neighbours' means (so contiguous air regions are not misflagged), and
+// zingers against per-angle mean + k·sigma. All thresholds are exposed in
+// IngestOptions; the per-angle statistics report supports beamline QA.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace memxct::resil {
+
+enum class IngestPolicy { Passthrough, Reject, Sanitize };
+
+[[nodiscard]] const char* to_string(IngestPolicy policy) noexcept;
+
+struct IngestOptions {
+  IngestPolicy policy = IngestPolicy::Passthrough;
+  /// Zinger threshold: a sample above mean + zinger_sigma·stddev of its
+  /// angle (and above the channel-repair floor) is an outlier.
+  double zinger_sigma = 8.0;
+  /// A channel whose mean falls below dead_fraction × its neighbourhood
+  /// mean is dead (stuck low).
+  double dead_fraction = 0.02;
+  /// A channel whose mean exceeds hot_fraction × its neighbourhood mean is
+  /// hot (stuck high).
+  double hot_fraction = 50.0;
+  /// Channels on each side used for the neighbourhood mean.
+  idx_t neighbor_window = 2;
+};
+
+/// Per-projection statistics (over finite samples).
+struct AngleStats {
+  real min = 0;
+  real max = 0;
+  double mean = 0.0;
+  idx_t nonfinite = 0;
+  idx_t zingers = 0;
+};
+
+struct IngestReport {
+  std::int64_t nonfinite = 0;  ///< NaN/Inf samples found (or repaired).
+  std::int64_t zingers = 0;    ///< Outlier samples found (or clipped).
+  std::vector<idx_t> dead_channels;
+  std::vector<idx_t> hot_channels;
+  std::vector<AngleStats> per_angle;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return nonfinite == 0 && zingers == 0 && dead_channels.empty() &&
+           hot_channels.empty();
+  }
+  /// One-line summary for logs and error messages.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Scans an angles-major sinogram (num_angles × num_channels) without
+/// modifying it; the report lists every anomaly found.
+[[nodiscard]] IngestReport validate_sinogram(idx_t num_angles,
+                                             idx_t num_channels,
+                                             std::span<const real> sinogram,
+                                             const IngestOptions& options = {});
+
+/// Repairs the sinogram in place — non-finite samples and dead/hot channels
+/// are interpolated from the nearest good channels within the angle,
+/// zingers clipped to the per-angle threshold — and reports what changed.
+/// After return every sample is finite.
+IngestReport sanitize_sinogram(idx_t num_angles, idx_t num_channels,
+                               std::span<real> sinogram,
+                               const IngestOptions& options = {});
+
+}  // namespace memxct::resil

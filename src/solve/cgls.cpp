@@ -1,12 +1,22 @@
 #include "solve/cgls.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 #include "perf/timer.hpp"
+#include "solve/restart.hpp"
 #include "solve/vector_ops.hpp"
 
 namespace memxct::solve {
 
 bool EarlyStop::should_stop(double residual_norm) {
+  // A non-finite residual means the iteration is already broken — corrupted
+  // measurements or numerical blow-up. Stop immediately instead of feeding
+  // NaN through the ring comparisons (every NaN compare is false, which
+  // would silently disable the heuristic and keep iterating on poison).
+  if (!std::isfinite(residual_norm)) return true;
   ring_[count_ % ring_.size()] = residual_norm;
   ++count_;
   if (count_ <= static_cast<std::size_t>(window_)) return false;
@@ -54,6 +64,34 @@ SolveResult cgls_warm(const LinearOperator& op, std::span<const real> y,
 
   EarlyStop stop(options.early_stop_tol);
   int iter = 0;
+  const CheckpointOptions& ck = options.checkpoint;
+  double best_rnorm = std::numeric_limits<double>::infinity();
+  std::vector<double> residual_log, xnorm_log;
+  resil::SolverCheckpoint snap;
+  bool have_snap = false;
+
+  // Resume: the CGLS recursion is fully determined by (x, r, p, gamma), so
+  // restoring them and replaying the residual log (for the EarlyStop ring)
+  // continues the exact arithmetic of the interrupted run.
+  const std::size_t state_sizes[3] = {n, m, n};
+  if (auto cp = detail::try_resume(ck, detail::kCglsKind, state_sizes, 1)) {
+    result.x = cp->vectors[0];
+    r = cp->vectors[1];
+    p = cp->vectors[2];
+    gamma = cp->scalars[0];
+    iter = static_cast<int>(cp->iteration);
+    result.resumed_from = iter;
+    residual_log = cp->residual_log;
+    xnorm_log = cp->xnorm_log;
+    for (const double rn : residual_log) {
+      best_rnorm = std::min(best_rnorm, rn);
+      stop.should_stop(rn);
+    }
+    detail::rebuild_history(*cp, options.record_history, 1, result.history);
+    snap = std::move(*cp);
+    have_snap = true;
+  }
+
   for (; iter < options.max_iterations; ++iter) {
     if (gamma == 0.0) break;  // exact solution reached
     op.apply(p, q);           // the step-size forward projection
@@ -74,11 +112,40 @@ SolveResult cgls_warm(const LinearOperator& op, std::span<const real> y,
     const double rnorm = xpby_norm(s, static_cast<real>(beta), p, r);
     gamma = gamma_new;
 
+    if (detail::is_divergent(rnorm, best_rnorm, ck)) {
+      result.diverged = true;
+      if (have_snap) {
+        // Roll the recursion back to the last good snapshot; the poisoned
+        // updates of this (and any post-snapshot) iterations are discarded.
+        result.x = snap.vectors[0];
+        r = snap.vectors[1];
+        p = snap.vectors[2];
+        gamma = snap.scalars[0];
+        iter = static_cast<int>(snap.iteration);
+        detail::truncate_history(result.history, iter);
+      }
+      break;
+    }
+    best_rnorm = std::min(best_rnorm, rnorm);
+    const double xnorm = options.record_history ? norm2(result.x) : 0.0;
+    residual_log.push_back(rnorm);
+    xnorm_log.push_back(xnorm);
+
     if (options.record_history)
-      result.history.push_back({iter + 1, rnorm, norm2(result.x)});
+      result.history.push_back({iter + 1, rnorm, xnorm});
     if (options.early_stop && stop.should_stop(rnorm)) {
       ++iter;
       break;
+    }
+    if (ck.interval > 0 && (iter + 1) % ck.interval == 0) {
+      snap.solver_kind = detail::kCglsKind;
+      snap.iteration = iter + 1;
+      snap.scalars = {gamma};
+      snap.vectors = {result.x, r, p};
+      snap.residual_log = residual_log;
+      snap.xnorm_log = xnorm_log;
+      have_snap = true;
+      detail::save_snapshot(ck, snap);
     }
   }
   result.iterations = iter;

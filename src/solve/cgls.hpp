@@ -21,6 +21,9 @@ struct CglsOptions {
   /// instance of the paper's Eq. 1 regularizer) via the augmented-system
   /// CGLS recursion. 0 = unregularized.
   double tikhonov_lambda = 0.0;
+  /// Checkpoint/restart and divergence recovery; a resumed solve is
+  /// bitwise-identical to an uninterrupted one.
+  CheckpointOptions checkpoint;
 };
 
 /// Runs CGLS from x = 0 for measurement vector `y`.

@@ -1,9 +1,12 @@
 #include "solve/gd.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "perf/timer.hpp"
+#include "solve/restart.hpp"
 #include "solve/vector_ops.hpp"
 
 namespace memxct::solve {
@@ -20,10 +23,42 @@ SolveResult gradient_descent(const LinearOperator& op, std::span<const real> y,
 
   AlignedVector<real> forward(m), residual(m), g(n), ag(m);
   int iter = 0;
+  const CheckpointOptions& ck = options.checkpoint;
+  double best_rnorm = std::numeric_limits<double>::infinity();
+  std::vector<double> residual_log, xnorm_log;
+  resil::SolverCheckpoint snap;
+  bool have_snap = false;
+
+  // Resume: steepest descent recomputes everything from the iterate, so x
+  // alone is the complete recursion state.
+  const std::size_t state_sizes[1] = {n};
+  if (auto cp = detail::try_resume(ck, detail::kGdKind, state_sizes, 0)) {
+    result.x = cp->vectors[0];
+    iter = static_cast<int>(cp->iteration);
+    result.resumed_from = iter;
+    residual_log = cp->residual_log;
+    xnorm_log = cp->xnorm_log;
+    for (const double rn : residual_log)
+      best_rnorm = std::min(best_rnorm, rn);
+    detail::rebuild_history(*cp, options.record_history, 1, result.history);
+    snap = std::move(*cp);
+    have_snap = true;
+  }
+
   for (; iter < options.max_iterations; ++iter) {
     op.apply(result.x, forward);
     // Fused: residual = y - forward and its norm in one pass.
     const double rnorm = subtract_norm(y, forward, residual);
+    if (detail::is_divergent(rnorm, best_rnorm, ck)) {
+      result.diverged = true;
+      if (have_snap) {
+        result.x = snap.vectors[0];
+        iter = static_cast<int>(snap.iteration);
+        detail::truncate_history(result.history, iter);
+      }
+      break;
+    }
+    best_rnorm = std::min(best_rnorm, rnorm);
     op.apply_transpose(residual, g);
     op.apply(g, ag);
     const double gg = dot(g, g);
@@ -39,8 +74,20 @@ SolveResult gradient_descent(const LinearOperator& op, std::span<const real> y,
       // Fused: solution update and <x,x> share one pass.
       xnorm = std::sqrt(axpy_dot(static_cast<real>(alpha), g, result.x));
     }
+    residual_log.push_back(rnorm);
+    xnorm_log.push_back(xnorm);
     if (options.record_history)
       result.history.push_back({iter + 1, rnorm, xnorm});
+    if (ck.interval > 0 && (iter + 1) % ck.interval == 0) {
+      snap.solver_kind = detail::kGdKind;
+      snap.iteration = iter + 1;
+      snap.scalars.clear();
+      snap.vectors = {result.x};
+      snap.residual_log = residual_log;
+      snap.xnorm_log = xnorm_log;
+      have_snap = true;
+      detail::save_snapshot(ck, snap);
+    }
   }
   result.iterations = iter;
   result.seconds = timer.seconds();

@@ -17,6 +17,8 @@ struct GdOptions {
   /// physical constraint C of the paper's Eq. 1 (attenuation cannot be
   /// negative), implemented as projected gradient descent.
   bool nonnegative = false;
+  /// Checkpoint/restart and divergence recovery (state: the iterate).
+  CheckpointOptions checkpoint;
 };
 
 /// x_{k+1} = x_k + alpha_k A^T (y - A x_k), with the exact line-search step

@@ -1,0 +1,70 @@
+#include "solve/restart.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "resil/checked_io.hpp"
+
+namespace memxct::solve::detail {
+
+std::optional<resil::SolverCheckpoint> try_resume(
+    const CheckpointOptions& options, std::int32_t kind,
+    std::span<const std::size_t> vector_sizes, std::size_t num_scalars) {
+  if (options.path.empty() || !options.resume ||
+      !resil::file_exists(options.path))
+    return std::nullopt;
+  try {
+    auto cp = resil::load_checkpoint(options.path);
+    if (cp.solver_kind != kind)
+      throw IoError(options.path + ": checkpoint is for another solver");
+    if (cp.scalars.size() != num_scalars ||
+        cp.vectors.size() != vector_sizes.size())
+      throw IoError(options.path + ": checkpoint state layout mismatch");
+    for (std::size_t i = 0; i < vector_sizes.size(); ++i)
+      if (cp.vectors[i].size() != vector_sizes[i])
+        throw IoError(options.path +
+                      ": checkpoint vector size mismatch (different "
+                      "problem?)");
+    return cp;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "memxct: checkpoint unusable (%s); starting cold\n",
+                 e.what());
+    return std::nullopt;
+  }
+}
+
+void save_snapshot(const CheckpointOptions& options,
+                   const resil::SolverCheckpoint& snapshot) {
+  if (options.path.empty()) return;
+  try {
+    resil::save_checkpoint(options.path, snapshot);
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "memxct: checkpoint write failed (%s); continuing\n",
+                 e.what());
+  }
+}
+
+bool is_divergent(double rnorm, double best_rnorm,
+                  const CheckpointOptions& options) {
+  if (!std::isfinite(rnorm)) return true;
+  return options.divergence_factor > 0.0 && std::isfinite(best_rnorm) &&
+         rnorm > options.divergence_factor * best_rnorm;
+}
+
+void rebuild_history(const resil::SolverCheckpoint& cp, bool record_history,
+                     int first_recorded_iteration,
+                     std::vector<IterationRecord>& history) {
+  if (!record_history) return;
+  history.clear();
+  history.reserve(cp.residual_log.size());
+  for (std::size_t i = 0; i < cp.residual_log.size(); ++i)
+    history.push_back({first_recorded_iteration + static_cast<int>(i),
+                       cp.residual_log[i], cp.xnorm_log[i]});
+}
+
+void truncate_history(std::vector<IterationRecord>& history, int iteration) {
+  while (!history.empty() && history.back().iteration > iteration)
+    history.pop_back();
+}
+
+}  // namespace memxct::solve::detail

@@ -1,0 +1,52 @@
+// Internal checkpoint/restart plumbing shared by CGLS, SIRT, and GD.
+//
+// Each solver snapshots its full recursion state (iterate plus whatever
+// auxiliary vectors/scalars its recursion carries) every
+// CheckpointOptions::interval iterations, keeps the snapshot in memory as
+// the divergence rollback point, and mirrors it to disk when a path is
+// configured. Resume validates the solver tag and every vector length
+// before trusting the file; anything suspect degrades to a cold start with
+// a warning rather than crashing the solve.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "resil/checkpoint.hpp"
+#include "solve/solver.hpp"
+
+namespace memxct::solve::detail {
+
+inline constexpr std::int32_t kCglsKind = 1;
+inline constexpr std::int32_t kSirtKind = 2;
+inline constexpr std::int32_t kGdKind = 3;
+
+/// Loads the checkpoint at options.path if resume is enabled and the file
+/// exists, validating the solver tag, scalar count, and vector lengths.
+/// Returns nullopt (after a stderr warning for corrupt files) when there is
+/// nothing usable to resume from.
+[[nodiscard]] std::optional<resil::SolverCheckpoint> try_resume(
+    const CheckpointOptions& options, std::int32_t kind,
+    std::span<const std::size_t> vector_sizes, std::size_t num_scalars);
+
+/// Mirrors a snapshot to options.path (atomic write); failures warn on
+/// stderr instead of aborting the solve — losing a checkpoint must never
+/// lose the run.
+void save_snapshot(const CheckpointOptions& options,
+                   const resil::SolverCheckpoint& snapshot);
+
+/// True when `rnorm` signals divergence: non-finite, or exploding past
+/// divergence_factor × the best residual seen so far.
+[[nodiscard]] bool is_divergent(double rnorm, double best_rnorm,
+                                const CheckpointOptions& options);
+
+/// Rebuilds the recorded iteration history (and feeds the early-stop
+/// window, via the returned residual log) from a loaded checkpoint.
+void rebuild_history(const resil::SolverCheckpoint& cp, bool record_history,
+                     int first_recorded_iteration,
+                     std::vector<IterationRecord>& history);
+
+/// Drops history entries past the snapshot's iteration after a rollback.
+void truncate_history(std::vector<IterationRecord>& history, int iteration);
+
+}  // namespace memxct::solve::detail

@@ -1,9 +1,12 @@
 #include "solve/sirt.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "perf/timer.hpp"
+#include "solve/restart.hpp"
 #include "solve/vector_ops.hpp"
 
 namespace memxct::solve {
@@ -32,6 +35,30 @@ SolveResult sirt(const LinearOperator& op, std::span<const real> y,
   AlignedVector<real> forward(m), residual(m), gradient(n);
   double xnorm = 0.0;  // ||x_0|| for the zero start
   int iter = 0;
+  const CheckpointOptions& ck = options.checkpoint;
+  double best_rnorm = std::numeric_limits<double>::infinity();
+  std::vector<double> residual_log, xnorm_log;
+  resil::SolverCheckpoint snap;
+  bool have_snap = false;
+
+  // Resume: the SIRT update depends only on the iterate (R and C were
+  // rebuilt above, deterministically), so x plus the trailing ||x|| is the
+  // complete recursion state.
+  const std::size_t state_sizes[1] = {n};
+  if (auto cp = detail::try_resume(ck, detail::kSirtKind, state_sizes, 1)) {
+    result.x = cp->vectors[0];
+    xnorm = cp->scalars[0];
+    iter = static_cast<int>(cp->iteration);
+    result.resumed_from = iter;
+    residual_log = cp->residual_log;
+    xnorm_log = cp->xnorm_log;
+    for (const double rn : residual_log)
+      best_rnorm = std::min(best_rnorm, rn);
+    detail::rebuild_history(*cp, options.record_history, 0, result.history);
+    snap = std::move(*cp);
+    have_snap = true;
+  }
+
   for (; iter < options.max_iterations; ++iter) {
     op.apply(result.x, forward);
     // Fused: residual = (y - forward)·R with the unscaled ||y - forward||
@@ -39,12 +66,34 @@ SolveResult sirt(const LinearOperator& op, std::span<const real> y,
     // with the norm of the *current* iterate (Fig 8 pairs them), which the
     // previous iteration's fused update already produced.
     const double rnorm = sub_scale_norm(y, forward, row_sum, residual);
+    if (detail::is_divergent(rnorm, best_rnorm, ck)) {
+      result.diverged = true;
+      if (have_snap) {
+        result.x = snap.vectors[0];
+        iter = static_cast<int>(snap.iteration);
+        detail::truncate_history(result.history, iter - 1);
+      }
+      break;
+    }
+    best_rnorm = std::min(best_rnorm, rnorm);
+    residual_log.push_back(rnorm);
+    xnorm_log.push_back(xnorm);
     if (options.record_history)
       result.history.push_back({iter, rnorm, xnorm});
     op.apply_transpose(residual, gradient);
     // Fused: x += relax·C·gradient and <x,x> of the update in one pass.
     xnorm = std::sqrt(
         diag_axpy_dot(options.relaxation, col_sum, gradient, result.x));
+    if (ck.interval > 0 && (iter + 1) % ck.interval == 0) {
+      snap.solver_kind = detail::kSirtKind;
+      snap.iteration = iter + 1;
+      snap.scalars = {xnorm};
+      snap.vectors = {result.x};
+      snap.residual_log = residual_log;
+      snap.xnorm_log = xnorm_log;
+      have_snap = true;
+      detail::save_snapshot(ck, snap);
+    }
   }
   result.iterations = iter;
   result.seconds = timer.seconds();

@@ -18,6 +18,8 @@ struct SirtOptions {
   int max_iterations = 45;  ///< Table 4's iteration count.
   bool record_history = true;
   real relaxation = 1.0;
+  /// Checkpoint/restart and divergence recovery (state: the iterate).
+  CheckpointOptions checkpoint;
 };
 
 [[nodiscard]] SolveResult sirt(const LinearOperator& op,

@@ -1,6 +1,8 @@
-// Common solver result types and early-termination heuristic.
+// Common solver result types, checkpoint/restart policy, and the
+// early-termination heuristic.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -15,6 +17,28 @@ struct IterationRecord {
   double solution_norm = 0.0;  ///< ||x||.
 };
 
+/// Checkpoint/restart and divergence-recovery policy, shared by CGLS, SIRT,
+/// and GD. A snapshot captures the solver's complete recursion state at an
+/// iteration boundary, so a resumed solve is bitwise-identical to an
+/// uninterrupted one (the deterministic StaticPlan kernels make this exact,
+/// not approximate). Divergence — a NaN/Inf residual, or a residual
+/// exploding past `divergence_factor` × the best seen — rolls the iterate
+/// back to the last snapshot instead of returning poisoned state.
+struct CheckpointOptions {
+  /// Snapshot file (resil checked format). Empty keeps snapshots in memory
+  /// only; rollback still works, restart across processes does not.
+  std::string path;
+  /// Snapshot every `interval` completed iterations; 0 disables snapshots
+  /// (divergence then stops the solve without rollback).
+  int interval = 0;
+  /// Resume from `path` when it holds a compatible checkpoint. A corrupt or
+  /// incompatible file logs a warning and starts cold (graceful degrade).
+  bool resume = true;
+  /// Residual > factor × best-seen residual counts as divergence; 0
+  /// disables the explosion check (NaN/Inf always counts).
+  double divergence_factor = 1e6;
+};
+
 /// Result of an iterative solve.
 struct SolveResult {
   AlignedVector<real> x;
@@ -22,6 +46,10 @@ struct SolveResult {
   int iterations = 0;
   double seconds = 0.0;           ///< Total solve wall time.
   double per_iteration_s = 0.0;   ///< Mean per-iteration wall time.
+  bool diverged = false;       ///< Divergence detected (state is the last
+                               ///< snapshot if one existed, else truncated).
+  int resumed_from = 0;        ///< Starting iteration restored from a
+                               ///< checkpoint file (0 = cold start).
 };
 
 /// Early-termination heuristic (paper Section 3.5.2: "heuristic early
@@ -36,6 +64,8 @@ class EarlyStop {
         ring_(static_cast<std::size_t>(window) + 1) {}
 
   /// Feeds one residual norm; returns true when iteration should stop.
+  /// A non-finite residual returns true immediately (the solve is broken;
+  /// continuing would only iterate on poisoned state).
   bool should_stop(double residual_norm);
 
  private:

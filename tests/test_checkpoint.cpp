@@ -1,0 +1,322 @@
+// Tests for solver checkpoint/restart and divergence recovery.
+//
+// The acceptance bar for restart is bitwise equality: a solve interrupted
+// at iteration k and resumed from its checkpoint must produce exactly the
+// same iterate and history as an uninterrupted run, because the snapshot
+// captures the complete recursion state and the kernels are deterministic.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "solve/cgls.hpp"
+#include "solve/gd.hpp"
+#include "solve/sirt.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/transpose.hpp"
+#include "test_util.hpp"
+
+namespace memxct::solve {
+namespace {
+
+/// Operator backed by an explicit CSR pair.
+class CsrOperator final : public LinearOperator {
+ public:
+  explicit CsrOperator(sparse::CsrMatrix a)
+      : a_(std::move(a)), at_(sparse::transpose(a_)) {}
+  idx_t num_rows() const override { return a_.num_rows; }
+  idx_t num_cols() const override { return a_.num_cols; }
+  void apply(std::span<const real> x, std::span<real> y) const override {
+    sparse::spmv_csr(a_, x, y);
+  }
+  void apply_transpose(std::span<const real> y,
+                       std::span<real> x) const override {
+    sparse::spmv_csr(at_, y, x);
+  }
+
+ private:
+  sparse::CsrMatrix a_;
+  sparse::CsrMatrix at_;
+};
+
+/// Wrapper that corrupts the forward projection with NaN from the Nth
+/// apply on — a stand-in for an undetected data/memory fault mid-solve.
+class PoisoningOperator final : public LinearOperator {
+ public:
+  PoisoningOperator(const LinearOperator& inner, int poison_after)
+      : inner_(inner), poison_after_(poison_after) {}
+  idx_t num_rows() const override { return inner_.num_rows(); }
+  idx_t num_cols() const override { return inner_.num_cols(); }
+  void apply(std::span<const real> x, std::span<real> y) const override {
+    inner_.apply(x, y);
+    if (++applies_ >= poison_after_)
+      y[0] = std::numeric_limits<real>::quiet_NaN();
+  }
+  void apply_transpose(std::span<const real> y,
+                       std::span<real> x) const override {
+    inner_.apply_transpose(y, x);
+  }
+
+ private:
+  const LinearOperator& inner_;
+  int poison_after_;
+  mutable int applies_ = 0;
+};
+
+sparse::CsrMatrix well_conditioned(idx_t rows, idx_t cols,
+                                   std::uint64_t seed) {
+  auto a = testutil::random_csr(rows, cols, 0.1, seed);
+  sparse::CsrBuilder b(rows, cols);
+  std::vector<std::pair<idx_t, real>> entries;
+  for (idx_t r = 0; r < rows; ++r) {
+    entries.clear();
+    for (nnz_t k = a.displ[r]; k < a.displ[r + 1]; ++k)
+      entries.emplace_back(a.ind[k], a.val[k] * 0.1f);
+    if (r < cols) entries.emplace_back(r, 3.0f);
+    b.set_row(r, entries);
+  }
+  return b.assemble();
+}
+
+// SIRT's R/C scaling assumes nonnegative weights (true for CT intersection
+// lengths); its tests use a nonnegative system so the iteration is stable.
+sparse::CsrMatrix nonneg_system(idx_t rows, idx_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  sparse::CsrBuilder b(rows, cols);
+  std::vector<std::pair<idx_t, real>> entries;
+  for (idx_t r = 0; r < rows; ++r) {
+    entries.clear();
+    for (idx_t c = 0; c < cols; ++c)
+      if (rng.uniform() < 0.15)
+        entries.emplace_back(c, static_cast<real>(rng.uniform(0.1, 1.0)));
+    b.set_row(r, entries);
+  }
+  return b.assemble();
+}
+
+/// Scratch checkpoint path, removed before and after each use.
+class CheckpointFile {
+ public:
+  explicit CheckpointFile(const std::string& name)
+      : path_("/tmp/memxct_ckpt_" + name + "_" + std::to_string(::getpid())) {
+    std::remove(path_.c_str());
+  }
+  ~CheckpointFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void expect_same_history(const SolveResult& a, const SolveResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].iteration, b.history[i].iteration);
+    // Bitwise equality, not tolerance: the resumed run replays the exact
+    // arithmetic of the uninterrupted one.
+    EXPECT_EQ(a.history[i].residual_norm, b.history[i].residual_norm);
+    EXPECT_EQ(a.history[i].solution_norm, b.history[i].solution_norm);
+  }
+}
+
+TEST(Checkpoint, CglsResumeIsBitwiseIdentical) {
+  const auto a = well_conditioned(60, 40, 3);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 4);
+  CheckpointFile file("cgls");
+
+  CglsOptions plain;
+  plain.max_iterations = 12;
+  const auto straight = cgls(op, y, plain);
+
+  CglsOptions ck = plain;
+  ck.checkpoint.path = file.path();
+  ck.checkpoint.interval = 3;
+  ck.max_iterations = 6;  // "interrupted" after 6 iterations
+  const auto first = cgls(op, y, ck);
+  EXPECT_EQ(first.resumed_from, 0);
+  EXPECT_EQ(first.iterations, 6);
+
+  ck.max_iterations = 12;
+  const auto resumed = cgls(op, y, ck);
+  EXPECT_EQ(resumed.resumed_from, 6);
+  EXPECT_EQ(resumed.iterations, 12);
+  EXPECT_EQ(resumed.x, straight.x);
+  expect_same_history(resumed, straight);
+}
+
+TEST(Checkpoint, SirtResumeIsBitwiseIdentical) {
+  const auto a = nonneg_system(60, 40, 5);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 6);
+  CheckpointFile file("sirt");
+
+  SirtOptions plain;
+  plain.max_iterations = 12;
+  const auto straight = sirt(op, y, plain);
+
+  SirtOptions ck = plain;
+  ck.checkpoint.path = file.path();
+  ck.checkpoint.interval = 3;
+  ck.max_iterations = 6;
+  (void)sirt(op, y, ck);
+
+  ck.max_iterations = 12;
+  const auto resumed = sirt(op, y, ck);
+  EXPECT_EQ(resumed.resumed_from, 6);
+  EXPECT_EQ(resumed.x, straight.x);
+  expect_same_history(resumed, straight);
+}
+
+TEST(Checkpoint, GdResumeIsBitwiseIdentical) {
+  const auto a = well_conditioned(60, 40, 7);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 8);
+  CheckpointFile file("gd");
+
+  GdOptions plain;
+  plain.max_iterations = 12;
+  const auto straight = gradient_descent(op, y, plain);
+
+  GdOptions ck = plain;
+  ck.checkpoint.path = file.path();
+  ck.checkpoint.interval = 3;
+  ck.max_iterations = 6;
+  (void)gradient_descent(op, y, ck);
+
+  ck.max_iterations = 12;
+  const auto resumed = gradient_descent(op, y, ck);
+  EXPECT_EQ(resumed.resumed_from, 6);
+  EXPECT_EQ(resumed.x, straight.x);
+  expect_same_history(resumed, straight);
+}
+
+TEST(Checkpoint, CorruptCheckpointStartsCold) {
+  const auto a = well_conditioned(60, 40, 9);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 10);
+  CheckpointFile file("corrupt");
+
+  // Garbage where a checkpoint should be: resume degrades to a cold start
+  // instead of crashing or resuming from poison.
+  std::FILE* f = std::fopen(file.path().c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint at all", f);
+  std::fclose(f);
+
+  CglsOptions opt;
+  opt.max_iterations = 8;
+  opt.checkpoint.path = file.path();
+  opt.checkpoint.interval = 4;
+  const auto result = cgls(op, y, opt);
+  EXPECT_EQ(result.resumed_from, 0);
+  EXPECT_EQ(result.iterations, 8);
+
+  const auto straight = cgls(op, y, {.max_iterations = 8});
+  EXPECT_EQ(result.x, straight.x);
+}
+
+TEST(Checkpoint, WrongSolverCheckpointStartsCold) {
+  const auto a = well_conditioned(60, 40, 11);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 12);
+  CheckpointFile file("cross");
+
+  CglsOptions copt;
+  copt.max_iterations = 6;
+  copt.checkpoint.path = file.path();
+  copt.checkpoint.interval = 3;
+  (void)cgls(op, y, copt);  // leaves a CGLS checkpoint behind
+
+  SirtOptions sopt;
+  sopt.max_iterations = 4;
+  sopt.checkpoint.path = file.path();
+  sopt.checkpoint.interval = 0;  // resume only, never overwrite
+  const auto result = sirt(op, y, sopt);
+  EXPECT_EQ(result.resumed_from, 0);  // tag mismatch rejected the file
+  EXPECT_EQ(result.iterations, 4);
+}
+
+TEST(Checkpoint, CglsDivergenceRollsBackToSnapshot) {
+  const auto a = well_conditioned(60, 40, 13);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 14);
+
+  // CGLS calls apply() once per iteration; poisoning the 5th apply breaks
+  // iteration 4 (0-based), after the in-memory snapshot at iteration 4.
+  const PoisoningOperator poisoned(op, 5);
+  CglsOptions opt;
+  opt.max_iterations = 12;
+  opt.checkpoint.interval = 2;  // in-memory snapshots, no file
+  const auto result = cgls(poisoned, y, opt);
+  EXPECT_TRUE(result.diverged);
+  EXPECT_EQ(result.iterations, 4);  // rolled back to the snapshot
+  for (const real v : result.x) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_FALSE(result.history.empty());
+  EXPECT_LE(result.history.back().iteration, 4);
+
+  // The rolled-back iterate is exactly the clean 4-iteration solution.
+  const auto clean = cgls(op, y, {.max_iterations = 4});
+  EXPECT_EQ(result.x, clean.x);
+}
+
+TEST(Checkpoint, DivergenceWithoutSnapshotStillStops) {
+  const auto a = well_conditioned(60, 40, 15);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 16);
+  const PoisoningOperator poisoned(op, 3);
+  CglsOptions opt;
+  opt.max_iterations = 12;  // interval 0: no snapshots at all
+  const auto result = cgls(poisoned, y, opt);
+  EXPECT_TRUE(result.diverged);
+  EXPECT_LT(result.iterations, 12);
+}
+
+TEST(Checkpoint, SirtDivergenceRollsBack) {
+  const auto a = nonneg_system(60, 40, 17);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 18);
+  // SIRT calls apply() once in setup (row sums) plus once per iteration:
+  // poisoning the 6th apply breaks iteration 5, after the snapshot at 4.
+  const PoisoningOperator poisoned(op, 6);
+  SirtOptions opt;
+  opt.max_iterations = 12;
+  opt.checkpoint.interval = 2;
+  const auto result = sirt(poisoned, y, opt);
+  EXPECT_TRUE(result.diverged);
+  EXPECT_EQ(result.iterations, 4);
+  for (const real v : result.x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Checkpoint, GdDivergenceRollsBack) {
+  const auto a = well_conditioned(60, 40, 19);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 20);
+  // GD calls apply() twice per iteration (forward + step size): poisoning
+  // the 11th apply breaks iteration 5, after the snapshot at 4.
+  const PoisoningOperator poisoned(op, 11);
+  GdOptions opt;
+  opt.max_iterations = 12;
+  opt.checkpoint.interval = 2;
+  const auto result = gradient_descent(poisoned, y, opt);
+  EXPECT_TRUE(result.diverged);
+  EXPECT_EQ(result.iterations, 4);
+  for (const real v : result.x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Checkpoint, EarlyStopTreatsNonFiniteAsImmediateStop) {
+  EarlyStop fresh;
+  EXPECT_TRUE(fresh.should_stop(std::numeric_limits<double>::quiet_NaN()));
+  EarlyStop warm;
+  EXPECT_FALSE(warm.should_stop(10.0));
+  EXPECT_FALSE(warm.should_stop(5.0));
+  EXPECT_TRUE(warm.should_stop(std::numeric_limits<double>::infinity()));
+}
+
+}  // namespace
+}  // namespace memxct::solve

@@ -98,8 +98,11 @@ TEST(WarmStart, ExactStartConvergesImmediately) {
   CglsOptions opt;
   opt.max_iterations = 5;
   const auto resumed = cgls_warm(op, y, first.x, opt);
+  // Both residuals sit at the float precision floor, where the exact value
+  // depends on the build's FP contraction; allow an absolute eps-scale slack
+  // on top of the relative bound so sanitizer builds don't flake.
   EXPECT_LE(resumed.history.back().residual_norm,
-            first.history.back().residual_norm * 1.1);
+            first.history.back().residual_norm * 1.1 + 1e-5 * norm2(y));
 }
 
 TEST(WarmStart, NearbyStartNeedsFewerIterations) {

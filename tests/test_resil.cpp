@@ -1,0 +1,475 @@
+// Tests for the resilience layer: CRC32C, the checked atomic file format,
+// solver checkpoints, ingest validation/sanitization, fault injection, and
+// the cache/ingest integration in core::Reconstructor.
+//
+// The fault-injection cases are the proof obligations of the failure model
+// in DESIGN.md: every corruption class the pipeline claims to handle —
+// flipped bytes, truncation, wrong-kind files, NaN/zinger samples, dead and
+// hot channels — must be detected with a typed error or repaired.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/reconstructor.hpp"
+#include "phantom/phantom.hpp"
+#include "resil/checked_io.hpp"
+#include "resil/checkpoint.hpp"
+#include "resil/crc32c.hpp"
+#include "resil/fault.hpp"
+#include "resil/ingest.hpp"
+#include "test_util.hpp"
+
+namespace memxct::resil {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_("/tmp/memxct_test_" + name + "_" +
+              std::to_string(::getpid())) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---------------------------------------------------------------- CRC32C --
+
+TEST(Crc32c, KnownAnswer) {
+  // The standard CRC32C check value (RFC 3720 appendix, iSCSI).
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyIsZero) { EXPECT_EQ(crc32c("", 0), 0u); }
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const char data[] = "memxct checksummed cache payload";
+  const std::size_t n = sizeof(data) - 1;
+  for (std::size_t split = 0; split <= n; ++split) {
+    const std::uint32_t part = crc32c_extend(0, data, split);
+    EXPECT_EQ(crc32c_extend(part, data + split, n - split), crc32c(data, n));
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlip) {
+  char data[] = "0123456789abcdef";
+  const std::uint32_t good = crc32c(data, 16);
+  for (int byte = 0; byte < 16; ++byte)
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(crc32c(data, 16), good);
+      data[byte] ^= static_cast<char>(1 << bit);
+    }
+}
+
+// --------------------------------------------------- checked file format --
+
+TEST(CheckedIo, CsrRoundTripBitExact) {
+  ScratchDir dir("csr_rt");
+  const auto a = testutil::random_csr(57, 43, 0.15, 31);
+  const auto path = dir.file("m.csr");
+  save_csr_checked(path, a);
+  const auto b = load_csr_checked(path);
+  EXPECT_EQ(b.num_rows, a.num_rows);
+  EXPECT_EQ(b.num_cols, a.num_cols);
+  EXPECT_EQ(b.displ, a.displ);
+  EXPECT_EQ(b.ind, a.ind);
+  EXPECT_EQ(b.val, a.val);
+}
+
+TEST(CheckedIo, VectorRoundTripBitExact) {
+  ScratchDir dir("vec_rt");
+  const auto v = testutil::random_vector(1234, 32);
+  const auto path = dir.file("v.vec");
+  save_vector_checked(path, v);
+  const auto w = load_vector_checked(path);
+  EXPECT_EQ(w, v);
+}
+
+TEST(CheckedIo, CheckpointRoundTrip) {
+  ScratchDir dir("ckpt_rt");
+  SolverCheckpoint cp;
+  cp.solver_kind = 7;
+  cp.iteration = 3;
+  cp.scalars = {1.5, -2.25};
+  cp.vectors = {testutil::random_vector(5, 33), testutil::random_vector(3, 34)};
+  cp.residual_log = {3.0, 2.0, 1.0};
+  cp.xnorm_log = {0.5, 1.0, 1.5};
+  const auto path = dir.file("s.ckpt");
+  save_checkpoint(path, cp);
+  const auto back = load_checkpoint(path);
+  EXPECT_EQ(back.solver_kind, cp.solver_kind);
+  EXPECT_EQ(back.iteration, cp.iteration);
+  EXPECT_EQ(back.scalars, cp.scalars);
+  ASSERT_EQ(back.vectors.size(), cp.vectors.size());
+  EXPECT_EQ(back.vectors[0], cp.vectors[0]);
+  EXPECT_EQ(back.vectors[1], cp.vectors[1]);
+  EXPECT_EQ(back.residual_log, cp.residual_log);
+  EXPECT_EQ(back.xnorm_log, cp.xnorm_log);
+}
+
+TEST(CheckedIo, AtomicWriteLeavesNoTempFiles) {
+  ScratchDir dir("atomic");
+  save_vector_checked(dir.file("v.vec"), testutil::random_vector(64, 35));
+  int entries = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    EXPECT_EQ(e.path().string().find(".tmp."), std::string::npos)
+        << "temp file left behind: " << e.path();
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1);
+}
+
+TEST(CheckedIo, MissingFileThrowsIoError) {
+  EXPECT_THROW((void)load_csr_checked("/tmp/memxct_nope.csr"), IoError);
+  EXPECT_THROW((void)load_checkpoint("/tmp/memxct_nope.ckpt"), IoError);
+  EXPECT_FALSE(file_exists("/tmp/memxct_nope.csr"));
+}
+
+TEST(CheckedIo, RejectsWrongKind) {
+  // A vector file loaded as a matrix (or checkpoint) must be rejected by
+  // the kind tag, not misparsed.
+  ScratchDir dir("kind");
+  const auto path = dir.file("v.vec");
+  save_vector_checked(path, testutil::random_vector(16, 36));
+  EXPECT_THROW((void)load_csr_checked(path), IoError);
+  EXPECT_THROW((void)load_checkpoint(path), IoError);
+}
+
+TEST(CheckedIo, EveryByteFlipIsDetected) {
+  // Seeded fuzz: whatever single byte of the file is corrupted — magic,
+  // header fields, either CRC, or payload — the load must fail with
+  // IoError. The header CRC covers the header, the payload CRC the
+  // payload, so there is no undetectable byte.
+  ScratchDir dir("flip");
+  FaultInjector inject(101);
+  const auto a = testutil::random_csr(30, 30, 0.3, 37);
+  const auto path = dir.file("m.csr");
+  for (int trial = 0; trial < 60; ++trial) {
+    save_csr_checked(path, a);
+    const auto offset = inject.flip_random_byte(path);
+    EXPECT_THROW((void)load_csr_checked(path), IoError)
+        << "flip at offset " << offset << " not detected";
+  }
+  // And deterministically over every byte of a small vector file.
+  const auto vpath = dir.file("v.vec");
+  save_vector_checked(vpath, testutil::random_vector(4, 38));
+  const auto size = static_cast<std::int64_t>(fs::file_size(vpath));
+  for (std::int64_t off = 0; off < size; ++off) {
+    save_vector_checked(vpath, testutil::random_vector(4, 38));
+    inject.flip_byte_at(vpath, off);
+    EXPECT_THROW((void)load_vector_checked(vpath), IoError)
+        << "flip at offset " << off << " not detected";
+  }
+}
+
+TEST(CheckedIo, TruncationIsDetected) {
+  ScratchDir dir("trunc");
+  FaultInjector inject(102);
+  const auto a = testutil::random_csr(25, 25, 0.3, 39);
+  const auto path = dir.file("m.csr");
+  for (const double keep : {0.95, 0.5, 0.25, 0.05, 0.0}) {
+    save_csr_checked(path, a);
+    inject.truncate_file(path, keep);
+    EXPECT_THROW((void)load_csr_checked(path), IoError)
+        << "truncation to " << keep << " not detected";
+  }
+}
+
+TEST(CheckedIo, CorruptCountCannotForceHugeAllocation) {
+  // A payload whose array count claims ~8 PB must be rejected by the
+  // bounds check before any allocation happens (the process would die on
+  // resize otherwise, which is the legacy failure this format fixes).
+  ScratchDir dir("bigcount");
+  BlobWriter w;
+  w.put_scalar<idx_t>(2);  // num_rows
+  w.put_scalar<idx_t>(2);  // num_cols
+  w.put_scalar<std::uint64_t>(std::uint64_t{1} << 50);  // displ count
+  const auto path = dir.file("evil.csr");
+  write_checked(path, BlobKind::CsrMatrix, w.payload());
+  EXPECT_THROW((void)load_csr_checked(path), IoError);
+}
+
+TEST(CheckedIo, TrailingPayloadBytesRejected) {
+  ScratchDir dir("trailing");
+  BlobWriter w;
+  const auto v = testutil::random_vector(8, 40);
+  w.put_array<real>(v);
+  w.put_scalar<std::uint32_t>(0xDEAD);  // extra bytes after the vector
+  const auto path = dir.file("v.vec");
+  write_checked(path, BlobKind::Vector, w.payload());
+  EXPECT_THROW((void)load_vector_checked(path), IoError);
+}
+
+TEST(CheckedIo, CorruptCheckpointLogsRejected) {
+  // iteration must equal the log lengths; a checkpoint violating that is
+  // structurally corrupt even if the CRC passes (e.g. written by a buggy
+  // producer).
+  ScratchDir dir("cklog");
+  SolverCheckpoint cp;
+  cp.solver_kind = 1;
+  cp.iteration = 5;            // but only 2 logged residuals
+  cp.residual_log = {2.0, 1.0};
+  cp.xnorm_log = {1.0, 2.0};
+  const auto path = dir.file("s.ckpt");
+  save_checkpoint(path, cp);
+  EXPECT_THROW((void)load_checkpoint(path), IoError);
+}
+
+// ------------------------------------------------------------ ingest ------
+
+/// Smooth positive sinogram (no anomalies).
+AlignedVector<real> smooth_sinogram(idx_t angles, idx_t channels) {
+  AlignedVector<real> s(static_cast<std::size_t>(angles) * channels);
+  for (idx_t a = 0; a < angles; ++a)
+    for (idx_t c = 0; c < channels; ++c)
+      s[static_cast<std::size_t>(a) * channels + c] = static_cast<real>(
+          1.0 + 0.2 * std::sin(0.13 * a) + 0.1 * std::cos(0.7 * c));
+  return s;
+}
+
+TEST(Ingest, CleanSinogramValidates) {
+  const idx_t A = 32, C = 48;
+  const auto s = smooth_sinogram(A, C);
+  const auto report = validate_sinogram(A, C, s);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.per_angle.size(), static_cast<std::size_t>(A));
+  EXPECT_GT(report.per_angle[0].mean, 0.0);
+}
+
+TEST(Ingest, PhantomEdgeChannelsNotMisflaggedAsDead) {
+  // A forward-projected phantom has all-zero channels at the detector
+  // edges (rays through air). Those are dark *neighbourhoods*, not dead
+  // detectors, and a clean phantom sinogram must validate clean.
+  const auto g = geometry::make_geometry(48, 32);
+  const auto image = phantom::shepp_logan(32);
+  const auto sino = phantom::forward_project(g, image);
+  const auto report =
+      validate_sinogram(g.num_angles, g.num_channels, sino);
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+TEST(Ingest, DetectsAndRepairsNonFinite) {
+  const idx_t A = 32, C = 48;
+  auto s = smooth_sinogram(A, C);
+  FaultInjector inject(201);
+  inject.inject_nan(s, 5);
+  const auto found = validate_sinogram(A, C, s);
+  EXPECT_EQ(found.nonfinite, 5);
+  EXPECT_FALSE(found.clean());
+
+  const auto repaired = sanitize_sinogram(A, C, s);
+  EXPECT_EQ(repaired.nonfinite, 5);
+  for (const real v : s) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(validate_sinogram(A, C, s).clean());
+}
+
+TEST(Ingest, DetectsAndRepairsDeadChannel) {
+  const idx_t A = 32, C = 48, dead = 17;
+  auto s = smooth_sinogram(A, C);
+  FaultInjector::kill_channel(s, A, C, dead);
+  const auto found = validate_sinogram(A, C, s);
+  ASSERT_EQ(found.dead_channels.size(), 1u);
+  EXPECT_EQ(found.dead_channels[0], dead);
+
+  const auto repaired = sanitize_sinogram(A, C, s);
+  ASSERT_EQ(repaired.dead_channels.size(), 1u);
+  // The repaired channel interpolates its neighbours, so it sits between
+  // them in every angle.
+  for (idx_t a = 0; a < A; ++a) {
+    const real lo = std::min(s[static_cast<std::size_t>(a) * C + dead - 1],
+                             s[static_cast<std::size_t>(a) * C + dead + 1]);
+    const real hi = std::max(s[static_cast<std::size_t>(a) * C + dead - 1],
+                             s[static_cast<std::size_t>(a) * C + dead + 1]);
+    const real v = s[static_cast<std::size_t>(a) * C + dead];
+    EXPECT_GE(v, lo - 1e-6f);
+    EXPECT_LE(v, hi + 1e-6f);
+  }
+  EXPECT_TRUE(validate_sinogram(A, C, s).clean());
+}
+
+TEST(Ingest, DetectsAndRepairsHotChannel) {
+  const idx_t A = 32, C = 48, hot = 30;
+  auto s = smooth_sinogram(A, C);
+  FaultInjector::saturate_channel(s, A, C, hot, 500.0f);
+  const auto found = validate_sinogram(A, C, s);
+  ASSERT_EQ(found.hot_channels.size(), 1u);
+  EXPECT_EQ(found.hot_channels[0], hot);
+
+  sanitize_sinogram(A, C, s);
+  for (idx_t a = 0; a < A; ++a)
+    EXPECT_LT(s[static_cast<std::size_t>(a) * C + hot], 2.0f);
+  EXPECT_TRUE(validate_sinogram(A, C, s).clean());
+}
+
+TEST(Ingest, DetectsAndClipsZingers) {
+  const idx_t A = 32, C = 64;
+  auto s = smooth_sinogram(A, C);
+  s[5 * C + 20] = 100.0f;  // cosmic-ray spike
+  IngestOptions opt;
+  opt.zinger_sigma = 5.0;
+  const auto found = validate_sinogram(A, C, s, opt);
+  EXPECT_GE(found.zingers, 1);
+  EXPECT_GE(found.per_angle[5].zingers, 1);
+
+  const auto repaired = sanitize_sinogram(A, C, s, opt);
+  EXPECT_GE(repaired.zingers, 1);
+  EXPECT_LT(s[5 * C + 20], 100.0f);  // clipped to the per-angle threshold
+}
+
+TEST(Ingest, SummaryMentionsEveryAnomalyClass) {
+  IngestReport r;
+  r.nonfinite = 2;
+  r.zingers = 3;
+  r.dead_channels = {1};
+  r.hot_channels = {2, 4};
+  const auto s = r.summary();
+  EXPECT_NE(s.find("2 non-finite"), std::string::npos);
+  EXPECT_NE(s.find("3 zingers"), std::string::npos);
+  EXPECT_NE(s.find("1 dead"), std::string::npos);
+  EXPECT_NE(s.find("2 hot"), std::string::npos);
+}
+
+// ----------------------------------------------------- fault injection ----
+
+TEST(FaultInjection, SameSeedSameFaults) {
+  ScratchDir dir("det");
+  const auto v = testutil::random_vector(64, 50);
+  const auto p1 = dir.file("a.vec"), p2 = dir.file("b.vec");
+  save_vector_checked(p1, v);
+  save_vector_checked(p2, v);
+  FaultInjector i1(77), i2(77);
+  EXPECT_EQ(i1.flip_random_byte(p1), i2.flip_random_byte(p2));
+
+  auto d1 = v, d2 = v;
+  i1.inject_nan(d1, 4);
+  i2.inject_nan(d2, 4);
+  for (std::size_t i = 0; i < d1.size(); ++i)
+    EXPECT_EQ(std::isnan(d1[i]), std::isnan(d2[i]));
+
+  auto s1 = v, s2 = v;
+  i1.inject_spikes(s1, 3, 50.0f);
+  i2.inject_spikes(s2, 3, 50.0f);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(FaultInjection, FlipOnMissingFileThrows) {
+  FaultInjector inject(1);
+  EXPECT_THROW((void)inject.flip_random_byte("/tmp/memxct_no_such_file"),
+               IoError);
+}
+
+// --------------------------------------------- Reconstructor integration --
+
+AlignedVector<real> demo_sinogram(const geometry::Geometry& g) {
+  return smooth_sinogram(g.num_angles, g.num_channels);
+}
+
+core::Config small_config() {
+  core::Config c;
+  c.iterations = 4;
+  return c;
+}
+
+TEST(ReconstructorResil, CacheHitReproducesRebuildBitwise) {
+  ScratchDir dir("cache");
+  const auto g = geometry::make_geometry(24, 16);
+  auto config = small_config();
+  config.cache_dir = dir.path();
+  const auto sino = demo_sinogram(g);
+
+  const core::Reconstructor cold(g, config);
+  EXPECT_FALSE(cold.preprocess_report().cache_hit);
+  const auto cold_image = cold.reconstruct(sino).image;
+
+  const core::Reconstructor warm(g, config);
+  EXPECT_TRUE(warm.preprocess_report().cache_hit);
+  EXPECT_EQ(warm.reconstruct(sino).image, cold_image);
+}
+
+TEST(ReconstructorResil, CacheDirectoryIsCreatedIfMissing) {
+  ScratchDir dir("cache_mkdir");
+  const auto g = geometry::make_geometry(24, 16);
+  auto config = small_config();
+  config.cache_dir = dir.path() + "/nested/cache";
+
+  const core::Reconstructor cold(g, config);
+  EXPECT_FALSE(cold.preprocess_report().cache_hit);
+  const core::Reconstructor warm(g, config);
+  EXPECT_TRUE(warm.preprocess_report().cache_hit);
+}
+
+TEST(ReconstructorResil, CorruptCacheIsRebuiltNotTrusted) {
+  ScratchDir dir("cache_bad");
+  const auto g = geometry::make_geometry(24, 16);
+  auto config = small_config();
+  config.cache_dir = dir.path();
+  const auto sino = demo_sinogram(g);
+
+  const core::Reconstructor cold(g, config);
+  const auto cold_image = cold.reconstruct(sino).image;
+
+  // Corrupt the single cache file the cold run wrote.
+  FaultInjector inject(301);
+  int files = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    inject.flip_random_byte(e.path().string());
+    ++files;
+  }
+  ASSERT_EQ(files, 1);
+
+  const core::Reconstructor rebuilt(g, config);
+  EXPECT_FALSE(rebuilt.preprocess_report().cache_hit);
+  EXPECT_EQ(rebuilt.reconstruct(sino).image, cold_image);
+  // The rebuild also repopulated the cache with a good file.
+  const core::Reconstructor warm(g, config);
+  EXPECT_TRUE(warm.preprocess_report().cache_hit);
+}
+
+TEST(ReconstructorResil, RejectPolicyThrowsOnNaN) {
+  const auto g = geometry::make_geometry(24, 16);
+  auto config = small_config();
+  config.ingest.policy = IngestPolicy::Reject;
+  const core::Reconstructor recon(g, config);
+  auto sino = demo_sinogram(g);
+  EXPECT_FALSE(recon.reconstruct(sino).solve.x.empty());  // clean passes
+  sino[7] = std::numeric_limits<real>::quiet_NaN();
+  EXPECT_THROW((void)recon.reconstruct(sino), InvalidArgument);
+}
+
+TEST(ReconstructorResil, SanitizePolicyRepairsAndReports) {
+  const auto g = geometry::make_geometry(24, 16);
+  auto config = small_config();
+  config.ingest.policy = IngestPolicy::Sanitize;
+  const core::Reconstructor recon(g, config);
+  auto sino = demo_sinogram(g);
+  FaultInjector inject(302);
+  inject.inject_nan(sino, 3);
+  const auto result = recon.reconstruct(sino);
+  EXPECT_EQ(result.ingest.nonfinite, 3);
+  for (const real v : result.image) EXPECT_TRUE(std::isfinite(v));
+  // The caller's buffer is not modified (sanitize works on a copy).
+  int nans = 0;
+  for (const real v : sino) nans += std::isnan(v) ? 1 : 0;
+  EXPECT_EQ(nans, 3);
+}
+
+}  // namespace
+}  // namespace memxct::resil

@@ -4,6 +4,7 @@
 #include "common/error.hpp"
 
 #include "dist/simmpi.hpp"
+#include "resil/fault.hpp"
 
 namespace memxct::dist {
 namespace {
@@ -98,6 +99,86 @@ TEST(SimComm, ModeledExchangeTimePositiveAndBandwidthSensitive) {
   const double bw = comm.last_exchange_seconds(perf::machine("BlueWaters"));
   EXPECT_GT(theta, 0.0);
   EXPECT_GT(bw, theta);  // Blue Waters' Gemini is slower than Theta's Aries
+}
+
+TEST(SimComm, FaultHookPerturbsOffRankBlocksOnly) {
+  SimComm comm(2);
+  std::vector<AlignedVector<real>> send(2);
+  std::vector<std::vector<nnz_t>> send_displ(2);
+  send[0] = {1.0f, 2.0f};  // one element to self, one to rank 1
+  send_displ[0] = {0, 1, 2};
+  send[1] = {3.0f};  // one element to rank 0
+  send_displ[1] = {0, 1, 1};
+  comm.set_fault_hook([](int, int, std::span<real> payload) {
+    payload[0] = 999.0f;
+    return payload.size();
+  });
+  std::vector<AlignedVector<real>> recv;
+  comm.alltoallv(send, send_displ, recv);
+  EXPECT_FLOAT_EQ(recv[0][0], 1.0f);    // self block untouched
+  EXPECT_FLOAT_EQ(recv[0][1], 999.0f);  // from rank 1: perturbed
+  EXPECT_FLOAT_EQ(recv[1][0], 999.0f);  // from rank 0: perturbed
+}
+
+TEST(SimComm, TruncatedExchangeZeroFillsWithoutValidation) {
+  SimComm comm(2);
+  std::vector<AlignedVector<real>> send(2);
+  std::vector<std::vector<nnz_t>> send_displ(2);
+  send[0] = {1.0f, 2.0f, 3.0f, 4.0f};  // all to rank 1
+  send_displ[0] = {0, 0, 4};
+  send[1] = {};
+  send_displ[1] = {0, 0, 0};
+  comm.set_fault_hook(resil::FaultInjector::truncate_exchange_hook(0.5));
+  std::vector<AlignedVector<real>> recv;
+  comm.alltoallv(send, send_displ, recv);
+  ASSERT_EQ(recv[1].size(), 4u);
+  EXPECT_FLOAT_EQ(recv[1][0], 1.0f);
+  EXPECT_FLOAT_EQ(recv[1][1], 2.0f);
+  EXPECT_FLOAT_EQ(recv[1][2], 0.0f);  // undelivered tail zero-filled
+  EXPECT_FLOAT_EQ(recv[1][3], 0.0f);
+}
+
+TEST(SimComm, ValidationDetectsTruncatedExchange) {
+  SimComm comm(2);
+  std::vector<AlignedVector<real>> send(2);
+  std::vector<std::vector<nnz_t>> send_displ(2);
+  send[0] = {1.0f, 2.0f, 3.0f, 4.0f};
+  send_displ[0] = {0, 0, 4};
+  send[1] = {};
+  send_displ[1] = {0, 0, 0};
+  comm.set_fault_hook(resil::FaultInjector::truncate_exchange_hook(0.5));
+  comm.set_validation(true);
+  std::vector<AlignedVector<real>> recv;
+  EXPECT_THROW(comm.alltoallv(send, send_displ, recv), IoError);
+}
+
+TEST(SimComm, ValidationDetectsNonFinitePayload) {
+  SimComm comm(2);
+  std::vector<AlignedVector<real>> send(2);
+  std::vector<std::vector<nnz_t>> send_displ(2);
+  send[0] = {1.0f, 2.0f};
+  send_displ[0] = {0, 0, 2};
+  send[1] = {};
+  send_displ[1] = {0, 0, 0};
+  resil::FaultInjector inject(11);
+  comm.set_fault_hook(inject.nan_exchange_hook(1.0));
+  comm.set_validation(true);
+  std::vector<AlignedVector<real>> recv;
+  EXPECT_THROW(comm.alltoallv(send, send_displ, recv), IoError);
+}
+
+TEST(SimComm, ValidationPassesCleanExchange) {
+  SimComm comm(2);
+  std::vector<AlignedVector<real>> send(2);
+  std::vector<std::vector<nnz_t>> send_displ(2);
+  send[0] = {1.0f, 2.0f};
+  send_displ[0] = {0, 0, 2};
+  send[1] = {};
+  send_displ[1] = {0, 0, 0};
+  comm.set_validation(true);
+  std::vector<AlignedVector<real>> recv;
+  comm.alltoallv(send, send_displ, recv);
+  EXPECT_FLOAT_EQ(recv[1][1], 2.0f);
 }
 
 TEST(SimComm, MismatchedDisplRejected) {
