@@ -1,0 +1,157 @@
+// Batch-engine throughput: the Table 5 "all slices" amortization argument
+// measured end-to-end on one node.
+//
+// MemXCT pays preprocessing (ordering, tracing, transposition, buffers,
+// plans) once per geometry; every additional slice of a 3D scan reuses the
+// memoized operator. Two sweeps make that concrete on a 256^2 phantom:
+//
+//   * slice sweep (K=1): end-to-end seconds/slice = (preproc + batch)/S for
+//     S in {1,2,4,8,16} — the amortized cost must fall steeply as S grows;
+//   * worker sweep (S=16): batch wall time and slices/sec for K in {1,2,4}
+//     — on a multi-core host the shared-storage operator views let workers
+//     scale; on a single hardware thread the sweep degenerates gracefully
+//     (reported, not hidden).
+//
+//   bench_batch_throughput [--json <path>]
+//
+// Honors MEMXCT_BENCH_SCALE (divides the 256^2 problem further for smoke
+// runs).
+#include <omp.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "bench_util.hpp"
+#include "core/reconstructor.hpp"
+#include "io/table.hpp"
+#include "phantom/phantom.hpp"
+
+namespace {
+
+using namespace memxct;
+
+struct SliceRow {
+  int slices;
+  double batch_wall;
+  double per_slice_end_to_end;
+};
+
+struct WorkerRow {
+  int workers;
+  double batch_wall;
+  double slices_per_sec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    else if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+
+  const idx_t size = std::max<idx_t>(32, 256 / bench::env_scale());
+  const idx_t angles = size * 3 / 2;
+  const auto g = geometry::make_geometry(angles, size);
+  core::Config config;
+  config.iterations = 5;
+
+  // Preprocessing, paid once per geometry.
+  perf::WallTimer pre_timer;
+  const core::Reconstructor recon(g, config);
+  const double preproc = pre_timer.seconds();
+
+  const auto image = phantom::shepp_logan(size);
+  const auto sinogram = phantom::forward_project(g, image);
+
+  const auto run_batch = [&](int num_slices, int workers) {
+    batch::BatchReconstructor engine(
+        recon, {.workers = workers, .keep_images = false});
+    for (int s = 0; s < num_slices; ++s) engine.submit(sinogram);
+    const auto results = engine.wait_all();
+    (void)results;
+    return engine.report();
+  };
+  (void)run_batch(1, 1);  // warm caches before timing
+
+  std::printf("geometry %d x %d, %d CG iterations, preprocessing %.3f s\n\n",
+              angles, size, config.iterations, preproc);
+
+  // Slice sweep: amortization of the one-time preprocessing.
+  std::vector<SliceRow> slice_rows;
+  {
+    io::TablePrinter table("Preprocessing amortization (K=1 worker)");
+    table.header({"slices", "batch wall", "end-to-end/slice", "vs S=1"});
+    double baseline = 0.0;
+    for (const int s : {1, 2, 4, 8, 16}) {
+      const auto rep = run_batch(s, 1);
+      const double per_slice = (preproc + rep.wall_seconds) / s;
+      if (s == 1) baseline = per_slice;
+      slice_rows.push_back({s, rep.wall_seconds, per_slice});
+      table.row({std::to_string(s), io::TablePrinter::time_s(rep.wall_seconds),
+                 io::TablePrinter::time_s(per_slice),
+                 io::TablePrinter::num(baseline / per_slice, 2) + "x"});
+    }
+    table.print();
+  }
+
+  // Worker sweep at S=16.
+  std::vector<WorkerRow> worker_rows;
+  {
+    io::TablePrinter table("Worker scaling (S=16 slices)");
+    table.header({"workers", "omp/worker", "batch wall", "slices/s", "vs K=1"});
+    double baseline = 0.0;
+    for (const int k : {1, 2, 4}) {
+      const auto rep = run_batch(16, k);
+      if (k == 1) baseline = rep.slices_per_second;
+      worker_rows.push_back({k, rep.wall_seconds, rep.slices_per_second});
+      table.row({std::to_string(k),
+                 std::to_string(std::max(1, omp_get_max_threads() / k)),
+                 io::TablePrinter::time_s(rep.wall_seconds),
+                 io::TablePrinter::num(rep.slices_per_second, 3),
+                 io::TablePrinter::num(rep.slices_per_second /
+                                        std::max(baseline, 1e-12), 2) + "x"});
+    }
+    table.print();
+    if (omp_get_max_threads() < 4)
+      std::printf("note: only %d hardware thread(s) available — worker "
+                  "scaling is core-bound here and shows on multi-core "
+                  "hosts.\n",
+                  omp_get_max_threads());
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_batch_throughput: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "[\n");
+    bool first = true;
+    for (const auto& r : slice_rows) {
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(out,
+                   "{\"sweep\": \"slices\", \"slices\": %d, \"workers\": 1, "
+                   "\"preprocess_s\": %.6g, \"batch_wall_s\": %.6g, "
+                   "\"end_to_end_per_slice_s\": %.6g}",
+                   r.slices, preproc, r.batch_wall, r.per_slice_end_to_end);
+    }
+    for (const auto& r : worker_rows) {
+      std::fprintf(out, ",\n");
+      std::fprintf(out,
+                   "{\"sweep\": \"workers\", \"slices\": 16, \"workers\": %d, "
+                   "\"batch_wall_s\": %.6g, \"slices_per_second\": %.6g}",
+                   r.workers, r.batch_wall, r.slices_per_sec);
+    }
+    std::fprintf(out, "\n]\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "batch/batch.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace memxct::batch {
+
+const char* to_string(SliceStatus status) noexcept {
+  switch (status) {
+    case SliceStatus::Ok:
+      return "ok";
+    case SliceStatus::IngestRejected:
+      return "ingest-rejected";
+    case SliceStatus::Diverged:
+      return "diverged";
+    case SliceStatus::Failed:
+      return "failed";
+  }
+  return "?";
+}
+
+std::string BatchReport::summary() const {
+  std::ostringstream os;
+  os << slices << " slices on " << workers << " workers in " << wall_seconds
+     << " s (" << slices_per_second << " slices/s, queue high-water "
+     << queue_high_water << ")";
+  if (ingest_rejected + diverged + failed > 0)
+    os << "; " << ingest_rejected << " ingest-rejected, " << diverged
+       << " diverged, " << failed << " failed";
+  return os.str();
+}
+
+BatchReconstructor::BatchReconstructor(const core::Reconstructor& recon,
+                                       BatchOptions options)
+    : recon_(recon), config_(recon.config()), options_(options) {
+  if (options_.workers < 1)
+    throw InvalidArgument("batch: workers must be >= 1");
+  const core::MemXCTOperator* serial = recon_.serial_op();
+  if (serial == nullptr)
+    throw InvalidArgument(
+        "batch: BatchReconstructor requires the serial operator path "
+        "(num_ranks == 1 and not force_distributed)");
+  capacity_ = options_.queue_capacity > 0 ? options_.queue_capacity
+                                          : 2 * options_.workers;
+  // One shared checkpoint file written by K concurrent slices would corrupt
+  // and make results submission-order dependent; per-slice in-memory
+  // rollback (divergence recovery) is unaffected.
+  config_.checkpoint_path.clear();
+  threads_per_worker_ =
+      options_.omp_threads_per_worker > 0
+          ? options_.omp_threads_per_worker
+          : std::max(1, omp_get_max_threads() / options_.workers);
+
+  ops_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) ops_.push_back(serial->make_view());
+
+  threads_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+BatchReconstructor::~BatchReconstructor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_nonempty_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+int BatchReconstructor::submit(std::span<const real> sinogram) {
+  if (static_cast<std::int64_t>(sinogram.size()) !=
+      recon_.geometry().sinogram_extent().size())
+    throw InvalidArgument("batch: sinogram size " +
+                          std::to_string(sinogram.size()) +
+                          " does not match the geometry");
+  Job job;
+  job.data.assign(sinogram.begin(), sinogram.end());
+  int ticket = -1;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    // Backpressure: hold the producer until a worker frees a queue slot.
+    cv_nonfull_.wait(lk, [this] {
+      return static_cast<int>(queue_.size()) < capacity_;
+    });
+    if (submitted_ == 0) round_timer_.reset();
+    ticket = submitted_++;
+    job.slice = ticket;
+    queue_.push_back(std::move(job));
+    queue_high_water_ =
+        std::max(queue_high_water_, static_cast<int>(queue_.size()));
+  }
+  cv_nonempty_.notify_one();
+  return ticket;
+}
+
+std::vector<SliceResult> BatchReconstructor::wait_all() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return completed_ == submitted_; });
+
+  BatchReport rep;
+  rep.slices = submitted_;
+  rep.workers = workers();
+  rep.wall_seconds = submitted_ > 0 ? round_timer_.seconds() : 0.0;
+  rep.slices_per_second =
+      rep.wall_seconds > 0.0 ? rep.slices / rep.wall_seconds : 0.0;
+  rep.queue_high_water = queue_high_water_;
+  rep.preprocess_seconds = recon_.preprocess_report().total_seconds;
+  for (const SliceResult& r : results_) {
+    switch (r.status) {
+      case SliceStatus::Ok:
+        ++rep.ok;
+        break;
+      case SliceStatus::IngestRejected:
+        ++rep.ingest_rejected;
+        break;
+      case SliceStatus::Diverged:
+        ++rep.diverged;
+        break;
+      case SliceStatus::Failed:
+        ++rep.failed;
+        break;
+    }
+    rep.slice_seconds_sum += r.seconds;
+    rep.solve_seconds_sum += r.solve.seconds;
+  }
+  report_ = rep;
+
+  std::vector<SliceResult> out = std::move(results_);
+  results_.clear();
+  submitted_ = 0;
+  completed_ = 0;
+  queue_high_water_ = 0;
+  lk.unlock();
+
+  std::sort(out.begin(), out.end(),
+            [](const SliceResult& a, const SliceResult& b) {
+              return a.slice < b.slice;
+            });
+  return out;
+}
+
+void BatchReconstructor::worker_main(int worker_id) {
+  // The num-threads ICV is per-thread in OpenMP: this pins the size of every
+  // parallel region the solvers open from this worker, keeping K workers at
+  // the same total subscription as one full-width solve.
+  omp_set_num_threads(threads_per_worker_);
+  const core::MemXCTOperator& op = *ops_[static_cast<std::size_t>(worker_id)];
+  core::SliceWorkspace slice_ws;  // persistent: no steady-state allocation
+
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_nonempty_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    cv_nonfull_.notify_one();
+
+    SliceResult res;
+    res.slice = job.slice;
+    perf::WallTimer timer;
+    try {
+      core::ReconstructionResult r = core::reconstruct_slice(
+          op, recon_.geometry(), config_, recon_.sinogram_ordering(),
+          recon_.tomogram_ordering(), job.data, &slice_ws);
+      res.status =
+          r.solve.diverged ? SliceStatus::Diverged : SliceStatus::Ok;
+      res.solve = std::move(r.solve);
+      res.ingest = std::move(r.ingest);
+      if (options_.keep_images) res.image = std::move(r.image);
+    } catch (const InvalidArgument& e) {
+      // The ingest gate throws InvalidArgument under IngestPolicy::Reject;
+      // the slice is reported rejected, the batch continues.
+      res.status = SliceStatus::IngestRejected;
+      res.error = e.what();
+    } catch (const std::exception& e) {
+      res.status = SliceStatus::Failed;
+      res.error = e.what();
+    }
+    res.seconds = timer.seconds();
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      results_.push_back(std::move(res));
+      ++completed_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+}  // namespace memxct::batch

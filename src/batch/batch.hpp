@@ -1,0 +1,190 @@
+// Batched multi-slice reconstruction engine (the Table 5 amortization
+// argument, exercised end-to-end).
+//
+// MemXCT pays preprocessing — ordering, ray tracing, transposition, buffer
+// and plan construction — once per geometry; a 3D scan is then a stack of
+// independent 2D slices pumped through that one memoized operator. The
+// BatchReconstructor is the throughput-oriented entry point for that shape:
+//
+//   core::Reconstructor recon(geometry, config);     // preprocess once
+//   batch::BatchReconstructor engine(recon, {.workers = 4});
+//   for (auto& sino : slices) engine.submit(sino);   // bounded, blocking
+//   auto results = engine.wait_all();                // per-slice status
+//   engine.report();                                 // slices/sec, queue HWM
+//
+// Design:
+//   * One immutable preprocessed operator is shared by all workers; each
+//     worker holds a MemXCTOperator view (shared matrices + plans, private
+//     apply workspaces) and a persistent SliceWorkspace, so the per-slice
+//     hot path performs no matrix duplication and no steady-state
+//     slice-sized allocation.
+//   * Submission goes through a bounded queue: submit() blocks while the
+//     queue is full (backpressure toward the producer instead of unbounded
+//     memory growth), and the high-water mark is reported.
+//   * Faults are isolated per slice: one slice's ingest rejection, solver
+//     divergence, or unexpected error yields a SliceStatus on that slice's
+//     result and never poisons the batch or kills a worker.
+//   * Determinism: each slice is solved by the same reconstruct_slice code
+//     path as Reconstructor::reconstruct, on operators whose static plans
+//     are thread-count-independent — results are bitwise identical to the
+//     single-slice path and independent of the worker count K.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/reconstructor.hpp"
+#include "perf/timer.hpp"
+
+namespace memxct::batch {
+
+struct BatchOptions {
+  /// Fixed worker pool size (threads solving slices concurrently).
+  int workers = 1;
+  /// Bounded submission-queue capacity; submit() blocks while the queue is
+  /// full. 0 = twice the worker count.
+  int queue_capacity = 0;
+  /// OpenMP threads each worker uses inside apply/vector-op parallel
+  /// regions; 0 = omp_get_max_threads() / workers, at least 1 (keeps total
+  /// CPU subscription at the single-slice level). Any value yields bitwise
+  /// identical slice results — the static plans guarantee it.
+  int omp_threads_per_worker = 0;
+  /// false drops the reconstructed pixels after each solve; stats and
+  /// per-slice status are still produced (throughput / QA-only runs that
+  /// must not hold S full images in memory).
+  bool keep_images = true;
+};
+
+/// Terminal status of one submitted slice.
+enum class SliceStatus {
+  Ok,              ///< Solve completed.
+  IngestRejected,  ///< Rejected by the configured ingest policy.
+  Diverged,        ///< Solver diverged; image is the rolled-back iterate.
+  Failed,          ///< Unexpected error (message in SliceResult::error).
+};
+
+[[nodiscard]] const char* to_string(SliceStatus status) noexcept;
+
+struct SliceResult {
+  int slice = -1;  ///< Submission ticket (0-based, in submit order).
+  SliceStatus status = SliceStatus::Ok;
+  std::string error;        ///< Diagnostic for IngestRejected / Failed.
+  std::vector<real> image;  ///< Natural row-major layout; empty on failure
+                            ///< or when BatchOptions::keep_images is false.
+  solve::SolveResult solve;
+  resil::IngestReport ingest;
+  double seconds = 0.0;  ///< Worker wall time for this slice.
+};
+
+/// Batch-level statistics of one submit…wait_all round.
+struct BatchReport {
+  int slices = 0;
+  int ok = 0;
+  int ingest_rejected = 0;
+  int diverged = 0;
+  int failed = 0;
+  int workers = 0;
+  double wall_seconds = 0.0;        ///< First submit → last completion.
+  double slices_per_second = 0.0;   ///< slices / wall_seconds.
+  double slice_seconds_sum = 0.0;   ///< Σ per-slice worker wall time.
+  double solve_seconds_sum = 0.0;   ///< Σ per-slice solver time.
+  int queue_high_water = 0;         ///< Deepest the bounded queue got.
+  double preprocess_seconds = 0.0;  ///< Paid once, amortized over slices.
+
+  /// Batch wall time per slice (excludes the amortized preprocessing).
+  [[nodiscard]] double per_slice_wall() const noexcept {
+    return slices > 0 ? wall_seconds / slices : 0.0;
+  }
+  /// End-to-end time per slice when this batch had to pay preprocessing —
+  /// the Table 5 amortization metric (falls toward per_slice_wall() as the
+  /// slice count grows).
+  [[nodiscard]] double per_slice_wall_with_preprocess() const noexcept {
+    return slices > 0 ? (preprocess_seconds + wall_seconds) / slices : 0.0;
+  }
+  /// One-line summary for logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Fixed worker pool driving slices through one preprocessed operator.
+///
+/// The wrapped Reconstructor must outlive the engine and must be on the
+/// serial path (num_ranks == 1, not force_distributed): the simulated
+/// distributed operator carries per-apply exchange state that cannot be
+/// shared across workers. On-disk solver checkpointing is disabled inside
+/// the batch (a shared checkpoint file across concurrent slices would
+/// corrupt; in-memory divergence rollback still applies per slice).
+///
+/// Thread safety: submit() and wait_all() are producer-side calls and may
+/// be used from one thread at a time; workers run internally. The engine is
+/// reusable — after wait_all() returns, a new round of submissions starts a
+/// fresh report.
+class BatchReconstructor {
+ public:
+  explicit BatchReconstructor(const core::Reconstructor& recon,
+                              BatchOptions options = {});
+  ~BatchReconstructor();
+
+  BatchReconstructor(const BatchReconstructor&) = delete;
+  BatchReconstructor& operator=(const BatchReconstructor&) = delete;
+
+  /// Enqueues one natural-layout sinogram (copied) and returns its slice
+  /// ticket. Blocks while the bounded queue is full (backpressure). Throws
+  /// InvalidArgument on a wrong-size sinogram — a caller bug, not a slice
+  /// fault, so it is rejected before entering the pipeline.
+  int submit(std::span<const real> sinogram);
+
+  /// Blocks until every submitted slice has completed, then returns the
+  /// results sorted by slice ticket and finalizes report(). Resets the
+  /// engine for a next round of submissions.
+  [[nodiscard]] std::vector<SliceResult> wait_all();
+
+  /// Statistics of the last completed round (valid after wait_all()).
+  [[nodiscard]] const BatchReport& report() const noexcept { return report_; }
+
+  [[nodiscard]] int workers() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+  [[nodiscard]] int queue_capacity() const noexcept { return capacity_; }
+  [[nodiscard]] int omp_threads_per_worker() const noexcept {
+    return threads_per_worker_;
+  }
+
+ private:
+  struct Job {
+    int slice = -1;
+    AlignedVector<real> data;
+  };
+
+  void worker_main(int worker_id);
+
+  const core::Reconstructor& recon_;
+  core::Config config_;  ///< Reconstructor config with checkpointing off.
+  BatchOptions options_;
+  int capacity_ = 0;
+  int threads_per_worker_ = 1;
+  /// Per-worker operator views: shared immutable storage, private apply
+  /// workspaces (the tentpole refactor that makes concurrent applies safe).
+  std::vector<std::unique_ptr<core::MemXCTOperator>> ops_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_nonempty_;  ///< Workers wait for jobs.
+  std::condition_variable cv_nonfull_;   ///< submit() waits for queue room.
+  std::condition_variable cv_done_;      ///< wait_all() waits for drain.
+  std::deque<Job> queue_;
+  bool stop_ = false;
+  int submitted_ = 0;
+  int completed_ = 0;
+  int queue_high_water_ = 0;
+  perf::WallTimer round_timer_;  ///< Reset at the first submit of a round.
+  std::vector<SliceResult> results_;
+  BatchReport report_;
+};
+
+}  // namespace memxct::batch

@@ -2,7 +2,11 @@
 
 #include <omp.h>
 
+#include <optional>
+
 #include "common/error.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ell.hpp"
 #include "sparse/spmv.hpp"
 #include "sparse/transpose.hpp"
 
@@ -44,139 +48,214 @@ const char* to_string(SolverKind kind) noexcept {
   return "?";
 }
 
+struct MemXCTOperator::Storage {
+  KernelKind kind;
+  ScheduleKind schedule;
+  idx_t num_rows = 0, num_cols = 0;
+  nnz_t nnz = 0;
+  std::int64_t regular_bytes = 0;
+  // Exactly one pair below is populated, matching kind.
+  std::optional<sparse::CsrMatrix> csr_fwd, csr_bwd;
+  std::optional<sparse::EllBlockMatrix> ell_fwd, ell_bwd;
+  std::optional<sparse::BufferedMatrix> buf_fwd, buf_bwd;
+  // Static-plan partition → slot assignments (built once at construction).
+  sparse::ApplyPlan plan_fwd, plan_bwd;
+};
+
 MemXCTOperator::MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
                                const sparse::BufferConfig& buffer,
-                               idx_t ell_block_rows, ScheduleKind schedule)
-    : kind_(kind), schedule_(schedule), num_rows_(a.num_rows),
-      num_cols_(a.num_cols), nnz_(a.nnz()) {
+                               idx_t ell_block_rows, ScheduleKind schedule) {
+  auto s = std::make_shared<Storage>();
+  s->kind = kind;
+  s->schedule = schedule;
+  s->num_rows = a.num_rows;
+  s->num_cols = a.num_cols;
+  s->nnz = a.nnz();
   sparse::CsrMatrix at = sparse::transpose(a);
-  switch (kind_) {
+  switch (kind) {
     case KernelKind::Baseline:
     case KernelKind::Library:
-      regular_bytes_ = a.regular_bytes() + at.regular_bytes();
-      csr_fwd_ = std::move(a);
-      csr_bwd_ = std::move(at);
+      s->regular_bytes = a.regular_bytes() + at.regular_bytes();
+      s->csr_fwd = std::move(a);
+      s->csr_bwd = std::move(at);
       break;
     case KernelKind::EllBlock:
-      ell_fwd_ = sparse::to_ell_block(a, ell_block_rows);
-      ell_bwd_ = sparse::to_ell_block(at, ell_block_rows);
-      regular_bytes_ =
-          (ell_fwd_->padded_nnz() + ell_bwd_->padded_nnz()) *
+      s->ell_fwd = sparse::to_ell_block(a, ell_block_rows);
+      s->ell_bwd = sparse::to_ell_block(at, ell_block_rows);
+      s->regular_bytes =
+          (s->ell_fwd->padded_nnz() + s->ell_bwd->padded_nnz()) *
           static_cast<std::int64_t>(sizeof(idx_t) + sizeof(real));
       break;
     case KernelKind::Buffered:
-      buf_fwd_ = sparse::build_buffered(a, buffer);
-      buf_bwd_ = sparse::build_buffered(at, buffer);
-      regular_bytes_ =
-          (buf_fwd_->nnz() + buf_bwd_->nnz()) *
+      s->buf_fwd = sparse::build_buffered(a, buffer);
+      s->buf_bwd = sparse::build_buffered(at, buffer);
+      s->regular_bytes =
+          (s->buf_fwd->nnz() + s->buf_bwd->nnz()) *
               static_cast<std::int64_t>(sizeof(buf_idx_t) + sizeof(real)) +
-          (buf_fwd_->total_staged() + buf_bwd_->total_staged()) *
+          (s->buf_fwd->total_staged() + s->buf_bwd->total_staged()) *
               static_cast<std::int64_t>(sizeof(idx_t));
       break;
   }
 
-  if (schedule_ != ScheduleKind::StaticPlan) return;
-  // Static-plan state: nnz-balanced partition → thread assignments for both
-  // directions, plus persistent per-thread workspaces sized for the kernel's
-  // staging needs. After this point apply()/apply_transpose() never allocate.
-  const int slots = omp_get_max_threads();
-  switch (kind_) {
+  if (schedule == ScheduleKind::StaticPlan) {
+    // nnz-balanced partition → thread assignments for both directions. The
+    // slot count is fixed here once; applies (from any view, under any
+    // thread count) execute the same slots in the same order, which is what
+    // makes output bitwise-deterministic.
+    const int slots = omp_get_max_threads();
+    switch (kind) {
+      case KernelKind::Baseline:
+        s->plan_fwd = sparse::ApplyPlan::build(
+            sparse::partition_nnz(*s->csr_fwd, sparse::kCsrPartsize), slots);
+        s->plan_bwd = sparse::ApplyPlan::build(
+            sparse::partition_nnz(*s->csr_bwd, sparse::kCsrPartsize), slots);
+        break;
+      case KernelKind::Library:
+        // The general-library stand-in keeps its untuned schedule by design.
+        break;
+      case KernelKind::EllBlock:
+        s->plan_fwd =
+            sparse::ApplyPlan::build(sparse::partition_nnz(*s->ell_fwd), slots);
+        s->plan_bwd =
+            sparse::ApplyPlan::build(sparse::partition_nnz(*s->ell_bwd), slots);
+        break;
+      case KernelKind::Buffered:
+        s->plan_fwd =
+            sparse::ApplyPlan::build(sparse::partition_nnz(*s->buf_fwd), slots);
+        s->plan_bwd =
+            sparse::ApplyPlan::build(sparse::partition_nnz(*s->buf_bwd), slots);
+        break;
+    }
+  }
+  store_ = std::move(s);
+  build_workspaces();
+}
+
+MemXCTOperator::MemXCTOperator(std::shared_ptr<const Storage> storage)
+    : store_(std::move(storage)) {
+  build_workspaces();
+}
+
+MemXCTOperator::~MemXCTOperator() = default;
+
+std::unique_ptr<MemXCTOperator> MemXCTOperator::make_view() const {
+  return std::unique_ptr<MemXCTOperator>(new MemXCTOperator(store_));
+}
+
+void MemXCTOperator::build_workspaces() {
+  const Storage& s = *store_;
+  if (s.schedule != ScheduleKind::StaticPlan) return;
+  // Persistent per-slot staging/output buffers sized for the kernel's needs;
+  // after this point apply()/apply_transpose() never allocate. Sized by the
+  // plan's slot count so views match the storage they share.
+  switch (s.kind) {
     case KernelKind::Baseline:
-      plan_fwd_ = sparse::ApplyPlan::build(
-          sparse::partition_nnz(*csr_fwd_, sparse::kCsrPartsize), slots);
-      plan_bwd_ = sparse::ApplyPlan::build(
-          sparse::partition_nnz(*csr_bwd_, sparse::kCsrPartsize), slots);
-      break;
     case KernelKind::Library:
-      // The general-library stand-in keeps its untuned schedule by design.
-      break;
+      break;  // CSR kernels need no staging.
     case KernelKind::EllBlock:
-      plan_fwd_ =
-          sparse::ApplyPlan::build(sparse::partition_nnz(*ell_fwd_), slots);
-      plan_bwd_ =
-          sparse::ApplyPlan::build(sparse::partition_nnz(*ell_bwd_), slots);
-      ws_fwd_ = sparse::Workspace(slots, 0, ell_fwd_->block_rows);
-      ws_bwd_ = sparse::Workspace(slots, 0, ell_bwd_->block_rows);
+      ws_fwd_ = sparse::Workspace(s.plan_fwd.num_slots(), 0,
+                                  s.ell_fwd->block_rows);
+      ws_bwd_ = sparse::Workspace(s.plan_bwd.num_slots(), 0,
+                                  s.ell_bwd->block_rows);
       break;
     case KernelKind::Buffered:
-      plan_fwd_ =
-          sparse::ApplyPlan::build(sparse::partition_nnz(*buf_fwd_), slots);
-      plan_bwd_ =
-          sparse::ApplyPlan::build(sparse::partition_nnz(*buf_bwd_), slots);
-      ws_fwd_ = sparse::Workspace(slots, buf_fwd_->config.buffsize,
-                                  buf_fwd_->config.partsize);
-      ws_bwd_ = sparse::Workspace(slots, buf_bwd_->config.buffsize,
-                                  buf_bwd_->config.partsize);
+      ws_fwd_ = sparse::Workspace(s.plan_fwd.num_slots(),
+                                  s.buf_fwd->config.buffsize,
+                                  s.buf_fwd->config.partsize);
+      ws_bwd_ = sparse::Workspace(s.plan_bwd.num_slots(),
+                                  s.buf_bwd->config.buffsize,
+                                  s.buf_bwd->config.partsize);
       break;
   }
 }
 
+idx_t MemXCTOperator::num_rows() const { return store_->num_rows; }
+idx_t MemXCTOperator::num_cols() const { return store_->num_cols; }
+KernelKind MemXCTOperator::kind() const noexcept { return store_->kind; }
+ScheduleKind MemXCTOperator::schedule() const noexcept {
+  return store_->schedule;
+}
+nnz_t MemXCTOperator::nnz() const noexcept { return store_->nnz; }
+std::int64_t MemXCTOperator::regular_bytes() const noexcept {
+  return store_->regular_bytes;
+}
+
+sparse::PlanStats MemXCTOperator::forward_plan_stats() const noexcept {
+  return store_->plan_fwd.stats();
+}
+sparse::PlanStats MemXCTOperator::transpose_plan_stats() const noexcept {
+  return store_->plan_bwd.stats();
+}
+
 void MemXCTOperator::apply(std::span<const real> x, std::span<real> y) const {
-  const bool planned = schedule_ == ScheduleKind::StaticPlan;
-  switch (kind_) {
+  const Storage& s = *store_;
+  const bool planned = s.schedule == ScheduleKind::StaticPlan;
+  switch (s.kind) {
     case KernelKind::Baseline:
       if (planned)
-        sparse::spmv_csr_planned(*csr_fwd_, sparse::kCsrPartsize, plan_fwd_, x,
-                                 y);
+        sparse::spmv_csr_planned(*s.csr_fwd, sparse::kCsrPartsize, s.plan_fwd,
+                                 x, y);
       else
-        sparse::spmv_csr(*csr_fwd_, x, y);
+        sparse::spmv_csr(*s.csr_fwd, x, y);
       break;
     case KernelKind::Library:
-      sparse::spmv_library(*csr_fwd_, x, y);
+      sparse::spmv_library(*s.csr_fwd, x, y);
       break;
     case KernelKind::EllBlock:
       if (planned)
-        sparse::spmv_ell_planned(*ell_fwd_, plan_fwd_, ws_fwd_, x, y);
+        sparse::spmv_ell_planned(*s.ell_fwd, s.plan_fwd, ws_fwd_, x, y);
       else
-        sparse::spmv_ell(*ell_fwd_, x, y);
+        sparse::spmv_ell(*s.ell_fwd, x, y);
       break;
     case KernelKind::Buffered:
       if (planned)
-        sparse::spmv_buffered_planned(*buf_fwd_, plan_fwd_, ws_fwd_, x, y);
+        sparse::spmv_buffered_planned(*s.buf_fwd, s.plan_fwd, ws_fwd_, x, y);
       else
-        sparse::spmv_buffered(*buf_fwd_, x, y);
+        sparse::spmv_buffered(*s.buf_fwd, x, y);
       break;
   }
 }
 
 void MemXCTOperator::apply_transpose(std::span<const real> y,
                                      std::span<real> x) const {
-  const bool planned = schedule_ == ScheduleKind::StaticPlan;
-  switch (kind_) {
+  const Storage& s = *store_;
+  const bool planned = s.schedule == ScheduleKind::StaticPlan;
+  switch (s.kind) {
     case KernelKind::Baseline:
       if (planned)
-        sparse::spmv_csr_planned(*csr_bwd_, sparse::kCsrPartsize, plan_bwd_, y,
-                                 x);
+        sparse::spmv_csr_planned(*s.csr_bwd, sparse::kCsrPartsize, s.plan_bwd,
+                                 y, x);
       else
-        sparse::spmv_csr(*csr_bwd_, y, x);
+        sparse::spmv_csr(*s.csr_bwd, y, x);
       break;
     case KernelKind::Library:
-      sparse::spmv_library(*csr_bwd_, y, x);
+      sparse::spmv_library(*s.csr_bwd, y, x);
       break;
     case KernelKind::EllBlock:
       if (planned)
-        sparse::spmv_ell_planned(*ell_bwd_, plan_bwd_, ws_bwd_, y, x);
+        sparse::spmv_ell_planned(*s.ell_bwd, s.plan_bwd, ws_bwd_, y, x);
       else
-        sparse::spmv_ell(*ell_bwd_, y, x);
+        sparse::spmv_ell(*s.ell_bwd, y, x);
       break;
     case KernelKind::Buffered:
       if (planned)
-        sparse::spmv_buffered_planned(*buf_bwd_, plan_bwd_, ws_bwd_, y, x);
+        sparse::spmv_buffered_planned(*s.buf_bwd, s.plan_bwd, ws_bwd_, y, x);
       else
-        sparse::spmv_buffered(*buf_bwd_, y, x);
+        sparse::spmv_buffered(*s.buf_bwd, y, x);
       break;
   }
 }
 
 perf::KernelWork MemXCTOperator::forward_work() const {
-  switch (kind_) {
+  const Storage& s = *store_;
+  switch (s.kind) {
     case KernelKind::Baseline:
     case KernelKind::Library:
-      return sparse::csr_work(*csr_fwd_);
+      return sparse::csr_work(*s.csr_fwd);
     case KernelKind::EllBlock:
-      return sparse::ell_work(*ell_fwd_);
+      return sparse::ell_work(*s.ell_fwd);
     case KernelKind::Buffered:
-      return sparse::buffered_work(*buf_fwd_);
+      return sparse::buffered_work(*s.buf_fwd);
   }
   return {};
 }

@@ -2,14 +2,12 @@
 // selectable kernel flavour.
 #pragma once
 
-#include <optional>
+#include <memory>
 
 #include "core/config.hpp"
 #include "perf/counters.hpp"
 #include "solve/operator.hpp"
 #include "sparse/buffered.hpp"
-#include "sparse/csr.hpp"
-#include "sparse/ell.hpp"
 #include "sparse/plan.hpp"
 
 namespace memxct::core {
@@ -21,9 +19,15 @@ namespace memxct::core {
 /// nnz-balanced static execution plan per direction plus persistent
 /// per-thread workspaces, so every apply is allocation-free, runs the same
 /// partitions on the same threads, and produces bitwise-identical output
-/// independent of thread count. The workspaces are per-operator scratch:
-/// concurrent applies on one operator instance are not supported (solvers
-/// apply serially).
+/// independent of thread count.
+///
+/// The matrices and plans are immutable after construction and held behind a
+/// shared pointer; the workspaces are the only mutable per-instance scratch.
+/// Concurrent applies on ONE instance are therefore not supported (solvers
+/// apply serially), but make_view() produces additional instances that share
+/// the storage while owning private workspaces — one view per worker thread
+/// gives safe concurrent applies with zero matrix duplication (the batch
+/// engine's amortization contract).
 class MemXCTOperator final : public solve::LinearOperator {
  public:
   /// Takes the ordered-space forward matrix; builds the transpose and any
@@ -33,47 +37,45 @@ class MemXCTOperator final : public solve::LinearOperator {
                  const sparse::BufferConfig& buffer = {},
                  idx_t ell_block_rows = 64,
                  ScheduleKind schedule = ScheduleKind::StaticPlan);
+  ~MemXCTOperator() override;
 
-  [[nodiscard]] idx_t num_rows() const override { return num_rows_; }
-  [[nodiscard]] idx_t num_cols() const override { return num_cols_; }
+  /// A second operator sharing this one's immutable matrices and plans but
+  /// owning private apply workspaces. Cost: workspace allocation only (no
+  /// matrix copy). Views from distinct threads may apply concurrently.
+  [[nodiscard]] std::unique_ptr<MemXCTOperator> make_view() const;
+
+  [[nodiscard]] idx_t num_rows() const override;
+  [[nodiscard]] idx_t num_cols() const override;
 
   void apply(std::span<const real> x, std::span<real> y) const override;
   void apply_transpose(std::span<const real> y,
                        std::span<real> x) const override;
 
-  [[nodiscard]] KernelKind kind() const noexcept { return kind_; }
-  [[nodiscard]] ScheduleKind schedule() const noexcept { return schedule_; }
-  [[nodiscard]] nnz_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] KernelKind kind() const noexcept;
+  [[nodiscard]] ScheduleKind schedule() const noexcept;
+  [[nodiscard]] nnz_t nnz() const noexcept;
 
   /// Load-balance summaries of the static plans (empty when the kernel has
   /// no planned path, e.g. Library, or schedule is Dynamic).
-  [[nodiscard]] sparse::PlanStats forward_plan_stats() const noexcept {
-    return plan_fwd_.stats();
-  }
-  [[nodiscard]] sparse::PlanStats transpose_plan_stats() const noexcept {
-    return plan_bwd_.stats();
-  }
+  [[nodiscard]] sparse::PlanStats forward_plan_stats() const noexcept;
+  [[nodiscard]] sparse::PlanStats transpose_plan_stats() const noexcept;
 
   /// Work accounting of one forward apply (for GFLOPS / bandwidth).
   [[nodiscard]] perf::KernelWork forward_work() const;
 
   /// Total regular-data bytes held (both directions), the Table 3 metric.
-  [[nodiscard]] std::int64_t regular_bytes() const noexcept {
-    return regular_bytes_;
-  }
+  /// Views share this storage; the bytes are not duplicated per view.
+  [[nodiscard]] std::int64_t regular_bytes() const noexcept;
 
  private:
-  KernelKind kind_;
-  ScheduleKind schedule_;
-  idx_t num_rows_ = 0, num_cols_ = 0;
-  nnz_t nnz_ = 0;
-  std::int64_t regular_bytes_ = 0;
-  // Exactly one pair below is populated, matching kind_.
-  std::optional<sparse::CsrMatrix> csr_fwd_, csr_bwd_;
-  std::optional<sparse::EllBlockMatrix> ell_fwd_, ell_bwd_;
-  std::optional<sparse::BufferedMatrix> buf_fwd_, buf_bwd_;
-  // Static-plan execution state (built once at construction).
-  sparse::ApplyPlan plan_fwd_, plan_bwd_;
+  /// Immutable post-construction state: matrices in kernel storage plus the
+  /// static plans. Shared (not copied) across views.
+  struct Storage;
+
+  explicit MemXCTOperator(std::shared_ptr<const Storage> storage);
+  void build_workspaces();
+
+  std::shared_ptr<const Storage> store_;
   // Apply-time scratch, persistent so apply() never allocates; mutable
   // because LinearOperator::apply is const (see class comment on reentrancy).
   mutable sparse::Workspace ws_fwd_, ws_bwd_;

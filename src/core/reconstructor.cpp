@@ -136,71 +136,82 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
 
 Reconstructor::~Reconstructor() = default;
 
-ReconstructionResult Reconstructor::reconstruct(
-    std::span<const real> sinogram) const {
+ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
+                                       const geometry::Geometry& geometry,
+                                       const Config& config,
+                                       const hilbert::Ordering& sino_order,
+                                       const hilbert::Ordering& tomo_order,
+                                       std::span<const real> sinogram,
+                                       SliceWorkspace* workspace) {
   MEMXCT_CHECK(static_cast<std::int64_t>(sinogram.size()) ==
-               geometry_.sinogram_extent().size());
+               geometry.sinogram_extent().size());
+
+  // Local scratch when the caller did not provide a reusable workspace
+  // (one-shot reconstructions); batch workers pass a persistent one so the
+  // resize calls below are no-ops after the first slice.
+  SliceWorkspace local;
+  SliceWorkspace& ws = workspace != nullptr ? *workspace : local;
 
   // Ingest gate: a NaN here would poison every solver inner product from
   // the first backprojection on, so anomalies are rejected or repaired
   // before any arithmetic sees the data.
   resil::IngestReport ingest;
-  AlignedVector<real> sanitized;
   std::span<const real> measurements = sinogram;
-  switch (config_.ingest.policy) {
+  switch (config.ingest.policy) {
     case resil::IngestPolicy::Passthrough:
       break;
     case resil::IngestPolicy::Reject:
-      ingest = resil::validate_sinogram(geometry_.num_angles,
-                                        geometry_.num_channels, sinogram,
-                                        config_.ingest);
+      ingest = resil::validate_sinogram(geometry.num_angles,
+                                        geometry.num_channels, sinogram,
+                                        config.ingest);
       if (!ingest.clean())
         throw InvalidArgument("sinogram rejected by ingest validation: " +
                               ingest.summary());
       break;
     case resil::IngestPolicy::Sanitize:
-      sanitized.assign(sinogram.begin(), sinogram.end());
-      ingest = resil::sanitize_sinogram(geometry_.num_angles,
-                                        geometry_.num_channels, sanitized,
-                                        config_.ingest);
-      measurements = sanitized;
+      ws.sanitized.assign(sinogram.begin(), sinogram.end());
+      ingest = resil::sanitize_sinogram(geometry.num_angles,
+                                        geometry.num_channels, ws.sanitized,
+                                        config.ingest);
+      measurements = ws.sanitized;
       break;
   }
 
   // Permute measurements into ordered sinogram space.
-  AlignedVector<real> y(measurements.size());
-  const auto& to_grid = sino_order_->to_grid();
+  ws.ordered.resize(measurements.size());
+  std::span<real> y = ws.ordered;
+  const auto& to_grid = sino_order.to_grid();
   for (std::size_t i = 0; i < y.size(); ++i)
     y[i] = measurements[static_cast<std::size_t>(to_grid[i])];
 
   solve::CheckpointOptions checkpoint;
-  checkpoint.path = config_.checkpoint_path;
-  if (!config_.checkpoint_path.empty())
-    checkpoint.interval = config_.checkpoint_interval;
+  checkpoint.path = config.checkpoint_path;
+  if (!config.checkpoint_path.empty())
+    checkpoint.interval = config.checkpoint_interval;
 
   solve::SolveResult solved;
-  switch (config_.solver) {
+  switch (config.solver) {
     case SolverKind::CGLS: {
       solve::CglsOptions opt;
-      opt.max_iterations = config_.iterations;
-      opt.early_stop = config_.early_stop;
-      opt.tikhonov_lambda = config_.tikhonov_lambda;
+      opt.max_iterations = config.iterations;
+      opt.early_stop = config.early_stop;
+      opt.tikhonov_lambda = config.tikhonov_lambda;
       opt.checkpoint = checkpoint;
-      solved = solve::cgls(*active_op_, y, opt);
+      solved = solve::cgls(op, y, opt);
       break;
     }
     case SolverKind::SIRT: {
       solve::SirtOptions opt;
-      opt.max_iterations = config_.iterations;
+      opt.max_iterations = config.iterations;
       opt.checkpoint = checkpoint;
-      solved = solve::sirt(*active_op_, y, opt);
+      solved = solve::sirt(op, y, opt);
       break;
     }
     case SolverKind::GradientDescent: {
       solve::GdOptions opt;
-      opt.max_iterations = config_.iterations;
+      opt.max_iterations = config.iterations;
       opt.checkpoint = checkpoint;
-      solved = solve::gradient_descent(*active_op_, y, opt);
+      solved = solve::gradient_descent(op, y, opt);
       break;
     }
   }
@@ -209,12 +220,18 @@ ReconstructionResult Reconstructor::reconstruct(
   ReconstructionResult result;
   result.ingest = std::move(ingest);
   result.image.resize(
-      static_cast<std::size_t>(geometry_.tomogram_extent().size()));
-  const auto& tomo_to_grid = tomo_order_->to_grid();
+      static_cast<std::size_t>(geometry.tomogram_extent().size()));
+  const auto& tomo_to_grid = tomo_order.to_grid();
   for (std::size_t i = 0; i < result.image.size(); ++i)
     result.image[static_cast<std::size_t>(tomo_to_grid[i])] = solved.x[i];
   result.solve = std::move(solved);
   return result;
+}
+
+ReconstructionResult Reconstructor::reconstruct(
+    std::span<const real> sinogram) const {
+  return reconstruct_slice(*active_op_, geometry_, config_, *sino_order_,
+                           *tomo_order_, sinogram);
 }
 
 }  // namespace memxct::core

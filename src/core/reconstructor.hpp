@@ -48,6 +48,27 @@ struct ReconstructionResult {
   resil::IngestReport ingest;
 };
 
+/// Reusable scratch for reconstruct_slice: the ingest-sanitize staging copy
+/// and the ordered-space measurement vector. A caller looping over slices
+/// (the batch engine's workers) passes the same workspace each time, so the
+/// steady-state hot path performs no slice-sized allocations.
+struct SliceWorkspace {
+  AlignedVector<real> sanitized;
+  AlignedVector<real> ordered;
+};
+
+/// One-slice reconstruction against an explicit operator: ingest gate,
+/// permutation into ordered space, solve, de-permutation. This is the slice
+/// engine shared by Reconstructor::reconstruct (which passes its own active
+/// operator) and batch::BatchReconstructor (which passes per-worker operator
+/// views sharing the preprocessed storage). The arithmetic is identical on
+/// both paths, so batch results are bitwise-equal to single-slice results.
+[[nodiscard]] ReconstructionResult reconstruct_slice(
+    const solve::LinearOperator& op, const geometry::Geometry& geometry,
+    const Config& config, const hilbert::Ordering& sino_order,
+    const hilbert::Ordering& tomo_order, std::span<const real> sinogram,
+    SliceWorkspace* workspace = nullptr);
+
 class Reconstructor {
  public:
   Reconstructor(const geometry::Geometry& geometry, const Config& config);
@@ -73,6 +94,11 @@ class Reconstructor {
   /// The operator actually used (serial MemXCTOperator or DistOperator).
   [[nodiscard]] const solve::LinearOperator& op() const noexcept {
     return *active_op_;
+  }
+  /// Non-null only on the serial path (num_ranks == 1, not forced
+  /// distributed). The batch engine builds per-worker views from it.
+  [[nodiscard]] const MemXCTOperator* serial_op() const noexcept {
+    return serial_op_.get();
   }
   /// Non-null only on the distributed path.
   [[nodiscard]] const dist::DistOperator* dist_op() const noexcept {

@@ -59,9 +59,13 @@ struct SolveResult {
 /// further iterations fit noise rather than signal.
 class EarlyStop {
  public:
+  /// `window` is clamped to >= 1: a zero or negative window would make the
+  /// ring empty (modulo-by-zero on the first feed) or absurdly large after
+  /// the size_t cast; window 1 — "stop when one iteration fails to improve"
+  /// — is the tightest meaningful budget.
   EarlyStop(double tolerance = 1e-3, int window = 3)
-      : tolerance_(tolerance), window_(window),
-        ring_(static_cast<std::size_t>(window) + 1) {}
+      : tolerance_(tolerance), window_(window < 1 ? 1 : window),
+        ring_(static_cast<std::size_t>(window_) + 1) {}
 
   /// Feeds one residual norm; returns true when iteration should stop.
   /// A non-finite residual returns true immediately (the solve is broken;

@@ -309,6 +309,56 @@ TEST(Checkpoint, GdDivergenceRollsBack) {
   for (const real v : result.x) EXPECT_TRUE(std::isfinite(v));
 }
 
+// Regression: resuming with an already-exhausted iteration budget
+// (max_iterations <= checkpoint iteration, including 0) must skip the loop
+// and hand back the checkpoint iterate unchanged — no empty-ring access in
+// the replayed EarlyStop, no rollback, no div-by-zero in the timing stats.
+TEST(Checkpoint, ResumeWithExhaustedBudgetReturnsSnapshotIterate) {
+  const auto a = well_conditioned(60, 40, 21);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(60, 22);
+  CheckpointFile file("exhausted");
+
+  CglsOptions ck;
+  ck.checkpoint.path = file.path();
+  ck.checkpoint.interval = 3;
+  ck.max_iterations = 6;
+  const auto first = cgls(op, y, ck);
+  ASSERT_EQ(first.iterations, 6);
+
+  ck.early_stop = true;  // exercise the replayed ring on resume too
+  for (const int budget : {0, 4, 6}) {
+    ck.max_iterations = budget;
+    const auto resumed = cgls(op, y, ck);
+    EXPECT_EQ(resumed.resumed_from, 6);
+    EXPECT_EQ(resumed.iterations, 6);  // no extra work, no rollback
+    EXPECT_FALSE(resumed.diverged);
+    EXPECT_EQ(resumed.x, first.x) << "budget " << budget;
+  }
+}
+
+// Same exhausted-budget contract without a checkpoint on disk: a cold start
+// with max_iterations == 0 but checkpointing armed must not write, resume,
+// or roll back anything.
+TEST(Checkpoint, ZeroBudgetColdStartWritesNothing) {
+  const auto a = well_conditioned(40, 30, 23);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(40, 24);
+  CheckpointFile file("zerobudget");
+
+  CglsOptions opt;
+  opt.max_iterations = 0;
+  opt.checkpoint.path = file.path();
+  opt.checkpoint.interval = 2;
+  const auto result = cgls(op, y, opt);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_EQ(result.resumed_from, 0);
+  for (const real v : result.x) EXPECT_EQ(v, real{0});
+  std::FILE* f = std::fopen(file.path().c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "zero-iteration run must not leave a checkpoint";
+  if (f) std::fclose(f);
+}
+
 TEST(Checkpoint, EarlyStopTreatsNonFiniteAsImmediateStop) {
   EarlyStop fresh;
   EXPECT_TRUE(fresh.should_stop(std::numeric_limits<double>::quiet_NaN()));

@@ -102,6 +102,28 @@ INSTANTIATE_TEST_SUITE_P(
         OrderingCase{{128, 96}, CurveKind::Hilbert, 32},
         OrderingCase{{31, 17}, CurveKind::Hilbert, 4}));
 
+// Degenerate and prime-dimension extents, every curve kind: 1×N and N×1
+// strips (prime lengths, tiles wider than the strip), prime×prime domains,
+// and off-pow2 shapes. Bijectivity here is what guarantees the permuted
+// projection matrix neither drops nor duplicates rays/pixels.
+INSTANTIATE_TEST_SUITE_P(
+    EdgeShapes, OrderingSweep,
+    ::testing::Values(
+        OrderingCase{{1, 97}, CurveKind::Hilbert, 8},
+        OrderingCase{{97, 1}, CurveKind::Hilbert, 8},
+        OrderingCase{{1, 97}, CurveKind::Morton, 8},
+        OrderingCase{{97, 1}, CurveKind::Morton, 8},
+        OrderingCase{{1, 131}, CurveKind::RowMajor, 0},
+        OrderingCase{{131, 1}, CurveKind::RowMajor, 0},
+        OrderingCase{{29, 23}, CurveKind::Hilbert, 4},
+        OrderingCase{{23, 29}, CurveKind::Morton, 4},
+        OrderingCase{{37, 37}, CurveKind::Hilbert, 0},  // prime square, auto
+        OrderingCase{{2, 127}, CurveKind::Hilbert, 4},
+        OrderingCase{{127, 2}, CurveKind::Hilbert, 4},
+        OrderingCase{{63, 65}, CurveKind::Hilbert, 16},
+        OrderingCase{{65, 63}, CurveKind::Morton, 16},
+        OrderingCase{{5, 3}, CurveKind::Hilbert, 16}));  // tile > domain
+
 TEST(Ordering, RowMajorIsIdentity) {
   const Extent2D ext{5, 9};
   const Ordering ord(ext, CurveKind::RowMajor);

@@ -1,0 +1,247 @@
+// Property-based operator tests over randomized geometries.
+//
+// Rather than pinning hand-picked values, these tests assert the algebraic
+// contracts every MemXCTOperator configuration must satisfy, on a family of
+// seeded random geometries (non-square, prime-sized, skinny):
+//
+//   * adjointness:  <A x, y> == <x, A^T y>   (the memoized transpose really
+//     is the transpose — Section 3.3.2's scan transposition);
+//   * linearity:    A (a x1 + b x2) == a A x1 + b A x2;
+//   * kernel agreement: baseline CSR, block-ELL, multi-stage buffered, and
+//     library kernels compute the same product to accumulated-FMA tolerance
+//     under both schedules;
+//   * determinism: the StaticPlan schedule produces bitwise-identical
+//     results for any OpenMP thread count (the PR 1 guarantee the batch
+//     engine and checkpoint/restart both build on).
+//
+// Tolerances are relative: single-precision rows of ~1.4·N terms accumulate
+// O(nnz_row · eps) reassociation error, far below 1e-4.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/operator.hpp"
+#include "geometry/geometry.hpp"
+#include "geometry/projector.hpp"
+#include "hilbert/ordering.hpp"
+#include "solve/cgls.hpp"
+#include "solve/vector_ops.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace memxct;
+
+struct GeomCase {
+  idx_t angles;
+  idx_t channels;
+};
+
+// Deliberately awkward shapes: primes, skinny, non-pow2.
+const GeomCase kGeomCases[] = {
+    {5, 8}, {12, 16}, {7, 13}, {24, 17}, {3, 32},
+};
+
+const core::KernelKind kKernels[] = {
+    core::KernelKind::Baseline,
+    core::KernelKind::EllBlock,
+    core::KernelKind::Buffered,
+    core::KernelKind::Library,
+};
+
+const core::ScheduleKind kSchedules[] = {
+    core::ScheduleKind::Dynamic,
+    core::ScheduleKind::StaticPlan,
+};
+
+sparse::CsrMatrix traced_matrix(const GeomCase& gc) {
+  const auto g = geometry::make_geometry(gc.angles, gc.channels);
+  const hilbert::Ordering sino(g.sinogram_extent(), hilbert::CurveKind::Hilbert);
+  const hilbert::Ordering tomo(g.tomogram_extent(), hilbert::CurveKind::Hilbert);
+  return geometry::build_projection_matrix(g, sino, tomo);
+}
+
+core::MemXCTOperator make_op(const GeomCase& gc, core::KernelKind kind,
+                             core::ScheduleKind schedule) {
+  return core::MemXCTOperator(traced_matrix(gc), kind, {}, 64, schedule);
+}
+
+constexpr double kRelTol = 1e-4;
+
+double rel_gap(double a, double b) {
+  return std::abs(a - b) / std::max({std::abs(a), std::abs(b), 1e-12});
+}
+
+TEST(OperatorProperties, AdjointIdentityAcrossKernelsAndSchedules) {
+  std::uint64_t seed = 1001;
+  for (const auto& gc : kGeomCases) {
+    for (const auto kind : kKernels) {
+      for (const auto schedule : kSchedules) {
+        const auto op = make_op(gc, kind, schedule);
+        const auto x = testutil::random_vector(op.num_cols(), seed++);
+        const auto y = testutil::random_vector(op.num_rows(), seed++);
+        AlignedVector<real> ax(static_cast<std::size_t>(op.num_rows()));
+        AlignedVector<real> aty(static_cast<std::size_t>(op.num_cols()));
+        op.apply(x, ax);
+        op.apply_transpose(y, aty);
+        const double lhs = solve::dot(ax, y);
+        const double rhs = solve::dot(x, aty);
+        EXPECT_LT(rel_gap(lhs, rhs), kRelTol)
+            << "adjoint gap for " << core::to_string(kind) << "/"
+            << core::to_string(schedule) << " at " << gc.angles << "x"
+            << gc.channels;
+      }
+    }
+  }
+}
+
+TEST(OperatorProperties, LinearityAcrossKernelsAndSchedules) {
+  std::uint64_t seed = 2002;
+  for (const auto& gc : kGeomCases) {
+    for (const auto kind : kKernels) {
+      for (const auto schedule : kSchedules) {
+        const auto op = make_op(gc, kind, schedule);
+        const auto n = static_cast<std::size_t>(op.num_cols());
+        const auto m = static_cast<std::size_t>(op.num_rows());
+        const auto x1 = testutil::random_vector(op.num_cols(), seed++);
+        const auto x2 = testutil::random_vector(op.num_cols(), seed++);
+        const real a = real{1.5}, b = real{-0.75};
+        AlignedVector<real> combo(n);
+        for (std::size_t i = 0; i < n; ++i) combo[i] = a * x1[i] + b * x2[i];
+        AlignedVector<real> ax1(m), ax2(m), a_combo(m);
+        op.apply(x1, ax1);
+        op.apply(x2, ax2);
+        op.apply(combo, a_combo);
+        // Gap relative to the vector's scale, not element-wise: rows where
+        // a·(Ax1) and b·(Ax2) nearly cancel have tiny expected values whose
+        // element-relative error is dominated by that cancellation, not by
+        // any operator nonlinearity.
+        double scale = 1e-12, worst_abs = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double expect =
+              a * static_cast<double>(ax1[i]) + b * static_cast<double>(ax2[i]);
+          scale = std::max(scale, std::abs(expect));
+          worst_abs = std::max(
+              worst_abs, std::abs(static_cast<double>(a_combo[i]) - expect));
+        }
+        EXPECT_LT(worst_abs / scale, kRelTol)
+            << "linearity gap for " << core::to_string(kind) << "/"
+            << core::to_string(schedule) << " at " << gc.angles << "x"
+            << gc.channels;
+      }
+    }
+  }
+}
+
+TEST(OperatorProperties, KernelsAgreeWithinFmaTolerance) {
+  std::uint64_t seed = 3003;
+  for (const auto& gc : kGeomCases) {
+    // Baseline static-plan is the reference product.
+    const auto ref_op =
+        make_op(gc, core::KernelKind::Baseline, core::ScheduleKind::StaticPlan);
+    const auto x = testutil::random_vector(ref_op.num_cols(), seed++);
+    const auto y = testutil::random_vector(ref_op.num_rows(), seed++);
+    AlignedVector<real> ref_fwd(static_cast<std::size_t>(ref_op.num_rows()));
+    AlignedVector<real> ref_bwd(static_cast<std::size_t>(ref_op.num_cols()));
+    ref_op.apply(x, ref_fwd);
+    ref_op.apply_transpose(y, ref_bwd);
+
+    for (const auto kind : kKernels) {
+      for (const auto schedule : kSchedules) {
+        const auto op = make_op(gc, kind, schedule);
+        AlignedVector<real> fwd(ref_fwd.size()), bwd(ref_bwd.size());
+        op.apply(x, fwd);
+        op.apply_transpose(y, bwd);
+        EXPECT_LT(testutil::rel_error(fwd, ref_fwd), kRelTol)
+            << "forward mismatch for " << core::to_string(kind) << "/"
+            << core::to_string(schedule) << " at " << gc.angles << "x"
+            << gc.channels;
+        EXPECT_LT(testutil::rel_error(bwd, ref_bwd), kRelTol)
+            << "transpose mismatch for " << core::to_string(kind) << "/"
+            << core::to_string(schedule) << " at " << gc.angles << "x"
+            << gc.channels;
+      }
+    }
+  }
+}
+
+// StaticPlan applies must be bitwise-identical under any OpenMP thread
+// count: the plan fixes the partition → slot map at construction and slots
+// execute in the same order regardless of how many threads pick them up.
+TEST(OperatorProperties, StaticPlanApplyIsBitwiseThreadCountInvariant) {
+  const int saved = omp_get_max_threads();
+  std::uint64_t seed = 4004;
+  for (const auto& gc : kGeomCases) {
+    for (const auto kind :
+         {core::KernelKind::Baseline, core::KernelKind::EllBlock,
+          core::KernelKind::Buffered}) {
+      const auto op = make_op(gc, kind, core::ScheduleKind::StaticPlan);
+      const auto x = testutil::random_vector(op.num_cols(), seed++);
+      const auto m = static_cast<std::size_t>(op.num_rows());
+      AlignedVector<real> ref(m), got(m);
+      omp_set_num_threads(1);
+      op.apply(x, ref);
+      for (const int threads : {2, saved}) {
+        omp_set_num_threads(threads);
+        op.apply(x, got);
+        EXPECT_EQ(0, std::memcmp(ref.data(), got.data(), m * sizeof(real)))
+            << core::to_string(kind) << " apply differs at " << threads
+            << " threads (" << gc.angles << "x" << gc.channels << ")";
+      }
+      omp_set_num_threads(saved);
+    }
+  }
+  omp_set_num_threads(saved);
+}
+
+// The same property extended through a full solver run: CGLS on the planned
+// operator is an alternation of planned applies and deterministic chunked
+// reductions, so the final iterate is bitwise thread-count-invariant too.
+TEST(OperatorProperties, CglsSolveIsBitwiseThreadCountInvariant) {
+  const int saved = omp_get_max_threads();
+  const GeomCase gc{12, 16};
+  const auto op =
+      make_op(gc, core::KernelKind::Buffered, core::ScheduleKind::StaticPlan);
+  const auto y = testutil::random_vector(op.num_rows(), 5005);
+  solve::CglsOptions opt;
+  opt.max_iterations = 8;
+
+  omp_set_num_threads(1);
+  const auto ref = solve::cgls(op, y, opt);
+  for (const int threads : {2, saved}) {
+    omp_set_num_threads(threads);
+    const auto got = solve::cgls(op, y, opt);
+    ASSERT_EQ(ref.x.size(), got.x.size());
+    EXPECT_EQ(0, std::memcmp(ref.x.data(), got.x.data(),
+                             ref.x.size() * sizeof(real)))
+        << "CGLS iterate differs at " << threads << " threads";
+  }
+  omp_set_num_threads(saved);
+}
+
+// Views share storage but own workspaces; a view's products must be
+// bitwise-identical to its parent's.
+TEST(OperatorProperties, ViewMatchesParentBitwise) {
+  std::uint64_t seed = 6006;
+  for (const auto kind : kKernels) {
+    const GeomCase gc{7, 13};
+    const auto op = make_op(gc, kind, core::ScheduleKind::StaticPlan);
+    const auto view = op.make_view();
+    EXPECT_EQ(op.num_rows(), view->num_rows());
+    EXPECT_EQ(op.num_cols(), view->num_cols());
+    EXPECT_EQ(op.nnz(), view->nnz());
+    const auto x = testutil::random_vector(op.num_cols(), seed++);
+    const auto m = static_cast<std::size_t>(op.num_rows());
+    AlignedVector<real> a(m), b(m);
+    op.apply(x, a);
+    view->apply(x, b);
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), m * sizeof(real)))
+        << "view mismatch for " << core::to_string(kind);
+  }
+}
+
+}  // namespace

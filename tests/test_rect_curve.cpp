@@ -56,6 +56,17 @@ INSTANTIATE_TEST_SUITE_P(
                       Shape{40, 25}, Shape{64, 64}, Shape{100, 1},
                       Shape{33, 32}));
 
+// Degenerate and prime-dimension edge cases: 1×N / N×1 strips (both
+// orientations, prime lengths), prime×prime rectangles, and shapes that sit
+// just off a power of two — the recursion's odd-split paths.
+INSTANTIATE_TEST_SUITE_P(
+    EdgeShapes, RectShapes,
+    ::testing::Values(Shape{1, 2}, Shape{2, 1}, Shape{1, 97}, Shape{97, 1},
+                      Shape{1, 131}, Shape{131, 1}, Shape{2, 127},
+                      Shape{127, 2}, Shape{29, 23}, Shape{23, 29},
+                      Shape{37, 37}, Shape{61, 2}, Shape{2, 61},
+                      Shape{127, 129}, Shape{63, 65}));
+
 TEST(RectCurve, StartsAtOrigin) {
   const auto cells = rect_hilbert_order(8, 8);
   EXPECT_EQ(cells.front().row, 0);

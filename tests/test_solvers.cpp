@@ -208,6 +208,55 @@ TEST(Convergence, CgBeatsSirtPerIteration) {
   EXPECT_LT(iters_to_reach(cg_result), iters_to_reach(sirt_result));
 }
 
+// Regression: a zero-iteration budget must return the (zero) starting
+// iterate cleanly — no div-by-zero in the per-iteration mean, no history,
+// no surprise iterations — for every solver, even with early-stop and
+// checkpointing armed.
+TEST(ZeroIterationBudget, AllSolversReturnColdStartCleanly) {
+  const auto a = well_conditioned(40, 30, 21);
+  const CsrOperator op(a);
+  const auto y = testutil::random_vector(40, 22);
+
+  CglsOptions cg;
+  cg.max_iterations = 0;
+  cg.early_stop = true;
+  cg.checkpoint.interval = 2;
+  const auto cg_result = cgls(op, y, cg);
+  EXPECT_EQ(cg_result.iterations, 0);
+  EXPECT_TRUE(cg_result.history.empty());
+  EXPECT_EQ(cg_result.per_iteration_s, 0.0);
+  EXPECT_FALSE(cg_result.diverged);
+  for (const real v : cg_result.x) EXPECT_EQ(v, real{0});
+
+  SirtOptions sirt_opt;
+  sirt_opt.max_iterations = 0;
+  sirt_opt.checkpoint.interval = 2;
+  const auto sirt_result = sirt(op, y, sirt_opt);
+  EXPECT_EQ(sirt_result.iterations, 0);
+  EXPECT_EQ(sirt_result.per_iteration_s, 0.0);
+  for (const real v : sirt_result.x) EXPECT_EQ(v, real{0});
+
+  GdOptions gd_opt;
+  gd_opt.max_iterations = 0;
+  gd_opt.checkpoint.interval = 2;
+  const auto gd_result = gradient_descent(op, y, gd_opt);
+  EXPECT_EQ(gd_result.iterations, 0);
+  EXPECT_EQ(gd_result.per_iteration_s, 0.0);
+  for (const real v : gd_result.x) EXPECT_EQ(v, real{0});
+}
+
+// Regression: EarlyStop with a zero or negative window used to build an
+// empty (or absurd, after the size_t cast) ring — the first feed would
+// divide by the ring size. The constructor now clamps the window to >= 1.
+TEST(EarlyStopHeuristic, DegenerateWindowsAreSafe) {
+  for (const int window : {0, -1, -100}) {
+    EarlyStop stop(1e-3, window);
+    EXPECT_FALSE(stop.should_stop(10.0));  // must not crash
+    EXPECT_FALSE(stop.should_stop(1.0));   // big improvement: keep going
+    EXPECT_TRUE(stop.should_stop(0.9999)); // plateau within one step
+  }
+}
+
 TEST(EarlyStopHeuristic, StopsOnPlateau) {
   EarlyStop stop(1e-3, 3);
   EXPECT_FALSE(stop.should_stop(100.0));
