@@ -64,6 +64,8 @@ int main(int argc, char** argv) {
   perf::WallTimer pre_timer;
   const core::Reconstructor recon(g, config);
   const double preproc = pre_timer.seconds();
+  const long long operator_bytes =
+      static_cast<long long>(recon.serial_op()->bytes());
 
   const auto image = phantom::shepp_logan(size);
   const auto sinogram = phantom::forward_project(g, image);
@@ -78,8 +80,11 @@ int main(int argc, char** argv) {
   };
   (void)run_batch(1, 1);  // warm caches before timing
 
-  std::printf("geometry %d x %d, %d CG iterations, preprocessing %.3f s\n\n",
-              angles, size, config.iterations, preproc);
+  std::printf("geometry %d x %d, %d CG iterations, preprocessing %.3f s, "
+              "operator %s\n\n",
+              angles, size, config.iterations, preproc,
+              io::TablePrinter::bytes(static_cast<double>(operator_bytes))
+                  .c_str());
 
   // Slice sweep: amortization of the one-time preprocessing.
   std::vector<SliceRow> slice_rows;
@@ -138,9 +143,11 @@ int main(int argc, char** argv) {
       first = false;
       std::fprintf(out,
                    "{\"sweep\": \"slices\", \"slices\": %d, \"workers\": 1, "
-                   "\"preprocess_s\": %.6g, \"batch_wall_s\": %.6g, "
+                   "\"preprocess_s\": %.6g, \"operator_bytes\": %lld, "
+                   "\"batch_wall_s\": %.6g, "
                    "\"end_to_end_per_slice_s\": %.6g}",
-                   r.slices, preproc, r.batch_wall, r.per_slice_end_to_end);
+                   r.slices, preproc, operator_bytes, r.batch_wall,
+                   r.per_slice_end_to_end);
     }
     for (const auto& r : worker_rows) {
       std::fprintf(out, ",\n");

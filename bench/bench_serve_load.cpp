@@ -1,0 +1,194 @@
+// Serving-layer load: the amortization-cliff argument for the operator
+// registry, measured end-to-end through serve::Server.
+//
+// MemXCT's memoization pays preprocessing once per geometry; the registry
+// extends that across REQUESTS. A mixed workload alternating between two
+// geometries is the worst case for a one-operator cache (every request
+// evicts the operator the next one needs) and the best case for a
+// two-operator cache (everything after warmup is a hit). Sweeping the byte
+// budget across {1 op, 2 ops, unlimited} exposes the cliff:
+//
+//   * budget = 1 op:   hit rate ~0, every request pays setup, evictions
+//                      equal to the miss count minus residents;
+//   * budget >= 2 ops: hit rate >= 90% (only the 2 cold builds miss),
+//                      setup on hits is exactly 0 — requests go straight
+//                      to the solve.
+//
+//   bench_serve_load [--json <path>]
+//
+// Honors MEMXCT_BENCH_SCALE (divides the problem for smoke runs).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/reconstructor.hpp"
+#include "io/table.hpp"
+#include "phantom/phantom.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace memxct;
+
+struct BudgetRow {
+  std::string label;
+  long long budget_bytes;
+  double wall_seconds;
+  double requests_per_second;
+  double hit_rate;
+  std::int64_t evictions;
+  double setup_sum;
+  double p50, p95, p99;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    else if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+
+  const idx_t size = std::max<idx_t>(24, 128 / bench::env_scale());
+  const int requests = 24;
+  const int workers = 2;
+  core::Config config;
+  config.iterations = 5;
+
+  // Two geometries that key two distinct operators: same tomogram, different
+  // angle counts (a detector re-binning mid-shift, say).
+  const std::vector<geometry::Geometry> geoms = {
+      geometry::make_geometry(size * 3 / 2, size),
+      geometry::make_geometry(size * 3 / 2 + 16, size),
+  };
+
+  // Pre-measure per-operator footprints to place the budgets exactly at the
+  // cliff. These throwaway builds are outside every timed region.
+  std::vector<long long> op_bytes;
+  for (const auto& g : geoms) {
+    const core::Reconstructor recon(g, config);
+    op_bytes.push_back(static_cast<long long>(recon.serial_op()->bytes()));
+  }
+  const long long one_op = *std::max_element(op_bytes.begin(), op_bytes.end());
+  const long long two_ops = op_bytes[0] + op_bytes[1];
+
+  const auto image = phantom::shepp_logan(size);
+  std::vector<AlignedVector<real>> sinos;
+  for (const auto& g : geoms)
+    sinos.push_back(phantom::forward_project(g, image));
+
+  std::printf("2 geometries (%d and %d angles x %d), operators %s + %s, "
+              "%d requests alternating, %d workers\n\n",
+              static_cast<int>(size * 3 / 2),
+              static_cast<int>(size * 3 / 2 + 16), static_cast<int>(size),
+              io::TablePrinter::bytes(static_cast<double>(op_bytes[0])).c_str(),
+              io::TablePrinter::bytes(static_cast<double>(op_bytes[1])).c_str(),
+              requests, workers);
+
+  struct BudgetCase {
+    const char* label;
+    long long bytes;
+  };
+  const BudgetCase cases[] = {
+      {"1 operator", one_op},
+      {"2 operators", two_ops},
+      {"unlimited", 0},
+  };
+
+  std::vector<BudgetRow> rows;
+  for (const auto& c : cases) {
+    serve::ServerOptions options;
+    options.workers = workers;
+    options.queue_capacity = requests;
+    options.registry.byte_budget = c.bytes;
+    serve::Server server(options);
+
+    perf::WallTimer wall;
+    std::vector<std::int64_t> ids;
+    for (int i = 0; i < requests; ++i) {
+      serve::RequestOptions ropt;
+      ropt.keep_image = false;
+      ids.push_back(server.submit(geoms[static_cast<std::size_t>(i % 2)],
+                                  config,
+                                  sinos[static_cast<std::size_t>(i % 2)],
+                                  ropt));
+    }
+    int not_ok = 0;
+    for (const std::int64_t id : ids)
+      if (server.wait(id).status != serve::RequestStatus::Ok) ++not_ok;
+    const double wall_s = wall.seconds();
+    const auto m = server.snapshot();
+    if (not_ok > 0 || m.rejected() > 0) {
+      std::fprintf(stderr, "bench_serve_load: %d not ok, %lld rejected "
+                   "under budget '%s'\n",
+                   not_ok, static_cast<long long>(m.rejected()), c.label);
+      return 1;
+    }
+    // All requests are Normal priority; read its histogram.
+    const auto& lat =
+        m.priority[static_cast<std::size_t>(serve::Priority::Normal)].latency;
+    rows.push_back({c.label, c.bytes, wall_s,
+                    wall_s > 0 ? m.completed / wall_s : 0.0,
+                    m.registry.hit_rate(), m.registry.evictions,
+                    m.setup_seconds_sum, lat.quantile(0.50),
+                    lat.quantile(0.95), lat.quantile(0.99)});
+  }
+
+  {
+    io::TablePrinter table("Registry budget sweep (alternating 2-geometry "
+                           "workload)");
+    table.header({"budget", "req/s", "hit rate", "evict", "setup total",
+                  "p50", "p95", "p99"});
+    for (const auto& r : rows)
+      table.row({r.label, io::TablePrinter::num(r.requests_per_second, 3),
+                 io::TablePrinter::num(r.hit_rate, 3),
+                 std::to_string(r.evictions),
+                 io::TablePrinter::time_s(r.setup_sum),
+                 io::TablePrinter::time_s(r.p50),
+                 io::TablePrinter::time_s(r.p95),
+                 io::TablePrinter::time_s(r.p99)});
+    table.print();
+  }
+  const auto& thrash = rows[0];
+  const auto& fits = rows[1];
+  std::printf("\namortization cliff: hit rate %.0f%% -> %.0f%%, setup total "
+              "%s -> %s once both operators fit\n",
+              100.0 * thrash.hit_rate, 100.0 * fits.hit_rate,
+              io::TablePrinter::time_s(thrash.setup_sum).c_str(),
+              io::TablePrinter::time_s(fits.setup_sum).c_str());
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_serve_load: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "[\n");
+    bool first = true;
+    for (const auto& r : rows) {
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(out,
+                   "{\"budget\": \"%s\", \"budget_bytes\": %lld, "
+                   "\"operator_bytes\": [%lld, %lld], \"requests\": %d, "
+                   "\"workers\": %d, \"wall_s\": %.6g, "
+                   "\"requests_per_second\": %.6g, \"hit_rate\": %.6g, "
+                   "\"evictions\": %lld, \"setup_seconds_sum\": %.6g, "
+                   "\"latency_p50_s\": %.6g, \"latency_p95_s\": %.6g, "
+                   "\"latency_p99_s\": %.6g}",
+                   r.label.c_str(), r.budget_bytes, op_bytes[0], op_bytes[1],
+                   requests, workers, r.wall_seconds, r.requests_per_second,
+                   r.hit_rate, static_cast<long long>(r.evictions),
+                   r.setup_sum, r.p50, r.p95, r.p99);
+    }
+    std::fprintf(out, "\n]\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+// memxct_serve — drive the in-process reconstruction service with a
+// synthetic mixed-geometry workload.
+//
+// Simulates a beamline front end: several distinct acquisition geometries
+// (different angle counts over the same detector), requests spread across
+// the three priority classes, all flowing through one serve::Server whose
+// OperatorRegistry amortizes preprocessing across requests.
+//
+//   memxct_serve [--requests N] [--workers K] [--geometries G] [--size S]
+//                [--iterations I] [--queue Q] [--budget-bytes B]
+//                [--cache-dir DIR] [--deadline-ms D]
+//
+// Defaults make a CI-friendly smoke run: small geometries, queue sized to
+// the request count (no overload), no deadlines. Exit code is 0 only when
+// every request completed Ok and nothing was rejected — the CI smoke gate.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "io/table.hpp"
+#include "perf/timer.hpp"
+#include "phantom/phantom.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace memxct;
+
+int int_flag(const char* value, const char* name) {
+  const int v = std::atoi(value);
+  if (v <= 0) {
+    std::fprintf(stderr, "memxct_serve: %s must be a positive integer\n",
+                 name);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 12;
+  int workers = 2;
+  int geometries = 3;
+  int size = 24;
+  int iterations = 5;
+  int queue = 0;  // 0 = sized to the request count (no overload in smoke)
+  long long budget_bytes = 0;
+  double deadline_ms = 0.0;
+  std::string cache_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "memxct_serve: %s needs a value\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--requests") requests = int_flag(next("--requests"), arg.c_str());
+    else if (arg == "--workers") workers = int_flag(next("--workers"), arg.c_str());
+    else if (arg == "--geometries") geometries = int_flag(next("--geometries"), arg.c_str());
+    else if (arg == "--size") size = int_flag(next("--size"), arg.c_str());
+    else if (arg == "--iterations") iterations = int_flag(next("--iterations"), arg.c_str());
+    else if (arg == "--queue") queue = int_flag(next("--queue"), arg.c_str());
+    else if (arg == "--budget-bytes") budget_bytes = std::atoll(next("--budget-bytes"));
+    else if (arg == "--deadline-ms") deadline_ms = std::atof(next("--deadline-ms"));
+    else if (arg == "--cache-dir") cache_dir = next("--cache-dir");
+    else {
+      std::fprintf(stderr, "memxct_serve: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // One geometry per angle count; every geometry keys a distinct operator.
+  std::vector<geometry::Geometry> geoms;
+  std::vector<AlignedVector<real>> sinos;
+  const auto image = phantom::shepp_logan(static_cast<idx_t>(size));
+  for (int g = 0; g < geometries; ++g) {
+    const auto geom = geometry::make_geometry(
+        static_cast<idx_t>(size * 3 / 2 + 8 * g), static_cast<idx_t>(size));
+    const auto sino = phantom::forward_project(geom, image);
+    geoms.push_back(geom);
+    sinos.emplace_back(sino.begin(), sino.end());
+  }
+
+  core::Config config;
+  config.iterations = iterations;
+
+  serve::ServerOptions options;
+  options.workers = workers;
+  options.queue_capacity = queue > 0 ? queue : requests;
+  options.registry.byte_budget = budget_bytes;
+  options.registry.disk_cache_dir = cache_dir;
+  serve::Server server(options);
+
+  std::printf("serving %d requests over %d geometries (size %d) on %d "
+              "workers, registry budget %s\n",
+              requests, geometries, size, workers,
+              budget_bytes > 0
+                  ? io::TablePrinter::bytes(static_cast<double>(budget_bytes))
+                        .c_str()
+                  : "unlimited");
+
+  perf::WallTimer wall;
+  std::vector<std::int64_t> ids;
+  int rejected = 0;
+  for (int i = 0; i < requests; ++i) {
+    serve::RequestOptions ropt;
+    ropt.priority = static_cast<serve::Priority>(i % serve::kNumPriorities);
+    ropt.deadline_seconds = deadline_ms > 0.0 ? deadline_ms / 1e3 : 0.0;
+    const int g = i % geometries;
+    try {
+      ids.push_back(server.submit(geoms[static_cast<std::size_t>(g)], config,
+                                  sinos[static_cast<std::size_t>(g)], ropt));
+    } catch (const serve::RejectedError& e) {
+      ++rejected;
+      std::fprintf(stderr, "request %d rejected: %s\n", i, e.what());
+    }
+  }
+
+  int not_ok = 0;
+  for (const std::int64_t id : ids) {
+    const auto r = server.wait(id);
+    if (r.status != serve::RequestStatus::Ok) {
+      ++not_ok;
+      std::fprintf(stderr, "request %lld finished %s%s%s\n",
+                   static_cast<long long>(r.id), to_string(r.status),
+                   r.error.empty() ? "" : ": ", r.error.c_str());
+    }
+  }
+  const double wall_s = wall.seconds();
+  const auto m = server.snapshot();
+
+  {
+    io::TablePrinter table("Per-priority outcome");
+    table.header({"priority", "submitted", "ok", "p50", "p95", "max"});
+    for (int p = 0; p < serve::kNumPriorities; ++p) {
+      const auto& pm = m.priority[static_cast<std::size_t>(p)];
+      table.row({to_string(static_cast<serve::Priority>(p)),
+                 std::to_string(pm.submitted), std::to_string(pm.ok),
+                 io::TablePrinter::time_s(pm.latency.quantile(0.50)),
+                 io::TablePrinter::time_s(pm.latency.quantile(0.95)),
+                 io::TablePrinter::time_s(pm.latency.max_seconds())});
+    }
+    table.print();
+  }
+  {
+    io::TablePrinter table("Operator registry");
+    table.header({"hits", "misses", "hit rate", "evictions", "resident",
+                  "peak", "disk hits"});
+    table.row({std::to_string(m.registry.hits),
+               std::to_string(m.registry.misses),
+               io::TablePrinter::num(m.registry.hit_rate(), 3),
+               std::to_string(m.registry.evictions),
+               io::TablePrinter::bytes(
+                   static_cast<double>(m.registry.resident_bytes)),
+               io::TablePrinter::bytes(
+                   static_cast<double>(m.registry.peak_resident_bytes)),
+               std::to_string(m.registry.disk_tier_hits)});
+    table.print();
+  }
+  std::printf("%s\n", m.summary().c_str());
+  std::printf("wall %.3f s, %.2f requests/s, setup total %.3f s, solve "
+              "total %.3f s\n",
+              wall_s, wall_s > 0 ? m.completed / wall_s : 0.0,
+              m.setup_seconds_sum, m.solve_seconds_sum);
+
+  // Smoke gate: any rejection or non-Ok completion is a failure.
+  if (rejected > 0 || m.rejected() > 0 || not_ok > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d rejected at submit, %lld rejected in metrics, %d "
+                 "not ok\n",
+                 rejected, static_cast<long long>(m.rejected()), not_ok);
+    return 1;
+  }
+  std::printf("OK: all %lld requests served\n",
+              static_cast<long long>(m.completed));
+  return 0;
+}

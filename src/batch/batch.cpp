@@ -34,9 +34,46 @@ std::string BatchReport::summary() const {
   return os.str();
 }
 
+SliceResult run_isolated_slice(const solve::LinearOperator& op,
+                               const geometry::Geometry& geometry,
+                               const core::Config& config,
+                               const hilbert::Ordering& sino_order,
+                               const hilbert::Ordering& tomo_order,
+                               std::span<const real> sinogram,
+                               core::SliceWorkspace* workspace,
+                               const solve::CancelToken* cancel,
+                               bool keep_image) {
+  SliceResult res;
+  perf::WallTimer timer;
+  try {
+    core::ReconstructionResult r = core::reconstruct_slice(
+        op, geometry, config, sino_order, tomo_order, sinogram, workspace,
+        cancel);
+    res.status = r.solve.diverged ? SliceStatus::Diverged : SliceStatus::Ok;
+    res.solve = std::move(r.solve);
+    res.ingest = std::move(r.ingest);
+    if (keep_image) res.image = std::move(r.image);
+  } catch (const InvalidArgument& e) {
+    // The ingest gate throws InvalidArgument under IngestPolicy::Reject;
+    // the slice is reported rejected, the caller's pipeline continues.
+    res.status = SliceStatus::IngestRejected;
+    res.error = e.what();
+  } catch (const std::exception& e) {
+    res.status = SliceStatus::Failed;
+    res.error = e.what();
+  }
+  res.seconds = timer.seconds();
+  return res;
+}
+
 BatchReconstructor::BatchReconstructor(const core::Reconstructor& recon,
                                        BatchOptions options)
-    : recon_(recon), config_(recon.config()), options_(options) {
+    : recon_(recon),
+      config_(recon.config()),
+      options_(options),
+      queue_(options.queue_capacity > 0
+                 ? options.queue_capacity
+                 : 2 * std::max(1, options.workers)) {
   if (options_.workers < 1)
     throw InvalidArgument("batch: workers must be >= 1");
   const core::MemXCTOperator* serial = recon_.serial_op();
@@ -44,8 +81,6 @@ BatchReconstructor::BatchReconstructor(const core::Reconstructor& recon,
     throw InvalidArgument(
         "batch: BatchReconstructor requires the serial operator path "
         "(num_ranks == 1 and not force_distributed)");
-  capacity_ = options_.queue_capacity > 0 ? options_.queue_capacity
-                                          : 2 * options_.workers;
   // One shared checkpoint file written by K concurrent slices would corrupt
   // and make results submission-order dependent; per-slice in-memory
   // rollback (divergence recovery) is unaffected.
@@ -64,11 +99,7 @@ BatchReconstructor::BatchReconstructor(const core::Reconstructor& recon,
 }
 
 BatchReconstructor::~BatchReconstructor() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stop_ = true;
-  }
-  cv_nonempty_.notify_all();
+  queue_.close();  // pending jobs drain, then workers exit
   for (auto& t : threads_) t.join();
 }
 
@@ -80,21 +111,15 @@ int BatchReconstructor::submit(std::span<const real> sinogram) {
                           " does not match the geometry");
   Job job;
   job.data.assign(sinogram.begin(), sinogram.end());
-  int ticket = -1;
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    // Backpressure: hold the producer until a worker frees a queue slot.
-    cv_nonfull_.wait(lk, [this] {
-      return static_cast<int>(queue_.size()) < capacity_;
-    });
+    std::lock_guard<std::mutex> lk(mu_);
     if (submitted_ == 0) round_timer_.reset();
-    ticket = submitted_++;
-    job.slice = ticket;
-    queue_.push_back(std::move(job));
-    queue_high_water_ =
-        std::max(queue_high_water_, static_cast<int>(queue_.size()));
+    job.slice = submitted_++;
   }
-  cv_nonempty_.notify_one();
+  const int ticket = job.slice;
+  // Backpressure: push blocks while the bounded queue is full. Tickets stay
+  // in queue order because submit() is single-producer (class contract).
+  queue_.push(std::move(job));
   return ticket;
 }
 
@@ -108,7 +133,7 @@ std::vector<SliceResult> BatchReconstructor::wait_all() {
   rep.wall_seconds = submitted_ > 0 ? round_timer_.seconds() : 0.0;
   rep.slices_per_second =
       rep.wall_seconds > 0.0 ? rep.slices / rep.wall_seconds : 0.0;
-  rep.queue_high_water = queue_high_water_;
+  rep.queue_high_water = queue_.high_water();
   rep.preprocess_seconds = recon_.preprocess_report().total_seconds;
   for (const SliceResult& r : results_) {
     switch (r.status) {
@@ -134,7 +159,7 @@ std::vector<SliceResult> BatchReconstructor::wait_all() {
   results_.clear();
   submitted_ = 0;
   completed_ = 0;
-  queue_high_water_ = 0;
+  queue_.reset_high_water();
   lk.unlock();
 
   std::sort(out.begin(), out.end(),
@@ -152,39 +177,12 @@ void BatchReconstructor::worker_main(int worker_id) {
   const core::MemXCTOperator& op = *ops_[static_cast<std::size_t>(worker_id)];
   core::SliceWorkspace slice_ws;  // persistent: no steady-state allocation
 
-  while (true) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_nonempty_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      job = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    cv_nonfull_.notify_one();
-
-    SliceResult res;
-    res.slice = job.slice;
-    perf::WallTimer timer;
-    try {
-      core::ReconstructionResult r = core::reconstruct_slice(
-          op, recon_.geometry(), config_, recon_.sinogram_ordering(),
-          recon_.tomogram_ordering(), job.data, &slice_ws);
-      res.status =
-          r.solve.diverged ? SliceStatus::Diverged : SliceStatus::Ok;
-      res.solve = std::move(r.solve);
-      res.ingest = std::move(r.ingest);
-      if (options_.keep_images) res.image = std::move(r.image);
-    } catch (const InvalidArgument& e) {
-      // The ingest gate throws InvalidArgument under IngestPolicy::Reject;
-      // the slice is reported rejected, the batch continues.
-      res.status = SliceStatus::IngestRejected;
-      res.error = e.what();
-    } catch (const std::exception& e) {
-      res.status = SliceStatus::Failed;
-      res.error = e.what();
-    }
-    res.seconds = timer.seconds();
+  while (auto job = queue_.pop()) {
+    SliceResult res = run_isolated_slice(
+        op, recon_.geometry(), config_, recon_.sinogram_ordering(),
+        recon_.tomogram_ordering(), job->data, &slice_ws,
+        /*cancel=*/nullptr, options_.keep_images);
+    res.slice = job->slice;
 
     {
       std::lock_guard<std::mutex> lk(mu_);

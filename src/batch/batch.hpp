@@ -31,7 +31,6 @@
 #pragma once
 
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -39,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/bounded_queue.hpp"
 #include "core/reconstructor.hpp"
 #include "perf/timer.hpp"
 
@@ -81,6 +81,22 @@ struct SliceResult {
   resil::IngestReport ingest;
   double seconds = 0.0;  ///< Worker wall time for this slice.
 };
+
+/// Runs one slice through core::reconstruct_slice with per-slice fault
+/// isolation: ingest rejection, solver divergence, and unexpected errors
+/// become a SliceStatus on the returned result instead of propagating.
+/// This is the worker-side primitive shared by the batch engine and the
+/// serve layer — both get identical classification and (because the slice
+/// path itself is shared) bitwise-identical images. `cancel` is forwarded
+/// to the solver; a cancelled solve reports via result.solve.cancelled with
+/// status Ok (the caller decides what cancellation means). When
+/// `keep_image` is false the pixels are dropped after the solve.
+[[nodiscard]] SliceResult run_isolated_slice(
+    const solve::LinearOperator& op, const geometry::Geometry& geometry,
+    const core::Config& config, const hilbert::Ordering& sino_order,
+    const hilbert::Ordering& tomo_order, std::span<const real> sinogram,
+    core::SliceWorkspace* workspace = nullptr,
+    const solve::CancelToken* cancel = nullptr, bool keep_image = true);
 
 /// Batch-level statistics of one submit…wait_all round.
 struct BatchReport {
@@ -150,7 +166,9 @@ class BatchReconstructor {
   [[nodiscard]] int workers() const noexcept {
     return static_cast<int>(threads_.size());
   }
-  [[nodiscard]] int queue_capacity() const noexcept { return capacity_; }
+  [[nodiscard]] int queue_capacity() const noexcept {
+    return queue_.capacity();
+  }
   [[nodiscard]] int omp_threads_per_worker() const noexcept {
     return threads_per_worker_;
   }
@@ -166,22 +184,19 @@ class BatchReconstructor {
   const core::Reconstructor& recon_;
   core::Config config_;  ///< Reconstructor config with checkpointing off.
   BatchOptions options_;
-  int capacity_ = 0;
   int threads_per_worker_ = 1;
   /// Per-worker operator views: shared immutable storage, private apply
   /// workspaces (the tentpole refactor that makes concurrent applies safe).
   std::vector<std::unique_ptr<core::MemXCTOperator>> ops_;
+  /// Bounded submission queue (src/common primitive, shared with serve):
+  /// blocking push gives the producer backpressure, close() drains workers.
+  common::BoundedQueue<Job> queue_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable cv_nonempty_;  ///< Workers wait for jobs.
-  std::condition_variable cv_nonfull_;   ///< submit() waits for queue room.
-  std::condition_variable cv_done_;      ///< wait_all() waits for drain.
-  std::deque<Job> queue_;
-  bool stop_ = false;
+  std::mutex mu_;  ///< Guards the round state below (not the queue).
+  std::condition_variable cv_done_;  ///< wait_all() waits for drain.
   int submitted_ = 0;
   int completed_ = 0;
-  int queue_high_water_ = 0;
   perf::WallTimer round_timer_;  ///< Reset at the first submit of a round.
   std::vector<SliceResult> results_;
   BatchReport report_;

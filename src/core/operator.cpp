@@ -179,6 +179,10 @@ nnz_t MemXCTOperator::nnz() const noexcept { return store_->nnz; }
 std::int64_t MemXCTOperator::regular_bytes() const noexcept {
   return store_->regular_bytes;
 }
+std::int64_t MemXCTOperator::bytes() const noexcept {
+  return store_->regular_bytes + store_->plan_fwd.bytes() +
+         store_->plan_bwd.bytes();
+}
 
 sparse::PlanStats MemXCTOperator::forward_plan_stats() const noexcept {
   return store_->plan_fwd.stats();

@@ -67,6 +67,12 @@ class MemXCTOperator final : public solve::LinearOperator {
   /// Views share this storage; the bytes are not duplicated per view.
   [[nodiscard]] std::int64_t regular_bytes() const noexcept;
 
+  /// Resident footprint of the shared Storage: matrix data (regular_bytes)
+  /// plus both static apply plans. This is the quantity the serve-layer
+  /// OperatorRegistry budgets against — it is paid once per geometry no
+  /// matter how many views exist (views add only workspace scratch).
+  [[nodiscard]] std::int64_t bytes() const noexcept;
+
  private:
   /// Immutable post-construction state: matrices in kernel storage plus the
   /// static plans. Shared (not copied) across views.

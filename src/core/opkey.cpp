@@ -1,0 +1,56 @@
+#include "core/opkey.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace memxct::core {
+
+namespace {
+
+/// FNV-1a over the canonical text: stable across platforms and runs (no
+/// std::hash, whose value is implementation-defined).
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+OperatorKey operator_key(const geometry::Geometry& geometry,
+                         const Config& config) {
+  // angle_span is a double; %.17g round-trips it exactly so two spans that
+  // differ in the last ulp key different operators (they trace differently).
+  char span[64];
+  std::snprintf(span, sizeof(span), "%.17g", geometry.angle_span);
+
+  std::ostringstream os;
+  os << "a" << geometry.num_angles << "-c" << geometry.num_channels << "-i"
+     << geometry.image_size << "-s" << span << "-o"
+     << hilbert::to_string(config.ordering) << "-t" << config.tile_size
+     << "-k" << static_cast<int>(config.kernel) << "-p"
+     << config.buffer.partsize << "-b" << config.buffer.buffsize << "-e"
+     << config.ell_block_rows << "-sch" << static_cast<int>(config.schedule);
+
+  OperatorKey key;
+  key.text = os.str();
+  key.hash = fnv1a(key.text);
+  return key;
+}
+
+Config operator_config(const Config& config) {
+  Config norm;  // defaults for every solve-time field
+  norm.ordering = config.ordering;
+  norm.tile_size = config.tile_size;
+  norm.kernel = config.kernel;
+  norm.buffer = config.buffer;
+  norm.ell_block_rows = config.ell_block_rows;
+  norm.schedule = config.schedule;
+  return norm;
+}
+
+}  // namespace memxct::core

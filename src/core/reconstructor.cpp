@@ -142,7 +142,8 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
                                        const hilbert::Ordering& sino_order,
                                        const hilbert::Ordering& tomo_order,
                                        std::span<const real> sinogram,
-                                       SliceWorkspace* workspace) {
+                                       SliceWorkspace* workspace,
+                                       const solve::CancelToken* cancel) {
   MEMXCT_CHECK(static_cast<std::int64_t>(sinogram.size()) ==
                geometry.sinogram_extent().size());
 
@@ -197,6 +198,7 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
       opt.early_stop = config.early_stop;
       opt.tikhonov_lambda = config.tikhonov_lambda;
       opt.checkpoint = checkpoint;
+      opt.cancel = cancel;
       solved = solve::cgls(op, y, opt);
       break;
     }
@@ -204,6 +206,7 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
       solve::SirtOptions opt;
       opt.max_iterations = config.iterations;
       opt.checkpoint = checkpoint;
+      opt.cancel = cancel;
       solved = solve::sirt(op, y, opt);
       break;
     }
@@ -211,6 +214,7 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
       solve::GdOptions opt;
       opt.max_iterations = config.iterations;
       opt.checkpoint = checkpoint;
+      opt.cancel = cancel;
       solved = solve::gradient_descent(op, y, opt);
       break;
     }

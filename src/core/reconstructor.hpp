@@ -63,11 +63,15 @@ struct SliceWorkspace {
 /// operator) and batch::BatchReconstructor (which passes per-worker operator
 /// views sharing the preprocessed storage). The arithmetic is identical on
 /// both paths, so batch results are bitwise-equal to single-slice results.
+/// `cancel` (optional) is polled by the solver at iteration granularity;
+/// on cancellation the result carries solve.cancelled and the last
+/// completed iterate.
 [[nodiscard]] ReconstructionResult reconstruct_slice(
     const solve::LinearOperator& op, const geometry::Geometry& geometry,
     const Config& config, const hilbert::Ordering& sino_order,
     const hilbert::Ordering& tomo_order, std::span<const real> sinogram,
-    SliceWorkspace* workspace = nullptr);
+    SliceWorkspace* workspace = nullptr,
+    const solve::CancelToken* cancel = nullptr);
 
 class Reconstructor {
  public:

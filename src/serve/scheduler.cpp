@@ -1,0 +1,121 @@
+#include "serve/scheduler.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace memxct::serve {
+
+const char* to_string(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::Interactive:
+      return "interactive";
+    case Priority::Normal:
+      return "normal";
+    case Priority::Bulk:
+      return "bulk";
+  }
+  return "?";
+}
+
+const char* to_string(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::Queued:
+      return "queued";
+    case RequestStatus::Running:
+      return "running";
+    case RequestStatus::Ok:
+      return "ok";
+    case RequestStatus::IngestRejected:
+      return "ingest-rejected";
+    case RequestStatus::Diverged:
+      return "diverged";
+    case RequestStatus::Failed:
+      return "failed";
+    case RequestStatus::Cancelled:
+      return "cancelled";
+    case RequestStatus::DeadlineExceeded:
+      return "deadline-exceeded";
+  }
+  return "?";
+}
+
+bool is_terminal(RequestStatus status) noexcept {
+  return status != RequestStatus::Queued && status != RequestStatus::Running;
+}
+
+RequestScheduler::RequestScheduler(Options options)
+    : options_(options),
+      queue_(options.queue_capacity > 0 ? options.queue_capacity : 8,
+             kNumPriorities) {}
+
+void RequestScheduler::admit(std::shared_ptr<RequestState> request) {
+  MEMXCT_CHECK(request != nullptr);
+  const Priority priority = request->options.priority;
+  const auto lane = static_cast<int>(priority);
+
+  // Feasibility gate first: a deadline the server already knows it cannot
+  // meet must not consume a queue slot another request could use.
+  const double deadline_s = request->options.deadline_seconds;
+  if (deadline_s > 0.0) {
+    double estimate;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      estimate = estimate_seconds_;
+    }
+    if (estimate > 0.0 && estimate * options_.feasibility_margin > deadline_s) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++rejected_infeasible_[lane];
+      }
+      std::ostringstream os;
+      os << "deadline " << deadline_s << " s infeasible: estimated service "
+         << estimate << " s (margin " << options_.feasibility_margin << ")";
+      throw DeadlineInfeasibleError(os.str(), priority, deadline_s, estimate);
+    }
+  }
+
+  if (!queue_.try_push(std::move(request), lane)) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++rejected_full_[lane];
+    }
+    std::ostringstream os;
+    os << "admission queue full (" << queue_.capacity()
+       << " requests); retry with backoff";
+    throw QueueFullError(os.str(), priority);
+  }
+}
+
+std::optional<std::shared_ptr<RequestState>> RequestScheduler::next() {
+  return queue_.pop();
+}
+
+void RequestScheduler::close() { queue_.close(); }
+
+void RequestScheduler::observe_service_seconds(double seconds) {
+  if (seconds < 0.0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  estimate_seconds_ =
+      estimate_seconds_ <= 0.0
+          ? seconds
+          : options_.estimate_alpha * seconds +
+                (1.0 - options_.estimate_alpha) * estimate_seconds_;
+}
+
+double RequestScheduler::estimated_service_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return estimate_seconds_;
+}
+
+std::int64_t RequestScheduler::rejected_queue_full(Priority p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_full_[static_cast<int>(p)];
+}
+
+std::int64_t RequestScheduler::rejected_infeasible(Priority p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_infeasible_[static_cast<int>(p)];
+}
+
+}  // namespace memxct::serve

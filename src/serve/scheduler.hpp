@@ -1,0 +1,169 @@
+// RequestScheduler: bounded, priority-classed, deadline-aware admission.
+//
+// Overload policy: the service NEVER buffers unboundedly. A request is
+// either admitted into the bounded queue or rejected at submit() with a
+// typed error the client can act on —
+//   * QueueFullError:           back off / retry (transient overload);
+//   * DeadlineInfeasibleError:  relax the deadline (the server's own
+//                               service-time estimate says it cannot make
+//                               it, so queueing would only waste a worker).
+// Admitted requests carry a CancelToken armed with their deadline; workers
+// check it before solving (deadline burned in the queue → no solve at all)
+// and the solver polls it at iteration granularity (deadline hit mid-solve
+// → stop after the current iteration). Priority decides drain order only;
+// the capacity bound is shared, so bulk traffic cannot starve the server of
+// memory — it can only wait.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/aligned.hpp"
+#include "common/bounded_queue.hpp"
+#include "core/config.hpp"
+#include "geometry/geometry.hpp"
+#include "resil/ingest.hpp"
+#include "solve/solver.hpp"
+
+namespace memxct::serve {
+
+/// Priority classes, in drain order. Interactive requests (a beamline
+/// operator watching a live reconstruction) preempt Normal, which preempts
+/// Bulk (overnight re-processing).
+enum class Priority { Interactive = 0, Normal = 1, Bulk = 2 };
+inline constexpr int kNumPriorities = 3;
+
+[[nodiscard]] const char* to_string(Priority priority) noexcept;
+
+/// Per-request options supplied at submit().
+struct RequestOptions {
+  Priority priority = Priority::Normal;
+  /// Latency budget in seconds from submission; 0 = none. The request is
+  /// rejected at admission when infeasible, expired unstarted when the
+  /// deadline burns in the queue, and cancelled at the next iteration
+  /// boundary when it hits mid-solve.
+  double deadline_seconds = 0.0;
+  /// false drops the reconstructed pixels (QA / throughput probes).
+  bool keep_image = true;
+};
+
+/// Terminal request states (plus the two live ones for snapshots).
+enum class RequestStatus {
+  Queued,
+  Running,
+  Ok,
+  IngestRejected,  ///< Ingest policy rejected the sinogram.
+  Diverged,        ///< Solver diverged; image is the rolled-back iterate.
+  Failed,          ///< Unexpected error (message in RequestResult::error).
+  Cancelled,       ///< Explicit cancel().
+  DeadlineExceeded,
+};
+
+[[nodiscard]] const char* to_string(RequestStatus status) noexcept;
+[[nodiscard]] bool is_terminal(RequestStatus status) noexcept;
+
+/// Base of the typed admission rejections.
+class RejectedError : public std::runtime_error {
+ public:
+  RejectedError(const std::string& what, Priority priority)
+      : std::runtime_error(what), priority(priority) {}
+  Priority priority;
+};
+
+/// The bounded queue is full: transient overload, back off and retry.
+class QueueFullError final : public RejectedError {
+ public:
+  using RejectedError::RejectedError;
+};
+
+/// The deadline cannot be met per the server's service-time estimate.
+class DeadlineInfeasibleError final : public RejectedError {
+ public:
+  DeadlineInfeasibleError(const std::string& what, Priority priority,
+                          double deadline_seconds, double estimated_seconds)
+      : RejectedError(what, priority),
+        deadline_seconds(deadline_seconds),
+        estimated_seconds(estimated_seconds) {}
+  double deadline_seconds;
+  double estimated_seconds;
+};
+
+/// One in-flight request. Created by Server::submit(), carried through the
+/// scheduler queue by shared_ptr, finalized by a worker. The result fields
+/// are guarded by the server's mutex; the token is lock-free by design.
+struct RequestState {
+  std::int64_t id = -1;
+  geometry::Geometry geometry;
+  core::Config config;
+  AlignedVector<real> sinogram;
+  RequestOptions options;
+  solve::CancelToken token;  ///< Armed with the deadline at submission.
+  std::chrono::steady_clock::time_point submit_time;
+  std::chrono::steady_clock::time_point deadline;  ///< Valid iff has_deadline.
+  bool has_deadline = false;
+
+  // Terminal outcome, written once by the finishing worker.
+  RequestStatus status = RequestStatus::Queued;
+  std::string error;
+  std::vector<real> image;
+  solve::SolveResult solve;
+  resil::IngestReport ingest;
+  bool registry_hit = false;
+  bool disk_cache_hit = false;
+  double queue_seconds = 0.0;
+  double setup_seconds = 0.0;  ///< Operator build time paid by this request.
+  double total_seconds = 0.0;  ///< submit → terminal.
+};
+
+/// Admission queue + feasibility gate. Thread-safe.
+class RequestScheduler {
+ public:
+  struct Options {
+    int queue_capacity = 8;
+    /// Safety factor applied to the service-time estimate when judging
+    /// deadline feasibility (estimate × margin > deadline → reject).
+    double feasibility_margin = 1.0;
+    /// EWMA smoothing for the service-time estimate.
+    double estimate_alpha = 0.3;
+  };
+
+  explicit RequestScheduler(Options options);
+  RequestScheduler() : RequestScheduler(Options{}) {}
+
+  /// Admits or throws QueueFullError / DeadlineInfeasibleError. On success
+  /// the request is owned by the queue until a worker pops it.
+  void admit(std::shared_ptr<RequestState> request);
+
+  /// Blocking pop in priority order; nullopt once closed and drained.
+  [[nodiscard]] std::optional<std::shared_ptr<RequestState>> next();
+
+  /// Rejects future admissions; queued requests still drain via next().
+  void close();
+
+  /// Feeds one observed end-to-end service time (worker-side seconds) into
+  /// the feasibility estimate.
+  void observe_service_seconds(double seconds);
+
+  [[nodiscard]] double estimated_service_seconds() const;
+  [[nodiscard]] int queue_depth() const { return queue_.size(); }
+  [[nodiscard]] int queue_capacity() const noexcept {
+    return queue_.capacity();
+  }
+  [[nodiscard]] int queue_high_water() const { return queue_.high_water(); }
+  [[nodiscard]] std::int64_t rejected_queue_full(Priority p) const;
+  [[nodiscard]] std::int64_t rejected_infeasible(Priority p) const;
+
+ private:
+  Options options_;
+  common::BoundedQueue<std::shared_ptr<RequestState>> queue_;
+  mutable std::mutex mu_;  ///< Guards the estimate and rejection counters.
+  double estimate_seconds_ = 0.0;  ///< 0 until the first observation.
+  std::int64_t rejected_full_[kNumPriorities] = {};
+  std::int64_t rejected_infeasible_[kNumPriorities] = {};
+};
+
+}  // namespace memxct::serve

@@ -1,0 +1,309 @@
+#include "serve/server.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "batch/batch.hpp"
+#include "common/error.hpp"
+
+namespace memxct::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+std::string ServerMetrics::summary() const {
+  std::ostringstream os;
+  os << completed << "/" << submitted << " requests on " << workers
+     << " workers (queue depth " << queue_depth << "/" << queue_capacity
+     << ", high-water " << queue_high_water << "); registry hit rate "
+     << registry.hit_rate() << " (" << registry.hits << " hits, "
+     << registry.misses << " misses, " << registry.evictions
+     << " evictions, " << registry.resident_bytes << " B resident)";
+  if (rejected() > 0) os << "; " << rejected() << " rejected";
+  return os.str();
+}
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      registry_(options.registry),
+      scheduler_({.queue_capacity = options.queue_capacity > 0
+                      ? options.queue_capacity
+                      : 4 * std::max(1, options.workers),
+                  .feasibility_margin = options.feasibility_margin}) {
+  if (options_.workers < 1)
+    throw InvalidArgument("serve: workers must be >= 1");
+  threads_per_worker_ =
+      options_.omp_threads_per_worker > 0
+          ? options_.omp_threads_per_worker
+          : std::max(1, omp_get_max_threads() / options_.workers);
+  threads_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w)
+    threads_.emplace_back([this] { worker_main(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  scheduler_.close();  // admitted requests drain, then workers exit
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+std::int64_t Server::submit(const geometry::Geometry& geometry,
+                            const core::Config& config,
+                            std::span<const real> sinogram,
+                            RequestOptions options) {
+  geometry.validate();
+  if (static_cast<std::int64_t>(sinogram.size()) !=
+      geometry.sinogram_extent().size())
+    throw InvalidArgument("serve: sinogram size " +
+                          std::to_string(sinogram.size()) +
+                          " does not match the geometry");
+  if (config.num_ranks != 1 || config.force_distributed)
+    throw InvalidArgument(
+        "serve: serving requires the serial operator path "
+        "(num_ranks == 1 and not force_distributed)");
+  if (options.deadline_seconds < 0.0)
+    throw InvalidArgument("serve: deadline_seconds must be >= 0");
+
+  auto state = std::make_shared<RequestState>();
+  state->geometry = geometry;
+  state->config = config;
+  state->sinogram.assign(sinogram.begin(), sinogram.end());
+  state->options = options;
+  state->submit_time = std::chrono::steady_clock::now();
+  if (options.deadline_seconds > 0.0) {
+    state->has_deadline = true;
+    state->deadline =
+        state->submit_time +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options.deadline_seconds));
+    state->token.set_deadline_after(options.deadline_seconds);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shut_down_) throw InvalidArgument("serve: server is shut down");
+    state->id = next_id_++;
+  }
+
+  scheduler_.admit(state);  // throws typed rejection on overload
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    live_[state->id] = state;
+    ++priority_metrics_[static_cast<std::size_t>(options.priority)].submitted;
+  }
+  return state->id;
+}
+
+RequestResult Server::wait(std::int64_t id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto it = live_.find(id);
+  if (it == live_.end())
+    throw InvalidArgument("serve: unknown or already-consumed request id " +
+                          std::to_string(id));
+  const std::shared_ptr<RequestState> state = it->second;
+  cv_done_.wait(lk, [&] { return is_terminal(state->status); });
+  live_.erase(id);
+  lk.unlock();
+
+  // Terminal state is written exactly once before the status flips, so the
+  // fields are safe to move out without the lock.
+  RequestResult result;
+  result.id = state->id;
+  result.priority = state->options.priority;
+  result.status = state->status;
+  result.error = std::move(state->error);
+  result.image = std::move(state->image);
+  result.solve = std::move(state->solve);
+  result.ingest = std::move(state->ingest);
+  result.registry_hit = state->registry_hit;
+  result.disk_cache_hit = state->disk_cache_hit;
+  result.queue_seconds = state->queue_seconds;
+  result.setup_seconds = state->setup_seconds;
+  result.total_seconds = state->total_seconds;
+  return result;
+}
+
+bool Server::cancel(std::int64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = live_.find(id);
+  if (it == live_.end() || is_terminal(it->second->status)) return false;
+  it->second->token.request_cancel();
+  return true;
+}
+
+ServerMetrics Server::snapshot() const {
+  ServerMetrics m;
+  m.workers = static_cast<int>(threads_.size());
+  m.queue_depth = scheduler_.queue_depth();
+  m.queue_capacity = scheduler_.queue_capacity();
+  m.queue_high_water = scheduler_.queue_high_water();
+  m.estimated_service_seconds = scheduler_.estimated_service_seconds();
+  m.registry = registry_.stats();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    m.priority = priority_metrics_;
+    m.completed = completed_;
+    m.setup_seconds_sum = setup_seconds_sum_;
+    m.solve_seconds_sum = solve_seconds_sum_;
+  }
+  for (int p = 0; p < kNumPriorities; ++p) {
+    auto& pm = m.priority[static_cast<std::size_t>(p)];
+    pm.rejected_queue_full =
+        scheduler_.rejected_queue_full(static_cast<Priority>(p));
+    pm.rejected_infeasible =
+        scheduler_.rejected_infeasible(static_cast<Priority>(p));
+    m.submitted += pm.submitted;
+  }
+  return m;
+}
+
+void Server::finish(const std::shared_ptr<RequestState>& state,
+                    RequestStatus status) {
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    state->total_seconds = seconds_between(state->submit_time, now);
+    state->status = status;
+    auto& pm =
+        priority_metrics_[static_cast<std::size_t>(state->options.priority)];
+    switch (status) {
+      case RequestStatus::Ok:
+        ++pm.ok;
+        break;
+      case RequestStatus::IngestRejected:
+        ++pm.ingest_rejected;
+        break;
+      case RequestStatus::Diverged:
+        ++pm.diverged;
+        break;
+      case RequestStatus::Failed:
+        ++pm.failed;
+        break;
+      case RequestStatus::Cancelled:
+        ++pm.cancelled;
+        break;
+      case RequestStatus::DeadlineExceeded:
+        ++pm.deadline_exceeded;
+        break;
+      case RequestStatus::Queued:
+      case RequestStatus::Running:
+        break;  // not terminal; unreachable
+    }
+    pm.latency.record(state->total_seconds);
+    setup_seconds_sum_ += state->setup_seconds;
+    solve_seconds_sum_ += state->solve.seconds;
+    ++completed_;
+  }
+  cv_done_.notify_all();
+}
+
+void Server::worker_main() {
+  // Same subscription rule as the batch engine: the per-thread num-threads
+  // ICV pins solver parallel regions so K workers equal one full-width
+  // solve in total CPU use.
+  omp_set_num_threads(threads_per_worker_);
+  core::SliceWorkspace slice_ws;  // persistent per-worker scratch
+
+  while (auto popped = scheduler_.next()) {
+    const std::shared_ptr<RequestState> state = *popped;
+    const auto pickup = std::chrono::steady_clock::now();
+    state->queue_seconds = seconds_between(state->submit_time, pickup);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      state->status = RequestStatus::Running;
+    }
+
+    // Cheap pre-solve gates: cancellation or a deadline burned entirely in
+    // the queue ends the request without touching an operator.
+    if (state->token.cancel_requested()) {
+      finish(state, RequestStatus::Cancelled);
+      continue;
+    }
+    if (state->has_deadline && pickup >= state->deadline) {
+      state->error = "deadline expired while queued";
+      finish(state, RequestStatus::DeadlineExceeded);
+      continue;
+    }
+
+    OperatorRegistry::Lease lease;
+    try {
+      lease = registry_.acquire(state->geometry, state->config);
+    } catch (const std::exception& e) {
+      state->error = e.what();
+      finish(state, RequestStatus::Failed);
+      continue;
+    }
+    state->registry_hit = lease.hit;
+    state->disk_cache_hit = lease.disk_hit;
+    state->setup_seconds = lease.build_seconds;
+
+    // Per-request operator view: shared immutable storage, private apply
+    // workspaces — concurrent requests on one geometry never contend.
+    const std::unique_ptr<core::MemXCTOperator> view =
+        lease.recon->serial_op()->make_view();
+    core::Config config = state->config;
+    // Shared checkpoint files across concurrent requests would corrupt
+    // (same rule as the batch engine); the registry owns the disk cache.
+    config.checkpoint_path.clear();
+    config.cache_dir.clear();
+
+    batch::SliceResult res = batch::run_isolated_slice(
+        *view, lease.recon->geometry(), config,
+        lease.recon->sinogram_ordering(), lease.recon->tomogram_ordering(),
+        state->sinogram, &slice_ws, &state->token,
+        state->options.keep_image);
+    state->sinogram.clear();  // measurements are consumed; free early
+
+    RequestStatus status;
+    if (res.solve.cancelled) {
+      // The solver stopped cooperatively; attribute it to the explicit
+      // cancel if one was requested, else to the deadline.
+      status = state->token.cancel_requested()
+                   ? RequestStatus::Cancelled
+                   : RequestStatus::DeadlineExceeded;
+    } else {
+      switch (res.status) {
+        case batch::SliceStatus::Ok:
+          status = RequestStatus::Ok;
+          break;
+        case batch::SliceStatus::IngestRejected:
+          status = RequestStatus::IngestRejected;
+          break;
+        case batch::SliceStatus::Diverged:
+          status = RequestStatus::Diverged;
+          break;
+        case batch::SliceStatus::Failed:
+        default:
+          status = RequestStatus::Failed;
+          break;
+      }
+    }
+    state->error = std::move(res.error);
+    state->image = std::move(res.image);
+    state->solve = std::move(res.solve);
+    state->ingest = std::move(res.ingest);
+
+    // Feed the feasibility estimate with the end-to-end worker-side cost
+    // (operator setup + solve) of requests that actually ran.
+    scheduler_.observe_service_seconds(lease.build_seconds + res.seconds);
+    finish(state, status);
+  }
+}
+
+}  // namespace memxct::serve

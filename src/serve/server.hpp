@@ -1,0 +1,164 @@
+// Server: in-process multi-tenant reconstruction front end.
+//
+// Turns the batch engine's single-geometry worker pool into a service that
+// accepts slices against MANY geometries concurrently:
+//
+//   serve::Server server({.workers = 4,
+//                         .registry = {.byte_budget = 512 << 20}});
+//   auto id = server.submit(geometry, config, sinogram,
+//                           {.priority = serve::Priority::Interactive,
+//                            .deadline_seconds = 2.0});
+//   auto result = server.wait(id);          // terminal status + image
+//   auto metrics = server.snapshot();       // latency, queue, registry
+//
+// Composition (each piece is separately testable):
+//   * OperatorRegistry  — cross-request operator amortization (this file's
+//     reason to exist: a registry hit skips preprocessing entirely);
+//   * RequestScheduler  — bounded admission, priorities, deadlines, typed
+//     overload rejection;
+//   * worker pool       — fixed threads, each solving via the SAME
+//     batch::run_isolated_slice / core::reconstruct_slice path as the
+//     single-slice Reconstructor, on per-request operator views; served
+//     images are bitwise-identical to Reconstructor::reconstruct for any
+//     worker count.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/registry.hpp"
+#include "serve/scheduler.hpp"
+
+namespace memxct::serve {
+
+struct ServerOptions {
+  /// Fixed worker pool size (threads solving requests concurrently).
+  int workers = 1;
+  /// Bounded admission-queue capacity; 0 = 4 × workers. Submissions beyond
+  /// it are rejected with QueueFullError, never buffered.
+  int queue_capacity = 0;
+  /// OpenMP threads per worker inside solver parallel regions; 0 divides
+  /// omp_get_max_threads() evenly (same rule as the batch engine).
+  int omp_threads_per_worker = 0;
+  /// Operator cache budget and disk tier.
+  RegistryOptions registry;
+  /// Deadline feasibility margin (see RequestScheduler::Options).
+  double feasibility_margin = 1.0;
+};
+
+/// Terminal outcome of one request, returned by wait().
+struct RequestResult {
+  std::int64_t id = -1;
+  Priority priority = Priority::Normal;
+  RequestStatus status = RequestStatus::Failed;
+  std::string error;
+  std::vector<real> image;  ///< Natural row-major; empty unless status is
+                            ///< Ok/Diverged with keep_image set.
+  solve::SolveResult solve;
+  resil::IngestReport ingest;
+  bool registry_hit = false;    ///< Operator came from the memory tier.
+  bool disk_cache_hit = false;  ///< Build loaded its trace from disk.
+  double queue_seconds = 0.0;   ///< submit → worker pickup.
+  double setup_seconds = 0.0;   ///< Operator preprocess paid by this
+                                ///< request (0 on a registry hit).
+  double total_seconds = 0.0;   ///< submit → terminal.
+};
+
+/// Point-in-time server statistics (the snapshot() payload).
+struct ServerMetrics {
+  int workers = 0;
+  int queue_depth = 0;
+  int queue_capacity = 0;
+  int queue_high_water = 0;
+  std::int64_t submitted = 0;  ///< Admitted (rejections not included).
+  std::int64_t completed = 0;
+  double estimated_service_seconds = 0.0;
+  double setup_seconds_sum = 0.0;
+  double solve_seconds_sum = 0.0;
+  std::array<PriorityMetrics, kNumPriorities> priority{};
+  RegistryStats registry;
+
+  [[nodiscard]] std::int64_t rejected() const noexcept {
+    std::int64_t n = 0;
+    for (const auto& p : priority)
+      n += p.rejected_queue_full + p.rejected_infeasible;
+    return n;
+  }
+  /// One-line summary for logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Validates and admits one request. The sinogram is copied (natural
+  /// angles-major layout, sized to the geometry). Throws InvalidArgument on
+  /// malformed input (caller bug), QueueFullError / DeadlineInfeasibleError
+  /// on overload (typed, retryable). Returns the request id.
+  std::int64_t submit(const geometry::Geometry& geometry,
+                      const core::Config& config,
+                      std::span<const real> sinogram,
+                      RequestOptions options = {});
+
+  /// Blocks until the request reaches a terminal state, then consumes and
+  /// returns its result. Each id may be waited exactly once; an unknown or
+  /// already-consumed id throws InvalidArgument.
+  [[nodiscard]] RequestResult wait(std::int64_t id);
+
+  /// Requests cooperative cancellation. Returns true when the request was
+  /// still live (queued or running); its terminal status becomes Cancelled
+  /// unless it finishes first.
+  bool cancel(std::int64_t id);
+
+  /// Point-in-time metrics.
+  [[nodiscard]] ServerMetrics snapshot() const;
+
+  /// Stops admissions, drains admitted requests, joins workers. Idempotent;
+  /// also run by the destructor. Results remain wait()able afterwards.
+  void shutdown();
+
+  [[nodiscard]] int workers() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+  [[nodiscard]] const OperatorRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+ private:
+  void worker_main();
+  void finish(const std::shared_ptr<RequestState>& state,
+              RequestStatus status);
+
+  ServerOptions options_;
+  int threads_per_worker_ = 1;
+  OperatorRegistry registry_;
+  RequestScheduler scheduler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_done_;  ///< wait() blocks here.
+  std::unordered_map<std::int64_t, std::shared_ptr<RequestState>> live_;
+  std::int64_t next_id_ = 0;
+  std::int64_t completed_ = 0;
+  std::array<PriorityMetrics, kNumPriorities> priority_metrics_{};
+  double setup_seconds_sum_ = 0.0;
+  double solve_seconds_sum_ = 0.0;
+  bool shut_down_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace memxct::serve

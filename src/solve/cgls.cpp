@@ -93,6 +93,12 @@ SolveResult cgls_warm(const LinearOperator& op, std::span<const real> y,
   }
 
   for (; iter < options.max_iterations; ++iter) {
+    // Cooperative cancellation: checked once per iteration, before the two
+    // SpMVs, so a cancel/deadline costs at most one more iteration.
+    if (options.cancel != nullptr && options.cancel->should_stop()) {
+      result.cancelled = true;
+      break;
+    }
     if (gamma == 0.0) break;  // exact solution reached
     op.apply(p, q);           // the step-size forward projection
     const double qq = dot(q, q) + lambda2 * dot(p, p);

@@ -24,6 +24,9 @@ struct CglsOptions {
   /// Checkpoint/restart and divergence recovery; a resumed solve is
   /// bitwise-identical to an uninterrupted one.
   CheckpointOptions checkpoint;
+  /// Cooperative cancellation/deadline, polled at iteration granularity
+  /// (nullptr = never cancelled). The token outlives the solve.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs CGLS from x = 0 for measurement vector `y`.

@@ -46,6 +46,11 @@ SolveResult gradient_descent(const LinearOperator& op, std::span<const real> y,
   }
 
   for (; iter < options.max_iterations; ++iter) {
+    // Cooperative cancellation at iteration granularity (serve deadlines).
+    if (options.cancel != nullptr && options.cancel->should_stop()) {
+      result.cancelled = true;
+      break;
+    }
     op.apply(result.x, forward);
     // Fused: residual = y - forward and its norm in one pass.
     const double rnorm = subtract_norm(y, forward, residual);

@@ -19,6 +19,9 @@ struct GdOptions {
   bool nonnegative = false;
   /// Checkpoint/restart and divergence recovery (state: the iterate).
   CheckpointOptions checkpoint;
+  /// Cooperative cancellation/deadline, polled at iteration granularity
+  /// (nullptr = never cancelled). The token outlives the solve.
+  const CancelToken* cancel = nullptr;
 };
 
 /// x_{k+1} = x_k + alpha_k A^T (y - A x_k), with the exact line-search step

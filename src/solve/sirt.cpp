@@ -60,6 +60,11 @@ SolveResult sirt(const LinearOperator& op, std::span<const real> y,
   }
 
   for (; iter < options.max_iterations; ++iter) {
+    // Cooperative cancellation at iteration granularity (serve deadlines).
+    if (options.cancel != nullptr && options.cancel->should_stop()) {
+      result.cancelled = true;
+      break;
+    }
     op.apply(result.x, forward);
     // Fused: residual = (y - forward)·R with the unscaled ||y - forward||
     // from the same pass. The recorded L-curve point pairs that residual

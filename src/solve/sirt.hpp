@@ -20,6 +20,9 @@ struct SirtOptions {
   real relaxation = 1.0;
   /// Checkpoint/restart and divergence recovery (state: the iterate).
   CheckpointOptions checkpoint;
+  /// Cooperative cancellation/deadline, polled at iteration granularity
+  /// (nullptr = never cancelled). The token outlives the solve.
+  const CancelToken* cancel = nullptr;
 };
 
 [[nodiscard]] SolveResult sirt(const LinearOperator& op,

@@ -1,7 +1,10 @@
-// Common solver result types, checkpoint/restart policy, and the
-// early-termination heuristic.
+// Common solver result types, checkpoint/restart policy, cooperative
+// cancellation, and the early-termination heuristic.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -9,6 +12,54 @@
 #include "common/types.hpp"
 
 namespace memxct::solve {
+
+/// Cooperative cancellation + deadline token, checked by the iterative
+/// solvers at iteration granularity (between whole forward/backprojection
+/// pairs, never inside a kernel). One owner (e.g. the serve layer's request
+/// state) holds the token; any thread may request cancellation or arm the
+/// deadline, and the solving thread observes it at the top of its next
+/// iteration — the iterate returned is the last completed one, so a
+/// cancelled solve still yields a usable (if under-iterated) image.
+class CancelToken {
+ public:
+  /// Requests cancellation; the solve stops at the next iteration boundary.
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Arms an absolute deadline `seconds` from now (steady clock). Replaces
+  /// any earlier deadline; seconds <= 0 disarms.
+  void set_deadline_after(double seconds) noexcept {
+    if (seconds <= 0.0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() +
+        static_cast<std::int64_t>(seconds * 1e9);
+    deadline_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool deadline_expired() const noexcept {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == 0) return false;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
+           d;
+  }
+  /// What the solvers poll: explicit cancellation or an expired deadline.
+  [[nodiscard]] bool should_stop() const noexcept {
+    return cancel_requested() || deadline_expired();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady-clock ns; 0 = none.
+};
 
 /// Per-iteration record: the L-curve coordinates of Fig 8.
 struct IterationRecord {
@@ -48,6 +99,9 @@ struct SolveResult {
   double per_iteration_s = 0.0;   ///< Mean per-iteration wall time.
   bool diverged = false;       ///< Divergence detected (state is the last
                                ///< snapshot if one existed, else truncated).
+  bool cancelled = false;      ///< Stopped by a CancelToken (explicit cancel
+                               ///< or deadline); x is the last completed
+                               ///< iterate.
   int resumed_from = 0;        ///< Starting iteration restored from a
                                ///< checkpoint file (0 = cold start).
 };

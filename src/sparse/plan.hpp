@@ -75,6 +75,13 @@ class ApplyPlan {
 
   [[nodiscard]] PlanStats stats() const noexcept;
 
+  /// Resident footprint of the plan itself (slot bounds + weights), for
+  /// the operator-level byte accounting the serve registry budgets on.
+  [[nodiscard]] std::int64_t bytes() const noexcept {
+    return static_cast<std::int64_t>(bounds_.size() * sizeof(idx_t) +
+                                     slot_nnz_.size() * sizeof(nnz_t));
+  }
+
  private:
   std::vector<idx_t> bounds_;    ///< Slot s owns [bounds_[s], bounds_[s+1]).
   std::vector<nnz_t> slot_nnz_;  ///< nnz weight of each slot.
