@@ -66,6 +66,11 @@ int main(int argc, char** argv) {
   const double preproc = pre_timer.seconds();
   const long long operator_bytes =
       static_cast<long long>(recon.serial_op()->bytes());
+  // Per-slice regular matrix traffic per CG iteration (shared bench_util
+  // definition; width 1 — these sweeps run classic one-slice workers).
+  const double matrix_traffic = bench::matrix_bytes_per_slice(
+      recon.serial_op()->forward_work(), recon.serial_op()->transpose_work(),
+      /*k=*/1);
 
   const auto image = phantom::shepp_logan(size);
   const auto sinogram = phantom::forward_project(g, image);
@@ -81,10 +86,11 @@ int main(int argc, char** argv) {
   (void)run_batch(1, 1);  // warm caches before timing
 
   std::printf("geometry %d x %d, %d CG iterations, preprocessing %.3f s, "
-              "operator %s\n\n",
+              "operator %s, matrix traffic %s/slice/iteration\n\n",
               angles, size, config.iterations, preproc,
               io::TablePrinter::bytes(static_cast<double>(operator_bytes))
-                  .c_str());
+                  .c_str(),
+              io::TablePrinter::bytes(matrix_traffic).c_str());
 
   // Slice sweep: amortization of the one-time preprocessing.
   std::vector<SliceRow> slice_rows;
@@ -144,17 +150,19 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "{\"sweep\": \"slices\", \"slices\": %d, \"workers\": 1, "
                    "\"preprocess_s\": %.6g, \"operator_bytes\": %lld, "
+                   "\"matrix_bytes_per_slice\": %.6g, "
                    "\"batch_wall_s\": %.6g, "
                    "\"end_to_end_per_slice_s\": %.6g}",
-                   r.slices, preproc, operator_bytes, r.batch_wall,
-                   r.per_slice_end_to_end);
+                   r.slices, preproc, operator_bytes, matrix_traffic,
+                   r.batch_wall, r.per_slice_end_to_end);
     }
     for (const auto& r : worker_rows) {
       std::fprintf(out, ",\n");
       std::fprintf(out,
                    "{\"sweep\": \"workers\", \"slices\": 16, \"workers\": %d, "
+                   "\"matrix_bytes_per_slice\": %.6g, "
                    "\"batch_wall_s\": %.6g, \"slices_per_second\": %.6g}",
-                   r.workers, r.batch_wall, r.slices_per_sec);
+                   r.workers, matrix_traffic, r.batch_wall, r.slices_per_sec);
     }
     std::fprintf(out, "\n]\n");
     std::fclose(out);

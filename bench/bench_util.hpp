@@ -13,6 +13,7 @@
 #include "common/aligned.hpp"
 #include "geometry/projector.hpp"
 #include "hilbert/ordering.hpp"
+#include "perf/counters.hpp"
 #include "perf/timer.hpp"
 #include "phantom/datasets.hpp"
 #include "sparse/csr.hpp"
@@ -52,6 +53,16 @@ inline sparse::CsrMatrix build_matrix(const phantom::DatasetSpec& spec,
   const hilbert::Ordering sino(g.sinogram_extent(), kind, tile_size);
   const hilbert::Ordering tomo(g.tomogram_extent(), kind, tile_size);
   return geometry::build_projection_matrix(g, sino, tomo);
+}
+
+/// Per-slice regular matrix traffic of one solver iteration (one forward
+/// plus one transpose apply) at multi-RHS width k, in bytes. Centralized so
+/// every bench reporting "matrix bytes per slice" uses the same
+/// perf::KernelWork accounting (matrix stream and staging-map reads
+/// amortize over the k slices of a block apply; x gathers do not).
+inline double matrix_bytes_per_slice(const perf::KernelWork& fwd,
+                                     const perf::KernelWork& bwd, int k) {
+  return fwd.regular_bytes_at_width(k) + bwd.regular_bytes_at_width(k);
 }
 
 /// Median-of-reps timing of a kernel invocation (seconds). The first call

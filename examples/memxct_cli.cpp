@@ -18,6 +18,9 @@
 //   --slices S                 reconstruct S slices through one operator
 //   --batch-workers K          batch worker pool size       (default 1)
 //   --batch-queue Q            bounded submit queue depth   (default 2K)
+//   --block-width W            lockstep multi-RHS width: each worker solves
+//                              waves of W slices per matrix stream (cg
+//                              only; default 1)
 //   --save-sino file.vec       dump the sinogram used
 //   --fbp filter               also run FBP (ramp|shepp|hann) for comparison
 //
@@ -51,6 +54,7 @@ using namespace memxct;
                "[--noise I0] [--ingest passthrough|reject|sanitize] "
                "[--cache DIR] [--checkpoint FILE] [--checkpoint-interval K] "
                "[--slices S] [--batch-workers K] [--batch-queue Q] "
+               "[--block-width W] "
                "[--save-sino f.vec] [--fbp ramp|shepp|hann] "
                "[--output img.pgm]\n",
                argv0);
@@ -120,6 +124,10 @@ int run(int argc, char** argv) {
     else if (arg == "--batch-workers") batch_opt.workers = std::atoi(next());
     else if (arg == "--batch-queue")
       batch_opt.queue_capacity = std::atoi(next());
+    else if (arg == "--block-width") {
+      batch_opt.block_width = std::atoi(next());
+      config.block_width = batch_opt.block_width;
+    }
     else if (arg == "--ingest") {
       const std::string v = next();
       if (v == "passthrough")
@@ -216,6 +224,19 @@ int run(int argc, char** argv) {
                 "wall\n",
                 engine.report().per_slice_wall_with_preprocess() * 1e3,
                 engine.report().per_slice_wall() * 1e3);
+    if (engine.report().block_width > 1) {
+      const auto fwd = recon.serial_op()->forward_work();
+      const auto bwd = recon.serial_op()->transpose_work();
+      std::printf(
+          "matrix traffic: %s/slice/iteration at width %d (vs %s at "
+          "width 1)\n",
+          io::TablePrinter::bytes(engine.report().matrix_bytes_per_slice)
+              .c_str(),
+          engine.report().block_width,
+          io::TablePrinter::bytes(fwd.regular_bytes_at_width(1) +
+                                  bwd.regular_bytes_at_width(1))
+              .c_str());
+    }
     for (const auto& r : results)
       if (r.status != batch::SliceStatus::Ok)
         std::printf("slice %d: %s%s%s\n", r.slice, to_string(r.status),

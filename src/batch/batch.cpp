@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "solve/block.hpp"
+#include "sparse/spmm.hpp"
 
 namespace memxct::batch {
 
@@ -28,6 +30,11 @@ std::string BatchReport::summary() const {
   os << slices << " slices on " << workers << " workers in " << wall_seconds
      << " s (" << slices_per_second << " slices/s, queue high-water "
      << queue_high_water << ")";
+  if (block_width > 1)
+    os << "; block width " << block_width << ", " << waves
+       << " waves (avg width " << avg_wave_width << "), "
+       << matrix_bytes_per_slice * 1e-6
+       << " MB matrix traffic/slice/iteration";
   if (ingest_rejected + diverged + failed > 0)
     os << "; " << ingest_rejected << " ingest-rejected, " << diverged
        << " diverged, " << failed << " failed";
@@ -81,10 +88,20 @@ BatchReconstructor::BatchReconstructor(const core::Reconstructor& recon,
     throw InvalidArgument(
         "batch: BatchReconstructor requires the serial operator path "
         "(num_ranks == 1 and not force_distributed)");
+  if (options_.block_width < 1 ||
+      options_.block_width > sparse::kMaxBlockWidth)
+    throw InvalidArgument("batch: block_width must be in [1, " +
+                          std::to_string(sparse::kMaxBlockWidth) + "]");
+  if (options_.block_width > 1 &&
+      config_.solver != core::SolverKind::CGLS)
+    throw InvalidArgument(
+        "batch: block_width > 1 requires the CGLS solver (the lockstep "
+        "block path only implements the CGLS recursion)");
   // One shared checkpoint file written by K concurrent slices would corrupt
   // and make results submission-order dependent; per-slice in-memory
   // rollback (divergence recovery) is unaffected.
   config_.checkpoint_path.clear();
+  config_.block_width = options_.block_width;  // keep the opkey honest
   threads_per_worker_ =
       options_.omp_threads_per_worker > 0
           ? options_.omp_threads_per_worker
@@ -135,6 +152,17 @@ std::vector<SliceResult> BatchReconstructor::wait_all() {
       rep.wall_seconds > 0.0 ? rep.slices / rep.wall_seconds : 0.0;
   rep.queue_high_water = queue_.high_water();
   rep.preprocess_seconds = recon_.preprocess_report().total_seconds;
+  rep.block_width = options_.block_width;
+  rep.waves = waves_;
+  rep.avg_wave_width =
+      waves_ > 0 ? static_cast<double>(submitted_) / waves_ : 0.0;
+  {
+    const perf::KernelWork fwd = recon_.serial_op()->forward_work();
+    const perf::KernelWork bwd = recon_.serial_op()->transpose_work();
+    rep.matrix_bytes_per_slice =
+        fwd.regular_bytes_at_width(options_.block_width) +
+        bwd.regular_bytes_at_width(options_.block_width);
+  }
   for (const SliceResult& r : results_) {
     switch (r.status) {
       case SliceStatus::Ok:
@@ -159,6 +187,7 @@ std::vector<SliceResult> BatchReconstructor::wait_all() {
   results_.clear();
   submitted_ = 0;
   completed_ = 0;
+  waves_ = 0;
   queue_.reset_high_water();
   lk.unlock();
 
@@ -175,6 +204,13 @@ void BatchReconstructor::worker_main(int worker_id) {
   // the same total subscription as one full-width solve.
   omp_set_num_threads(threads_per_worker_);
   const core::MemXCTOperator& op = *ops_[static_cast<std::size_t>(worker_id)];
+  if (options_.block_width > 1)
+    worker_block_loop(op);
+  else
+    worker_slice_loop(op);
+}
+
+void BatchReconstructor::worker_slice_loop(const core::MemXCTOperator& op) {
   core::SliceWorkspace slice_ws;  // persistent: no steady-state allocation
 
   while (auto job = queue_.pop()) {
@@ -188,6 +224,90 @@ void BatchReconstructor::worker_main(int worker_id) {
       std::lock_guard<std::mutex> lk(mu_);
       results_.push_back(std::move(res));
       ++completed_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void BatchReconstructor::worker_block_loop(const core::MemXCTOperator& op) {
+  core::SliceWorkspace slice_ws;  // persistent: no steady-state allocation
+  const auto m =
+      static_cast<std::size_t>(recon_.geometry().sinogram_extent().size());
+  const auto n =
+      static_cast<std::size_t>(recon_.geometry().tomogram_extent().size());
+  AlignedVector<real> y_slab(m * static_cast<std::size_t>(options_.block_width));
+
+  // Waves are greedy (pop_up_to never waits to fill): a trickle of
+  // submissions degrades toward width-1 behaviour instead of stalling.
+  while (true) {
+    std::vector<Job> jobs = queue_.pop_up_to(options_.block_width);
+    if (jobs.empty()) break;  // closed and drained
+    perf::WallTimer wave_timer;
+
+    // Per-slice ingest with per-slice fault isolation, mirroring
+    // run_isolated_slice's classification: a bad slice becomes a status on
+    // that slice; the survivors still solve together.
+    std::vector<SliceResult> wave(jobs.size());
+    std::vector<std::size_t> lanes;  // job indices that reached the solver
+    lanes.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      wave[j].slice = jobs[j].slice;
+      try {
+        wave[j].ingest = core::ingest_and_order(
+            recon_.geometry(), config_, recon_.sinogram_ordering(),
+            jobs[j].data, slice_ws);
+        std::copy(slice_ws.ordered.begin(), slice_ws.ordered.end(),
+                  y_slab.begin() + static_cast<std::ptrdiff_t>(lanes.size() * m));
+        lanes.push_back(j);
+      } catch (const InvalidArgument& e) {
+        wave[j].status = SliceStatus::IngestRejected;
+        wave[j].error = e.what();
+      } catch (const std::exception& e) {
+        wave[j].status = SliceStatus::Failed;
+        wave[j].error = e.what();
+      }
+    }
+
+    if (!lanes.empty()) {
+      solve::BlockCglsOptions opt;
+      opt.max_iterations = config_.iterations;
+      opt.early_stop = config_.early_stop;
+      opt.tikhonov_lambda = config_.tikhonov_lambda;
+      try {
+        solve::BlockSolveResult solved = solve::cgls_block(
+            op, std::span<const real>(y_slab).first(lanes.size() * m),
+            static_cast<idx_t>(lanes.size()), opt);
+        for (std::size_t l = 0; l < lanes.size(); ++l) {
+          SliceResult& res = wave[lanes[l]];
+          if (options_.keep_images) {
+            res.image.resize(n);
+            core::depermute_image(recon_.tomogram_ordering(),
+                                  solved.slices[l].x, res.image);
+          }
+          res.solve = std::move(solved.slices[l]);
+          // The lanes solved together; report each slice's amortized share
+          // so batch-level time sums stay meaningful.
+          res.solve.seconds = solved.seconds / static_cast<double>(lanes.size());
+          res.status = res.solve.diverged ? SliceStatus::Diverged
+                                          : SliceStatus::Ok;
+        }
+      } catch (const std::exception& e) {
+        for (const std::size_t l : lanes) {
+          wave[l].status = SliceStatus::Failed;
+          wave[l].error = e.what();
+        }
+      }
+    }
+
+    const double share =
+        wave_timer.seconds() / static_cast<double>(jobs.size());
+    for (SliceResult& res : wave) res.seconds = share;
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++waves_;
+      for (SliceResult& res : wave) results_.push_back(std::move(res));
+      completed_ += static_cast<int>(wave.size());
     }
     cv_done_.notify_all();
   }

@@ -59,6 +59,14 @@ struct BatchOptions {
   /// per-slice status are still produced (throughput / QA-only runs that
   /// must not hold S full images in memory).
   bool keep_images = true;
+  /// Multi-RHS lockstep width: each worker drains the queue in waves of up
+  /// to this many slices and solves a wave with one block CGLS run — the
+  /// memoized matrix streams once per iteration for the whole wave
+  /// (sparse/spmm.hpp). 1 = classic one-slice-at-a-time workers. Values
+  /// > 1 require the CGLS solver and at most sparse::kMaxBlockWidth.
+  /// Per-slice results stay bitwise identical to width 1 (the block
+  /// solver's parity contract); only throughput changes.
+  int block_width = 1;
 };
 
 /// Terminal status of one submitted slice.
@@ -112,6 +120,15 @@ struct BatchReport {
   double solve_seconds_sum = 0.0;   ///< Σ per-slice solver time.
   int queue_high_water = 0;         ///< Deepest the bounded queue got.
   double preprocess_seconds = 0.0;  ///< Paid once, amortized over slices.
+  int block_width = 1;              ///< Configured lockstep width.
+  int waves = 0;  ///< Lockstep waves executed (0 on the width-1 path).
+  /// Mean slices per wave; trails block_width when the queue ran dry
+  /// between submissions (greedy wave formation never waits).
+  double avg_wave_width = 0.0;
+  /// Amortized regular matrix traffic per slice per solver iteration (one
+  /// forward + one transpose apply) at the configured width, in bytes —
+  /// the Table 5-style amortization the block path buys.
+  double matrix_bytes_per_slice = 0.0;
 
   /// Batch wall time per slice (excludes the amortized preprocessing).
   [[nodiscard]] double per_slice_wall() const noexcept {
@@ -180,6 +197,10 @@ class BatchReconstructor {
   };
 
   void worker_main(int worker_id);
+  /// Width-1 job loop (run_isolated_slice per job).
+  void worker_slice_loop(const core::MemXCTOperator& op);
+  /// Lockstep loop: waves of up to block_width slices per block solve.
+  void worker_block_loop(const core::MemXCTOperator& op);
 
   const core::Reconstructor& recon_;
   core::Config config_;  ///< Reconstructor config with checkpointing off.
@@ -197,6 +218,7 @@ class BatchReconstructor {
   std::condition_variable cv_done_;  ///< wait_all() waits for drain.
   int submitted_ = 0;
   int completed_ = 0;
+  int waves_ = 0;  ///< Lockstep waves this round (block path only).
   perf::WallTimer round_timer_;  ///< Reset at the first submit of a round.
   std::vector<SliceResult> results_;
   BatchReport report_;

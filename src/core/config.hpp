@@ -45,6 +45,11 @@ struct Config {
   idx_t ell_block_rows = 64;    ///< Partition size for the ELL layout.
   /// Apply-time work sharing; StaticPlan is the allocation-free default.
   ScheduleKind schedule = ScheduleKind::StaticPlan;
+  /// Multi-RHS block width: slices solved in lockstep per matrix pass
+  /// (sparse/spmm.hpp). 1 = single-RHS behavior; >1 requires the CGLS
+  /// solver. Part of the operator identity (keyed by the serve registry:
+  /// block workspaces are sized per width).
+  int block_width = 1;
 
   SolverKind solver = SolverKind::CGLS;
   int iterations = 30;      ///< Paper's CG default.

@@ -5,8 +5,10 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "common/interleave.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ell.hpp"
+#include "sparse/spmm.hpp"
 #include "sparse/spmv.hpp"
 #include "sparse/transpose.hpp"
 
@@ -250,6 +252,140 @@ void MemXCTOperator::apply_transpose(std::span<const real> y,
   }
 }
 
+BlockWorkspace MemXCTOperator::make_block_workspace(idx_t k) const {
+  MEMXCT_CHECK_MSG(k >= 1 && k <= sparse::kMaxBlockWidth,
+                   "block width out of [1, kMaxBlockWidth]");
+  const Storage& s = *store_;
+  BlockWorkspace ws;
+  ws.k_ = k;
+  common::aligned_resize_for_simd(ws.x_interleaved_,
+                                  static_cast<std::size_t>(s.num_cols), k);
+  common::aligned_resize_for_simd(ws.y_interleaved_,
+                                  static_cast<std::size_t>(s.num_rows), k);
+  if (s.schedule == ScheduleKind::StaticPlan) {
+    // Same slot structure as the single-RHS workspaces, k× wider buffers.
+    switch (s.kind) {
+      case KernelKind::Baseline:
+      case KernelKind::Library:
+        break;
+      case KernelKind::EllBlock:
+        ws.ws_fwd_ = sparse::Workspace(s.plan_fwd.num_slots(), 0,
+                                       s.ell_fwd->block_rows * k);
+        ws.ws_bwd_ = sparse::Workspace(s.plan_bwd.num_slots(), 0,
+                                       s.ell_bwd->block_rows * k);
+        break;
+      case KernelKind::Buffered:
+        ws.ws_fwd_ = sparse::Workspace(s.plan_fwd.num_slots(),
+                                       s.buf_fwd->config.buffsize * k,
+                                       s.buf_fwd->config.partsize * k);
+        ws.ws_bwd_ = sparse::Workspace(s.plan_bwd.num_slots(),
+                                       s.buf_bwd->config.buffsize * k,
+                                       s.buf_bwd->config.partsize * k);
+        break;
+    }
+  }
+  return ws;
+}
+
+void MemXCTOperator::apply_block(std::span<const real> x, std::span<real> y,
+                                 BlockWorkspace& ws) const {
+  const Storage& s = *store_;
+  const idx_t k = ws.k_;
+  MEMXCT_CHECK_MSG(k >= 1, "block workspace is default-constructed");
+  const auto n = static_cast<std::size_t>(s.num_cols);
+  const auto m = static_cast<std::size_t>(s.num_rows);
+  MEMXCT_CHECK(x.size() >= n * static_cast<std::size_t>(k));
+  MEMXCT_CHECK(y.size() >= m * static_cast<std::size_t>(k));
+  common::interleave(x, n, k, ws.x_interleaved_);
+  const std::span<const real> xi = ws.x_interleaved_;
+  const std::span<real> yi = ws.y_interleaved_;
+  const bool planned = s.schedule == ScheduleKind::StaticPlan;
+  switch (s.kind) {
+    case KernelKind::Baseline:
+      if (planned)
+        sparse::spmm_csr_planned(*s.csr_fwd, sparse::kCsrPartsize, s.plan_fwd,
+                                 k, xi, yi);
+      else
+        sparse::spmm_csr(*s.csr_fwd, k, xi, yi);
+      break;
+    case KernelKind::Library:
+      sparse::spmm_library(*s.csr_fwd, k, xi, yi);
+      break;
+    case KernelKind::EllBlock:
+      if (planned)
+        sparse::spmm_ell_planned(*s.ell_fwd, s.plan_fwd, ws.ws_fwd_, k, xi,
+                                 yi);
+      else
+        sparse::spmm_ell(*s.ell_fwd, k, xi, yi);
+      break;
+    case KernelKind::Buffered:
+      if (planned)
+        sparse::spmm_buffered_planned(*s.buf_fwd, s.plan_fwd, ws.ws_fwd_, k,
+                                      xi, yi);
+      else
+        sparse::spmm_buffered(*s.buf_fwd, k, xi, yi);
+      break;
+  }
+  common::deinterleave(yi, m, k, y);
+}
+
+void MemXCTOperator::apply_transpose_block(std::span<const real> y,
+                                           std::span<real> x,
+                                           BlockWorkspace& ws) const {
+  const Storage& s = *store_;
+  const idx_t k = ws.k_;
+  MEMXCT_CHECK_MSG(k >= 1, "block workspace is default-constructed");
+  const auto n = static_cast<std::size_t>(s.num_cols);
+  const auto m = static_cast<std::size_t>(s.num_rows);
+  MEMXCT_CHECK(y.size() >= m * static_cast<std::size_t>(k));
+  MEMXCT_CHECK(x.size() >= n * static_cast<std::size_t>(k));
+  common::interleave(y, m, k, ws.y_interleaved_);
+  const std::span<const real> yi = ws.y_interleaved_;
+  const std::span<real> xi = ws.x_interleaved_;
+  const bool planned = s.schedule == ScheduleKind::StaticPlan;
+  switch (s.kind) {
+    case KernelKind::Baseline:
+      if (planned)
+        sparse::spmm_csr_planned(*s.csr_bwd, sparse::kCsrPartsize, s.plan_bwd,
+                                 k, yi, xi);
+      else
+        sparse::spmm_csr(*s.csr_bwd, k, yi, xi);
+      break;
+    case KernelKind::Library:
+      sparse::spmm_library(*s.csr_bwd, k, yi, xi);
+      break;
+    case KernelKind::EllBlock:
+      if (planned)
+        sparse::spmm_ell_planned(*s.ell_bwd, s.plan_bwd, ws.ws_bwd_, k, yi,
+                                 xi);
+      else
+        sparse::spmm_ell(*s.ell_bwd, k, yi, xi);
+      break;
+    case KernelKind::Buffered:
+      if (planned)
+        sparse::spmm_buffered_planned(*s.buf_bwd, s.plan_bwd, ws.ws_bwd_, k,
+                                      yi, xi);
+      else
+        sparse::spmm_buffered(*s.buf_bwd, k, yi, xi);
+      break;
+  }
+  common::deinterleave(xi, n, k, x);
+}
+
+void MemXCTOperator::apply_block(std::span<const real> x, std::span<real> y,
+                                 idx_t k) const {
+  if (block_ws_ == nullptr || block_ws_->width() != k)
+    block_ws_ = std::make_unique<BlockWorkspace>(make_block_workspace(k));
+  apply_block(x, y, *block_ws_);
+}
+
+void MemXCTOperator::apply_transpose_block(std::span<const real> y,
+                                           std::span<real> x, idx_t k) const {
+  if (block_ws_ == nullptr || block_ws_->width() != k)
+    block_ws_ = std::make_unique<BlockWorkspace>(make_block_workspace(k));
+  apply_transpose_block(y, x, *block_ws_);
+}
+
 perf::KernelWork MemXCTOperator::forward_work() const {
   const Storage& s = *store_;
   switch (s.kind) {
@@ -260,6 +396,20 @@ perf::KernelWork MemXCTOperator::forward_work() const {
       return sparse::ell_work(*s.ell_fwd);
     case KernelKind::Buffered:
       return sparse::buffered_work(*s.buf_fwd);
+  }
+  return {};
+}
+
+perf::KernelWork MemXCTOperator::transpose_work() const {
+  const Storage& s = *store_;
+  switch (s.kind) {
+    case KernelKind::Baseline:
+    case KernelKind::Library:
+      return sparse::csr_work(*s.csr_bwd);
+    case KernelKind::EllBlock:
+      return sparse::ell_work(*s.ell_bwd);
+    case KernelKind::Buffered:
+      return sparse::buffered_work(*s.buf_bwd);
   }
   return {};
 }

@@ -12,6 +12,30 @@
 
 namespace memxct::core {
 
+class MemXCTOperator;
+
+/// Scratch for one block-apply width: the interleaved (slice-major) vector
+/// images of the per-slice slabs, plus k-wide staging/output buffers for
+/// the planned kernels. Created by MemXCTOperator::make_block_workspace(k)
+/// and reusable across applies of the same width; pack/unpack between the
+/// caller's per-slice slabs and the interleaved layout happens inside
+/// apply_block via common/interleave.hpp.
+class BlockWorkspace {
+ public:
+  BlockWorkspace() = default;
+
+  /// Block width this workspace was sized for (0 = default-constructed).
+  [[nodiscard]] idx_t width() const noexcept { return k_; }
+
+ private:
+  friend class MemXCTOperator;
+
+  idx_t k_ = 0;
+  AlignedVector<real> x_interleaved_;  ///< num_cols · k, padded.
+  AlignedVector<real> y_interleaved_;  ///< num_rows · k, padded.
+  sparse::Workspace ws_fwd_, ws_bwd_;  ///< k-wide per-slot kernel buffers.
+};
+
 /// Owns the forward matrix A (and its transpose) in whichever storage the
 /// configured kernel needs, and dispatches apply/apply_transpose to it.
 ///
@@ -39,6 +63,11 @@ class MemXCTOperator final : public solve::LinearOperator {
                  ScheduleKind schedule = ScheduleKind::StaticPlan);
   ~MemXCTOperator() override;
 
+  // Movable (storage is shared, workspaces transfer); not copyable — use
+  // make_view() for a second instance with private workspaces.
+  MemXCTOperator(MemXCTOperator&&) noexcept = default;
+  MemXCTOperator& operator=(MemXCTOperator&&) noexcept = default;
+
   /// A second operator sharing this one's immutable matrices and plans but
   /// owning private apply workspaces. Cost: workspace allocation only (no
   /// matrix copy). Views from distinct threads may apply concurrently.
@@ -51,6 +80,28 @@ class MemXCTOperator final : public solve::LinearOperator {
   void apply_transpose(std::span<const real> y,
                        std::span<real> x) const override;
 
+  /// Workspace for apply_block at width k (1 <= k <= sparse::kMaxBlockWidth).
+  [[nodiscard]] BlockWorkspace make_block_workspace(idx_t k) const;
+
+  /// Fused multi-RHS applies: slices arrive/leave as contiguous per-slice
+  /// slabs (LinearOperator layout); internally they are interleaved
+  /// slice-major so the SpMM kernels stream each nonzero once per
+  /// ws.width() slices. Per slice the result is bitwise identical to
+  /// apply()/apply_transpose() — same plans, same accumulation order.
+  void apply_block(std::span<const real> x, std::span<real> y,
+                   BlockWorkspace& ws) const;
+  void apply_transpose_block(std::span<const real> y, std::span<real> x,
+                             BlockWorkspace& ws) const;
+
+  /// LinearOperator overrides: same as above through an internally cached
+  /// workspace (lazily rebuilt when k changes). Concurrent applies on one
+  /// instance are not supported (class contract above); use explicit
+  /// workspaces or per-thread views when in doubt.
+  void apply_block(std::span<const real> x, std::span<real> y,
+                   idx_t k) const override;
+  void apply_transpose_block(std::span<const real> y, std::span<real> x,
+                             idx_t k) const override;
+
   [[nodiscard]] KernelKind kind() const noexcept;
   [[nodiscard]] ScheduleKind schedule() const noexcept;
   [[nodiscard]] nnz_t nnz() const noexcept;
@@ -62,6 +113,8 @@ class MemXCTOperator final : public solve::LinearOperator {
 
   /// Work accounting of one forward apply (for GFLOPS / bandwidth).
   [[nodiscard]] perf::KernelWork forward_work() const;
+  /// Work accounting of one backprojection (the transpose direction).
+  [[nodiscard]] perf::KernelWork transpose_work() const;
 
   /// Total regular-data bytes held (both directions), the Table 3 metric.
   /// Views share this storage; the bytes are not duplicated per view.
@@ -85,6 +138,9 @@ class MemXCTOperator final : public solve::LinearOperator {
   // Apply-time scratch, persistent so apply() never allocates; mutable
   // because LinearOperator::apply is const (see class comment on reentrancy).
   mutable sparse::Workspace ws_fwd_, ws_bwd_;
+  // Lazily built scratch for the virtual apply_block path, rebuilt when the
+  // requested width changes (same reentrancy caveat as above).
+  mutable std::unique_ptr<BlockWorkspace> block_ws_;
 };
 
 }  // namespace memxct::core

@@ -34,7 +34,8 @@ OperatorKey operator_key(const geometry::Geometry& geometry,
      << hilbert::to_string(config.ordering) << "-t" << config.tile_size
      << "-k" << static_cast<int>(config.kernel) << "-p"
      << config.buffer.partsize << "-b" << config.buffer.buffsize << "-e"
-     << config.ell_block_rows << "-sch" << static_cast<int>(config.schedule);
+     << config.ell_block_rows << "-sch" << static_cast<int>(config.schedule)
+     << "-w" << config.block_width;
 
   OperatorKey key;
   key.text = os.str();
@@ -50,6 +51,7 @@ Config operator_config(const Config& config) {
   norm.buffer = config.buffer;
   norm.ell_block_rows = config.ell_block_rows;
   norm.schedule = config.schedule;
+  norm.block_width = config.block_width;
   return norm;
 }
 

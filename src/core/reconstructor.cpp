@@ -1,5 +1,6 @@
 #include "core/reconstructor.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include "geometry/projector.hpp"
 #include "perf/timer.hpp"
 #include "resil/checked_io.hpp"
+#include "solve/block.hpp"
 #include "solve/cgls.hpp"
 #include "solve/gd.hpp"
 #include "solve/sirt.hpp"
@@ -136,22 +138,13 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
 
 Reconstructor::~Reconstructor() = default;
 
-ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
-                                       const geometry::Geometry& geometry,
-                                       const Config& config,
-                                       const hilbert::Ordering& sino_order,
-                                       const hilbert::Ordering& tomo_order,
-                                       std::span<const real> sinogram,
-                                       SliceWorkspace* workspace,
-                                       const solve::CancelToken* cancel) {
+resil::IngestReport ingest_and_order(const geometry::Geometry& geometry,
+                                     const Config& config,
+                                     const hilbert::Ordering& sino_order,
+                                     std::span<const real> sinogram,
+                                     SliceWorkspace& ws) {
   MEMXCT_CHECK(static_cast<std::int64_t>(sinogram.size()) ==
                geometry.sinogram_extent().size());
-
-  // Local scratch when the caller did not provide a reusable workspace
-  // (one-shot reconstructions); batch workers pass a persistent one so the
-  // resize calls below are no-ops after the first slice.
-  SliceWorkspace local;
-  SliceWorkspace& ws = workspace != nullptr ? *workspace : local;
 
   // Ingest gate: a NaN here would poison every solver inner product from
   // the first backprojection on, so anomalies are rejected or repaired
@@ -184,6 +177,35 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
   const auto& to_grid = sino_order.to_grid();
   for (std::size_t i = 0; i < y.size(); ++i)
     y[i] = measurements[static_cast<std::size_t>(to_grid[i])];
+  return ingest;
+}
+
+void depermute_image(const hilbert::Ordering& tomo_order,
+                     std::span<const real> solved_x, std::span<real> image) {
+  const auto& tomo_to_grid = tomo_order.to_grid();
+  MEMXCT_CHECK(image.size() == tomo_to_grid.size());
+  MEMXCT_CHECK(solved_x.size() >= image.size());
+  for (std::size_t i = 0; i < image.size(); ++i)
+    image[static_cast<std::size_t>(tomo_to_grid[i])] = solved_x[i];
+}
+
+ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
+                                       const geometry::Geometry& geometry,
+                                       const Config& config,
+                                       const hilbert::Ordering& sino_order,
+                                       const hilbert::Ordering& tomo_order,
+                                       std::span<const real> sinogram,
+                                       SliceWorkspace* workspace,
+                                       const solve::CancelToken* cancel) {
+  // Local scratch when the caller did not provide a reusable workspace
+  // (one-shot reconstructions); batch workers pass a persistent one so the
+  // resize calls below are no-ops after the first slice.
+  SliceWorkspace local;
+  SliceWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  resil::IngestReport ingest =
+      ingest_and_order(geometry, config, sino_order, sinogram, ws);
+  std::span<const real> y = ws.ordered;
 
   solve::CheckpointOptions checkpoint;
   checkpoint.path = config.checkpoint_path;
@@ -225,11 +247,53 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
   result.ingest = std::move(ingest);
   result.image.resize(
       static_cast<std::size_t>(geometry.tomogram_extent().size()));
-  const auto& tomo_to_grid = tomo_order.to_grid();
-  for (std::size_t i = 0; i < result.image.size(); ++i)
-    result.image[static_cast<std::size_t>(tomo_to_grid[i])] = solved.x[i];
+  depermute_image(tomo_order, solved.x, result.image);
   result.solve = std::move(solved);
   return result;
+}
+
+std::vector<ReconstructionResult> reconstruct_block(
+    const solve::LinearOperator& op, const geometry::Geometry& geometry,
+    const Config& config, const hilbert::Ordering& sino_order,
+    const hilbert::Ordering& tomo_order,
+    const std::vector<std::span<const real>>& sinograms,
+    const solve::CancelToken* cancel) {
+  MEMXCT_CHECK(!sinograms.empty());
+  if (config.solver != SolverKind::CGLS)
+    throw InvalidArgument(
+        "reconstruct_block requires the CGLS solver (block_width > 1 is a "
+        "lockstep CGLS path)");
+
+  const auto k = static_cast<idx_t>(sinograms.size());
+  const auto m = static_cast<std::size_t>(geometry.sinogram_extent().size());
+  const auto n = static_cast<std::size_t>(geometry.tomogram_extent().size());
+
+  // Each slice goes through the exact single-slice ingest + permutation;
+  // the ordered vectors are stacked into the contiguous slab the block
+  // solver expects (slice s at y_slab[s·m, (s+1)·m)).
+  std::vector<ReconstructionResult> results(sinograms.size());
+  AlignedVector<real> y_slab(m * sinograms.size());
+  SliceWorkspace ws;
+  for (std::size_t s = 0; s < sinograms.size(); ++s) {
+    results[s].ingest =
+        ingest_and_order(geometry, config, sino_order, sinograms[s], ws);
+    std::copy(ws.ordered.begin(), ws.ordered.end(),
+              y_slab.begin() + static_cast<std::ptrdiff_t>(s * m));
+  }
+
+  solve::BlockCglsOptions opt;
+  opt.max_iterations = config.iterations;
+  opt.early_stop = config.early_stop;
+  opt.tikhonov_lambda = config.tikhonov_lambda;
+  opt.cancel = cancel;
+  solve::BlockSolveResult solved = solve::cgls_block(op, y_slab, k, opt);
+
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    results[s].image.resize(n);
+    depermute_image(tomo_order, solved.slices[s].x, results[s].image);
+    results[s].solve = std::move(solved.slices[s]);
+  }
+  return results;
 }
 
 ReconstructionResult Reconstructor::reconstruct(

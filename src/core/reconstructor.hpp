@@ -57,6 +57,24 @@ struct SliceWorkspace {
   AlignedVector<real> ordered;
 };
 
+/// Front half of reconstruct_slice: ingest gate (validate / sanitize per
+/// config.ingest) followed by permutation into ordered sinogram space.
+/// Fills ws.ordered with the solver-ready measurement vector and returns
+/// the ingest report. Throws InvalidArgument under the Reject policy when
+/// the sinogram fails validation. Shared verbatim by the single-slice and
+/// block paths, so both see identical solver inputs.
+resil::IngestReport ingest_and_order(const geometry::Geometry& geometry,
+                                     const Config& config,
+                                     const hilbert::Ordering& sino_order,
+                                     std::span<const real> sinogram,
+                                     SliceWorkspace& ws);
+
+/// Back half of reconstruct_slice: de-permutes an ordered-space solution
+/// into the natural row-major tomogram layout. `image` must already be
+/// sized to the tomogram extent.
+void depermute_image(const hilbert::Ordering& tomo_order,
+                     std::span<const real> solved_x, std::span<real> image);
+
 /// One-slice reconstruction against an explicit operator: ingest gate,
 /// permutation into ordered space, solve, de-permutation. This is the slice
 /// engine shared by Reconstructor::reconstruct (which passes its own active
@@ -71,6 +89,23 @@ struct SliceWorkspace {
     const Config& config, const hilbert::Ordering& sino_order,
     const hilbert::Ordering& tomo_order, std::span<const real> sinogram,
     SliceWorkspace* workspace = nullptr,
+    const solve::CancelToken* cancel = nullptr);
+
+/// Multi-slice lockstep reconstruction: the sinograms are ingested and
+/// ordered individually, solved together by the block CGLS solver (one
+/// matrix stream per iteration for all slices — the SpMM amortization),
+/// and de-permuted individually. Per-slice results are bitwise identical
+/// to reconstruct_slice on the same operator (solve/block.hpp's parity
+/// contract). Requires config.solver == CGLS (throws InvalidArgument
+/// otherwise); on-disk checkpointing is ignored on this path (divergence
+/// detection still applies per slice). The Reject ingest policy throws for
+/// the whole call on the first bad slice — callers needing per-slice
+/// isolation (the batch engine) gate each slice themselves first.
+[[nodiscard]] std::vector<ReconstructionResult> reconstruct_block(
+    const solve::LinearOperator& op, const geometry::Geometry& geometry,
+    const Config& config, const hilbert::Ordering& sino_order,
+    const hilbert::Ordering& tomo_order,
+    const std::vector<std::span<const real>>& sinograms,
     const solve::CancelToken* cancel = nullptr);
 
 class Reconstructor {

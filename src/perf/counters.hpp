@@ -38,6 +38,20 @@ struct KernelWork {
            static_cast<double>(staged_words) * (sizeof(idx_t) + sizeof(real));
   }
 
+  /// Amortized per-slice regular-stream bytes when k slices share one
+  /// matrix pass (the multi-RHS kernels in sparse/spmm.hpp): matrix
+  /// indices + values and the staging-map reads are streamed once for all
+  /// k slices, while the gathered x words are per-slice (each slice fills
+  /// its own lane). Equals regular_bytes() at k == 1 and decreases
+  /// monotonically toward the pure gather floor as k grows.
+  [[nodiscard]] double regular_bytes_at_width(int k) const noexcept {
+    const double width = k > 1 ? static_cast<double>(k) : 1.0;
+    return (static_cast<double>(nnz) * bytes_per_fma +
+            static_cast<double>(staged_words) * sizeof(idx_t)) /
+               width +
+           static_cast<double>(staged_words) * sizeof(real);
+  }
+
   [[nodiscard]] double gflops(double seconds) const noexcept {
     return seconds > 0.0 ? flops() / seconds * 1e-9 : 0.0;
   }

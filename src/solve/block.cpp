@@ -1,0 +1,154 @@
+#include "solve/block.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "perf/timer.hpp"
+#include "solve/restart.hpp"
+#include "solve/vector_ops.hpp"
+
+namespace memxct::solve {
+
+BlockSolveResult cgls_block(const LinearOperator& op,
+                            std::span<const real> y_slab, idx_t k,
+                            const BlockCglsOptions& options) {
+  MEMXCT_CHECK(k >= 1);
+  const auto m = static_cast<std::size_t>(op.num_rows());
+  const auto n = static_cast<std::size_t>(op.num_cols());
+  const auto kk = static_cast<std::size_t>(k);
+  MEMXCT_CHECK(y_slab.size() >= m * kk);
+
+  perf::WallTimer timer;
+  BlockSolveResult result;
+  result.slices.resize(kk);
+
+  const double lambda2 =
+      options.tikhonov_lambda * options.tikhonov_lambda;
+  // is_divergent() is shared with the single-RHS solvers; only the factor
+  // matters here (no checkpoint file, no snapshots — same semantics as a
+  // single solve with CheckpointOptions{} and the given factor).
+  CheckpointOptions divck;
+  divck.divergence_factor = options.divergence_factor;
+
+  // Per-lane vectors as contiguous slabs: every scalar recursion step below
+  // runs the SAME deterministic vector kernel on the SAME contiguous data
+  // an independent cgls() would, which is what makes lane results bitwise
+  // identical. Only the two operator applies are fused across lanes.
+  AlignedVector<real> x(n * kk, real{0});
+  AlignedVector<real> r(y_slab.begin(), y_slab.begin() + m * kk);
+  AlignedVector<real> s(n * kk), p(n * kk), q(m * kk);
+  const auto lane_n = [&](AlignedVector<real>& v, std::size_t lane) {
+    return std::span<real>(v).subspan(lane * n, n);
+  };
+  const auto lane_m = [&](AlignedVector<real>& v, std::size_t lane) {
+    return std::span<real>(v).subspan(lane * m, m);
+  };
+
+  // Cold-start recursion per lane: r = y, s = A^T r, p = s, gamma = <s,s>.
+  op.apply_transpose_block(r, s, k);
+  p.assign(s.begin(), s.end());
+
+  std::vector<double> gamma(kk), best_rnorm(
+      kk, std::numeric_limits<double>::infinity());
+  std::vector<EarlyStop> stops(kk, EarlyStop(options.early_stop_tol));
+  std::vector<char> live(kk, 1), stepped(kk, 0);
+  std::vector<int> iters(kk, 0);
+  for (std::size_t lane = 0; lane < kk; ++lane)
+    gamma[lane] = dot(lane_n(s, lane), lane_n(s, lane));
+
+  const auto freeze = [&](std::size_t lane, int it) {
+    live[lane] = 0;
+    iters[lane] = it;
+  };
+  const auto any_live = [&] {
+    return std::any_of(live.begin(), live.end(),
+                       [](char c) { return c != 0; });
+  };
+
+  int round = 0;
+  while (round < options.max_iterations && any_live()) {
+    // Cancellation stops every live lane at this round boundary — exactly
+    // where each independent run would observe the token.
+    if (options.cancel != nullptr && options.cancel->should_stop()) {
+      for (std::size_t lane = 0; lane < kk; ++lane)
+        if (live[lane] != 0) {
+          result.slices[lane].cancelled = true;
+          freeze(lane, round);
+        }
+      break;
+    }
+    for (std::size_t lane = 0; lane < kk; ++lane)
+      if (live[lane] != 0 && gamma[lane] == 0.0)
+        freeze(lane, round);  // exact solution reached
+    if (!any_live()) break;
+
+    // One matrix pass for all lanes; frozen lanes keep their last direction
+    // in the interleaved apply (lanes are independent there, so live lanes'
+    // arithmetic is untouched) and their recomputed q is simply unused.
+    op.apply_block(p, q, k);
+    std::fill(stepped.begin(), stepped.end(), char{0});
+    for (std::size_t lane = 0; lane < kk; ++lane) {
+      if (live[lane] == 0) continue;
+      const double qq = dot(lane_m(q, lane), lane_m(q, lane)) +
+                        lambda2 * dot(lane_n(p, lane), lane_n(p, lane));
+      if (qq == 0.0) {
+        freeze(lane, round);
+        continue;
+      }
+      const double alpha = gamma[lane] / qq;
+      axpy2(static_cast<real>(alpha), lane_n(p, lane), lane_n(x, lane),
+            static_cast<real>(-alpha), lane_m(q, lane), lane_m(r, lane));
+      stepped[lane] = 1;
+    }
+    if (std::none_of(stepped.begin(), stepped.end(),
+                     [](char c) { return c != 0; }))
+      continue;  // every remaining lane froze this round
+
+    op.apply_transpose_block(r, s, k);
+    for (std::size_t lane = 0; lane < kk; ++lane) {
+      if (stepped[lane] == 0) continue;
+      const double gamma_new =
+          lambda2 > 0.0
+              ? axpy_dot(static_cast<real>(-lambda2), lane_n(x, lane),
+                         lane_n(s, lane))
+              : dot(lane_n(s, lane), lane_n(s, lane));
+      const double beta = gamma_new / gamma[lane];
+      const double rnorm = xpby_norm(lane_n(s, lane),
+                                     static_cast<real>(beta),
+                                     lane_n(p, lane), lane_m(r, lane));
+      gamma[lane] = gamma_new;
+
+      if (detail::is_divergent(rnorm, best_rnorm[lane], divck)) {
+        result.slices[lane].diverged = true;
+        freeze(lane, round);
+        continue;
+      }
+      best_rnorm[lane] = std::min(best_rnorm[lane], rnorm);
+      const double xnorm =
+          options.record_history ? norm2(lane_n(x, lane)) : 0.0;
+      if (options.record_history)
+        result.slices[lane].history.push_back({round + 1, rnorm, xnorm});
+      if (options.early_stop && stops[lane].should_stop(rnorm))
+        freeze(lane, round + 1);
+    }
+    ++round;
+  }
+  for (std::size_t lane = 0; lane < kk; ++lane)
+    if (live[lane] != 0) iters[lane] = options.max_iterations;
+
+  const double total = timer.seconds();
+  result.seconds = total;
+  for (std::size_t lane = 0; lane < kk; ++lane) {
+    SolveResult& sr = result.slices[lane];
+    const auto xs = lane_n(x, lane);
+    sr.x.assign(xs.begin(), xs.end());
+    sr.iterations = iters[lane];
+    sr.seconds = total;
+    sr.per_iteration_s = iters[lane] > 0 ? total / iters[lane] : 0.0;
+    result.rounds = std::max(result.rounds, iters[lane]);
+  }
+  return result;
+}
+
+}  // namespace memxct::solve

@@ -1,0 +1,68 @@
+// Lockstep block CGLS: K independent CGLS instances advanced together so
+// the operator streams its matrix once per iteration for all K slices
+// (LinearOperator::apply_block).
+//
+// Parity contract: lane s of a block solve is bitwise identical to an
+// independent cgls() run on slice s with the same options. Three facts
+// make that exact, not approximate:
+//   * the block applies keep every slice's SpMV accumulation order
+//     (sparse/spmm.hpp contract);
+//   * each lane's vectors live in contiguous per-slice slabs, and every
+//     scalar recursion step (dot, axpy2, xpby_norm, ...) calls the SAME
+//     deterministic vector kernels on the SAME contiguous data an
+//     independent run would;
+//   * convergence masking freezes a finished lane by SKIPPING its updates
+//     — never by arithmetic (no multiply-by-zero, which could flip signed
+//     zeros or spread NaN). A frozen lane's direction still occupies its
+//     interleaved SpMM lane, and lanes are arithmetically independent
+//     there, so live lanes' arithmetic is unchanged.
+//
+// Lanes stop individually for exactly the reasons cgls() stops: exact
+// solution (gamma == 0), stalled step (qq == 0), divergence, the
+// early-stop heuristic, or the iteration budget; a cancel token stops all
+// live lanes at the next round boundary. On-disk checkpointing is not
+// supported on the block path (K slices sharing one file would corrupt);
+// divergence detection still applies per lane, without rollback — the
+// same semantics as a single solve with no checkpoint configured.
+#pragma once
+
+#include <vector>
+
+#include "solve/operator.hpp"
+#include "solve/solver.hpp"
+
+namespace memxct::solve {
+
+/// Options mirroring CglsOptions minus checkpoint/restart (unsupported on
+/// the lockstep path) with the divergence threshold kept.
+struct BlockCglsOptions {
+  int max_iterations = 30;
+  bool early_stop = false;
+  double early_stop_tol = 1e-3;
+  bool record_history = true;
+  double tikhonov_lambda = 0.0;
+  /// Residual > factor × best-seen counts as divergence for that lane; 0
+  /// disables the explosion check (matches CheckpointOptions default).
+  double divergence_factor = 1e6;
+  const CancelToken* cancel = nullptr;
+};
+
+struct BlockSolveResult {
+  /// Per-slice results, index-aligned with the input slices. Each carries
+  /// the lane's own iterate, history, iteration count, and flags; seconds
+  /// on every slice is the shared lockstep wall time (the slices ran
+  /// together — the amortized per-slice cost is seconds / slices.size()).
+  std::vector<SolveResult> slices;
+  int rounds = 0;      ///< Lockstep rounds executed (max lane iterations).
+  double seconds = 0.0;
+};
+
+/// Runs k CGLS instances in lockstep from x = 0. `y_slab` holds the k
+/// ordered measurement slices contiguously (slice s at
+/// y_slab[s·num_rows(), (s+1)·num_rows())).
+[[nodiscard]] BlockSolveResult cgls_block(const LinearOperator& op,
+                                          std::span<const real> y_slab,
+                                          idx_t k,
+                                          const BlockCglsOptions& options = {});
+
+}  // namespace memxct::solve

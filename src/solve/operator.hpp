@@ -28,6 +28,34 @@ class LinearOperator {
   /// x = A^T·y.
   virtual void apply_transpose(std::span<const real> y,
                                std::span<real> x) const = 0;
+
+  /// Block (multi-RHS) forward apply: y[s] = A·x[s] for k slices stored as
+  /// contiguous slabs — slice s occupies x[s·num_cols(), (s+1)·num_cols())
+  /// and y[s·num_rows(), (s+1)·num_rows()). The default runs k single
+  /// applies, so every operator supports the block solver; operators with a
+  /// fused multi-RHS path (core::MemXCTOperator) override it to stream the
+  /// matrix once per k slices. Overrides MUST keep each slice's result
+  /// bitwise identical to apply() on that slice alone — the block solver's
+  /// parity contract builds on it.
+  virtual void apply_block(std::span<const real> x, std::span<real> y,
+                           idx_t k) const {
+    const auto n = static_cast<std::size_t>(num_cols());
+    const auto m = static_cast<std::size_t>(num_rows());
+    for (idx_t s = 0; s < k; ++s)
+      apply(x.subspan(static_cast<std::size_t>(s) * n, n),
+            y.subspan(static_cast<std::size_t>(s) * m, m));
+  }
+
+  /// Block backprojection: x[s] = A^T·y[s], same slab layout and the same
+  /// per-slice bitwise contract as apply_block.
+  virtual void apply_transpose_block(std::span<const real> y,
+                                     std::span<real> x, idx_t k) const {
+    const auto n = static_cast<std::size_t>(num_cols());
+    const auto m = static_cast<std::size_t>(num_rows());
+    for (idx_t s = 0; s < k; ++s)
+      apply_transpose(y.subspan(static_cast<std::size_t>(s) * m, m),
+                      x.subspan(static_cast<std::size_t>(s) * n, n));
+  }
 };
 
 }  // namespace memxct::solve

@@ -231,8 +231,12 @@ void spmv_buffered(const BufferedMatrix& a, std::span<const real> x,
         // Compute: each partition row consumes its run for this stage.
         const nnz_t dstart = static_cast<nnz_t>(stage) * partsize;
         for (idx_t j = 0; j < partsize; ++j) {
+          // Strict scalar accumulation order (no simd reduction): the
+          // multi-RHS kernels (sparse/spmm.hpp) promise per-slice results
+          // bitwise equal to this kernel, which only holds if this sum is
+          // not reassociated. SIMD throughput is recovered across slices
+          // on the block path instead of across nonzeros here.
           real acc = 0;
-#pragma omp simd reduction(+ : acc)
           for (nnz_t i = displ[dstart + j]; i < displ[dstart + j + 1]; ++i)
             acc += input[ind[i]] * val[i];
           output[j] += acc;

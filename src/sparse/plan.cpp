@@ -141,8 +141,9 @@ void spmv_csr_planned(const CsrMatrix& a, idx_t partsize,
         const idx_t r0 = std::min<idx_t>(part * partsize, num_rows);
         const idx_t r1 = std::min<idx_t>(r0 + partsize, num_rows);
         for (idx_t r = r0; r < r1; ++r) {
+          // Strict scalar order — the bitwise-parity contract with the
+          // multi-RHS kernels forbids reassociating this sum.
           real acc = 0;
-#pragma omp simd reduction(+ : acc)
           for (nnz_t j = displ[r]; j < displ[r + 1]; ++j)
             acc += xp[ind[j]] * val[j];
           yp[r] = acc;
@@ -233,8 +234,9 @@ void spmv_buffered_planned(const BufferedMatrix& a, const ApplyPlan& plan,
           for (idx_t i = 0; i < nz; ++i) input[i] = xp[map[mstart + i]];
           const nnz_t dstart = static_cast<nnz_t>(stage) * partsize;
           for (idx_t j = 0; j < partsize; ++j) {
+            // Strict scalar order — the bitwise-parity contract with the
+            // multi-RHS kernels forbids reassociating this sum.
             real acc = 0;
-#pragma omp simd reduction(+ : acc)
             for (nnz_t i = displ[dstart + j]; i < displ[dstart + j + 1]; ++i)
               acc += input[ind[i]] * val[i];
             output[j] += acc;

@@ -18,8 +18,10 @@ void spmv_csr(const CsrMatrix& a, std::span<const real> x, std::span<real> y,
   for (idx_t i = 0; i < a.num_rows; i += partsize) {
     const idx_t end = i + partsize < a.num_rows ? i + partsize : a.num_rows;
     for (idx_t r = i; r < end; ++r) {
+      // Strict scalar accumulation order (no simd reduction): the multi-RHS
+      // kernels (sparse/spmm.hpp) promise per-slice results bitwise equal
+      // to this kernel, which only holds if this sum is not reassociated.
       real acc = 0;
-#pragma omp simd reduction(+ : acc)
       for (nnz_t j = displ[r]; j < displ[r + 1]; ++j)
         acc += xp[ind[j]] * val[j];
       yp[r] = acc;

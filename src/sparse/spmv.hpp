@@ -14,8 +14,9 @@ namespace memxct::sparse {
 inline constexpr idx_t kCsrPartsize = 128;
 
 /// Baseline MemXCT kernel (paper Listing 2): dynamically scheduled row
-/// partitions of `partsize` rows, vectorized inner gather-FMA loop.
-/// Overwrites y = A·x.
+/// partitions of `partsize` rows, strictly ordered inner gather-FMA loop
+/// (the fixed accumulation order is the bitwise-parity anchor for the
+/// multi-RHS kernels in sparse/spmm.hpp). Overwrites y = A·x.
 void spmv_csr(const CsrMatrix& a, std::span<const real> x, std::span<real> y,
               idx_t partsize = kCsrPartsize);
 

@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <set>
 
 #include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "common/grid.hpp"
+#include "common/interleave.hpp"
 #include "common/rng.hpp"
 
 namespace memxct {
@@ -124,6 +126,67 @@ TEST(Rng, PoissonZeroMean) {
   Rng rng(17);
   EXPECT_EQ(rng.poisson(0.0), 0u);
   EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Interleave, SliceRoundTrip) {
+  // Odd n and odd k — no even-division shortcuts.
+  const idx_t n = 19;
+  for (const idx_t k : {1, 3, 5}) {
+    std::vector<AlignedVector<real>> slices;
+    for (idx_t s = 0; s < k; ++s) {
+      AlignedVector<real> v(static_cast<std::size_t>(n));
+      for (idx_t i = 0; i < n; ++i)
+        v[static_cast<std::size_t>(i)] =
+            static_cast<real>(100 * s + i);
+      slices.push_back(std::move(v));
+    }
+    AlignedVector<real> packed(static_cast<std::size_t>(n * k),
+                               -1.0f);
+    for (idx_t s = 0; s < k; ++s)
+      common::interleave_slice(slices[static_cast<std::size_t>(s)], k, s,
+                               packed);
+    // Element i of slice s must land at i*k + s.
+    for (idx_t i = 0; i < n; ++i)
+      for (idx_t s = 0; s < k; ++s)
+        EXPECT_EQ(packed[static_cast<std::size_t>(i * k + s)],
+                  static_cast<real>(100 * s + i));
+    AlignedVector<real> out(static_cast<std::size_t>(n));
+    for (idx_t s = 0; s < k; ++s) {
+      common::deinterleave_slice(packed, k, s, out);
+      for (idx_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                  slices[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Interleave, WidthOneIsIdentityLayout) {
+  const auto n = std::size_t{13};
+  AlignedVector<real> src(n), dst(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) src[i] = static_cast<real>(i) * 0.5f;
+  common::interleave_slice(src, 1, 0, dst);
+  EXPECT_EQ(0, std::memcmp(src.data(), dst.data(), n * sizeof(real)));
+  AlignedVector<real> back(n, -1.0f);
+  common::deinterleave_slice(dst, 1, 0, back);
+  EXPECT_EQ(0, std::memcmp(src.data(), back.data(), n * sizeof(real)));
+}
+
+TEST(Interleave, AlignedResizeForSimd) {
+  constexpr std::size_t per_line = kCacheLineBytes / sizeof(real);
+  AlignedVector<real> v;
+  const std::size_t padded = common::aligned_resize_for_simd(v, 7, 3);
+  EXPECT_EQ(padded, v.size());
+  // Holds n*k elements, rounded up to whole cache lines so vector
+  // loads/stores on the last interleaved group stay in bounds.
+  EXPECT_GE(v.size(), 21u);
+  EXPECT_EQ(v.size() % per_line, 0u);
+  for (const real x : v) EXPECT_EQ(x, 0.0f);
+  // Shrinking keeps the rounding invariant.
+  common::aligned_resize_for_simd(v, 2, 1);
+  EXPECT_GE(v.size(), 2u);
+  EXPECT_EQ(v.size() % per_line, 0u);
+  EXPECT_THROW(common::aligned_resize_for_simd(v, 4, 0), InvariantError);
 }
 
 }  // namespace

@@ -1,0 +1,427 @@
+// Multi-RHS (SpMM) kernels and the lockstep block solver: the bitwise
+// parity contract. Lane s of any block operation must equal the single-RHS
+// operation on slice s bit for bit — for every kernel family, schedule,
+// thread count, and width tested.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "common/interleave.hpp"
+#include "core/reconstructor.hpp"
+#include "phantom/phantom.hpp"
+#include "solve/block.hpp"
+#include "sparse/buffered.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/plan.hpp"
+#include "sparse/spmm.hpp"
+#include "sparse/spmv.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace memxct;
+
+template <class F>
+void with_threads(int n, F&& fn) {
+  const int before = omp_get_max_threads();
+  omp_set_num_threads(n);
+  fn();
+  omp_set_num_threads(before);
+}
+
+using SingleFn = std::function<void(std::span<const real>, std::span<real>)>;
+using BlockFn =
+    std::function<void(idx_t, std::span<const real>, std::span<real>)>;
+
+/// Runs the single kernel on k independent lanes, the block kernel on their
+/// interleaving, and requires bitwise equality per lane.
+void expect_lane_parity(const SingleFn& single, const BlockFn& block,
+                        idx_t n_in, idx_t n_out, idx_t k,
+                        std::uint64_t seed) {
+  std::vector<AlignedVector<real>> xs, refs;
+  for (idx_t lane = 0; lane < k; ++lane) {
+    xs.push_back(testutil::random_vector(n_in, seed + static_cast<std::uint64_t>(lane)));
+    AlignedVector<real> y(static_cast<std::size_t>(n_out), 0.0f);
+    single(xs.back(), y);
+    refs.push_back(std::move(y));
+  }
+
+  AlignedVector<real> xi(static_cast<std::size_t>(n_in) * static_cast<std::size_t>(k));
+  AlignedVector<real> yi(static_cast<std::size_t>(n_out) * static_cast<std::size_t>(k));
+  for (idx_t lane = 0; lane < k; ++lane)
+    common::interleave_slice(xs[static_cast<std::size_t>(lane)], k, lane, xi);
+  block(k, xi, yi);
+
+  AlignedVector<real> out(static_cast<std::size_t>(n_out));
+  for (idx_t lane = 0; lane < k; ++lane) {
+    common::deinterleave_slice(yi, k, lane, out);
+    EXPECT_EQ(0, std::memcmp(out.data(),
+                             refs[static_cast<std::size_t>(lane)].data(),
+                             static_cast<std::size_t>(n_out) * sizeof(real)))
+        << "lane " << lane << " of " << k << " differs";
+  }
+}
+
+/// All kernel families built from one CSR matrix, single and block forms.
+struct KernelSet {
+  std::string name;
+  SingleFn single;
+  BlockFn block;
+};
+
+constexpr idx_t kTestMaxWidth = 8;
+
+std::vector<KernelSet> make_kernels(const sparse::CsrMatrix& a,
+                                    const sparse::BufferedMatrix& buf,
+                                    const sparse::EllBlockMatrix& ell,
+                                    const sparse::ApplyPlan& csr_plan,
+                                    const sparse::ApplyPlan& buf_plan,
+                                    const sparse::ApplyPlan& ell_plan,
+                                    sparse::Workspace& buf_ws,
+                                    sparse::Workspace& ell_ws) {
+  std::vector<KernelSet> out;
+  out.push_back({"csr",
+                 [&](auto x, auto y) { sparse::spmv_csr(a, x, y); },
+                 [&](idx_t k, auto x, auto y) { sparse::spmm_csr(a, k, x, y); }});
+  out.push_back({"library",
+                 [&](auto x, auto y) { sparse::spmv_library(a, x, y); },
+                 [&](idx_t k, auto x, auto y) { sparse::spmm_library(a, k, x, y); }});
+  out.push_back({"ell",
+                 [&](auto x, auto y) { sparse::spmv_ell(ell, x, y); },
+                 [&](idx_t k, auto x, auto y) { sparse::spmm_ell(ell, k, x, y); }});
+  out.push_back({"buffered",
+                 [&](auto x, auto y) { sparse::spmv_buffered(buf, x, y); },
+                 [&](idx_t k, auto x, auto y) { sparse::spmm_buffered(buf, k, x, y); }});
+  out.push_back({"csr-planned",
+                 [&](auto x, auto y) {
+                   sparse::spmv_csr_planned(a, sparse::kCsrPartsize, csr_plan, x, y);
+                 },
+                 [&](idx_t k, auto x, auto y) {
+                   sparse::spmm_csr_planned(a, sparse::kCsrPartsize, csr_plan, k, x, y);
+                 }});
+  out.push_back({"ell-planned",
+                 [&](auto x, auto y) {
+                   sparse::spmv_ell_planned(ell, ell_plan, ell_ws, x, y);
+                 },
+                 [&](idx_t k, auto x, auto y) {
+                   sparse::spmm_ell_planned(ell, ell_plan, ell_ws, k, x, y);
+                 }});
+  out.push_back({"buffered-planned",
+                 [&](auto x, auto y) {
+                   sparse::spmv_buffered_planned(buf, buf_plan, buf_ws, x, y);
+                 },
+                 [&](idx_t k, auto x, auto y) {
+                   sparse::spmm_buffered_planned(buf, buf_plan, buf_ws, k, x, y);
+                 }});
+  return out;
+}
+
+void run_kernel_parity(const sparse::CsrMatrix& a, std::uint64_t seed) {
+  const int slots = 4;  // fixed plan slots, independent of thread count
+  const auto buf = sparse::build_buffered(a, {64, 512});
+  const auto ell = sparse::to_ell_block(a, 32);
+  const auto csr_plan = sparse::ApplyPlan::build(
+      sparse::partition_nnz(a, sparse::kCsrPartsize), slots);
+  const auto buf_plan =
+      sparse::ApplyPlan::build(sparse::partition_nnz(buf), slots);
+  const auto ell_plan =
+      sparse::ApplyPlan::build(sparse::partition_nnz(ell), slots);
+  sparse::Workspace buf_ws(slots, buf.config.buffsize * kTestMaxWidth,
+                           buf.config.partsize * kTestMaxWidth);
+  sparse::Workspace ell_ws(slots, 0, ell.block_rows * kTestMaxWidth);
+
+  const auto kernels = make_kernels(a, buf, ell, csr_plan, buf_plan,
+                                    ell_plan, buf_ws, ell_ws);
+  for (const auto& kernel : kernels)
+    for (const idx_t k : {1, 3, 4, 8})
+      for (const int threads : {1, 2, 3})
+        with_threads(threads, [&] {
+          SCOPED_TRACE(kernel.name + " k=" + std::to_string(k) +
+                       " threads=" + std::to_string(threads));
+          expect_lane_parity(kernel.single, kernel.block, a.num_cols,
+                             a.num_rows, k, seed);
+        });
+}
+
+TEST(Spmm, LaneParityRandomMatrix) {
+  // Awkward (non-round, non-multiple-of-anything) shape.
+  run_kernel_parity(testutil::random_csr(173, 131, 0.07, 42), 1001);
+}
+
+TEST(Spmm, LaneParityBandedMatrix) {
+  run_kernel_parity(testutil::banded_csr(257, 191, 9, 7), 2002);
+}
+
+TEST(Spmm, RejectsOversizedWidth) {
+  const auto a = testutil::random_csr(16, 12, 0.3, 5);
+  AlignedVector<real> x(12 * (sparse::kMaxBlockWidth + 1));
+  AlignedVector<real> y(16 * (sparse::kMaxBlockWidth + 1));
+  EXPECT_THROW(sparse::spmm_csr(a, sparse::kMaxBlockWidth + 1, x, y),
+               InvariantError);
+}
+
+// ---------------------------------------------------------------------------
+// Operator level: MemXCTOperator::apply_block / apply_transpose_block.
+
+class SpmmOperatorTest
+    : public ::testing::TestWithParam<
+          std::tuple<core::KernelKind, core::ScheduleKind>> {};
+
+TEST_P(SpmmOperatorTest, BlockApplyMatchesPerSlice) {
+  const auto [kernel, schedule] = GetParam();
+  core::Config config;
+  config.kernel = kernel;
+  config.schedule = schedule;
+  config.buffer = {64, 512};
+  config.ell_block_rows = 32;
+  const auto g = geometry::make_geometry(36, 24);
+  const core::Reconstructor recon(g, config);
+  const core::MemXCTOperator& op = *recon.serial_op();
+
+  const auto n = static_cast<std::size_t>(op.num_cols());
+  const auto m = static_cast<std::size_t>(op.num_rows());
+  const idx_t k = 4;
+
+  // Forward: per-slice slabs through the virtual block path.
+  AlignedVector<real> x_slab(n * static_cast<std::size_t>(k));
+  AlignedVector<real> y_slab(m * static_cast<std::size_t>(k));
+  for (idx_t s = 0; s < k; ++s) {
+    const auto xs = testutil::random_vector(static_cast<idx_t>(n),
+                                            77 + static_cast<std::uint64_t>(s));
+    std::copy(xs.begin(), xs.end(),
+              x_slab.begin() + static_cast<std::ptrdiff_t>(
+                                   static_cast<std::size_t>(s) * n));
+  }
+  op.apply_block(x_slab, y_slab, k);
+
+  AlignedVector<real> y_ref(m);
+  for (idx_t s = 0; s < k; ++s) {
+    const std::span<const real> xs(
+        x_slab.data() + static_cast<std::size_t>(s) * n, n);
+    op.apply(xs, y_ref);
+    EXPECT_EQ(0, std::memcmp(y_slab.data() + static_cast<std::size_t>(s) * m,
+                             y_ref.data(), m * sizeof(real)))
+        << "forward lane " << s;
+  }
+
+  // Transpose: same contract the other way.
+  AlignedVector<real> yt_slab(m * static_cast<std::size_t>(k));
+  AlignedVector<real> xt_slab(n * static_cast<std::size_t>(k));
+  for (idx_t s = 0; s < k; ++s) {
+    const auto ys = testutil::random_vector(static_cast<idx_t>(m),
+                                            177 + static_cast<std::uint64_t>(s));
+    std::copy(ys.begin(), ys.end(),
+              yt_slab.begin() + static_cast<std::ptrdiff_t>(
+                                    static_cast<std::size_t>(s) * m));
+  }
+  op.apply_transpose_block(yt_slab, xt_slab, k);
+  AlignedVector<real> x_ref(n);
+  for (idx_t s = 0; s < k; ++s) {
+    const std::span<const real> ys(
+        yt_slab.data() + static_cast<std::size_t>(s) * m, m);
+    op.apply_transpose(ys, x_ref);
+    EXPECT_EQ(0, std::memcmp(xt_slab.data() + static_cast<std::size_t>(s) * n,
+                             x_ref.data(), n * sizeof(real)))
+        << "transpose lane " << s;
+  }
+
+  // Adjoint identity per lane: <A x, y> == <x, A^T y> (float-accumulated
+  // by independent code paths, so tolerance not bitwise).
+  for (idx_t s = 0; s < k; ++s) {
+    double axy = 0.0, xaty = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+      axy += static_cast<double>(y_slab[static_cast<std::size_t>(s) * m + i]) *
+             yt_slab[static_cast<std::size_t>(s) * m + i];
+    for (std::size_t i = 0; i < n; ++i)
+      xaty += static_cast<double>(x_slab[static_cast<std::size_t>(s) * n + i]) *
+              xt_slab[static_cast<std::size_t>(s) * n + i];
+    EXPECT_NEAR(axy, xaty, 1e-3 * (std::abs(axy) + 1.0)) << "lane " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAndSchedules, SpmmOperatorTest,
+    ::testing::Combine(::testing::Values(core::KernelKind::Baseline,
+                                         core::KernelKind::EllBlock,
+                                         core::KernelKind::Buffered,
+                                         core::KernelKind::Library),
+                       ::testing::Values(core::ScheduleKind::Dynamic,
+                                         core::ScheduleKind::StaticPlan)));
+
+// ---------------------------------------------------------------------------
+// Solver level: lockstep block CGLS vs independent per-slice solves.
+
+TEST(SpmmSolver, BlockSolveMatchesPerSliceBitwise) {
+  core::Config config;
+  config.iterations = 40;
+  // Lanes must converge at DIFFERENT iterations — the masking path (freeze
+  // one lane, keep iterating the others) must not perturb the still-live
+  // lanes. Lane 0 is an all-zero sinogram: its residual is zero so CGLS
+  // freezes it immediately (gamma == 0), the most aggressive mask case.
+  config.early_stop = true;
+  const auto g = geometry::make_geometry(48, 32);
+  const core::Reconstructor recon(g, config);
+
+  const auto image = phantom::shepp_logan(32);
+  const auto clean = phantom::forward_project(g, image);
+  const idx_t k = 3;
+  std::vector<AlignedVector<real>> sinos;
+  sinos.emplace_back(clean.size(), 0.0f);
+  for (idx_t s = 1; s < k; ++s) {
+    AlignedVector<real> sino = clean;
+    Rng rng(100 + static_cast<std::uint64_t>(s));
+    // Different noise per lane => different convergence trajectories.
+    phantom::add_poisson_noise(sino, 200.0 * s * s, rng);
+    sinos.push_back(std::move(sino));
+  }
+
+  std::vector<core::ReconstructionResult> refs;
+  for (idx_t s = 0; s < k; ++s)
+    refs.push_back(core::reconstruct_slice(
+        recon.op(), g, config, recon.sinogram_ordering(),
+        recon.tomogram_ordering(), sinos[static_cast<std::size_t>(s)]));
+
+  std::vector<std::span<const real>> views;
+  for (const auto& sino : sinos) views.emplace_back(sino);
+  const auto block = core::reconstruct_block(
+      recon.op(), g, config, recon.sinogram_ordering(),
+      recon.tomogram_ordering(), views);
+
+  ASSERT_EQ(block.size(), static_cast<std::size_t>(k));
+  bool mixed_iterations = false;
+  for (idx_t s = 0; s < k; ++s) {
+    const auto& ref = refs[static_cast<std::size_t>(s)];
+    const auto& got = block[static_cast<std::size_t>(s)];
+    SCOPED_TRACE("lane " + std::to_string(s));
+    EXPECT_EQ(ref.solve.iterations, got.solve.iterations);
+    EXPECT_EQ(ref.solve.diverged, got.solve.diverged);
+    EXPECT_EQ(ref.solve.cancelled, got.solve.cancelled);
+    ASSERT_EQ(ref.image.size(), got.image.size());
+    EXPECT_EQ(0, std::memcmp(ref.image.data(), got.image.data(),
+                             ref.image.size() * sizeof(real)));
+    ASSERT_EQ(ref.solve.history.size(), got.solve.history.size());
+    for (std::size_t i = 0; i < ref.solve.history.size(); ++i) {
+      EXPECT_EQ(ref.solve.history[i].residual_norm,
+                got.solve.history[i].residual_norm);
+      EXPECT_EQ(ref.solve.history[i].solution_norm,
+                got.solve.history[i].solution_norm);
+    }
+    if (got.solve.iterations != block[0].solve.iterations)
+      mixed_iterations = true;
+  }
+  // The scenario is constructed to exercise masking; if every lane stopped
+  // at the same iteration the test would silently lose its point.
+  EXPECT_TRUE(mixed_iterations)
+      << "expected lanes to converge at different iterations";
+}
+
+TEST(SpmmSolver, BlockSolverRequiresCgls) {
+  core::Config config;
+  config.solver = core::SolverKind::SIRT;
+  const auto g = geometry::make_geometry(24, 16);
+  const core::Reconstructor recon(g, config);
+  const auto sino = phantom::forward_project(g, phantom::shepp_logan(16));
+  const std::vector<std::span<const real>> views{std::span<const real>(sino)};
+  EXPECT_THROW(core::reconstruct_block(recon.op(), g, config,
+                                       recon.sinogram_ordering(),
+                                       recon.tomogram_ordering(), views),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Batch level: block_width waves vs width-1 workers.
+
+TEST(SpmmBatch, BlockWidthMatchesWidthOneBitwise) {
+  core::Config config;
+  config.iterations = 8;
+  config.early_stop = true;
+  const auto g = geometry::make_geometry(36, 24);
+  const core::Reconstructor recon(g, config);
+
+  const auto clean = phantom::forward_project(g, phantom::shepp_logan(24));
+  const int slices = 5;  // not a multiple of the width: final wave is short
+  std::vector<AlignedVector<real>> sinos;
+  for (int s = 0; s < slices; ++s) {
+    AlignedVector<real> sino = clean;
+    Rng rng(300 + static_cast<std::uint64_t>(s));
+    phantom::add_poisson_noise(sino, 1500.0 * (1 + s), rng);
+    sinos.push_back(std::move(sino));
+  }
+
+  const auto run = [&](int width) {
+    batch::BatchOptions opt;
+    opt.workers = 1;
+    opt.block_width = width;
+    batch::BatchReconstructor engine(recon, opt);
+    for (const auto& sino : sinos) engine.submit(sino);
+    return engine.wait_all();
+  };
+  const auto ref = run(1);
+  const auto got = run(4);
+
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t s = 0; s < ref.size(); ++s) {
+    SCOPED_TRACE("slice " + std::to_string(s));
+    EXPECT_EQ(ref[s].slice, got[s].slice);
+    EXPECT_EQ(ref[s].status, got[s].status);
+    EXPECT_EQ(ref[s].solve.iterations, got[s].solve.iterations);
+    ASSERT_EQ(ref[s].image.size(), got[s].image.size());
+    EXPECT_EQ(0, std::memcmp(ref[s].image.data(), got[s].image.data(),
+                             ref[s].image.size() * sizeof(real)));
+  }
+}
+
+TEST(SpmmBatch, BlockWaveIsolatesRejectedSlices) {
+  core::Config config;
+  config.iterations = 4;
+  config.ingest.policy = resil::IngestPolicy::Reject;
+  const auto g = geometry::make_geometry(24, 16);
+  const core::Reconstructor recon(g, config);
+  const auto clean = phantom::forward_project(g, phantom::shepp_logan(16));
+
+  batch::BatchOptions opt;
+  opt.workers = 1;
+  opt.block_width = 4;
+  batch::BatchReconstructor engine(recon, opt);
+  AlignedVector<real> poisoned = clean;
+  poisoned[3] = std::numeric_limits<real>::quiet_NaN();
+  engine.submit(clean);
+  engine.submit(poisoned);  // rejected inside the wave
+  engine.submit(clean);
+  const auto results = engine.wait_all();
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status, batch::SliceStatus::Ok);
+  EXPECT_EQ(results[1].status, batch::SliceStatus::IngestRejected);
+  EXPECT_EQ(results[2].status, batch::SliceStatus::Ok);
+  // The survivors' images match a clean width-1 run (the reject did not
+  // shift or poison their lanes).
+  const auto ref = core::reconstruct_slice(
+      recon.op(), g, config, recon.sinogram_ordering(),
+      recon.tomogram_ordering(), clean);
+  EXPECT_EQ(0, std::memcmp(results[0].image.data(), ref.image.data(),
+                           ref.image.size() * sizeof(real)));
+  EXPECT_EQ(0, std::memcmp(results[2].image.data(), ref.image.data(),
+                           ref.image.size() * sizeof(real)));
+  EXPECT_EQ(engine.report().block_width, 4);
+  EXPECT_GE(engine.report().waves, 1);
+  EXPECT_GT(engine.report().matrix_bytes_per_slice, 0.0);
+}
+
+TEST(SpmmBatch, RejectsNonCglsBlockWidth) {
+  core::Config config;
+  config.solver = core::SolverKind::SIRT;
+  const auto g = geometry::make_geometry(24, 16);
+  const core::Reconstructor recon(g, config);
+  batch::BatchOptions opt;
+  opt.block_width = 2;
+  EXPECT_THROW(batch::BatchReconstructor(recon, opt), InvalidArgument);
+}
+
+}  // namespace
