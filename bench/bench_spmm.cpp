@@ -27,6 +27,7 @@
 #include "bench_util.hpp"
 #include "io/table.hpp"
 #include "sparse/buffered.hpp"
+#include "sparse/compressed.hpp"
 #include "sparse/ell.hpp"
 #include "sparse/plan.hpp"
 #include "sparse/spmm.hpp"
@@ -42,6 +43,7 @@ struct Row {
   double seconds = 0.0;          ///< One K-wide apply.
   double slices_per_s = 0.0;
   double bytes_per_slice = 0.0;  ///< Regular matrix traffic, amortized.
+  double bytes_per_fma = 0.0;    ///< Matrix stream (value + index) per FMA.
   double gflops = 0.0;           ///< Across all K lanes.
 };
 
@@ -83,6 +85,17 @@ int main(int argc, char** argv) {
   const auto a = bench::build_matrix(spec, hilbert::CurveKind::Hilbert);
   const auto buffered = sparse::build_buffered(a, {128, 4096});
   const auto ell = sparse::to_ell_block(a, 64);
+  // Reduced-precision compressed variants: 16-bit values + delta/varint
+  // index streams. Their KernelWork carries the MEASURED per-FMA byte
+  // widths, so the amortized-traffic column reflects the real compression.
+  const auto ccsr_bf16 =
+      sparse::compress_csr(a, sparse::kCsrPartsize, sparse::ValueStorage::Bf16);
+  const auto ccsr_fp16 =
+      sparse::compress_csr(a, sparse::kCsrPartsize, sparse::ValueStorage::Fp16);
+  const auto cbuf_bf16 =
+      sparse::compress_buffered(buffered, sparse::ValueStorage::Bf16);
+  const auto cbuf_fp16 =
+      sparse::compress_buffered(buffered, sparse::ValueStorage::Fp16);
   const auto n = static_cast<std::size_t>(a.num_cols);
   const auto m = static_cast<std::size_t>(a.num_rows);
   const int slots = omp_get_max_threads();
@@ -156,11 +169,42 @@ int main(int argc, char** argv) {
        [&](idx_t k) {
          sparse::spmm_buffered_planned(buffered, buf_plan, buf_ws, k, xk, yk);
        }});
+  families.push_back(
+      {"ccsr-bf16", sparse::ccsr_work(ccsr_bf16),
+       [&] { sparse::spmv_ccsr(ccsr_bf16, x1, y1); },
+       [&](idx_t k) { sparse::spmm_ccsr(ccsr_bf16, k, xk, yk); }});
+  families.push_back(
+      {"ccsr-bf16-planned", sparse::ccsr_work(ccsr_bf16),
+       [&] { sparse::spmv_ccsr_planned(ccsr_bf16, csr_plan, x1, y1); },
+       [&](idx_t k) {
+         sparse::spmm_ccsr_planned(ccsr_bf16, csr_plan, k, xk, yk);
+       }});
+  families.push_back(
+      {"ccsr-fp16", sparse::ccsr_work(ccsr_fp16),
+       [&] { sparse::spmv_ccsr(ccsr_fp16, x1, y1); },
+       [&](idx_t k) { sparse::spmm_ccsr(ccsr_fp16, k, xk, yk); }});
+  families.push_back(
+      {"cbuffered-bf16", sparse::cbuffered_work(cbuf_bf16),
+       [&] { sparse::spmv_cbuffered(cbuf_bf16, x1, y1); },
+       [&](idx_t k) { sparse::spmm_cbuffered(cbuf_bf16, k, xk, yk); }});
+  families.push_back(
+      {"cbuffered-bf16-planned", sparse::cbuffered_work(cbuf_bf16),
+       [&] {
+         sparse::spmv_cbuffered_planned(cbuf_bf16, buf_plan, buf_ws, x1, y1);
+       },
+       [&](idx_t k) {
+         sparse::spmm_cbuffered_planned(cbuf_bf16, buf_plan, buf_ws, k, xk,
+                                        yk);
+       }});
+  families.push_back(
+      {"cbuffered-fp16", sparse::cbuffered_work(cbuf_fp16),
+       [&] { sparse::spmv_cbuffered(cbuf_fp16, x1, y1); },
+       [&](idx_t k) { sparse::spmm_cbuffered(cbuf_fp16, k, xk, yk); }});
 
   std::vector<Row> rows;
   io::TablePrinter table("Multi-RHS sweep (slices/s and amortized traffic)");
   table.header({"kernel", "K", "s/apply", "slices/s", "vs K=1",
-                "MB/slice/apply", "GFLOPS"});
+                "MB/slice/apply", "B/FMA", "GFLOPS"});
   for (const auto& fam : families) {
     double baseline = 0.0;
     for (const int k : widths) {
@@ -178,6 +222,7 @@ int main(int argc, char** argv) {
       row.seconds = t;
       row.slices_per_s = t > 0.0 ? k / t : 0.0;
       row.bytes_per_slice = fam.work.regular_bytes_at_width(k);
+      row.bytes_per_fma = fam.work.bytes_per_fma();
       row.gflops = t > 0.0 ? k * fam.work.flops() / t * 1e-9 : 0.0;
       if (k == 1) baseline = row.slices_per_s;
       table.row({fam.name, std::to_string(k),
@@ -186,6 +231,7 @@ int main(int argc, char** argv) {
                  io::TablePrinter::num(
                      row.slices_per_s / std::max(baseline, 1e-12), 2) + "x",
                  io::TablePrinter::num(row.bytes_per_slice * 1e-6, 2),
+                 io::TablePrinter::num(row.bytes_per_fma, 2),
                  io::TablePrinter::num(row.gflops, 2)});
       rows.push_back(std::move(row));
     }
@@ -206,9 +252,10 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "{\"kernel\": \"%s\", \"k\": %d, \"seconds\": %.6g, "
                    "\"slices_per_second\": %.6g, "
-                   "\"matrix_bytes_per_slice\": %.6g, \"gflops\": %.6g}%s\n",
+                   "\"matrix_bytes_per_slice\": %.6g, "
+                   "\"matrix_bytes_per_fma\": %.6g, \"gflops\": %.6g}%s\n",
                    r.kernel.c_str(), r.k, r.seconds, r.slices_per_s,
-                   r.bytes_per_slice, r.gflops,
+                   r.bytes_per_slice, r.bytes_per_fma, r.gflops,
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "]\n");

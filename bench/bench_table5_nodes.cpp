@@ -79,7 +79,7 @@ int main() {
     // Paper-scale per-device kernel model.
     perf::KernelWork work;
     work.nnz = static_cast<nnz_t>(paper_nnz / devices);
-    work.bytes_per_fma = perf::RegularBytes::kBuffered;
+    work.index_bytes_per_fma = sizeof(buf_idx_t);
     const double bytes_per_device =
         paper_nnz / devices * (sizeof(buf_idx_t) + sizeof(real)) * 2.0;
     const bool fits = bytes_per_device <=

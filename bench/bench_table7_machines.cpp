@@ -26,7 +26,7 @@ double modeled_recon_seconds(const memxct::perf::MachineSpec& machine,
   const double nnz = angles * channels * channels * 1.4;
   perf::KernelWork work;
   work.nnz = static_cast<nnz_t>(nnz / devices);
-  work.bytes_per_fma = perf::RegularBytes::kBuffered;
+  work.index_bytes_per_fma = sizeof(buf_idx_t);
   const double bytes_per_device =
       nnz / devices * (sizeof(buf_idx_t) + sizeof(real)) * 2.0;
   const bool fits =

@@ -9,6 +9,9 @@
 //   --lambda L                 Tikhonov damping for cg     (default 0)
 //   --ordering hilbert|rowmajor|morton                     (default hilbert)
 //   --kernel buffered|baseline|ell|library                 (default buffered)
+//   --precision fp32|bf16|fp16 operator value storage      (default fp32;
+//                              bf16/fp16 also varint-compress the indices,
+//                              buffered/baseline kernels only)
 //   --ranks P                  simulated distributed ranks (default 1)
 //   --noise I0                 Poisson dose for --demo     (default clean)
 //   --ingest passthrough|reject|sanitize                   (default passthrough)
@@ -37,6 +40,7 @@
 #include "core/reconstructor.hpp"
 #include "io/pgm.hpp"
 #include "io/table.hpp"
+#include "perf/counters.hpp"
 #include "io/serialize.hpp"
 #include "phantom/phantom.hpp"
 #include "solve/fbp.hpp"
@@ -50,7 +54,8 @@ using namespace memxct;
                "usage: %s (--input sino.vec --angles M --channels N | "
                "--demo shepp|shale|brain [--size N]) [--solver cg|sirt|gd] "
                "[--iterations K] [--lambda L] [--ordering hilbert|rowmajor|"
-               "morton] [--kernel buffered|baseline|ell|library] [--ranks P] "
+               "morton] [--kernel buffered|baseline|ell|library] "
+               "[--precision fp32|bf16|fp16] [--ranks P] "
                "[--noise I0] [--ingest passthrough|reject|sanitize] "
                "[--cache DIR] [--checkpoint FILE] [--checkpoint-interval K] "
                "[--slices S] [--batch-workers K] [--batch-queue Q] "
@@ -155,6 +160,9 @@ int run(int argc, char** argv) {
       else if (v == "ell") config.kernel = core::KernelKind::EllBlock;
       else if (v == "library") config.kernel = core::KernelKind::Library;
       else usage(argv[0]);
+    } else if (arg == "--precision") {
+      if (!sparse::parse_value_storage(next(), config.precision))
+        usage(argv[0]);
     } else {
       usage(argv[0]);
     }
@@ -201,6 +209,17 @@ int run(int argc, char** argv) {
               io::TablePrinter::bytes(
                   static_cast<double>(report.regular_bytes)).c_str(),
               report.cache_hit ? ", cache hit" : "");
+  if (config.precision != sparse::ValueStorage::Fp32 && config.num_ranks == 1) {
+    const auto fwd = recon.serial_op()->forward_work();
+    std::printf("%s values + varint indices: %.2f matrix B/FMA (fp32 %s "
+                "streams %.0f)\n",
+                sparse::to_string(config.precision), fwd.bytes_per_fma(),
+                config.kernel == core::KernelKind::Buffered ? "buffered"
+                                                            : "baseline",
+                config.kernel == core::KernelKind::Buffered
+                    ? perf::RegularBytes::kBuffered
+                    : perf::RegularBytes::kBaseline);
+  }
 
   if (slices > 1) {
     // Multi-slice batch: the preprocessing above is paid once and amortized

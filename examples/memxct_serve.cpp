@@ -9,10 +9,14 @@
 //   memxct_serve [--requests N] [--workers K] [--geometries G] [--size S]
 //                [--iterations I] [--queue Q] [--budget-bytes B]
 //                [--cache-dir DIR] [--deadline-ms D] [--block-width W]
+//                [--precision fp32|bf16|fp16]
 //
 // --block-width keys every submitted config at that multi-RHS width (the
 // registry sizes block workspaces per width, so widths never share an
-// operator entry) and reports the amortized per-slice matrix traffic model.
+// operator entry) and reports the amortized per-slice matrix traffic,
+// measured from the operator's own work accounting rather than the fp32
+// model constant. --precision serves compressed reduced-precision
+// operators; the registry's byte budget charges their smaller footprint.
 //
 // Defaults make a CI-friendly smoke run: small geometries, queue sized to
 // the request count (no overload), no deadlines. Exit code is 0 only when
@@ -23,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/reconstructor.hpp"
 #include "io/table.hpp"
 #include "perf/counters.hpp"
 #include "perf/timer.hpp"
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
   long long budget_bytes = 0;
   double deadline_ms = 0.0;
   int block_width = 1;
+  sparse::ValueStorage precision = sparse::ValueStorage::Fp32;
   std::string cache_dir;
 
   for (int i = 1; i < argc; ++i) {
@@ -77,7 +83,16 @@ int main(int argc, char** argv) {
     else if (arg == "--cache-dir") cache_dir = next("--cache-dir");
     else if (arg == "--block-width")
       block_width = int_flag(next("--block-width"), arg.c_str());
-    else {
+    else if (arg == "--precision") {
+      const char* v = next("--precision");
+      if (!sparse::parse_value_storage(v, precision)) {
+        std::fprintf(stderr,
+                     "memxct_serve: unknown --precision '%s' (expected "
+                     "fp32|bf16|fp16)\n",
+                     v);
+        return 2;
+      }
+    } else {
       std::fprintf(stderr, "memxct_serve: unknown flag %s\n", arg.c_str());
       return 2;
     }
@@ -98,6 +113,7 @@ int main(int argc, char** argv) {
   core::Config config;
   config.iterations = iterations;
   config.block_width = block_width;
+  config.precision = precision;
 
   serve::ServerOptions options;
   options.workers = workers;
@@ -177,12 +193,18 @@ int main(int argc, char** argv) {
               "total %.3f s\n",
               wall_s, wall_s > 0 ? m.completed / wall_s : 0.0,
               m.setup_seconds_sum, m.solve_seconds_sum);
-  if (block_width > 1)
-    std::printf("block width %d: matrix stream amortized to %.2f B/FMA per "
-                "slice on block solves (%.0f B/FMA at width 1)\n",
-                block_width,
-                perf::RegularBytes::kBuffered / block_width,
-                perf::RegularBytes::kBuffered);
+  if (block_width > 1 || precision != sparse::ValueStorage::Fp32) {
+    // Measured, not modeled: preprocess one representative operator through
+    // the same pipeline the server uses and read its work accounting, so
+    // the number reflects actual stored value widths and varint index
+    // streams instead of the fp32 buffered constant.
+    const core::Reconstructor probe(geoms[0], config);
+    const perf::KernelWork fwd = probe.serial_op()->forward_work();
+    std::printf("%s matrix stream: %.2f B/FMA at width 1, amortized to "
+                "%.2f B/FMA per slice at width %d\n",
+                sparse::to_string(precision), fwd.bytes_per_fma(),
+                fwd.bytes_per_fma() / block_width, block_width);
+  }
 
   // Smoke gate: any rejection or non-Ok completion is a failure.
   if (rejected > 0 || m.rejected() > 0 || not_ok > 0) {

@@ -6,6 +6,7 @@
 #include "hilbert/ordering.hpp"
 #include "resil/ingest.hpp"
 #include "sparse/buffered.hpp"
+#include "sparse/precision.hpp"
 
 namespace memxct::core {
 
@@ -50,6 +51,12 @@ struct Config {
   /// solver. Part of the operator identity (keyed by the serve registry:
   /// block workspaces are sized per width).
   int block_width = 1;
+  /// Operator value storage (sparse/precision.hpp). Fp32 keeps the
+  /// historical uncompressed layouts bit for bit; Bf16/Fp16 store the
+  /// memoized matrices with 16-bit values + delta/varint indices
+  /// (sparse/compressed.hpp), supported for the Baseline and Buffered
+  /// kernels. Part of the operator identity (opkey suffix "-v<precision>").
+  sparse::ValueStorage precision = sparse::ValueStorage::Fp32;
 
   SolverKind solver = SolverKind::CGLS;
   int iterations = 30;      ///< Paper's CG default.

@@ -3,9 +3,11 @@
 #include <omp.h>
 
 #include <optional>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/interleave.hpp"
+#include "sparse/compressed.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ell.hpp"
 #include "sparse/spmm.hpp"
@@ -53,29 +55,51 @@ const char* to_string(SolverKind kind) noexcept {
 struct MemXCTOperator::Storage {
   KernelKind kind;
   ScheduleKind schedule;
+  sparse::ValueStorage precision = sparse::ValueStorage::Fp32;
   idx_t num_rows = 0, num_cols = 0;
   nnz_t nnz = 0;
   std::int64_t regular_bytes = 0;
-  // Exactly one pair below is populated, matching kind.
+  // Exactly one pair below is populated, matching kind and precision.
   std::optional<sparse::CsrMatrix> csr_fwd, csr_bwd;
   std::optional<sparse::EllBlockMatrix> ell_fwd, ell_bwd;
   std::optional<sparse::BufferedMatrix> buf_fwd, buf_bwd;
+  std::optional<sparse::CompressedCsr> ccsr_fwd, ccsr_bwd;
+  std::optional<sparse::CompressedBuffered> cbuf_fwd, cbuf_bwd;
   // Static-plan partition → slot assignments (built once at construction).
   sparse::ApplyPlan plan_fwd, plan_bwd;
 };
 
 MemXCTOperator::MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
                                const sparse::BufferConfig& buffer,
-                               idx_t ell_block_rows, ScheduleKind schedule) {
+                               idx_t ell_block_rows, ScheduleKind schedule,
+                               sparse::ValueStorage precision) {
+  const bool compressed = precision != sparse::ValueStorage::Fp32;
+  if (compressed &&
+      !(kind == KernelKind::Baseline || kind == KernelKind::Buffered))
+    throw InvalidArgument(std::string("compressed precision ") +
+                          sparse::to_string(precision) +
+                          " is only supported for the baseline CSR and "
+                          "buffered kernels, not " +
+                          to_string(kind));
   auto s = std::make_shared<Storage>();
   s->kind = kind;
   s->schedule = schedule;
+  s->precision = precision;
   s->num_rows = a.num_rows;
   s->num_cols = a.num_cols;
   s->nnz = a.nnz();
   sparse::CsrMatrix at = sparse::transpose(a);
   switch (kind) {
     case KernelKind::Baseline:
+      if (compressed) {
+        s->ccsr_fwd = sparse::compress_csr(a, sparse::kCsrPartsize, precision);
+        s->ccsr_bwd =
+            sparse::compress_csr(at, sparse::kCsrPartsize, precision);
+        s->regular_bytes =
+            s->ccsr_fwd->regular_bytes() + s->ccsr_bwd->regular_bytes();
+        break;
+      }
+      [[fallthrough]];
     case KernelKind::Library:
       s->regular_bytes = a.regular_bytes() + at.regular_bytes();
       s->csr_fwd = std::move(a);
@@ -89,6 +113,15 @@ MemXCTOperator::MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
           static_cast<std::int64_t>(sizeof(idx_t) + sizeof(real));
       break;
     case KernelKind::Buffered:
+      if (compressed) {
+        s->cbuf_fwd = sparse::compress_buffered(
+            sparse::build_buffered(a, buffer), precision);
+        s->cbuf_bwd = sparse::compress_buffered(
+            sparse::build_buffered(at, buffer), precision);
+        s->regular_bytes =
+            s->cbuf_fwd->regular_bytes() + s->cbuf_bwd->regular_bytes();
+        break;
+      }
       s->buf_fwd = sparse::build_buffered(a, buffer);
       s->buf_bwd = sparse::build_buffered(at, buffer);
       s->regular_bytes =
@@ -107,6 +140,13 @@ MemXCTOperator::MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
     const int slots = omp_get_max_threads();
     switch (kind) {
       case KernelKind::Baseline:
+        if (compressed) {
+          s->plan_fwd = sparse::ApplyPlan::build(
+              sparse::partition_nnz(*s->ccsr_fwd), slots);
+          s->plan_bwd = sparse::ApplyPlan::build(
+              sparse::partition_nnz(*s->ccsr_bwd), slots);
+          break;
+        }
         s->plan_fwd = sparse::ApplyPlan::build(
             sparse::partition_nnz(*s->csr_fwd, sparse::kCsrPartsize), slots);
         s->plan_bwd = sparse::ApplyPlan::build(
@@ -122,6 +162,13 @@ MemXCTOperator::MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
             sparse::ApplyPlan::build(sparse::partition_nnz(*s->ell_bwd), slots);
         break;
       case KernelKind::Buffered:
+        if (compressed) {
+          s->plan_fwd = sparse::ApplyPlan::build(
+              sparse::partition_nnz(*s->cbuf_fwd), slots);
+          s->plan_bwd = sparse::ApplyPlan::build(
+              sparse::partition_nnz(*s->cbuf_bwd), slots);
+          break;
+        }
         s->plan_fwd =
             sparse::ApplyPlan::build(sparse::partition_nnz(*s->buf_fwd), slots);
         s->plan_bwd =
@@ -160,14 +207,17 @@ void MemXCTOperator::build_workspaces() {
       ws_bwd_ = sparse::Workspace(s.plan_bwd.num_slots(), 0,
                                   s.ell_bwd->block_rows);
       break;
-    case KernelKind::Buffered:
-      ws_fwd_ = sparse::Workspace(s.plan_fwd.num_slots(),
-                                  s.buf_fwd->config.buffsize,
-                                  s.buf_fwd->config.partsize);
-      ws_bwd_ = sparse::Workspace(s.plan_bwd.num_slots(),
-                                  s.buf_bwd->config.buffsize,
-                                  s.buf_bwd->config.partsize);
+    case KernelKind::Buffered: {
+      const auto& cfg_fwd =
+          s.cbuf_fwd ? s.cbuf_fwd->config : s.buf_fwd->config;
+      const auto& cfg_bwd =
+          s.cbuf_bwd ? s.cbuf_bwd->config : s.buf_bwd->config;
+      ws_fwd_ = sparse::Workspace(s.plan_fwd.num_slots(), cfg_fwd.buffsize,
+                                  cfg_fwd.partsize);
+      ws_bwd_ = sparse::Workspace(s.plan_bwd.num_slots(), cfg_bwd.buffsize,
+                                  cfg_bwd.partsize);
       break;
+    }
   }
 }
 
@@ -176,6 +226,9 @@ idx_t MemXCTOperator::num_cols() const { return store_->num_cols; }
 KernelKind MemXCTOperator::kind() const noexcept { return store_->kind; }
 ScheduleKind MemXCTOperator::schedule() const noexcept {
   return store_->schedule;
+}
+sparse::ValueStorage MemXCTOperator::precision() const noexcept {
+  return store_->precision;
 }
 nnz_t MemXCTOperator::nnz() const noexcept { return store_->nnz; }
 std::int64_t MemXCTOperator::regular_bytes() const noexcept {
@@ -198,11 +251,17 @@ void MemXCTOperator::apply(std::span<const real> x, std::span<real> y) const {
   const bool planned = s.schedule == ScheduleKind::StaticPlan;
   switch (s.kind) {
     case KernelKind::Baseline:
-      if (planned)
+      if (s.ccsr_fwd) {
+        if (planned)
+          sparse::spmv_ccsr_planned(*s.ccsr_fwd, s.plan_fwd, x, y);
+        else
+          sparse::spmv_ccsr(*s.ccsr_fwd, x, y);
+      } else if (planned) {
         sparse::spmv_csr_planned(*s.csr_fwd, sparse::kCsrPartsize, s.plan_fwd,
                                  x, y);
-      else
+      } else {
         sparse::spmv_csr(*s.csr_fwd, x, y);
+      }
       break;
     case KernelKind::Library:
       sparse::spmv_library(*s.csr_fwd, x, y);
@@ -214,10 +273,17 @@ void MemXCTOperator::apply(std::span<const real> x, std::span<real> y) const {
         sparse::spmv_ell(*s.ell_fwd, x, y);
       break;
     case KernelKind::Buffered:
-      if (planned)
+      if (s.cbuf_fwd) {
+        if (planned)
+          sparse::spmv_cbuffered_planned(*s.cbuf_fwd, s.plan_fwd, ws_fwd_, x,
+                                         y);
+        else
+          sparse::spmv_cbuffered(*s.cbuf_fwd, x, y);
+      } else if (planned) {
         sparse::spmv_buffered_planned(*s.buf_fwd, s.plan_fwd, ws_fwd_, x, y);
-      else
+      } else {
         sparse::spmv_buffered(*s.buf_fwd, x, y);
+      }
       break;
   }
 }
@@ -228,11 +294,17 @@ void MemXCTOperator::apply_transpose(std::span<const real> y,
   const bool planned = s.schedule == ScheduleKind::StaticPlan;
   switch (s.kind) {
     case KernelKind::Baseline:
-      if (planned)
+      if (s.ccsr_bwd) {
+        if (planned)
+          sparse::spmv_ccsr_planned(*s.ccsr_bwd, s.plan_bwd, y, x);
+        else
+          sparse::spmv_ccsr(*s.ccsr_bwd, y, x);
+      } else if (planned) {
         sparse::spmv_csr_planned(*s.csr_bwd, sparse::kCsrPartsize, s.plan_bwd,
                                  y, x);
-      else
+      } else {
         sparse::spmv_csr(*s.csr_bwd, y, x);
+      }
       break;
     case KernelKind::Library:
       sparse::spmv_library(*s.csr_bwd, y, x);
@@ -244,10 +316,17 @@ void MemXCTOperator::apply_transpose(std::span<const real> y,
         sparse::spmv_ell(*s.ell_bwd, y, x);
       break;
     case KernelKind::Buffered:
-      if (planned)
+      if (s.cbuf_bwd) {
+        if (planned)
+          sparse::spmv_cbuffered_planned(*s.cbuf_bwd, s.plan_bwd, ws_bwd_, y,
+                                         x);
+        else
+          sparse::spmv_cbuffered(*s.cbuf_bwd, y, x);
+      } else if (planned) {
         sparse::spmv_buffered_planned(*s.buf_bwd, s.plan_bwd, ws_bwd_, y, x);
-      else
+      } else {
         sparse::spmv_buffered(*s.buf_bwd, y, x);
+      }
       break;
   }
 }
@@ -274,14 +353,19 @@ BlockWorkspace MemXCTOperator::make_block_workspace(idx_t k) const {
         ws.ws_bwd_ = sparse::Workspace(s.plan_bwd.num_slots(), 0,
                                        s.ell_bwd->block_rows * k);
         break;
-      case KernelKind::Buffered:
+      case KernelKind::Buffered: {
+        const auto& cfg_fwd =
+            s.cbuf_fwd ? s.cbuf_fwd->config : s.buf_fwd->config;
+        const auto& cfg_bwd =
+            s.cbuf_bwd ? s.cbuf_bwd->config : s.buf_bwd->config;
         ws.ws_fwd_ = sparse::Workspace(s.plan_fwd.num_slots(),
-                                       s.buf_fwd->config.buffsize * k,
-                                       s.buf_fwd->config.partsize * k);
+                                       cfg_fwd.buffsize * k,
+                                       cfg_fwd.partsize * k);
         ws.ws_bwd_ = sparse::Workspace(s.plan_bwd.num_slots(),
-                                       s.buf_bwd->config.buffsize * k,
-                                       s.buf_bwd->config.partsize * k);
+                                       cfg_bwd.buffsize * k,
+                                       cfg_bwd.partsize * k);
         break;
+      }
     }
   }
   return ws;
@@ -302,11 +386,17 @@ void MemXCTOperator::apply_block(std::span<const real> x, std::span<real> y,
   const bool planned = s.schedule == ScheduleKind::StaticPlan;
   switch (s.kind) {
     case KernelKind::Baseline:
-      if (planned)
+      if (s.ccsr_fwd) {
+        if (planned)
+          sparse::spmm_ccsr_planned(*s.ccsr_fwd, s.plan_fwd, k, xi, yi);
+        else
+          sparse::spmm_ccsr(*s.ccsr_fwd, k, xi, yi);
+      } else if (planned) {
         sparse::spmm_csr_planned(*s.csr_fwd, sparse::kCsrPartsize, s.plan_fwd,
                                  k, xi, yi);
-      else
+      } else {
         sparse::spmm_csr(*s.csr_fwd, k, xi, yi);
+      }
       break;
     case KernelKind::Library:
       sparse::spmm_library(*s.csr_fwd, k, xi, yi);
@@ -319,11 +409,18 @@ void MemXCTOperator::apply_block(std::span<const real> x, std::span<real> y,
         sparse::spmm_ell(*s.ell_fwd, k, xi, yi);
       break;
     case KernelKind::Buffered:
-      if (planned)
+      if (s.cbuf_fwd) {
+        if (planned)
+          sparse::spmm_cbuffered_planned(*s.cbuf_fwd, s.plan_fwd, ws.ws_fwd_,
+                                         k, xi, yi);
+        else
+          sparse::spmm_cbuffered(*s.cbuf_fwd, k, xi, yi);
+      } else if (planned) {
         sparse::spmm_buffered_planned(*s.buf_fwd, s.plan_fwd, ws.ws_fwd_, k,
                                       xi, yi);
-      else
+      } else {
         sparse::spmm_buffered(*s.buf_fwd, k, xi, yi);
+      }
       break;
   }
   common::deinterleave(yi, m, k, y);
@@ -345,11 +442,17 @@ void MemXCTOperator::apply_transpose_block(std::span<const real> y,
   const bool planned = s.schedule == ScheduleKind::StaticPlan;
   switch (s.kind) {
     case KernelKind::Baseline:
-      if (planned)
+      if (s.ccsr_bwd) {
+        if (planned)
+          sparse::spmm_ccsr_planned(*s.ccsr_bwd, s.plan_bwd, k, yi, xi);
+        else
+          sparse::spmm_ccsr(*s.ccsr_bwd, k, yi, xi);
+      } else if (planned) {
         sparse::spmm_csr_planned(*s.csr_bwd, sparse::kCsrPartsize, s.plan_bwd,
                                  k, yi, xi);
-      else
+      } else {
         sparse::spmm_csr(*s.csr_bwd, k, yi, xi);
+      }
       break;
     case KernelKind::Library:
       sparse::spmm_library(*s.csr_bwd, k, yi, xi);
@@ -362,11 +465,18 @@ void MemXCTOperator::apply_transpose_block(std::span<const real> y,
         sparse::spmm_ell(*s.ell_bwd, k, yi, xi);
       break;
     case KernelKind::Buffered:
-      if (planned)
+      if (s.cbuf_bwd) {
+        if (planned)
+          sparse::spmm_cbuffered_planned(*s.cbuf_bwd, s.plan_bwd, ws.ws_bwd_,
+                                         k, yi, xi);
+        else
+          sparse::spmm_cbuffered(*s.cbuf_bwd, k, yi, xi);
+      } else if (planned) {
         sparse::spmm_buffered_planned(*s.buf_bwd, s.plan_bwd, ws.ws_bwd_, k,
                                       yi, xi);
-      else
+      } else {
         sparse::spmm_buffered(*s.buf_bwd, k, yi, xi);
+      }
       break;
   }
   common::deinterleave(xi, n, k, x);
@@ -390,11 +500,14 @@ perf::KernelWork MemXCTOperator::forward_work() const {
   const Storage& s = *store_;
   switch (s.kind) {
     case KernelKind::Baseline:
+      if (s.ccsr_fwd) return sparse::ccsr_work(*s.ccsr_fwd);
+      [[fallthrough]];
     case KernelKind::Library:
       return sparse::csr_work(*s.csr_fwd);
     case KernelKind::EllBlock:
       return sparse::ell_work(*s.ell_fwd);
     case KernelKind::Buffered:
+      if (s.cbuf_fwd) return sparse::cbuffered_work(*s.cbuf_fwd);
       return sparse::buffered_work(*s.buf_fwd);
   }
   return {};
@@ -404,11 +517,14 @@ perf::KernelWork MemXCTOperator::transpose_work() const {
   const Storage& s = *store_;
   switch (s.kind) {
     case KernelKind::Baseline:
+      if (s.ccsr_bwd) return sparse::ccsr_work(*s.ccsr_bwd);
+      [[fallthrough]];
     case KernelKind::Library:
       return sparse::csr_work(*s.csr_bwd);
     case KernelKind::EllBlock:
       return sparse::ell_work(*s.ell_bwd);
     case KernelKind::Buffered:
+      if (s.cbuf_bwd) return sparse::cbuffered_work(*s.cbuf_bwd);
       return sparse::buffered_work(*s.buf_bwd);
   }
   return {};

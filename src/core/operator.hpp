@@ -55,12 +55,16 @@ class BlockWorkspace {
 class MemXCTOperator final : public solve::LinearOperator {
  public:
   /// Takes the ordered-space forward matrix; builds the transpose and any
-  /// derived (ELL / buffered) structures, then releases storage the chosen
-  /// kernel does not need.
+  /// derived (ELL / buffered / compressed) structures, then releases
+  /// storage the chosen kernel does not need. A non-Fp32 `precision`
+  /// selects the compressed layouts (16-bit values + delta/varint indices,
+  /// sparse/compressed.hpp), supported for the Baseline and Buffered
+  /// kernels; combining it with EllBlock or Library throws InvalidArgument.
   MemXCTOperator(sparse::CsrMatrix a, KernelKind kind,
                  const sparse::BufferConfig& buffer = {},
                  idx_t ell_block_rows = 64,
-                 ScheduleKind schedule = ScheduleKind::StaticPlan);
+                 ScheduleKind schedule = ScheduleKind::StaticPlan,
+                 sparse::ValueStorage precision = sparse::ValueStorage::Fp32);
   ~MemXCTOperator() override;
 
   // Movable (storage is shared, workspaces transfer); not copyable — use
@@ -104,6 +108,7 @@ class MemXCTOperator final : public solve::LinearOperator {
 
   [[nodiscard]] KernelKind kind() const noexcept;
   [[nodiscard]] ScheduleKind schedule() const noexcept;
+  [[nodiscard]] sparse::ValueStorage precision() const noexcept;
   [[nodiscard]] nnz_t nnz() const noexcept;
 
   /// Load-balance summaries of the static plans (empty when the kernel has

@@ -35,7 +35,8 @@ OperatorKey operator_key(const geometry::Geometry& geometry,
      << "-k" << static_cast<int>(config.kernel) << "-p"
      << config.buffer.partsize << "-b" << config.buffer.buffsize << "-e"
      << config.ell_block_rows << "-sch" << static_cast<int>(config.schedule)
-     << "-w" << config.block_width;
+     << "-w" << config.block_width << "-v"
+     << sparse::to_string(config.precision);
 
   OperatorKey key;
   key.text = os.str();
@@ -52,6 +53,7 @@ Config operator_config(const Config& config) {
   norm.ell_block_rows = config.ell_block_rows;
   norm.schedule = config.schedule;
   norm.block_width = config.block_width;
+  norm.precision = config.precision;
   return norm;
 }
 

@@ -3,7 +3,8 @@
 // The memoized operator (orderings + traced matrix + kernel structures +
 // static plans) is fully determined by the acquisition geometry and the
 // operator-affecting Config fields — ordering scheme, tile size, kernel
-// flavour, buffer tuning, ELL block size, schedule. Solver choice,
+// flavour, buffer tuning, ELL block size, schedule, block width, value
+// precision. Solver choice,
 // iteration budget, ingest policy, and checkpoint paths do NOT change the
 // operator, so requests that differ only in those fields share one cached
 // operator. The serve-layer OperatorRegistry keys its LRU cache on the
@@ -34,7 +35,8 @@ struct OperatorKey {
                                        const Config& config);
 
 /// Normalizes a request config down to the fields that shape the operator:
-/// ordering, tile size, kernel, buffer tuning, ELL block size, schedule.
+/// ordering, tile size, kernel, buffer tuning, ELL block size, schedule,
+/// block width, value precision.
 /// Everything else (solver, iterations, ingest, checkpoints, cache dir,
 /// distribution) is reset to defaults, so registry entries built from the
 /// normalized config are shared across requests that disagree only on

@@ -10,6 +10,7 @@
 #include "geometry/projector.hpp"
 #include "perf/timer.hpp"
 #include "resil/checked_io.hpp"
+#include "sparse/spmv.hpp"
 #include "solve/block.hpp"
 #include "solve/cgls.hpp"
 #include "solve/gd.hpp"
@@ -19,16 +20,23 @@ namespace memxct::core {
 
 namespace {
 
-/// Cache file name keyed by everything the traced matrix depends on:
-/// geometry shape, angular span, ordering scheme, and tile size. A config
-/// change keys a different file, so stale caches are simply never opened;
-/// a file that *was* tampered with to the right name still fails its
-/// checksum or the dimension cross-check below.
+/// Cache file name keyed by everything the cached payload depends on:
+/// geometry shape, angular span, ordering scheme, tile size — and, for
+/// reduced-precision operators, the value storage, because the compressed
+/// payload holds QUANTIZED values (".ccsr" extension) while the fp32 cache
+/// stores the exact traced matrix (".csr"). A config change keys a
+/// different file, so stale caches are simply never opened; a file that
+/// *was* tampered with to the right name still fails its checksum or the
+/// dimension cross-check below.
 std::string cache_file_name(const geometry::Geometry& g, const Config& c) {
   std::ostringstream os;
   os << "memxct-a" << g.num_angles << "-c" << g.num_channels << "-i"
      << g.image_size << "-s" << g.angle_span << "-" << to_string(c.ordering)
-     << "-t" << c.tile_size << ".csr";
+     << "-t" << c.tile_size;
+  if (c.precision == sparse::ValueStorage::Fp32)
+    os << ".csr";
+  else
+    os << "-v" << sparse::to_string(c.precision) << ".ccsr";
   return os.str();
 }
 
@@ -36,12 +44,23 @@ std::string cache_file_name(const geometry::Geometry& g, const Config& c) {
 /// missing file, checksum mismatch, truncation, wrong dimensions — returns
 /// false and the caller rebuilds; corruption is reported on stderr but
 /// never crashes preprocessing (the cache is an optimization, not a
-/// dependency).
+/// dependency). Reduced-precision caches store the quantized compressed
+/// form; decompressing yields the quantized fp32 matrix, and re-compressing
+/// that during operator construction is bitwise idempotent, so cache hit
+/// and miss produce identical operators.
 bool try_load_cache(const std::string& path, const geometry::Geometry& g,
-                    sparse::CsrMatrix& a) {
+                    const Config& c, sparse::CsrMatrix& a) {
   if (!resil::file_exists(path)) return false;
   try {
-    a = resil::load_csr_checked(path);
+    if (c.precision == sparse::ValueStorage::Fp32) {
+      a = resil::load_csr_checked(path);
+    } else {
+      const sparse::CompressedCsr packed =
+          resil::load_compressed_csr_checked(path);
+      if (packed.storage != c.precision)
+        throw IoError(path + ": cached value storage does not match config");
+      a = sparse::decompress_csr(packed);
+    }
     if (static_cast<std::int64_t>(a.num_rows) != g.sinogram_extent().size() ||
         static_cast<std::int64_t>(a.num_cols) != g.tomogram_extent().size())
       throw IoError(path + ": cached matrix shape does not match geometry");
@@ -54,6 +73,16 @@ bool try_load_cache(const std::string& path, const geometry::Geometry& g,
                  e.what());
   }
   return false;
+}
+
+/// Writes the cache entry for `a` (compressed when precision != fp32).
+void save_cache(const std::string& path, const Config& c,
+                const sparse::CsrMatrix& a) {
+  if (c.precision == sparse::ValueStorage::Fp32)
+    resil::save_csr_checked(path, a);
+  else
+    resil::save_compressed_csr_checked(
+        path, sparse::compress_csr(a, sparse::kCsrPartsize, c.precision));
 }
 
 }  // namespace
@@ -81,7 +110,7 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
   std::string cache_path;
   if (!config_.cache_dir.empty()) {
     cache_path = config_.cache_dir + "/" + cache_file_name(geometry_, config_);
-    report_.cache_hit = try_load_cache(cache_path, geometry_, a);
+    report_.cache_hit = try_load_cache(cache_path, geometry_, config_, a);
   }
   if (!report_.cache_hit) {
     a = geometry::build_projection_matrix(geometry_, *sino_order_,
@@ -90,7 +119,7 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
       try {
         std::error_code ec;  // a failed mkdir surfaces as the write error
         std::filesystem::create_directories(config_.cache_dir, ec);
-        resil::save_csr_checked(cache_path, a);
+        save_cache(cache_path, config_, a);
       } catch (const IoError& e) {
         std::fprintf(stderr, "memxct: cache write failed (%s); continuing\n",
                      e.what());
@@ -105,7 +134,12 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
 
   if (config_.num_ranks > 1 || config_.force_distributed) {
     // Distributed path: steps 3-4 (transposition + plans) happen inside
-    // DistOperator per rank.
+    // DistOperator per rank. No compressed local kernels exist there yet,
+    // so reduced precision is rejected rather than silently widened.
+    if (config_.precision != sparse::ValueStorage::Fp32)
+      throw InvalidArgument(
+          "reduced-precision operators (--precision bf16/fp16) are not "
+          "supported on the distributed path");
     phase.reset();
     const auto sino_part =
         dist::partition_by_tiles(*sino_order_, config_.num_ranks);
@@ -128,7 +162,7 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
     phase.reset();
     serial_op_ = std::make_unique<MemXCTOperator>(
         std::move(a), config_.kernel, config_.buffer, config_.ell_block_rows,
-        config_.schedule);
+        config_.schedule, config_.precision);
     report_.transpose_seconds = phase.seconds();
     report_.regular_bytes = serial_op_->regular_bytes();
     active_op_ = serial_op_.get();

@@ -22,20 +22,40 @@ struct RegularBytes {
 };
 
 /// Work accounting for one projection/backprojection kernel invocation.
+///
+/// Byte costs are split into value and index components and carried as
+/// doubles because the compressed layouts (sparse/compressed.hpp) have
+/// FRACTIONAL per-FMA index costs: a varint stream's average bytes/entry is
+/// measured from the built structure, not fixed by a type width. The fp32
+/// layouts keep their historical integer costs (8 B/FMA baseline CSR,
+/// 6 B/FMA buffered) through the defaults below.
 struct KernelWork {
   nnz_t nnz = 0;           ///< Nonzeros processed (FMAs).
   nnz_t staged_words = 0;  ///< Buffer-staging loads (map reads + x gathers).
-  double bytes_per_fma = RegularBytes::kBaseline;
+  /// Bytes of stored matrix value streamed per FMA (4 fp32, 2 bf16/fp16).
+  double value_bytes_per_fma = sizeof(real);
+  /// Bytes of matrix index streamed per FMA (4 CSR, 2 buffered, measured
+  /// average for varint streams).
+  double index_bytes_per_fma = sizeof(idx_t);
+  /// Bytes of staging-map entry read per staged word (4 raw, measured
+  /// average for varint streams).
+  double staged_index_bytes = sizeof(idx_t);
+
+  /// Total matrix-stream bytes per FMA (index + value), the Table 3 metric.
+  [[nodiscard]] double bytes_per_fma() const noexcept {
+    return value_bytes_per_fma + index_bytes_per_fma;
+  }
 
   [[nodiscard]] double flops() const noexcept {
     return 2.0 * static_cast<double>(nnz);
   }
 
   /// Regular-stream bytes, including staging traffic when present: each
-  /// staged word costs one 4 B map read plus one 4 B gathered value.
+  /// staged word costs one map-entry read plus one 4 B gathered x value.
   [[nodiscard]] double regular_bytes() const noexcept {
-    return static_cast<double>(nnz) * bytes_per_fma +
-           static_cast<double>(staged_words) * (sizeof(idx_t) + sizeof(real));
+    return static_cast<double>(nnz) * bytes_per_fma() +
+           static_cast<double>(staged_words) *
+               (staged_index_bytes + sizeof(real));
   }
 
   /// Amortized per-slice regular-stream bytes when k slices share one
@@ -46,8 +66,8 @@ struct KernelWork {
   /// monotonically toward the pure gather floor as k grows.
   [[nodiscard]] double regular_bytes_at_width(int k) const noexcept {
     const double width = k > 1 ? static_cast<double>(k) : 1.0;
-    return (static_cast<double>(nnz) * bytes_per_fma +
-            static_cast<double>(staged_words) * sizeof(idx_t)) /
+    return (static_cast<double>(nnz) * bytes_per_fma() +
+            static_cast<double>(staged_words) * staged_index_bytes) /
                width +
            static_cast<double>(staged_words) * sizeof(real);
   }

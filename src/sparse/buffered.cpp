@@ -256,7 +256,7 @@ perf::KernelWork buffered_work(const BufferedMatrix& a) {
   perf::KernelWork w;
   w.nnz = a.nnz();
   w.staged_words = a.total_staged();
-  w.bytes_per_fma = perf::RegularBytes::kBuffered;
+  w.index_bytes_per_fma = sizeof(buf_idx_t);
   return w;
 }
 

@@ -1,0 +1,33 @@
+#include "sparse/precision.hpp"
+
+namespace memxct::sparse {
+
+const char* to_string(ValueStorage storage) noexcept {
+  switch (storage) {
+    case ValueStorage::Fp32:
+      return "fp32";
+    case ValueStorage::Bf16:
+      return "bf16";
+    case ValueStorage::Fp16:
+      return "fp16";
+  }
+  return "?";
+}
+
+bool parse_value_storage(std::string_view text, ValueStorage& out) noexcept {
+  if (text == "fp32") {
+    out = ValueStorage::Fp32;
+    return true;
+  }
+  if (text == "bf16") {
+    out = ValueStorage::Bf16;
+    return true;
+  }
+  if (text == "fp16") {
+    out = ValueStorage::Fp16;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace memxct::sparse

@@ -49,8 +49,7 @@ void spmv_library(const CsrMatrix& a, std::span<const real> x,
 
 perf::KernelWork csr_work(const CsrMatrix& a) {
   perf::KernelWork w;
-  w.nnz = a.nnz();
-  w.bytes_per_fma = perf::RegularBytes::kBaseline;
+  w.nnz = a.nnz();  // index/value byte widths keep their fp32 CSR defaults
   return w;
 }
 

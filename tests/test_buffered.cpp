@@ -123,7 +123,7 @@ TEST(Buffered, BandwidthAccountingUsesTwoByteIndices) {
   const BufferedMatrix bm = build_buffered(a, {16, 128});
   const auto work = buffered_work(bm);
   EXPECT_EQ(work.nnz, a.nnz());
-  EXPECT_DOUBLE_EQ(work.bytes_per_fma, 6.0);  // 2 B index + 4 B value
+  EXPECT_DOUBLE_EQ(work.bytes_per_fma(), 6.0);  // 2 B index + 4 B value
   EXPECT_EQ(work.staged_words, bm.total_staged());
   // Regular bytes = 6·nnz + 8·staged (map read + gathered value).
   EXPECT_DOUBLE_EQ(work.regular_bytes(),

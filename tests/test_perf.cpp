@@ -41,11 +41,27 @@ TEST(KernelWork, GflopsAndBandwidth) {
   w.nnz = 1'000'000;
   EXPECT_DOUBLE_EQ(w.flops(), 2e6);
   EXPECT_DOUBLE_EQ(w.gflops(0.001), 2.0);
-  // Baseline: 8 B per FMA.
+  // Baseline: 8 B per FMA (4 B index + 4 B value defaults).
+  EXPECT_DOUBLE_EQ(w.bytes_per_fma(), RegularBytes::kBaseline);
   EXPECT_DOUBLE_EQ(w.regular_bytes(), 8e6);
-  w.bytes_per_fma = RegularBytes::kBuffered;
+  w.index_bytes_per_fma = 2.0;  // buffered: 16-bit buffer indices
   w.staged_words = 100'000;
+  EXPECT_DOUBLE_EQ(w.bytes_per_fma(), RegularBytes::kBuffered);
   EXPECT_DOUBLE_EQ(w.regular_bytes(), 6e6 + 8e5);
+}
+
+TEST(KernelWork, CompressedWidthsLowerTraffic) {
+  KernelWork w;
+  w.nnz = 1'000'000;
+  w.staged_words = 100'000;
+  w.value_bytes_per_fma = 2.0;   // bf16 storage
+  w.index_bytes_per_fma = 1.25;  // measured varint average
+  w.staged_index_bytes = 1.5;    // measured varint average
+  EXPECT_DOUBLE_EQ(w.bytes_per_fma(), 3.25);
+  EXPECT_DOUBLE_EQ(w.regular_bytes(), 3.25e6 + 1e5 * 5.5);
+  // Matrix stream and map reads amortize across k lanes; gathers do not.
+  EXPECT_DOUBLE_EQ(w.regular_bytes_at_width(4),
+                   (3.25e6 + 1.5e5) / 4.0 + 4e5);
 }
 
 TEST(MachineModel, Table2MachinesPresent) {

@@ -78,7 +78,7 @@ TEST(Spmv, WorkAccounting) {
   const auto work = csr_work(a);
   EXPECT_EQ(work.nnz, a.nnz());
   EXPECT_DOUBLE_EQ(work.flops(), 2.0 * static_cast<double>(a.nnz()));
-  EXPECT_DOUBLE_EQ(work.bytes_per_fma, 8.0);  // 4 B index + 4 B value
+  EXPECT_DOUBLE_EQ(work.bytes_per_fma(), 8.0);  // 4 B index + 4 B value
   EXPECT_GT(work.gflops(1.0), 0.0);
   EXPECT_EQ(work.gflops(0.0), 0.0);
 }

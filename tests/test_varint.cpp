@@ -1,0 +1,227 @@
+// Delta/varint codec tests: LEB128 round-trips at the encoding boundaries,
+// ascending-run encode/decode including the empty-row / single-element /
+// max-gap corners the compressed operators hit, and the checked Reader's
+// rejection of truncated, overlong, and non-ascending streams.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "sparse/compressed.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/varint.hpp"
+#include "test_util.hpp"
+
+namespace memxct::sparse {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+TEST(Varint, PutGetRoundTripAtBoundaries) {
+  const std::uint32_t cases[] = {0u,         1u,
+                                 127u,       128u,
+                                 16383u,     16384u,
+                                 2097151u,   2097152u,
+                                 268435455u, 268435456u,
+                                 std::numeric_limits<std::uint32_t>::max()};
+  for (const std::uint32_t v : cases) {
+    Bytes out;
+    varint::put(out, v);
+    ASSERT_LE(out.size(), static_cast<std::size_t>(varint::kMaxBytes));
+    // Unchecked hot-path decoder.
+    std::uint32_t decoded = ~v;
+    const std::uint8_t* end = varint::get(out.data(), decoded);
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(end, out.data() + out.size());
+    // Checked reader agrees and consumes the same bytes.
+    varint::Reader r(out);
+    EXPECT_EQ(r.next(), v);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(r.consumed(), out.size());
+  }
+}
+
+TEST(Varint, EncodedSizeMatchesSevenBitGroups) {
+  Bytes out;
+  varint::put(out, 127u);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  varint::put(out, 128u);
+  EXPECT_EQ(out.size(), 2u);
+  out.clear();
+  varint::put(out, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(Varint, EmptyRunEncodesToNothing) {
+  Bytes out;
+  varint::encode_run({}, out);
+  EXPECT_TRUE(out.empty());
+  varint::Reader r(out);
+  std::vector<idx_t> decoded;
+  varint::decode_run(r, 0, 100, decoded);
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Varint, SingleElementRunRoundTrips) {
+  // A one-nnz row: the lone element encodes as value + 1 (virtual
+  // predecessor -1), so element 0 costs exactly one byte.
+  for (const idx_t v : {idx_t{0}, idx_t{1}, idx_t{126}, idx_t{127},
+                        std::numeric_limits<idx_t>::max() - 1}) {
+    Bytes out;
+    const idx_t run[] = {v};
+    varint::encode_run(run, out);
+    if (v == 0) EXPECT_EQ(out.size(), 1u);
+    varint::Reader r(out);
+    std::vector<idx_t> decoded;
+    varint::decode_run(r, 1, -1, decoded);
+    ASSERT_EQ(decoded.size(), 1u);
+    EXPECT_EQ(decoded[0], v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Varint, MaxGapDeltasRoundTrip) {
+  // Gaps spanning nearly the whole idx_t range, including the largest
+  // representable final element.
+  const std::vector<idx_t> run = {0, 1, std::numeric_limits<idx_t>::max() - 1,
+                                  std::numeric_limits<idx_t>::max()};
+  Bytes out;
+  varint::encode_run(run, out);
+  varint::Reader r(out);
+  std::vector<idx_t> decoded;
+  varint::decode_run(r, static_cast<idx_t>(run.size()), -1, decoded);
+  EXPECT_EQ(decoded, run);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Varint, DenseRunCostsOneBytePerElement) {
+  std::vector<idx_t> run(1000);
+  for (idx_t i = 0; i < 1000; ++i) run[static_cast<std::size_t>(i)] = i;
+  Bytes out;
+  varint::encode_run(run, out);
+  EXPECT_EQ(out.size(), run.size());  // every gap is 1 -> one byte each
+  varint::Reader r(out);
+  std::vector<idx_t> decoded;
+  varint::decode_run(r, 1000, 1000, decoded);
+  EXPECT_EQ(decoded, run);
+}
+
+TEST(Varint, EncodeRejectsNonAscendingRun) {
+  Bytes out;
+  const idx_t dup[] = {3, 3};
+  EXPECT_THROW(varint::encode_run(dup, out), InvariantError);
+  const idx_t desc[] = {5, 2};
+  EXPECT_THROW(varint::encode_run(desc, out), InvariantError);
+  const idx_t neg[] = {-2};
+  EXPECT_THROW(varint::encode_run(neg, out), InvariantError);
+}
+
+TEST(Varint, ReaderRejectsTruncatedStream) {
+  Bytes out;
+  varint::put(out, 300u);  // two bytes
+  out.pop_back();          // continuation bit set, nothing follows
+  varint::Reader r(out);
+  EXPECT_THROW((void)r.next(), IoError);
+  // Empty stream is also truncation.
+  varint::Reader empty(Bytes{});
+  EXPECT_THROW((void)empty.next(), IoError);
+}
+
+TEST(Varint, ReaderRejectsOverlongAndOverflowingEncodings) {
+  // Six continuation bytes: exceeds kMaxBytes.
+  const Bytes overlong = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  varint::Reader r1(overlong);
+  EXPECT_THROW((void)r1.next(), IoError);
+  // Five bytes whose top group pushes past 32 bits (2^35).
+  const Bytes overflow = {0x80, 0x80, 0x80, 0x80, 0x20};
+  varint::Reader r2(overflow);
+  EXPECT_THROW((void)r2.next(), IoError);
+}
+
+TEST(Varint, DecodeRunRejectsZeroGapAndOutOfBound) {
+  // A zero gap means the stream is not strictly ascending.
+  Bytes zero_gap;
+  varint::put(zero_gap, 1u);  // element 0
+  varint::put(zero_gap, 0u);  // "same element again"
+  varint::Reader r1(zero_gap);
+  std::vector<idx_t> out;
+  EXPECT_THROW(varint::decode_run(r1, 2, 10, out), IoError);
+
+  // An element at the bound is rejected (bound is exclusive).
+  Bytes at_bound;
+  varint::put(at_bound, 11u);  // element 10
+  varint::Reader r2(at_bound);
+  out.clear();
+  EXPECT_THROW(varint::decode_run(r2, 1, 10, out), IoError);
+
+  // Accumulated gaps overflowing idx_t are rejected even unbounded.
+  Bytes big;
+  varint::put(big, std::numeric_limits<std::uint32_t>::max());
+  varint::put(big, std::numeric_limits<std::uint32_t>::max());
+  varint::Reader r3(big);
+  out.clear();
+  EXPECT_THROW(varint::decode_run(r3, 2, -1, out), IoError);
+}
+
+// --- codec through the compressed CSR container -----------------------------
+
+TEST(Varint, CompressedCsrRoundTripsEmptyAndSingleNnzRows) {
+  // Rows: empty, single-nnz, empty, dense-ish, empty tail — the corner
+  // shapes a traced projection matrix produces at the detector edges.
+  CsrBuilder b(5, 8);
+  const std::vector<std::pair<idx_t, real>> single{{4, 0.5f}};
+  const std::vector<std::pair<idx_t, real>> triple{
+      {0, 1.0f}, {1, -1.5f}, {7, 2.0f}};
+  b.set_row(1, single);
+  b.set_row(3, triple);
+  const CsrMatrix a = b.assemble();
+  const CompressedCsr c = compress_csr(a, 2, ValueStorage::Fp32);
+  EXPECT_EQ(c.nnz(), a.nnz());
+  const CsrMatrix back = decompress_csr(c);
+  EXPECT_EQ(back.num_rows, a.num_rows);
+  EXPECT_EQ(back.num_cols, a.num_cols);
+  ASSERT_EQ(back.displ.size(), a.displ.size());
+  for (std::size_t i = 0; i < a.displ.size(); ++i)
+    EXPECT_EQ(back.displ[i], a.displ[i]);
+  for (std::size_t i = 0; i < a.ind.size(); ++i) {
+    EXPECT_EQ(back.ind[i], a.ind[i]);
+    EXPECT_FLOAT_EQ(back.val[i], a.val[i]);  // fp32 storage is lossless
+  }
+}
+
+TEST(Varint, CompressedCsrRoundTripsRandomMatrices) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const CsrMatrix a = testutil::random_csr(64, 96, 0.08, seed);
+    const CsrMatrix back =
+        decompress_csr(compress_csr(a, kCsrPartsize, ValueStorage::Fp32));
+    ASSERT_EQ(back.ind.size(), a.ind.size());
+    for (std::size_t i = 0; i < a.ind.size(); ++i) {
+      EXPECT_EQ(back.ind[i], a.ind[i]);
+      EXPECT_FLOAT_EQ(back.val[i], a.val[i]);
+    }
+  }
+}
+
+TEST(Varint, CompressedCsrDetectsCorruptIndexStream) {
+  const CsrMatrix a = testutil::random_csr(32, 32, 0.2, 7);
+  CompressedCsr c = compress_csr(a, 8, ValueStorage::Bf16);
+  ASSERT_FALSE(c.ind_bytes.empty());
+  // Flip a stream byte to a continuation byte at the end of a partition:
+  // validation must flag the damage instead of decoding garbage.
+  CompressedCsr tampered = c;
+  tampered.ind_bytes.back() |= 0x80u;
+  EXPECT_THROW(tampered.validate(), IoError);
+  // Truncating the stream breaks the offset-table invariant.
+  CompressedCsr shorter = c;
+  shorter.ind_bytes.pop_back();
+  EXPECT_THROW(shorter.validate(), InvariantError);
+}
+
+}  // namespace
+}  // namespace memxct::sparse
