@@ -1,0 +1,301 @@
+// Chaos bench: the serving stack under seeded fault storms and overload.
+//
+// Two scenarios, both deterministic from --seed:
+//
+//   1. Overload: the EWMA feasibility estimate is warmed with one clean
+//      request, then a burst arrives with a deadline the estimator knows a
+//      full-quality solve cannot meet. A BASELINE server (no ladder)
+//      rejects the burst at admission; a LADDER server admits it at a
+//      cheaper rung and completes it Degraded. The bench asserts the
+//      ladder's rejection rate is STRICTLY lower than the baseline's and
+//      its degraded-completion rate is > 0 — the quantitative case for
+//      degrading instead of rejecting.
+//
+//   2. Fault storm: every worker attempt rolls seeded dice for an injected
+//      delay, a transient fault (retried with backoff), or a permanent
+//      fault (failed immediately). Invariants asserted: the run completes
+//      (no deadlock), every request reaches a typed terminal status (none
+//      lost), and a second same-seed storm produces the identical status
+//      sequence (reproducibility — the draws are pure functions of
+//      (seed, request, attempt), never of thread interleaving).
+//
+//   bench_serve_chaos [--seed S] [--json <path>]
+//
+// Honors MEMXCT_BENCH_SCALE (divides the problem for smoke runs).
+// Exit 0 only when every invariant holds.
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "io/table.hpp"
+#include "phantom/phantom.hpp"
+#include "resil/fault.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace memxct;
+
+struct OverloadOutcome {
+  int submitted = 0;
+  int rejected = 0;   // at admission (queue full or infeasible)
+  int ok = 0;
+  int degraded = 0;
+  int failed = 0;  // any other terminal status
+  [[nodiscard]] double rejection_rate() const {
+    return submitted > 0 ? static_cast<double>(rejected) / submitted : 0.0;
+  }
+  [[nodiscard]] double degraded_rate() const {
+    return submitted > 0 ? static_cast<double>(degraded) / submitted : 0.0;
+  }
+};
+
+// Warm the server's service-time estimate with one full-quality request,
+// then throw a burst with a deadline sized to ~0.4 x the estimate: a full
+// solve is infeasible, the cheapest default rung (cost 0.25) fits.
+OverloadOutcome run_overload(bool ladder, const geometry::Geometry& geom,
+                             const AlignedVector<real>& sino,
+                             const core::Config& config, int burst) {
+  serve::ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = burst + 1;
+  if (ladder) {
+    options.degrade.enabled = true;
+    options.degrade.rungs = serve::default_ladder();
+  }
+  serve::Server server(options);
+
+  OverloadOutcome out;
+  // Warmup requests (not counted): teach the EWMA the service cost and — on
+  // the ladder server — pre-build the cheapest rung's operator into the
+  // registry (its reduced precision keys a distinct operator; a cold build
+  // during the burst would burn every deadline on setup, not solve time).
+  (void)server.wait(server.submit(geom, config, sino, {}));
+  if (ladder) {
+    serve::RequestOptions warm;
+    warm.rung = static_cast<int>(options.degrade.rungs.size());
+    warm.keep_image = false;
+    (void)server.wait(server.submit(geom, config, sino, warm));
+  }
+  const double estimate = server.snapshot().estimated_service_seconds;
+
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < burst; ++i) {
+    ++out.submitted;
+    serve::RequestOptions ropt;
+    ropt.deadline_seconds = 0.4 * estimate;
+    ropt.keep_image = false;
+    try {
+      ids.push_back(server.submit(geom, config, sino, ropt));
+    } catch (const serve::RejectedError&) {
+      ++out.rejected;
+    }
+  }
+  for (const std::int64_t id : ids) {
+    switch (server.wait(id).status) {
+      case serve::RequestStatus::Ok:
+        ++out.ok;
+        break;
+      case serve::RequestStatus::Degraded:
+        ++out.degraded;
+        break;
+      default:
+        ++out.failed;
+        break;
+    }
+  }
+  return out;
+}
+
+struct StormOutcome {
+  std::vector<serve::RequestStatus> statuses;  // submit order
+  serve::ServerMetrics metrics;
+  int lost = 0;
+};
+
+StormOutcome run_storm(std::uint64_t seed, const geometry::Geometry& geom,
+                       const AlignedVector<real>& sino,
+                       const core::Config& config, int requests) {
+  const resil::FaultInjector injector(seed);
+  resil::FaultInjector::WorkerFaultOptions faults;
+  faults.delay_probability = 0.10;
+  faults.delay_ms = 5.0;
+  faults.transient_probability = 0.35;
+  faults.permanent_probability = 0.05;
+
+  serve::ServerOptions options;
+  options.workers = 3;
+  options.queue_capacity = requests;
+  options.retry.max_attempts = 4;
+  options.retry.backoff_ms = 2.0;
+  options.retry.seed = seed;
+  options.watchdog_ms = 2000.0;  // armed, but the storm's stalls are short
+  options.degrade.enabled = true;
+  options.degrade.rungs = serve::default_ladder();
+  options.fault_hook = injector.worker_fault_hook(faults);
+  serve::Server server(options);
+
+  StormOutcome out;
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < requests; ++i) {
+    serve::RequestOptions ropt;
+    ropt.priority = static_cast<serve::Priority>(i % serve::kNumPriorities);
+    ropt.keep_image = false;
+    ids.push_back(server.submit(geom, config, sino, ropt));
+  }
+  for (const std::int64_t id : ids) {
+    try {
+      out.statuses.push_back(server.wait(id).status);
+    } catch (const std::exception&) {
+      ++out.lost;  // wait() threw: the request vanished without a status
+    }
+  }
+  out.metrics = server.snapshot();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc)
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    else if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+
+  const idx_t size = std::max<idx_t>(20, 64 / bench::env_scale());
+  const int burst = 12;
+  const int storm_requests = 36;
+  const auto geom = geometry::make_geometry(size * 3 / 2, size);
+  const auto image = phantom::shepp_logan(size);
+  const auto projected = phantom::forward_project(geom, image);
+  const AlignedVector<real> sino(projected.begin(), projected.end());
+  core::Config config;
+  config.iterations = 8;
+
+  std::printf("chaos bench: seed %llu, %d x %d geometry, burst %d, storm "
+              "%d requests\n\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<int>(size * 3 / 2), static_cast<int>(size), burst,
+              storm_requests);
+
+  // --- Scenario 1: overload, baseline vs ladder -------------------------
+  const OverloadOutcome base = run_overload(false, geom, sino, config, burst);
+  const OverloadOutcome lad = run_overload(true, geom, sino, config, burst);
+  {
+    io::TablePrinter table("Overload: reject vs degrade");
+    table.header({"server", "submitted", "rejected", "ok", "degraded",
+                  "failed"});
+    table.row({"baseline", std::to_string(base.submitted),
+               std::to_string(base.rejected), std::to_string(base.ok),
+               std::to_string(base.degraded), std::to_string(base.failed)});
+    table.row({"ladder", std::to_string(lad.submitted),
+               std::to_string(lad.rejected), std::to_string(lad.ok),
+               std::to_string(lad.degraded), std::to_string(lad.failed)});
+    table.print();
+  }
+  bool overload_ok = true;
+  if (lad.degraded_rate() <= 0.0) {
+    std::fprintf(stderr, "FAIL: ladder degraded-completion rate is 0\n");
+    overload_ok = false;
+  }
+  if (lad.rejection_rate() >= base.rejection_rate()) {
+    std::fprintf(stderr,
+                 "FAIL: ladder rejection rate %.2f not strictly below "
+                 "baseline %.2f\n",
+                 lad.rejection_rate(), base.rejection_rate());
+    overload_ok = false;
+  }
+  if (overload_ok)
+    std::printf("ladder turned %.0f%% rejections into %.0f%% rejections + "
+                "%.0f%% degraded completions\n",
+                100.0 * base.rejection_rate(), 100.0 * lad.rejection_rate(),
+                100.0 * lad.degraded_rate());
+
+  // --- Scenario 2: seeded fault storm, twice ----------------------------
+  const StormOutcome s1 = run_storm(seed, geom, sino, config, storm_requests);
+  const StormOutcome s2 = run_storm(seed, geom, sino, config, storm_requests);
+  int ok = 0, degraded = 0, failed = 0, other = 0;
+  for (const auto st : s1.statuses) {
+    if (st == serve::RequestStatus::Ok) ++ok;
+    else if (st == serve::RequestStatus::Degraded) ++degraded;
+    else if (st == serve::RequestStatus::Failed) ++failed;
+    else ++other;
+  }
+  const bool deterministic = s1.statuses == s2.statuses;
+  const auto& m = s1.metrics;
+  {
+    io::TablePrinter table("Fault storm");
+    table.header({"requests", "ok", "degraded", "failed", "other", "lost",
+                  "retries", "exhausted", "deterministic"});
+    table.row({std::to_string(storm_requests), std::to_string(ok),
+               std::to_string(degraded), std::to_string(failed),
+               std::to_string(other), std::to_string(s1.lost),
+               std::to_string(m.retries), std::to_string(m.retry_exhausted),
+               deterministic ? "yes" : "NO"});
+    table.print();
+  }
+  std::printf("%s\n", m.summary().c_str());
+
+  bool storm_ok = true;
+  if (s1.lost > 0 || static_cast<int>(s1.statuses.size()) + s1.lost !=
+                         storm_requests) {
+    std::fprintf(stderr, "FAIL: %d requests lost without a typed status\n",
+                 s1.lost);
+    storm_ok = false;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: same-seed storms diverged (seed %llu is not "
+                 "reproducible)\n",
+                 static_cast<unsigned long long>(seed));
+    storm_ok = false;
+  }
+  if (other > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d requests ended in a status the storm cannot "
+                 "produce\n",
+                 other);
+    storm_ok = false;
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_serve_chaos: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\"seed\": %llu, \"overload\": {\"burst\": %d, "
+        "\"baseline_rejection_rate\": %.6g, \"ladder_rejection_rate\": %.6g, "
+        "\"ladder_degraded_rate\": %.6g}, \"storm\": {\"requests\": %d, "
+        "\"ok\": %d, \"degraded\": %d, \"failed\": %d, \"lost\": %d, "
+        "\"retries\": %lld, \"retry_exhausted\": %lld, "
+        "\"retry_backoff_p50_s\": %.6g, \"retry_backoff_p95_s\": %.6g, "
+        "\"watchdog_cancelled\": %lld, \"deterministic\": %s}}\n",
+        static_cast<unsigned long long>(seed), burst,
+        base.rejection_rate(), lad.rejection_rate(), lad.degraded_rate(),
+        storm_requests, ok, degraded, failed, s1.lost,
+        static_cast<long long>(m.retries),
+        static_cast<long long>(m.retry_exhausted),
+        m.retry_backoff.quantile(0.50), m.retry_backoff.quantile(0.95),
+        static_cast<long long>(m.watchdog_cancelled),
+        deterministic ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!overload_ok || !storm_ok) return 1;
+  std::printf("\nOK: no deadlock, no lost requests, storms reproducible, "
+              "ladder strictly reduces rejections\n");
+  return 0;
+}

@@ -41,6 +41,12 @@ struct BudgetRow {
   std::int64_t evictions;
   double setup_sum;
   double p50, p95, p99;
+  // Degradation / resilience counters (zero in this bench's clean runs;
+  // surfaced so the JSON schema matches bench_serve_chaos and dashboards
+  // can overlay the two).
+  std::int64_t degraded, salvaged, degraded_admissions;
+  std::int64_t retries, retry_exhausted, retry_abandoned, watchdog_cancelled;
+  double retry_backoff_p50, retry_backoff_p95;
 };
 
 }  // namespace
@@ -135,7 +141,11 @@ int main(int argc, char** argv) {
                     wall_s > 0 ? m.completed / wall_s : 0.0,
                     m.registry.hit_rate(), m.registry.evictions,
                     m.setup_seconds_sum, lat.quantile(0.50),
-                    lat.quantile(0.95), lat.quantile(0.99)});
+                    lat.quantile(0.95), lat.quantile(0.99), m.degraded,
+                    m.salvaged, m.degraded_admissions, m.retries,
+                    m.retry_exhausted, m.retry_abandoned,
+                    m.watchdog_cancelled, m.retry_backoff.quantile(0.50),
+                    m.retry_backoff.quantile(0.95)});
   }
 
   {
@@ -180,11 +190,24 @@ int main(int argc, char** argv) {
                    "\"requests_per_second\": %.6g, \"hit_rate\": %.6g, "
                    "\"evictions\": %lld, \"setup_seconds_sum\": %.6g, "
                    "\"latency_p50_s\": %.6g, \"latency_p95_s\": %.6g, "
-                   "\"latency_p99_s\": %.6g}",
+                   "\"latency_p99_s\": %.6g, \"degraded\": %lld, "
+                   "\"salvaged\": %lld, \"degraded_admissions\": %lld, "
+                   "\"retries\": %lld, \"retry_exhausted\": %lld, "
+                   "\"retry_abandoned\": %lld, \"watchdog_cancelled\": %lld, "
+                   "\"retry_backoff_p50_s\": %.6g, "
+                   "\"retry_backoff_p95_s\": %.6g}",
                    r.label.c_str(), r.budget_bytes, op_bytes[0], op_bytes[1],
                    requests, workers, r.wall_seconds, r.requests_per_second,
                    r.hit_rate, static_cast<long long>(r.evictions),
-                   r.setup_sum, r.p50, r.p95, r.p99);
+                   r.setup_sum, r.p50, r.p95, r.p99,
+                   static_cast<long long>(r.degraded),
+                   static_cast<long long>(r.salvaged),
+                   static_cast<long long>(r.degraded_admissions),
+                   static_cast<long long>(r.retries),
+                   static_cast<long long>(r.retry_exhausted),
+                   static_cast<long long>(r.retry_abandoned),
+                   static_cast<long long>(r.watchdog_cancelled),
+                   r.retry_backoff_p50, r.retry_backoff_p95);
     }
     std::fprintf(out, "\n]\n");
     std::fclose(out);

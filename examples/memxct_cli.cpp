@@ -21,6 +21,18 @@
 //   --slices S                 reconstruct S slices through one operator
 //   --batch-workers K          batch worker pool size       (default 1)
 //   --batch-queue Q            bounded submit queue depth   (default 2K)
+//   --deadline-ms D            wall-clock budget for the single-slice solve;
+//                              the solver stops at the next iteration
+//                              boundary once it expires
+//   --degrade                  salvage a deadline-interrupted solve: write
+//                              the best-so-far iterate and exit 6 instead
+//                              of failing
+//   --max-retries R            attempts for transient preprocessing faults
+//                              (default 1 = no retry)
+//   --retry-backoff-ms B       base retry backoff, doubled per attempt
+//                              with deterministic jitter (default 10)
+//   --watchdog-ms W            force-cancel the solve when no iteration
+//                              completes for W ms (default off)
 //   --block-width W            lockstep multi-RHS width: each worker solves
 //                              waves of W slices per matrix stream (cg
 //                              only; default 1)
@@ -30,11 +42,17 @@
 // Input sinograms are .vec files (io::save_vector format), angles-major.
 //
 // Exit codes: 0 success, 2 usage, 3 invalid argument/data, 4 I/O or
-// corruption error, 5 internal invariant violation.
+// corruption error, 5 internal invariant violation, 6 degraded (the
+// deadline interrupted the solve and --degrade salvaged the best-so-far
+// iterate into the output image).
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "batch/batch.hpp"
 #include "core/reconstructor.hpp"
@@ -43,6 +61,7 @@
 #include "perf/counters.hpp"
 #include "io/serialize.hpp"
 #include "phantom/phantom.hpp"
+#include "serve/retry.hpp"
 #include "solve/fbp.hpp"
 
 namespace {
@@ -60,6 +79,8 @@ using namespace memxct;
                "[--cache DIR] [--checkpoint FILE] [--checkpoint-interval K] "
                "[--slices S] [--batch-workers K] [--batch-queue Q] "
                "[--block-width W] "
+               "[--deadline-ms D] [--degrade] [--max-retries R] "
+               "[--retry-backoff-ms B] [--watchdog-ms W] "
                "[--save-sino f.vec] [--fbp ramp|shepp|hann] "
                "[--output img.pgm]\n",
                argv0);
@@ -101,6 +122,11 @@ int run(int argc, char** argv) {
   double noise = 0.0;
   int slices = 1;
   batch::BatchOptions batch_opt;
+  double deadline_ms = 0.0;
+  bool degrade = false;
+  int max_retries = 1;
+  double retry_backoff_ms = 10.0;
+  double watchdog_ms = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -129,6 +155,11 @@ int run(int argc, char** argv) {
     else if (arg == "--batch-workers") batch_opt.workers = std::atoi(next());
     else if (arg == "--batch-queue")
       batch_opt.queue_capacity = std::atoi(next());
+    else if (arg == "--deadline-ms") deadline_ms = std::atof(next());
+    else if (arg == "--degrade") degrade = true;
+    else if (arg == "--max-retries") max_retries = std::atoi(next());
+    else if (arg == "--retry-backoff-ms") retry_backoff_ms = std::atof(next());
+    else if (arg == "--watchdog-ms") watchdog_ms = std::atof(next());
     else if (arg == "--block-width") {
       batch_opt.block_width = std::atoi(next());
       config.block_width = batch_opt.block_width;
@@ -202,7 +233,25 @@ int run(int argc, char** argv) {
   if (!save_sino.empty()) io::save_vector(save_sino, sinogram);
 
   const auto g = geometry::make_geometry(angles, channels);
-  const core::Reconstructor recon(g, config);
+  // Transient preprocessing faults retry with the same bounded-backoff
+  // policy the serve layer uses; every other exception type is permanent
+  // and propagates to the typed exit codes above.
+  serve::RetryPolicy retry(
+      {.max_attempts = max_retries, .backoff_ms = retry_backoff_ms});
+  std::unique_ptr<core::Reconstructor> recon_ptr;
+  for (int attempt = 1; recon_ptr == nullptr; ++attempt) {
+    try {
+      recon_ptr = std::make_unique<core::Reconstructor>(g, config);
+    } catch (const TransientError& e) {
+      if (!retry.should_retry(attempt)) throw;
+      const double delay = retry.delay_seconds(0, attempt);
+      std::fprintf(stderr,
+                   "transient fault (attempt %d): %s; retrying in %.0f ms\n",
+                   attempt, e.what(), delay * 1e3);
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+  const core::Reconstructor& recon = *recon_ptr;
   const auto& report = recon.preprocess_report();
   std::printf("preprocessing %.2f s (%lld nnz, %s regular data%s)\n",
               report.total_seconds, static_cast<long long>(report.nnz),
@@ -267,7 +316,37 @@ int run(int argc, char** argv) {
     return results[0].status == batch::SliceStatus::Ok ? 0 : 3;
   }
 
-  const auto result = recon.reconstruct(sinogram);
+  // Single-slice path with the full resilience kit: deadline via the
+  // cooperative CancelToken, per-iteration heartbeat, and an optional
+  // watchdog thread that force-cancels a solve whose heartbeat goes silent.
+  solve::CancelToken token;
+  if (deadline_ms > 0.0) token.set_deadline_after(deadline_ms / 1e3);
+  solve::ProgressSink progress;
+  std::atomic<bool> watchdog_stop{false};
+  std::atomic<bool> watchdog_fired{false};
+  std::thread watchdog;
+  if (watchdog_ms > 0.0) {
+    progress.arm();
+    watchdog = std::thread([&] {
+      const auto interval = std::chrono::duration<double, std::milli>(
+          watchdog_ms / 4.0 > 1.0 ? watchdog_ms / 4.0 : 1.0);
+      while (!watchdog_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(interval);
+        if (watchdog_stop.load(std::memory_order_relaxed)) break;
+        if (progress.seconds_since_tick() * 1e3 > watchdog_ms) {
+          watchdog_fired.store(true, std::memory_order_relaxed);
+          token.request_cancel();
+          break;
+        }
+      }
+    });
+  }
+  const auto result = core::reconstruct_slice(
+      recon.op(), g, config, recon.sinogram_ordering(),
+      recon.tomogram_ordering(), sinogram, nullptr, &token, &progress);
+  watchdog_stop.store(true, std::memory_order_relaxed);
+  if (watchdog.joinable()) watchdog.join();
+
   if (config.ingest.policy == resil::IngestPolicy::Sanitize &&
       !result.ingest.clean())
     std::printf("ingest: %s\n", result.ingest.summary().c_str());
@@ -277,6 +356,29 @@ int run(int argc, char** argv) {
               result.solve.history.empty()
                   ? 0.0
                   : result.solve.history.back().residual_norm);
+  if (result.solve.cancelled) {
+    if (watchdog_fired.load(std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "memxct_cli: watchdog: no solver progress within %.0f ms; "
+                   "solve cancelled after iteration %d\n",
+                   watchdog_ms, result.solve.iterations);
+      return 1;
+    }
+    if (!degrade || result.solve.iterations == 0) {
+      std::fprintf(stderr,
+                   "memxct_cli: deadline of %.0f ms exceeded after %d "
+                   "iterations (rerun with --degrade to salvage the partial "
+                   "image)\n",
+                   deadline_ms, result.solve.iterations);
+      return 1;
+    }
+    // Salvage: the last completed iterate is a usable under-iterated image.
+    io::write_pgm_autoscale(output, g.tomogram_extent(), result.image);
+    std::printf("degraded: deadline hit after %d of %d iterations; wrote "
+                "best-so-far iterate to %s\n",
+                result.solve.iterations, config.iterations, output.c_str());
+    return 6;
+  }
   io::write_pgm_autoscale(output, g.tomogram_extent(), result.image);
   std::printf("wrote %s\n", output.c_str());
 

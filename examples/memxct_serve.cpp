@@ -9,7 +9,8 @@
 //   memxct_serve [--requests N] [--workers K] [--geometries G] [--size S]
 //                [--iterations I] [--queue Q] [--budget-bytes B]
 //                [--cache-dir DIR] [--deadline-ms D] [--block-width W]
-//                [--precision fp32|bf16|fp16]
+//                [--precision fp32|bf16|fp16] [--degrade]
+//                [--max-retries R] [--retry-backoff-ms B] [--watchdog-ms W]
 //
 // --block-width keys every submitted config at that multi-RHS width (the
 // registry sizes block workspaces per width, so widths never share an
@@ -18,9 +19,15 @@
 // model constant. --precision serves compressed reduced-precision
 // operators; the registry's byte budget charges their smaller footprint.
 //
+// --degrade enables the default quality ladder (plus mid-solve salvage),
+// --max-retries/--retry-backoff-ms configure the transient-fault retry
+// policy, --watchdog-ms starts the stalled-solve monitor.
+//
 // Defaults make a CI-friendly smoke run: small geometries, queue sized to
-// the request count (no overload), no deadlines. Exit code is 0 only when
-// every request completed Ok and nothing was rejected — the CI smoke gate.
+// the request count (no overload), no deadlines. Exit codes: 0 = every
+// request completed Ok and nothing was rejected (the CI smoke gate);
+// 6 = some requests completed Degraded (reduced rung or salvaged partial)
+// but nothing failed; 1 = rejections or failures.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +69,10 @@ int main(int argc, char** argv) {
   int block_width = 1;
   sparse::ValueStorage precision = sparse::ValueStorage::Fp32;
   std::string cache_dir;
+  bool degrade = false;
+  int max_retries = 1;
+  double retry_backoff_ms = 10.0;
+  double watchdog_ms = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +94,13 @@ int main(int argc, char** argv) {
     else if (arg == "--cache-dir") cache_dir = next("--cache-dir");
     else if (arg == "--block-width")
       block_width = int_flag(next("--block-width"), arg.c_str());
+    else if (arg == "--degrade") degrade = true;
+    else if (arg == "--max-retries")
+      max_retries = int_flag(next("--max-retries"), arg.c_str());
+    else if (arg == "--retry-backoff-ms")
+      retry_backoff_ms = std::atof(next("--retry-backoff-ms"));
+    else if (arg == "--watchdog-ms")
+      watchdog_ms = std::atof(next("--watchdog-ms"));
     else if (arg == "--precision") {
       const char* v = next("--precision");
       if (!sparse::parse_value_storage(v, precision)) {
@@ -120,6 +138,13 @@ int main(int argc, char** argv) {
   options.queue_capacity = queue > 0 ? queue : requests;
   options.registry.byte_budget = budget_bytes;
   options.registry.disk_cache_dir = cache_dir;
+  if (degrade) {
+    options.degrade.enabled = true;
+    options.degrade.rungs = serve::default_ladder();
+  }
+  options.retry.max_attempts = max_retries;
+  options.retry.backoff_ms = retry_backoff_ms;
+  options.watchdog_ms = watchdog_ms;
   serve::Server server(options);
 
   std::printf("serving %d requests over %d geometries (size %d) on %d "
@@ -148,9 +173,21 @@ int main(int argc, char** argv) {
   }
 
   int not_ok = 0;
+  int degraded_done = 0;
   for (const std::int64_t id : ids) {
     const auto r = server.wait(id);
-    if (r.status != serve::RequestStatus::Ok) {
+    if (r.status == serve::RequestStatus::Degraded) {
+      // Degraded is a success with a quality tag, not a failure: report the
+      // rung (or salvage) and the achieved residual so the operator can see
+      // what quality the ladder actually delivered.
+      ++degraded_done;
+      std::fprintf(stderr,
+                   "request %lld degraded (%s, residual %.3g, %d attempts)\n",
+                   static_cast<long long>(r.id),
+                   r.salvaged ? "salvaged partial"
+                              : ("rung " + std::to_string(r.rung)).c_str(),
+                   r.achieved_residual, r.attempts);
+    } else if (r.status != serve::RequestStatus::Ok) {
       ++not_ok;
       std::fprintf(stderr, "request %lld finished %s%s%s\n",
                    static_cast<long long>(r.id), to_string(r.status),
@@ -162,11 +199,13 @@ int main(int argc, char** argv) {
 
   {
     io::TablePrinter table("Per-priority outcome");
-    table.header({"priority", "submitted", "ok", "p50", "p95", "max"});
+    table.header(
+        {"priority", "submitted", "ok", "degraded", "p50", "p95", "max"});
     for (int p = 0; p < serve::kNumPriorities; ++p) {
       const auto& pm = m.priority[static_cast<std::size_t>(p)];
       table.row({to_string(static_cast<serve::Priority>(p)),
                  std::to_string(pm.submitted), std::to_string(pm.ok),
+                 std::to_string(pm.degraded),
                  io::TablePrinter::time_s(pm.latency.quantile(0.50)),
                  io::TablePrinter::time_s(pm.latency.quantile(0.95)),
                  io::TablePrinter::time_s(pm.latency.max_seconds())});
@@ -188,6 +227,30 @@ int main(int argc, char** argv) {
                std::to_string(m.registry.disk_tier_hits)});
     table.print();
   }
+  if (degrade || max_retries > 1 || watchdog_ms > 0.0) {
+    io::TablePrinter table("Degradation / resilience");
+    table.header({"degraded", "salvaged", "at admission", "retries",
+                  "exhausted", "abandoned", "watchdog"});
+    table.row({std::to_string(m.degraded), std::to_string(m.salvaged),
+               std::to_string(m.degraded_admissions),
+               std::to_string(m.retries), std::to_string(m.retry_exhausted),
+               std::to_string(m.retry_abandoned),
+               std::to_string(m.watchdog_cancelled)});
+    table.print();
+    for (int r = 0; r < serve::kMaxRungs; ++r) {
+      const auto n = m.degraded_by_rung[static_cast<std::size_t>(r)];
+      if (n > 0) std::printf("  rung %d: %lld requests\n", r + 1,
+                             static_cast<long long>(n));
+    }
+    if (m.retries > 0)
+      std::printf("  retry backoff p50 %s, p95 %s, max %s\n",
+                  io::TablePrinter::time_s(m.retry_backoff.quantile(0.50))
+                      .c_str(),
+                  io::TablePrinter::time_s(m.retry_backoff.quantile(0.95))
+                      .c_str(),
+                  io::TablePrinter::time_s(m.retry_backoff.max_seconds())
+                      .c_str());
+  }
   std::printf("%s\n", m.summary().c_str());
   std::printf("wall %.3f s, %.2f requests/s, setup total %.3f s, solve "
               "total %.3f s\n",
@@ -206,13 +269,21 @@ int main(int argc, char** argv) {
                 fwd.bytes_per_fma() / block_width, block_width);
   }
 
-  // Smoke gate: any rejection or non-Ok completion is a failure.
+  // Smoke gate: any rejection or failure is exit 1; a clean run where some
+  // requests were served degraded (ladder or salvage) is exit 6 so callers
+  // can distinguish reduced quality from both success and failure.
   if (rejected > 0 || m.rejected() > 0 || not_ok > 0) {
     std::fprintf(stderr,
                  "FAIL: %d rejected at submit, %lld rejected in metrics, %d "
                  "not ok\n",
                  rejected, static_cast<long long>(m.rejected()), not_ok);
     return 1;
+  }
+  if (degraded_done > 0) {
+    std::printf("DEGRADED: %lld of %lld requests served below full quality\n",
+                static_cast<long long>(m.degraded),
+                static_cast<long long>(m.completed));
+    return 6;
   }
   std::printf("OK: all %lld requests served\n",
               static_cast<long long>(m.completed));

@@ -34,6 +34,17 @@ class IoError : public std::runtime_error {
   explicit IoError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown for failures that are expected to succeed on retry: a momentarily
+/// unavailable resource, an injected chaos fault classified as transient, a
+/// worker-side hiccup. The serve layer's RetryPolicy catches exactly this
+/// type and re-attempts with backoff; every other exception type is treated
+/// as permanent and fails the request immediately.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {

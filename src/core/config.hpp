@@ -61,6 +61,10 @@ struct Config {
   SolverKind solver = SolverKind::CGLS;
   int iterations = 30;      ///< Paper's CG default.
   bool early_stop = false;  ///< Heuristic termination at the L-curve knee.
+  /// Relative-improvement tolerance for early_stop (CGLS only). Larger
+  /// values stop sooner — the degradation ladder relaxes this to trade
+  /// residual for latency under deadline pressure.
+  double early_stop_tol = 1e-3;
   /// Tikhonov damping for CGLS (the R(x) = λ²||x||² regularizer of Eq. 1);
   /// 0 disables.
   double tikhonov_lambda = 0.0;

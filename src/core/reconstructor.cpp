@@ -49,7 +49,7 @@ std::string cache_file_name(const geometry::Geometry& g, const Config& c) {
 /// that during operator construction is bitwise idempotent, so cache hit
 /// and miss produce identical operators.
 bool try_load_cache(const std::string& path, const geometry::Geometry& g,
-                    const Config& c, sparse::CsrMatrix& a) {
+                    const Config& c, sparse::CsrMatrix& a, bool* corrupt) {
   if (!resil::file_exists(path)) return false;
   try {
     if (c.precision == sparse::ValueStorage::Fp32) {
@@ -68,9 +68,11 @@ bool try_load_cache(const std::string& path, const geometry::Geometry& g,
   } catch (const IoError& e) {
     std::fprintf(stderr, "memxct: cache unusable (%s); rebuilding\n",
                  e.what());
+    if (corrupt != nullptr) *corrupt = true;
   } catch (const InvariantError& e) {
     std::fprintf(stderr, "memxct: cache corrupt (%s); rebuilding\n",
                  e.what());
+    if (corrupt != nullptr) *corrupt = true;
   }
   return false;
 }
@@ -110,7 +112,8 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
   std::string cache_path;
   if (!config_.cache_dir.empty()) {
     cache_path = config_.cache_dir + "/" + cache_file_name(geometry_, config_);
-    report_.cache_hit = try_load_cache(cache_path, geometry_, config_, a);
+    report_.cache_hit = try_load_cache(cache_path, geometry_, config_, a,
+                                       &report_.cache_corrupt);
   }
   if (!report_.cache_hit) {
     a = geometry::build_projection_matrix(geometry_, *sino_order_,
@@ -230,7 +233,8 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
                                        const hilbert::Ordering& tomo_order,
                                        std::span<const real> sinogram,
                                        SliceWorkspace* workspace,
-                                       const solve::CancelToken* cancel) {
+                                       const solve::CancelToken* cancel,
+                                       solve::ProgressSink* progress) {
   // Local scratch when the caller did not provide a reusable workspace
   // (one-shot reconstructions); batch workers pass a persistent one so the
   // resize calls below are no-ops after the first slice.
@@ -252,9 +256,11 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
       solve::CglsOptions opt;
       opt.max_iterations = config.iterations;
       opt.early_stop = config.early_stop;
+      opt.early_stop_tol = config.early_stop_tol;
       opt.tikhonov_lambda = config.tikhonov_lambda;
       opt.checkpoint = checkpoint;
       opt.cancel = cancel;
+      opt.progress = progress;
       solved = solve::cgls(op, y, opt);
       break;
     }
@@ -263,6 +269,7 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
       opt.max_iterations = config.iterations;
       opt.checkpoint = checkpoint;
       opt.cancel = cancel;
+      opt.progress = progress;
       solved = solve::sirt(op, y, opt);
       break;
     }
@@ -271,6 +278,7 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
       opt.max_iterations = config.iterations;
       opt.checkpoint = checkpoint;
       opt.cancel = cancel;
+      opt.progress = progress;
       solved = solve::gradient_descent(op, y, opt);
       break;
     }
@@ -318,6 +326,7 @@ std::vector<ReconstructionResult> reconstruct_block(
   solve::BlockCglsOptions opt;
   opt.max_iterations = config.iterations;
   opt.early_stop = config.early_stop;
+  opt.early_stop_tol = config.early_stop_tol;
   opt.tikhonov_lambda = config.tikhonov_lambda;
   opt.cancel = cancel;
   solve::BlockSolveResult solved = solve::cgls_block(op, y_slab, k, opt);

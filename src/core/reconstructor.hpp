@@ -37,6 +37,11 @@ struct PreprocessReport {
   std::int64_t irregular_bytes = 0;  ///< Tomogram + sinogram vectors.
   bool cache_hit = false;  ///< Ray tracing was loaded from the checked
                            ///< cache instead of being recomputed.
+  bool cache_corrupt = false;  ///< A cache file was present but unusable
+                               ///< (checksum/shape/format failure) and the
+                               ///< matrix was rebuilt. Distinct from a plain
+                               ///< miss so the serve layer's disk-tier
+                               ///< circuit breaker can count real failures.
 };
 
 /// Reconstruction output in natural (row-major) tomogram layout.
@@ -83,13 +88,15 @@ void depermute_image(const hilbert::Ordering& tomo_order,
 /// both paths, so batch results are bitwise-equal to single-slice results.
 /// `cancel` (optional) is polled by the solver at iteration granularity;
 /// on cancellation the result carries solve.cancelled and the last
-/// completed iterate.
+/// completed iterate. `progress` (optional) receives a heartbeat per
+/// completed iteration for watchdog monitoring.
 [[nodiscard]] ReconstructionResult reconstruct_slice(
     const solve::LinearOperator& op, const geometry::Geometry& geometry,
     const Config& config, const hilbert::Ordering& sino_order,
     const hilbert::Ordering& tomo_order, std::span<const real> sinogram,
     SliceWorkspace* workspace = nullptr,
-    const solve::CancelToken* cancel = nullptr);
+    const solve::CancelToken* cancel = nullptr,
+    solve::ProgressSink* progress = nullptr);
 
 /// Multi-slice lockstep reconstruction: the sinograms are ingested and
 /// ordered individually, solved together by the block CGLS solver (one

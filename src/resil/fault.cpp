@@ -3,9 +3,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
 
@@ -114,6 +117,42 @@ FaultInjector::truncate_exchange_hook(double keep_fraction) {
         std::max(0.0, std::min(1.0, keep_fraction)) *
         static_cast<double>(payload.size()));
   };
+}
+
+std::function<void(std::int64_t, int)> FaultInjector::worker_fault_hook(
+    const WorkerFaultOptions& options) const {
+  const std::uint64_t seed = seed_;
+  return [seed, options](std::int64_t request_id, int attempt) {
+    // Re-derive the generator from (seed, request_id, attempt) on every
+    // call: the draw depends only on identity, never on scheduling order.
+    SplitMix64 mix(seed ^
+                   (0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(request_id) + 1)) ^
+                   (0xbf58476d1ce4e5b9ULL *
+                    (static_cast<std::uint64_t>(attempt) + 1)));
+    Rng rng(mix.next());
+    const auto tag = [&](const char* kind) {
+      std::ostringstream os;
+      os << "injected " << kind << " fault (seed=" << seed
+         << ", request=" << request_id << ", attempt=" << attempt << ")";
+      return os.str();
+    };
+    if (options.delay_probability > 0.0 &&
+        rng.uniform() < options.delay_probability)
+      inject_delay(options.delay_ms);
+    if (options.transient_probability > 0.0 &&
+        rng.uniform() < options.transient_probability)
+      throw TransientError(tag("transient"));
+    if (options.permanent_probability > 0.0 &&
+        rng.uniform() < options.permanent_probability)
+      throw IoError(tag("permanent"));
+  };
+}
+
+void FaultInjector::inject_delay(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(ms));
 }
 
 }  // namespace memxct::resil

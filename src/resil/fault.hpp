@@ -25,7 +25,19 @@ namespace memxct::resil {
 
 class FaultInjector {
  public:
-  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+
+  /// Worker-level fault storm: per-attempt probabilities of an injected
+  /// delay (the worker sleeps, exercising watchdogs and deadline paths), a
+  /// *transient* fault (throws TransientError — the retry path must recover
+  /// it), and a *permanent* fault (throws IoError — retries must NOT mask
+  /// it). Draws are independent per attempt.
+  struct WorkerFaultOptions {
+    double delay_probability = 0.0;
+    double delay_ms = 0.0;
+    double transient_probability = 0.0;
+    double permanent_probability = 0.0;
+  };
 
   /// XORs a random nonzero mask into one random byte of the file; returns
   /// the offset flipped. Throws IoError if the file cannot be modified.
@@ -61,10 +73,25 @@ class FaultInjector {
   [[nodiscard]] static std::function<std::size_t(int, int, std::span<real>)>
   truncate_exchange_hook(double keep_fraction);
 
+  /// Per-attempt fault hook for serve workers, called as hook(request_id,
+  /// attempt). Unlike the exchange hooks it is a *pure function* of
+  /// (seed, request_id, attempt) — never of call order — so storms are
+  /// bitwise-reproducible no matter how worker threads interleave, and the
+  /// same request re-drawn on attempt 2 can succeed where attempt 1 failed.
+  /// Injected-fault messages carry the active seed for reproduction.
+  [[nodiscard]] std::function<void(std::int64_t, int)> worker_fault_hook(
+      const WorkerFaultOptions& options) const;
+
+  /// Blocks the calling thread for `ms` milliseconds (delay injection for
+  /// watchdog/deadline tests).
+  static void inject_delay(double ms);
+
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
  private:
   Rng rng_;
+  std::uint64_t seed_;
 };
 
 }  // namespace memxct::resil

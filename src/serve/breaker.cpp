@@ -1,0 +1,17 @@
+#include "serve/breaker.hpp"
+
+namespace memxct::serve {
+
+const char* to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::Closed:
+      return "closed";
+    case CircuitBreaker::State::Open:
+      return "open";
+    case CircuitBreaker::State::HalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace memxct::serve

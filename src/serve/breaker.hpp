@@ -1,0 +1,129 @@
+// CircuitBreaker: failure-counting state machine over the disk-cache tier.
+//
+// A corrupt disk cache is self-healing per request (load fails → rebuild →
+// rewrite), but when the tier is persistently bad — a failing disk, a
+// corrupted directory — every build keeps paying a doomed load-and-verify
+// before rebuilding. The breaker bounds that waste with the classic three
+// states:
+//
+//   Closed    — cache used normally; consecutive corrupt loads are counted,
+//               any clean use resets the count.
+//   Open      — after `failure_threshold` consecutive corruptions: builds
+//               bypass the cache entirely (straight to rebuild, no read OR
+//               write) until `cooldown_seconds` elapse.
+//   Half-open — after the cooldown, exactly ONE build is admitted as a
+//               probe while concurrent builds keep bypassing (the probe
+//               rides alongside regular traffic, which never blocks on it).
+//               A clean probe closes the breaker; a corrupt one reopens it
+//               and restarts the cooldown.
+//
+// Thread-safe; time is the steady clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace memxct::serve {
+
+struct BreakerOptions {
+  /// Consecutive protected-tier failures that open the breaker;
+  /// <= 0 disables the breaker (allow_request always true).
+  int failure_threshold = 3;
+  /// Seconds the breaker stays open before admitting a half-open probe.
+  double cooldown_seconds = 5.0;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+
+  explicit CircuitBreaker(BreakerOptions options = {}) : options_(options) {}
+
+  /// True when this call may use the protected tier. In Open state returns
+  /// false until the cooldown elapses, then true exactly once (the
+  /// half-open probe); callers granted access MUST report back via
+  /// record_success()/record_failure().
+  [[nodiscard]] bool allow_request() {
+    if (options_.failure_threshold <= 0) return true;
+    std::lock_guard<std::mutex> lk(mu_);
+    switch (state_) {
+      case State::Closed:
+        return true;
+      case State::HalfOpen:
+        return false;  // one probe already in flight
+      case State::Open: {
+        const double open_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          opened_at_)
+                .count();
+        if (open_s < options_.cooldown_seconds) return false;
+        state_ = State::HalfOpen;
+        ++probes_;
+        return true;
+      }
+    }
+    return true;
+  }
+
+  /// The protected tier worked for a call that was allowed in.
+  void record_success() {
+    if (options_.failure_threshold <= 0) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    ++successes_;
+    consecutive_failures_ = 0;
+    if (state_ == State::HalfOpen) state_ = State::Closed;
+  }
+
+  /// The protected tier failed (e.g. checksum mismatch) for an allowed call.
+  void record_failure() {
+    if (options_.failure_threshold <= 0) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    ++failures_;
+    if (state_ == State::HalfOpen) {
+      // Failed probe: straight back to Open with a fresh cooldown.
+      state_ = State::Open;
+      opened_at_ = std::chrono::steady_clock::now();
+      ++opens_;
+      return;
+    }
+    if (++consecutive_failures_ >= options_.failure_threshold &&
+        state_ == State::Closed) {
+      state_ = State::Open;
+      opened_at_ = std::chrono::steady_clock::now();
+      consecutive_failures_ = 0;
+      ++opens_;
+    }
+  }
+
+  [[nodiscard]] State state() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return state_;
+  }
+
+  struct Stats {
+    std::int64_t opens = 0;      ///< Closed/HalfOpen → Open transitions.
+    std::int64_t probes = 0;     ///< Half-open probes admitted.
+    std::int64_t failures = 0;   ///< record_failure calls.
+    std::int64_t successes = 0;  ///< record_success calls.
+  };
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return Stats{opens_, probes_, failures_, successes_};
+  }
+
+ private:
+  BreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::Closed;
+  int consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  std::int64_t opens_ = 0;
+  std::int64_t probes_ = 0;
+  std::int64_t failures_ = 0;
+  std::int64_t successes_ = 0;
+};
+
+[[nodiscard]] const char* to_string(CircuitBreaker::State state) noexcept;
+
+}  // namespace memxct::serve

@@ -68,17 +68,19 @@ class LatencyHistogram {
 struct PriorityMetrics {
   std::int64_t submitted = 0;  ///< Admitted into the queue.
   std::int64_t ok = 0;
+  std::int64_t degraded = 0;  ///< Served at a lower rung / salvaged partial.
   std::int64_t ingest_rejected = 0;
   std::int64_t diverged = 0;
   std::int64_t failed = 0;
   std::int64_t cancelled = 0;          ///< Explicit cancel().
   std::int64_t deadline_exceeded = 0;  ///< Deadline hit queued or mid-solve.
   std::int64_t rejected_queue_full = 0;   ///< Never admitted: overload.
-  std::int64_t rejected_infeasible = 0;   ///< Never admitted: deadline.
+  std::int64_t rejected_infeasible = 0;   ///< Never admitted: deadline (no
+                                          ///< rung could absorb it).
   LatencyHistogram latency;  ///< submit → terminal, completed requests only.
 
   [[nodiscard]] std::int64_t completed() const noexcept {
-    return ok + ingest_rejected + diverged + failed + cancelled +
+    return ok + degraded + ingest_rejected + diverged + failed + cancelled +
            deadline_exceeded;
   }
 };

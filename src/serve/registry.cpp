@@ -10,7 +10,9 @@
 namespace memxct::serve {
 
 OperatorRegistry::OperatorRegistry(RegistryOptions options)
-    : options_(std::move(options)), plan_slots_(omp_get_max_threads()) {}
+    : options_(std::move(options)),
+      breaker_(options_.breaker),
+      plan_slots_(omp_get_max_threads()) {}
 
 OperatorRegistry::Lease OperatorRegistry::acquire(
     const geometry::Geometry& geometry, const core::Config& config) {
@@ -44,12 +46,18 @@ OperatorRegistry::Lease OperatorRegistry::acquire(
   }
 
   // Build outside the lock: preprocessing can take seconds, and other keys
-  // must keep hitting meanwhile.
+  // must keep hitting meanwhile. The disk tier is consulted only while the
+  // breaker allows it; an open breaker routes this build straight to
+  // re-trace (no read, no write) until a half-open probe heals it.
+  const bool disk_tier = !options_.disk_cache_dir.empty();
+  const bool cache_allowed = disk_tier && breaker_.allow_request();
   std::shared_ptr<const core::Reconstructor> recon;
   perf::WallTimer build_timer;
   try {
     core::Config build_config = core::operator_config(config);
-    build_config.cache_dir = options_.disk_cache_dir;  // second tier
+    if (cache_allowed)
+      build_config.cache_dir = options_.disk_cache_dir;  // second tier
+    if (options_.pre_build_hook) options_.pre_build_hook(key);
     // Pin the plan-slot count to the registry's canonical value so the
     // static plans (and hence the bitwise output) are independent of which
     // worker thread happens to run the build.
@@ -63,6 +71,10 @@ OperatorRegistry::Lease OperatorRegistry::acquire(
     }
     omp_set_num_threads(caller_threads);
   } catch (...) {
+    // A failed build that held disk-tier access counts against the breaker
+    // (and, crucially, resolves a half-open probe so the breaker can never
+    // wedge in HalfOpen when the probe build dies).
+    if (cache_allowed) breaker_.record_failure();
     std::lock_guard<std::mutex> lk(mu_);
     building_.erase(key);
     build_cv_.notify_all();
@@ -71,6 +83,16 @@ OperatorRegistry::Lease OperatorRegistry::acquire(
   lease.build_seconds = build_timer.seconds();
   lease.recon = recon;
   lease.disk_hit = recon->preprocess_report().cache_hit;
+  const bool cache_corrupt = recon->preprocess_report().cache_corrupt;
+  if (cache_allowed) {
+    // Corrupt load = tier failure; a clean build through the tier (hit,
+    // miss-and-rewrite) = tier success. This is also what closes the
+    // breaker after a successful half-open probe.
+    if (cache_corrupt)
+      breaker_.record_failure();
+    else
+      breaker_.record_success();
+  }
   MEMXCT_CHECK_MSG(recon->serial_op() != nullptr,
                    "registry build produced no serial operator");
   const std::int64_t bytes = recon->serial_op()->bytes();
@@ -80,6 +102,8 @@ OperatorRegistry::Lease OperatorRegistry::acquire(
     ++stats_.misses;
     ++stats_.builds;
     if (lease.disk_hit) ++stats_.disk_tier_hits;
+    if (cache_corrupt) ++stats_.cache_corrupt_loads;
+    if (disk_tier && !cache_allowed) ++stats_.breaker_bypassed_builds;
 
     const std::int64_t budget = options_.byte_budget;
     if (budget > 0 && bytes > budget) {
@@ -111,8 +135,16 @@ OperatorRegistry::Lease OperatorRegistry::acquire(
 }
 
 RegistryStats OperatorRegistry::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  RegistryStats s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s = stats_;
+  }
+  const CircuitBreaker::Stats b = breaker_.stats();
+  s.breaker_opens = b.opens;
+  s.breaker_probes = b.probes;
+  s.breaker_state = breaker_.state();
+  return s;
 }
 
 std::vector<std::string> OperatorRegistry::resident_keys() const {

@@ -28,6 +28,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -38,6 +39,7 @@
 
 #include "core/opkey.hpp"
 #include "core/reconstructor.hpp"
+#include "serve/breaker.hpp"
 
 namespace memxct::serve {
 
@@ -49,6 +51,19 @@ struct RegistryOptions {
   /// Second-tier checksummed disk cache for traced matrices (forwarded to
   /// core::Config::cache_dir during builds); empty disables the tier.
   std::string disk_cache_dir;
+  /// Circuit breaker over the disk tier: after `failure_threshold`
+  /// consecutive corrupt cache loads, builds bypass the disk entirely
+  /// (straight to re-trace, no doomed load-and-verify) until a half-open
+  /// probe succeeds. failure_threshold <= 0 disables. Only meaningful with
+  /// a disk_cache_dir.
+  BreakerOptions breaker{.failure_threshold = 0};
+  /// Test/chaos hook invoked right before each build (outside the registry
+  /// lock) with the operator key text. Storm tests use it to corrupt cache
+  /// files or throw typed build failures; an exception propagates to the
+  /// builder, and single-flight waiters wake to retry as builders (no
+  /// hang). A build failing while it held disk-tier access is counted
+  /// against the breaker (conservative).
+  std::function<void(const std::string&)> pre_build_hook;
 };
 
 /// Accounting snapshot; all counters are cumulative since construction.
@@ -62,6 +77,14 @@ struct RegistryStats {
   std::int64_t evictions = 0;
   std::int64_t evicted_bytes = 0;
   std::int64_t uncacheable = 0;  ///< Built but larger than the budget.
+  std::int64_t cache_corrupt_loads = 0;  ///< Disk-tier loads that failed
+                                         ///< verification (file present but
+                                         ///< unusable; rebuilt).
+  std::int64_t breaker_bypassed_builds = 0;  ///< Builds routed straight to
+                                             ///< re-trace by an open breaker.
+  std::int64_t breaker_opens = 0;   ///< Breaker state() snapshot fields.
+  std::int64_t breaker_probes = 0;
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::Closed;
   std::int64_t resident_bytes = 0;
   std::int64_t peak_resident_bytes = 0;
   int resident_operators = 0;
@@ -103,6 +126,10 @@ class OperatorRegistry {
   /// Resident key texts in LRU order (least recent first) — test hook for
   /// eviction-order semantics.
   [[nodiscard]] std::vector<std::string> resident_keys() const;
+  /// Disk-tier circuit breaker (observable for tests/metrics).
+  [[nodiscard]] const CircuitBreaker& breaker() const noexcept {
+    return breaker_;
+  }
 
  private:
   struct Entry {
@@ -113,6 +140,7 @@ class OperatorRegistry {
   using LruList = std::list<Entry>;
 
   RegistryOptions options_;
+  CircuitBreaker breaker_;
   /// Plan-slot count captured at registry construction: builds temporarily
   /// pin omp_get_max_threads() to this value so operators built from worker
   /// threads (whose thread ICV is reduced) carry the same static plans —

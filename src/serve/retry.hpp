@@ -1,0 +1,83 @@
+// RetryPolicy: bounded attempts with exponential backoff and seeded
+// deterministic jitter.
+//
+// Transient failures — a corrupt cache load racing a writer, an injected
+// I/O fault, a worker-side TransientError — are expected to succeed on
+// re-attempt; permanent ones are not. The serve worker wraps the fault-prone
+// phase (fault hook + operator acquisition) in this policy: catch
+// TransientError, back off, try again, up to max_attempts. Everything else
+// fails the request immediately (retries must never mask a real bug).
+//
+// Jitter is the standard thundering-herd spreader, but drawn from the
+// repo's bit-portable Rng seeded by (seed, request_id, attempt) — a pure
+// function of identity, never of scheduling order — so chaos storms replay
+// bitwise-identically: the same request backs off by the same delay on
+// every run, regardless of thread interleaving.
+//
+// The retry budget is charged against the request's deadline: when the next
+// backoff would land past the deadline, the policy gives up immediately
+// (returning the time saved to other requests) instead of sleeping into a
+// guaranteed DeadlineExceeded.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace memxct::serve {
+
+struct RetryOptions {
+  /// Total attempts including the first; 1 disables retries.
+  int max_attempts = 1;
+  /// Backoff before retry k (1-based) is base × multiplier^(k-1), plus
+  /// jitter. 0 retries immediately.
+  double backoff_ms = 10.0;
+  double multiplier = 2.0;
+  /// Uniform jitter in [0, jitter_fraction × backoff) added to each delay.
+  double jitter_fraction = 0.5;
+  /// Seed for the deterministic jitter draw.
+  std::uint64_t seed = 0;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryOptions options = {}) : options_(options) {
+    if (options_.max_attempts < 1) options_.max_attempts = 1;
+    if (options_.backoff_ms < 0.0) options_.backoff_ms = 0.0;
+    if (options_.multiplier < 1.0) options_.multiplier = 1.0;
+    if (options_.jitter_fraction < 0.0) options_.jitter_fraction = 0.0;
+  }
+
+  [[nodiscard]] int max_attempts() const noexcept {
+    return options_.max_attempts;
+  }
+
+  /// True when attempt `attempt` (1-based) may be followed by another.
+  [[nodiscard]] bool should_retry(int attempt) const noexcept {
+    return attempt < options_.max_attempts;
+  }
+
+  /// Backoff (seconds) to sleep before the attempt FOLLOWING `attempt`.
+  /// Deterministic in (seed, request_id, attempt) only.
+  [[nodiscard]] double delay_seconds(std::int64_t request_id,
+                                     int attempt) const noexcept {
+    double base = options_.backoff_ms * 1e-3;
+    for (int k = 1; k < attempt; ++k) base *= options_.multiplier;
+    double jitter = 0.0;
+    if (options_.jitter_fraction > 0.0 && base > 0.0) {
+      SplitMix64 mix(options_.seed ^
+                     (0x9e3779b97f4a7c15ULL *
+                      (static_cast<std::uint64_t>(request_id) + 1)) ^
+                     (0x94d049bb133111ebULL *
+                      (static_cast<std::uint64_t>(attempt) + 1)));
+      Rng rng(mix.next());
+      jitter = rng.uniform() * options_.jitter_fraction * base;
+    }
+    return base + jitter;
+  }
+
+ private:
+  RetryOptions options_;
+};
+
+}  // namespace memxct::serve

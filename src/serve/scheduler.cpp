@@ -26,6 +26,8 @@ const char* to_string(RequestStatus status) noexcept {
       return "running";
     case RequestStatus::Ok:
       return "ok";
+    case RequestStatus::Degraded:
+      return "degraded";
     case RequestStatus::IngestRejected:
       return "ingest-rejected";
     case RequestStatus::Diverged:
@@ -45,17 +47,39 @@ bool is_terminal(RequestStatus status) noexcept {
 }
 
 RequestScheduler::RequestScheduler(Options options)
-    : options_(options),
-      queue_(options.queue_capacity > 0 ? options.queue_capacity : 8,
-             kNumPriorities) {}
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity > 0 ? options_.queue_capacity : 8,
+             kNumPriorities) {
+  validate_ladder(options_.degrade.rungs);
+}
 
 void RequestScheduler::admit(std::shared_ptr<RequestState> request) {
   MEMXCT_CHECK(request != nullptr);
   const Priority priority = request->options.priority;
   const auto lane = static_cast<int>(priority);
+  const auto num_rungs = static_cast<int>(options_.degrade.rungs.size());
+
+  // An explicitly requested rung requires the ladder to be on and in range.
+  const int requested_rung = request->options.rung;
+  if (requested_rung != 0) {
+    if (!options_.degrade.enabled)
+      throw InvalidArgument(
+          "serve: options.rung > 0 requires the degradation ladder "
+          "(ServerOptions::degrade.enabled)");
+    if (requested_rung < 0 || requested_rung > num_rungs)
+      throw InvalidArgument("serve: options.rung " +
+                            std::to_string(requested_rung) +
+                            " outside the configured ladder (1.." +
+                            std::to_string(num_rungs) + ")");
+  }
+  request->rung = requested_rung;
 
   // Feasibility gate first: a deadline the server already knows it cannot
-  // meet must not consume a queue slot another request could use.
+  // meet must not consume a queue slot another request could use. With the
+  // ladder enabled, an infeasible deadline walks DOWN the rungs and admits
+  // at the first one whose scaled cost estimate fits (degraded admission);
+  // only when even the cheapest rung cannot make it is the request
+  // rejected, exactly as before.
   const double deadline_s = request->options.deadline_seconds;
   if (deadline_s > 0.0) {
     double estimate;
@@ -63,15 +87,45 @@ void RequestScheduler::admit(std::shared_ptr<RequestState> request) {
       std::lock_guard<std::mutex> lk(mu_);
       estimate = estimate_seconds_;
     }
-    if (estimate > 0.0 && estimate * options_.feasibility_margin > deadline_s) {
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        ++rejected_infeasible_[lane];
+    const auto cost_at = [&](int rung) {
+      return rung == 0 ? estimate
+                       : estimate * options_.degrade.rungs
+                                        [static_cast<std::size_t>(rung - 1)]
+                                        .cost_scale;
+    };
+    const auto feasible = [&](int rung) {
+      return cost_at(rung) * options_.feasibility_margin <= deadline_s;
+    };
+    if (estimate > 0.0 && !feasible(requested_rung)) {
+      int admitted_rung = -1;
+      if (options_.degrade.enabled) {
+        for (int r = requested_rung + 1; r <= num_rungs; ++r) {
+          if (feasible(r)) {
+            admitted_rung = r;
+            break;
+          }
+        }
       }
-      std::ostringstream os;
-      os << "deadline " << deadline_s << " s infeasible: estimated service "
-         << estimate << " s (margin " << options_.feasibility_margin << ")";
-      throw DeadlineInfeasibleError(os.str(), priority, deadline_s, estimate);
+      if (admitted_rung < 0) {
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++rejected_infeasible_[lane];
+        }
+        std::ostringstream os;
+        os << "deadline " << deadline_s << " s infeasible: estimated service "
+           << estimate << " s (margin " << options_.feasibility_margin << ")";
+        if (options_.degrade.enabled && num_rungs > 0)
+          os << "; even the cheapest rung ("
+             << options_.degrade.rungs[static_cast<std::size_t>(num_rungs - 1)]
+                    .name
+             << ", estimated " << cost_at(num_rungs) << " s) cannot make it";
+        throw DeadlineInfeasibleError(os.str(), priority, deadline_s,
+                                      estimate);
+      }
+      request->rung = admitted_rung;
+      request->degraded_admission = true;
+      std::lock_guard<std::mutex> lk(mu_);
+      ++degraded_admissions_;
     }
   }
 
@@ -116,6 +170,11 @@ std::int64_t RequestScheduler::rejected_queue_full(Priority p) const {
 std::int64_t RequestScheduler::rejected_infeasible(Priority p) const {
   std::lock_guard<std::mutex> lk(mu_);
   return rejected_infeasible_[static_cast<int>(p)];
+}
+
+std::int64_t RequestScheduler::degraded_admissions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return degraded_admissions_;
 }
 
 }  // namespace memxct::serve

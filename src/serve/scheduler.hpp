@@ -22,11 +22,14 @@
 #include <stdexcept>
 #include <string>
 
+#include <atomic>
+
 #include "common/aligned.hpp"
 #include "common/bounded_queue.hpp"
 #include "core/config.hpp"
 #include "geometry/geometry.hpp"
 #include "resil/ingest.hpp"
+#include "serve/degrade.hpp"
 #include "solve/solver.hpp"
 
 namespace memxct::serve {
@@ -49,6 +52,12 @@ struct RequestOptions {
   double deadline_seconds = 0.0;
   /// false drops the reconstructed pixels (QA / throughput probes).
   bool keep_image = true;
+  /// Explicitly requested quality rung: 0 = full quality, r in
+  /// [1, ladder size] = run at that rung directly (a client that already
+  /// knows it wants a preview). Requires the server's ladder to be enabled
+  /// for r > 0. The admission gate may step FURTHER down from here (never
+  /// up) when the deadline is infeasible at the requested rung.
+  int rung = 0;
 };
 
 /// Terminal request states (plus the two live ones for snapshots).
@@ -56,6 +65,9 @@ enum class RequestStatus {
   Queued,
   Running,
   Ok,
+  Degraded,        ///< Completed at a reduced quality rung, or a salvaged
+                   ///< partial result after a mid-solve deadline. The image
+                   ///< is usable; rung/achieved residual say how coarse.
   IngestRejected,  ///< Ingest policy rejected the sinogram.
   Diverged,        ///< Solver diverged; image is the rolled-back iterate.
   Failed,          ///< Unexpected error (message in RequestResult::error).
@@ -102,9 +114,15 @@ struct RequestState {
   AlignedVector<real> sinogram;
   RequestOptions options;
   solve::CancelToken token;  ///< Armed with the deadline at submission.
+  solve::ProgressSink progress;  ///< Solver heartbeat read by the watchdog.
+  std::atomic<bool> watchdog_fired{false};  ///< Watchdog force-cancelled it.
   std::chrono::steady_clock::time_point submit_time;
   std::chrono::steady_clock::time_point deadline;  ///< Valid iff has_deadline.
   bool has_deadline = false;
+  /// Quality rung the request runs at: the submitted options.rung, possibly
+  /// stepped further down by the admission gate. 0 = full quality.
+  int rung = 0;
+  bool degraded_admission = false;  ///< Gate stepped it below options.rung.
 
   // Terminal outcome, written once by the finishing worker.
   RequestStatus status = RequestStatus::Queued;
@@ -114,6 +132,9 @@ struct RequestState {
   resil::IngestReport ingest;
   bool registry_hit = false;
   bool disk_cache_hit = false;
+  bool salvaged = false;  ///< Degraded via mid-solve deadline salvage.
+  int attempts = 1;       ///< Fault-phase attempts consumed (1 = no retry).
+  double backoff_seconds = 0.0;  ///< Total retry backoff slept.
   double queue_seconds = 0.0;
   double setup_seconds = 0.0;  ///< Operator build time paid by this request.
   double total_seconds = 0.0;  ///< submit → terminal.
@@ -129,6 +150,11 @@ class RequestScheduler {
     double feasibility_margin = 1.0;
     /// EWMA smoothing for the service-time estimate.
     double estimate_alpha = 0.3;
+    /// Degradation ladder: when enabled, a deadline infeasible at the
+    /// requested rung steps down to the first cheaper rung whose scaled
+    /// estimate fits, instead of rejecting. The request is admitted with
+    /// state->rung set and later finishes as Degraded.
+    DegradeOptions degrade;
   };
 
   explicit RequestScheduler(Options options);
@@ -156,6 +182,9 @@ class RequestScheduler {
   [[nodiscard]] int queue_high_water() const { return queue_.high_water(); }
   [[nodiscard]] std::int64_t rejected_queue_full(Priority p) const;
   [[nodiscard]] std::int64_t rejected_infeasible(Priority p) const;
+  /// Requests the feasibility gate admitted at a rung below the one they
+  /// asked for (the ladder absorbed a would-be rejection).
+  [[nodiscard]] std::int64_t degraded_admissions() const;
 
  private:
   Options options_;
@@ -164,6 +193,7 @@ class RequestScheduler {
   double estimate_seconds_ = 0.0;  ///< 0 until the first observation.
   std::int64_t rejected_full_[kNumPriorities] = {};
   std::int64_t rejected_infeasible_[kNumPriorities] = {};
+  std::int64_t degraded_admissions_ = 0;
 };
 
 }  // namespace memxct::serve

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "batch/batch.hpp"
 #include "common/error.hpp"
@@ -29,16 +31,26 @@ std::string ServerMetrics::summary() const {
      << registry.misses << " misses, " << registry.evictions
      << " evictions, " << registry.resident_bytes << " B resident)";
   if (rejected() > 0) os << "; " << rejected() << " rejected";
+  if (degraded > 0)
+    os << "; " << degraded << " degraded (" << salvaged << " salvaged, "
+       << degraded_admissions << " at admission)";
+  if (retries > 0)
+    os << "; " << retries << " retries (" << retry_exhausted << " exhausted, "
+       << retry_abandoned << " abandoned)";
+  if (watchdog_cancelled > 0)
+    os << "; " << watchdog_cancelled << " watchdog-cancelled";
   return os.str();
 }
 
 Server::Server(ServerOptions options)
-    : options_(options),
-      registry_(options.registry),
-      scheduler_({.queue_capacity = options.queue_capacity > 0
-                      ? options.queue_capacity
-                      : 4 * std::max(1, options.workers),
-                  .feasibility_margin = options.feasibility_margin}) {
+    : options_(std::move(options)),
+      registry_(options_.registry),
+      scheduler_({.queue_capacity = options_.queue_capacity > 0
+                      ? options_.queue_capacity
+                      : 4 * std::max(1, options_.workers),
+                  .feasibility_margin = options_.feasibility_margin,
+                  .degrade = options_.degrade}),
+      retry_(options_.retry) {
   if (options_.workers < 1)
     throw InvalidArgument("serve: workers must be >= 1");
   threads_per_worker_ =
@@ -48,6 +60,8 @@ Server::Server(ServerOptions options)
   threads_.reserve(static_cast<std::size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w)
     threads_.emplace_back([this] { worker_main(); });
+  if (options_.watchdog_ms > 0.0)
+    watchdog_ = std::thread([this] { watchdog_main(); });
 }
 
 Server::~Server() { shutdown(); }
@@ -61,6 +75,12 @@ void Server::shutdown() {
   scheduler_.close();  // admitted requests drain, then workers exit
   for (auto& t : threads_)
     if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    watchdog_stop_ = true;
+  }
+  cv_watchdog_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 std::int64_t Server::submit(const geometry::Geometry& geometry,
@@ -133,6 +153,12 @@ RequestResult Server::wait(std::int64_t id) {
   result.ingest = std::move(state->ingest);
   result.registry_hit = state->registry_hit;
   result.disk_cache_hit = state->disk_cache_hit;
+  result.rung = state->rung;
+  result.salvaged = state->salvaged;
+  result.attempts = state->attempts;
+  result.backoff_seconds = state->backoff_seconds;
+  if (!result.solve.history.empty())
+    result.achieved_residual = result.solve.history.back().residual_norm;
   result.queue_seconds = state->queue_seconds;
   result.setup_seconds = state->setup_seconds;
   result.total_seconds = state->total_seconds;
@@ -155,12 +181,21 @@ ServerMetrics Server::snapshot() const {
   m.queue_high_water = scheduler_.queue_high_water();
   m.estimated_service_seconds = scheduler_.estimated_service_seconds();
   m.registry = registry_.stats();
+  m.degraded_admissions = scheduler_.degraded_admissions();
   {
     std::lock_guard<std::mutex> lk(mu_);
     m.priority = priority_metrics_;
     m.completed = completed_;
     m.setup_seconds_sum = setup_seconds_sum_;
     m.solve_seconds_sum = solve_seconds_sum_;
+    m.degraded = degraded_;
+    m.salvaged = salvaged_;
+    m.degraded_by_rung = degraded_by_rung_;
+    m.retries = retries_;
+    m.retry_exhausted = retry_exhausted_;
+    m.retry_abandoned = retry_abandoned_;
+    m.watchdog_cancelled = watchdog_cancelled_;
+    m.retry_backoff = retry_backoff_;
   }
   for (int p = 0; p < kNumPriorities; ++p) {
     auto& pm = m.priority[static_cast<std::size_t>(p)];
@@ -185,6 +220,13 @@ void Server::finish(const std::shared_ptr<RequestState>& state,
     switch (status) {
       case RequestStatus::Ok:
         ++pm.ok;
+        break;
+      case RequestStatus::Degraded:
+        ++pm.degraded;
+        ++degraded_;
+        if (state->salvaged) ++salvaged_;
+        if (state->rung >= 1 && state->rung <= kMaxRungs)
+          ++degraded_by_rung_[static_cast<std::size_t>(state->rung - 1)];
         break;
       case RequestStatus::IngestRejected:
         ++pm.ingest_rejected;
@@ -213,6 +255,96 @@ void Server::finish(const std::shared_ptr<RequestState>& state,
   cv_done_.notify_all();
 }
 
+bool Server::acquire_with_retry(const std::shared_ptr<RequestState>& state,
+                                const core::Config& config,
+                                OperatorRegistry::Lease& lease,
+                                std::string& error) {
+  for (int attempt = 1;; ++attempt) {
+    state->attempts = attempt;
+    // Heartbeat: starting an attempt is progress (a deliberate backoff
+    // sleep must not read as a stuck worker to the watchdog).
+    state->progress.tick(0);
+    try {
+      if (options_.fault_hook) options_.fault_hook(state->id, attempt);
+      lease = registry_.acquire(state->geometry, config);
+      return true;
+    } catch (const TransientError& e) {
+      if (!retry_.should_retry(attempt)) {
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++retry_exhausted_;
+        }
+        std::ostringstream os;
+        os << e.what() << " (failed after " << attempt << " attempt"
+           << (attempt == 1 ? "" : "s") << ")";
+        error = os.str();
+        return false;
+      }
+      // The retry budget is charged against the deadline: a backoff that
+      // would land past it is pointless — give up now and return the time
+      // to other requests.
+      const double delay = retry_.delay_seconds(state->id, attempt);
+      if (state->has_deadline &&
+          std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(delay)) >=
+              state->deadline) {
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++retry_abandoned_;
+        }
+        std::ostringstream os;
+        os << e.what() << " (retry abandoned: backoff " << delay * 1e3
+           << " ms would exceed the deadline)";
+        error = os.str();
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++retries_;
+        retry_backoff_.record(delay);
+      }
+      state->backoff_seconds += delay;
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    } catch (const std::exception& e) {
+      // Permanent: retries must never mask a real failure.
+      error = e.what();
+      return false;
+    }
+  }
+}
+
+void Server::watchdog_main() {
+  // Poll at a quarter of the stall threshold so detection latency is at
+  // most ~1.25 × watchdog_ms. The scan is O(live requests) pointer chasing
+  // under the server mutex — negligible next to a solve iteration.
+  const auto interval = std::chrono::duration<double, std::milli>(
+      std::max(1.0, options_.watchdog_ms / 4.0));
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_watchdog_.wait_for(lk, interval, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    for (auto& [id, state] : live_) {
+      if (state->status != RequestStatus::Running) continue;
+      if (state->watchdog_fired.load(std::memory_order_relaxed)) continue;
+      const double stale_s = state->progress.seconds_since_tick();
+      // An unarmed sink reports +inf staleness; skip it (the worker arms
+      // the sink at pickup, so the window where Running is unarmed is a few
+      // instructions wide).
+      if (!std::isfinite(stale_s)) continue;
+      if (stale_s * 1e3 > options_.watchdog_ms) {
+        // Force-cancel through the same token deadlines use: the solver
+        // stops at its next iteration boundary; a worker stuck inside a
+        // kernel at least stops before wasting further iterations.
+        state->watchdog_fired.store(true, std::memory_order_relaxed);
+        state->token.request_cancel();
+        ++watchdog_cancelled_;
+      }
+    }
+  }
+}
+
 void Server::worker_main() {
   // Same subscription rule as the batch engine: the per-thread num-threads
   // ICV pins solver parallel regions so K workers equal one full-width
@@ -224,6 +356,7 @@ void Server::worker_main() {
     const std::shared_ptr<RequestState> state = *popped;
     const auto pickup = std::chrono::steady_clock::now();
     state->queue_seconds = seconds_between(state->submit_time, pickup);
+    state->progress.arm();  // watchdog staleness measures from pickup
     {
       std::lock_guard<std::mutex> lk(mu_);
       state->status = RequestStatus::Running;
@@ -241,11 +374,25 @@ void Server::worker_main() {
       continue;
     }
 
+    // Apply the quality rung chosen at admission (or requested by the
+    // client): iteration cap, relaxed early stop, reduced-precision
+    // operator where supported. Rung 0 is the submitted config untouched.
+    const DegradeRung* rung = nullptr;
+    core::Config config = state->config;
+    if (state->rung > 0 &&
+        state->rung <= static_cast<int>(options_.degrade.rungs.size())) {
+      rung = &options_.degrade.rungs[static_cast<std::size_t>(state->rung - 1)];
+      config = apply_rung(config, *rung);
+    }
+    // Shared checkpoint files across concurrent requests would corrupt
+    // (same rule as the batch engine); the registry owns the disk cache.
+    config.checkpoint_path.clear();
+    config.cache_dir.clear();
+
     OperatorRegistry::Lease lease;
-    try {
-      lease = registry_.acquire(state->geometry, state->config);
-    } catch (const std::exception& e) {
-      state->error = e.what();
+    std::string error;
+    if (!acquire_with_retry(state, config, lease, error)) {
+      state->error = std::move(error);
       finish(state, RequestStatus::Failed);
       continue;
     }
@@ -257,30 +404,44 @@ void Server::worker_main() {
     // workspaces — concurrent requests on one geometry never contend.
     const std::unique_ptr<core::MemXCTOperator> view =
         lease.recon->serial_op()->make_view();
-    core::Config config = state->config;
-    // Shared checkpoint files across concurrent requests would corrupt
-    // (same rule as the batch engine); the registry owns the disk cache.
-    config.checkpoint_path.clear();
-    config.cache_dir.clear();
 
     batch::SliceResult res = batch::run_isolated_slice(
         *view, lease.recon->geometry(), config,
         lease.recon->sinogram_ordering(), lease.recon->tomogram_ordering(),
         state->sinogram, &slice_ws, &state->token,
-        state->options.keep_image);
+        state->options.keep_image, &state->progress);
     state->sinogram.clear();  // measurements are consumed; free early
 
     RequestStatus status;
     if (res.solve.cancelled) {
-      // The solver stopped cooperatively; attribute it to the explicit
-      // cancel if one was requested, else to the deadline.
-      status = state->token.cancel_requested()
-                   ? RequestStatus::Cancelled
-                   : RequestStatus::DeadlineExceeded;
+      if (state->watchdog_fired.load(std::memory_order_relaxed)) {
+        // The watchdog force-cancelled a stalled solve; this is a server
+        // fault, not a client outcome — report Failed with the diagnosis.
+        std::ostringstream os;
+        os << "watchdog: no solver progress within " << options_.watchdog_ms
+           << " ms; force-cancelled after iteration " << res.solve.iterations;
+        state->error = os.str();
+        status = RequestStatus::Failed;
+      } else if (state->token.cancel_requested()) {
+        status = RequestStatus::Cancelled;
+      } else if (options_.degrade.enabled && options_.degrade.salvage &&
+                 res.status == batch::SliceStatus::Ok &&
+                 res.solve.iterations > 0) {
+        // Partial-result salvage: the deadline hit mid-solve, but the
+        // best-so-far iterate is already a usable (under-iterated) image —
+        // return it tagged Degraded instead of discarding the work.
+        state->salvaged = true;
+        status = RequestStatus::Degraded;
+      } else {
+        status = RequestStatus::DeadlineExceeded;
+      }
     } else {
       switch (res.status) {
         case batch::SliceStatus::Ok:
-          status = RequestStatus::Ok;
+          // A request that ran at a reduced rung completes as Degraded so
+          // clients can tell a preview from a full-quality image.
+          status = state->rung > 0 ? RequestStatus::Degraded
+                                   : RequestStatus::Ok;
           break;
         case batch::SliceStatus::IngestRejected:
           status = RequestStatus::IngestRejected;
@@ -294,14 +455,19 @@ void Server::worker_main() {
           break;
       }
     }
-    state->error = std::move(res.error);
+    if (state->error.empty()) state->error = std::move(res.error);
     state->image = std::move(res.image);
     state->solve = std::move(res.solve);
     state->ingest = std::move(res.ingest);
 
     // Feed the feasibility estimate with the end-to-end worker-side cost
-    // (operator setup + solve) of requests that actually ran.
-    scheduler_.observe_service_seconds(lease.build_seconds + res.seconds);
+    // (operator setup + solve) of requests that actually ran — normalized
+    // to full-quality cost when the request ran at a cheaper rung, so
+    // degraded traffic does not teach the gate that full solves got cheap.
+    double observed = lease.build_seconds + res.seconds;
+    if (rung != nullptr && rung->cost_scale > 0.0)
+      observed /= rung->cost_scale;
+    scheduler_.observe_service_seconds(observed);
     finish(state, status);
   }
 }

@@ -26,6 +26,7 @@
 #include <array>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -34,8 +35,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/degrade.hpp"
 #include "serve/metrics.hpp"
 #include "serve/registry.hpp"
+#include "serve/retry.hpp"
 #include "serve/scheduler.hpp"
 
 namespace memxct::serve {
@@ -53,6 +56,22 @@ struct ServerOptions {
   RegistryOptions registry;
   /// Deadline feasibility margin (see RequestScheduler::Options).
   double feasibility_margin = 1.0;
+  /// Degradation ladder + mid-solve salvage (disabled by default: the
+  /// historical all-or-nothing behavior is preserved unless opted in).
+  DegradeOptions degrade;
+  /// Retry policy for the worker's fault-prone phase (fault hook + operator
+  /// acquisition). max_attempts = 1 disables retries.
+  RetryOptions retry;
+  /// Watchdog interval in milliseconds; > 0 starts a monitor thread that
+  /// force-cancels (via the CancelToken) any running request whose solver
+  /// heartbeat goes silent for longer than this. The victim finishes as
+  /// Failed with a "watchdog:" error. 0 disables.
+  double watchdog_ms = 0.0;
+  /// Chaos hook called as hook(request_id, attempt) at the start of every
+  /// worker attempt. A thrown TransientError is retried per `retry`; any
+  /// other exception fails the request. See
+  /// resil::FaultInjector::worker_fault_hook.
+  std::function<void(std::int64_t, int)> fault_hook;
 };
 
 /// Terminal outcome of one request, returned by wait().
@@ -67,6 +86,17 @@ struct RequestResult {
   resil::IngestReport ingest;
   bool registry_hit = false;    ///< Operator came from the memory tier.
   bool disk_cache_hit = false;  ///< Build loaded its trace from disk.
+  /// Quality rung the request ran at (0 = full). > 0 iff status is Degraded
+  /// (or the solve failed after degraded admission).
+  int rung = 0;
+  bool salvaged = false;  ///< Degraded via mid-solve deadline salvage: the
+                          ///< image is the best-so-far iterate.
+  /// Achieved residual ||A·x − y|| of the returned iterate (0 when no
+  /// iteration completed or history was off) — how far the degraded result
+  /// is from convergence, for clients deciding whether to resubmit.
+  double achieved_residual = 0.0;
+  int attempts = 1;              ///< Fault-phase attempts (1 = no retry).
+  double backoff_seconds = 0.0;  ///< Total retry backoff slept.
   double queue_seconds = 0.0;   ///< submit → worker pickup.
   double setup_seconds = 0.0;   ///< Operator preprocess paid by this
                                 ///< request (0 on a registry hit).
@@ -86,6 +116,19 @@ struct ServerMetrics {
   double solve_seconds_sum = 0.0;
   std::array<PriorityMetrics, kNumPriorities> priority{};
   RegistryStats registry;
+
+  // Degradation / resilience counters (all cumulative).
+  std::int64_t degraded = 0;   ///< Requests finishing RequestStatus::Degraded.
+  std::int64_t salvaged = 0;   ///< ... of which were mid-solve salvages.
+  std::int64_t degraded_admissions = 0;  ///< Ladder absorbed a would-be
+                                         ///< infeasible rejection.
+  std::array<std::int64_t, kMaxRungs> degraded_by_rung{};  ///< Index = rung-1.
+  std::int64_t retries = 0;          ///< Backoff-then-retry transitions.
+  std::int64_t retry_exhausted = 0;  ///< Requests failed after max_attempts.
+  std::int64_t retry_abandoned = 0;  ///< Retries skipped: backoff would land
+                                     ///< past the deadline.
+  std::int64_t watchdog_cancelled = 0;  ///< Watchdog force-cancels.
+  LatencyHistogram retry_backoff;  ///< Distribution of slept backoff delays.
 
   [[nodiscard]] std::int64_t rejected() const noexcept {
     std::int64_t n = 0;
@@ -140,13 +183,22 @@ class Server {
 
  private:
   void worker_main();
+  void watchdog_main();
   void finish(const std::shared_ptr<RequestState>& state,
               RequestStatus status);
+  /// Fault-prone phase with retry: fault hook + operator acquisition.
+  /// Returns true with the lease on success; false with `error` set after a
+  /// permanent fault, exhausted attempts, or a backoff that cannot fit the
+  /// deadline.
+  bool acquire_with_retry(const std::shared_ptr<RequestState>& state,
+                          const core::Config& config,
+                          OperatorRegistry::Lease& lease, std::string& error);
 
   ServerOptions options_;
   int threads_per_worker_ = 1;
   OperatorRegistry registry_;
   RequestScheduler scheduler_;
+  RetryPolicy retry_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_done_;  ///< wait() blocks here.
@@ -156,9 +208,20 @@ class Server {
   std::array<PriorityMetrics, kNumPriorities> priority_metrics_{};
   double setup_seconds_sum_ = 0.0;
   double solve_seconds_sum_ = 0.0;
+  std::int64_t degraded_ = 0;
+  std::int64_t salvaged_ = 0;
+  std::array<std::int64_t, kMaxRungs> degraded_by_rung_{};
+  std::int64_t retries_ = 0;
+  std::int64_t retry_exhausted_ = 0;
+  std::int64_t retry_abandoned_ = 0;
+  std::int64_t watchdog_cancelled_ = 0;
+  LatencyHistogram retry_backoff_;
   bool shut_down_ = false;
 
   std::vector<std::thread> threads_;
+  std::thread watchdog_;
+  std::condition_variable cv_watchdog_;  ///< Wakes the watchdog on shutdown.
+  bool watchdog_stop_ = false;
 };
 
 }  // namespace memxct::serve

@@ -92,6 +92,7 @@ SolveResult cgls_warm(const LinearOperator& op, std::span<const real> y,
     have_snap = true;
   }
 
+  if (options.progress != nullptr) options.progress->arm();
   for (; iter < options.max_iterations; ++iter) {
     // Cooperative cancellation: checked once per iteration, before the two
     // SpMVs, so a cancel/deadline costs at most one more iteration.
@@ -139,6 +140,8 @@ SolveResult cgls_warm(const LinearOperator& op, std::span<const real> y,
 
     if (options.record_history)
       result.history.push_back({iter + 1, rnorm, xnorm});
+    // Heartbeat for watchdogs: one relaxed store per completed iteration.
+    if (options.progress != nullptr) options.progress->tick(iter + 1);
     if (options.early_stop && stop.should_stop(rnorm)) {
       ++iter;
       break;

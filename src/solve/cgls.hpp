@@ -27,6 +27,9 @@ struct CglsOptions {
   /// Cooperative cancellation/deadline, polled at iteration granularity
   /// (nullptr = never cancelled). The token outlives the solve.
   const CancelToken* cancel = nullptr;
+  /// Per-iteration heartbeat for watchdogs (nullptr = no reporting). The
+  /// sink outlives the solve, like the token.
+  ProgressSink* progress = nullptr;
 };
 
 /// Runs CGLS from x = 0 for measurement vector `y`.

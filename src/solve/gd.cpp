@@ -45,6 +45,7 @@ SolveResult gradient_descent(const LinearOperator& op, std::span<const real> y,
     have_snap = true;
   }
 
+  if (options.progress != nullptr) options.progress->arm();
   for (; iter < options.max_iterations; ++iter) {
     // Cooperative cancellation at iteration granularity (serve deadlines).
     if (options.cancel != nullptr && options.cancel->should_stop()) {
@@ -83,6 +84,8 @@ SolveResult gradient_descent(const LinearOperator& op, std::span<const real> y,
     xnorm_log.push_back(xnorm);
     if (options.record_history)
       result.history.push_back({iter + 1, rnorm, xnorm});
+    // Heartbeat for watchdogs: one relaxed store per completed iteration.
+    if (options.progress != nullptr) options.progress->tick(iter + 1);
     if (ck.interval > 0 && (iter + 1) % ck.interval == 0) {
       snap.solver_kind = detail::kGdKind;
       snap.iteration = iter + 1;

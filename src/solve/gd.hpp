@@ -22,6 +22,9 @@ struct GdOptions {
   /// Cooperative cancellation/deadline, polled at iteration granularity
   /// (nullptr = never cancelled). The token outlives the solve.
   const CancelToken* cancel = nullptr;
+  /// Per-iteration heartbeat for watchdogs (nullptr = no reporting). The
+  /// sink outlives the solve, like the token.
+  ProgressSink* progress = nullptr;
 };
 
 /// x_{k+1} = x_k + alpha_k A^T (y - A x_k), with the exact line-search step

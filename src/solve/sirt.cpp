@@ -59,6 +59,7 @@ SolveResult sirt(const LinearOperator& op, std::span<const real> y,
     have_snap = true;
   }
 
+  if (options.progress != nullptr) options.progress->arm();
   for (; iter < options.max_iterations; ++iter) {
     // Cooperative cancellation at iteration granularity (serve deadlines).
     if (options.cancel != nullptr && options.cancel->should_stop()) {
@@ -89,6 +90,8 @@ SolveResult sirt(const LinearOperator& op, std::span<const real> y,
     // Fused: x += relax·C·gradient and <x,x> of the update in one pass.
     xnorm = std::sqrt(
         diag_axpy_dot(options.relaxation, col_sum, gradient, result.x));
+    // Heartbeat for watchdogs: one relaxed store per completed iteration.
+    if (options.progress != nullptr) options.progress->tick(iter + 1);
     if (ck.interval > 0 && (iter + 1) % ck.interval == 0) {
       snap.solver_kind = detail::kSirtKind;
       snap.iteration = iter + 1;

@@ -23,6 +23,9 @@ struct SirtOptions {
   /// Cooperative cancellation/deadline, polled at iteration granularity
   /// (nullptr = never cancelled). The token outlives the solve.
   const CancelToken* cancel = nullptr;
+  /// Per-iteration heartbeat for watchdogs (nullptr = no reporting). The
+  /// sink outlives the solve, like the token.
+  ProgressSink* progress = nullptr;
 };
 
 [[nodiscard]] SolveResult sirt(const LinearOperator& op,

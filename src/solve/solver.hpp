@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,55 @@ class CancelToken {
  private:
   std::atomic<bool> cancelled_{false};
   std::atomic<std::int64_t> deadline_ns_{0};  ///< steady-clock ns; 0 = none.
+};
+
+/// Lightweight progress heartbeat published by the iterative solvers: one
+/// relaxed atomic store per completed iteration (a few ns — negligible next
+/// to the two SpMVs an iteration costs). A watchdog thread on the other side
+/// compares `last_tick_ns()` against the steady clock to detect a worker
+/// that stopped making progress (stuck in a kernel, livelocked, wedged on
+/// I/O) and force-cancels it through the CancelToken. The sink must outlive
+/// the solve, like the token.
+class ProgressSink {
+ public:
+  /// Arms the sink at solve start so "no tick yet" is distinguishable from
+  /// "never started": the watchdog measures staleness from arm time until
+  /// the first iteration completes.
+  void arm() noexcept {
+    iteration_.store(0, std::memory_order_relaxed);
+    last_tick_ns_.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  /// Called by the solving thread after each completed iteration.
+  void tick(int iteration) noexcept {
+    iteration_.store(iteration, std::memory_order_relaxed);
+    last_tick_ns_.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  /// Steady-clock ns of the last arm/tick; 0 when never armed.
+  [[nodiscard]] std::int64_t last_tick_ns() const noexcept {
+    return last_tick_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int iteration() const noexcept {
+    return iteration_.load(std::memory_order_relaxed);
+  }
+  /// Seconds since the last heartbeat (arm or tick); +inf when never armed,
+  /// so an unarmed sink never looks "fresh" by accident — watchdogs should
+  /// only consider armed sinks.
+  [[nodiscard]] double seconds_since_tick() const noexcept {
+    const std::int64_t t = last_tick_ns();
+    if (t == 0) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(now_ns() - t) * 1e-9;
+  }
+
+  static std::int64_t now_ns() noexcept {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  }
+
+ private:
+  std::atomic<std::int64_t> last_tick_ns_{0};
+  std::atomic<int> iteration_{0};
 };
 
 /// Per-iteration record: the L-curve coordinates of Fig 8.
