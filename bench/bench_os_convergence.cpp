@@ -1,0 +1,241 @@
+// Ordered-subsets convergence study: OS-SIRT / OS-SART over subset
+// row-range views vs the full-pass solvers (SIRT, CGLS) on the default
+// shepp-logan phantom.
+//
+// The claim under test (solve/os.hpp): one OS sweep costs one full-matrix
+// pass — the same as one SIRT iteration — but applies K sequential
+// normalized corrections, so OS-SIRT should reach SIRT's reference
+// residual in >= 2x fewer full-matrix passes. The sweep here measures
+// "sweeps to the SIRT reference residual" per subset count, where the
+// residual compared is the TRUE ||y - A·x|| of the sweep-end iterate
+// (recomputed with a full apply, not the solver's cheap per-subset proxy),
+// so the comparison across solvers is apples to apples.
+//
+// Also exercises the streaming-ingest path (core/stream.hpp): the sinogram
+// arrives in 4 chunks, each preview warm-starting the next; previews must
+// improve monotonically in PSNR against the phantom and the final preview
+// must land near the all-at-once OS solve.
+//
+//   bench_os_convergence [--json <path>] [--quick]
+//
+// --quick shrinks the phantom and budgets for CI smoke runs.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/reconstructor.hpp"
+#include "core/stream.hpp"
+#include "core/subset.hpp"
+#include "io/table.hpp"
+#include "phantom/phantom.hpp"
+#include "solve/cgls.hpp"
+#include "solve/os.hpp"
+#include "solve/sirt.hpp"
+#include "solve/vector_ops.hpp"
+
+namespace {
+
+using namespace memxct;
+
+double psnr_db(std::span<const real> test, std::span<const real> ref) {
+  double peak = 0.0, mse = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    peak = std::max(peak, std::abs(static_cast<double>(ref[i])));
+    const double d = static_cast<double>(test[i]) - ref[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(ref.size());
+  if (mse == 0.0) return 200.0;
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+struct Row {
+  std::string solver;
+  int subsets = 1;
+  int sweeps_to_target = -1;  ///< -1 = did not reach within the budget.
+  double speedup = 0.0;       ///< Reference sweeps / sweeps_to_target.
+  double final_residual = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    else if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    else if (arg == "--quick") quick = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const idx_t size =
+      std::max<idx_t>(32, (quick ? 64 : 128) / bench::env_scale());
+  const idx_t angles = size * 3 / 2;
+  const auto g = geometry::make_geometry(angles, size);
+  const std::vector<real> image = phantom::shepp_logan(size);
+  const AlignedVector<real> sinogram = phantom::forward_project(g, image);
+  std::printf("shepp-logan %d x %d, %d angles\n", size, size, angles);
+
+  // One preprocessed operator serves every solver below; the config's
+  // solver/subset fields only matter to the streaming section.
+  core::Config config;
+  config.solver = core::SolverKind::OsSirt;
+  config.num_subsets = 8;
+  const int ref_sweeps = quick ? 12 : 30;
+  config.iterations = ref_sweeps;
+  core::Reconstructor recon(g, config);
+  const core::MemXCTOperator& op = *recon.serial_op();
+
+  // Ordered measurement vector (the solvers' space).
+  AlignedVector<real> y(sinogram.size());
+  const auto& sino_grid = recon.sinogram_ordering().to_grid();
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] = sinogram[static_cast<std::size_t>(sino_grid[i])];
+
+  // Reference: SIRT's residual after the full budget. Every row below asks
+  // "how many full-matrix passes to get at least this low".
+  const auto sirt_ref = solve::sirt(op, y, {.max_iterations = ref_sweeps});
+  const double target = sirt_ref.history.back().residual_norm;
+  std::printf("SIRT reference: residual %.6g after %d passes\n", target,
+              ref_sweeps);
+
+  const auto passes_to = [&](const std::vector<solve::IterationRecord>& h) {
+    for (const auto& rec : h)
+      if (rec.residual_norm <= target) return rec.iteration + 1;
+    return -1;
+  };
+
+  std::vector<Row> rows;
+  rows.push_back({"sirt", 1, ref_sweeps, 1.0, target});
+  {
+    const auto cg = solve::cgls(op, y, {.max_iterations = ref_sweeps});
+    rows.push_back({"cgls", 1, passes_to(cg.history), 0.0,
+                    cg.history.back().residual_norm});
+  }
+
+  // OS rows: sweep-by-sweep via warm start (the OS recursion state is the
+  // iterate alone, so chaining max_sweeps=1 calls through x0 reproduces a
+  // contiguous run exactly) so the true residual can be measured per sweep.
+  AlignedVector<real> forward(y.size());
+  const auto true_residual = [&](std::span<const real> x) {
+    op.apply(x, forward);
+    double r2 = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const double d = static_cast<double>(y[i]) - forward[i];
+      r2 += d * d;
+    }
+    return std::sqrt(r2);
+  };
+
+  const std::vector<int> subset_counts =
+      quick ? std::vector<int>{4, 8} : std::vector<int>{2, 4, 8, 16, 32};
+  for (const solve::OsKind kind : {solve::OsKind::Sirt, solve::OsKind::Sart}) {
+    const char* name = kind == solve::OsKind::Sirt ? "os-sirt" : "os-sart";
+    for (const int k : subset_counts) {
+      const auto views = core::make_subset_views(op, k);
+      std::vector<solve::OsSubset> subs;
+      subs.reserve(views.size());
+      for (const auto& v : views) subs.push_back({v.get(), v->first_row()});
+
+      AlignedVector<real> x;
+      Row row{name, static_cast<int>(views.size()), -1, 0.0, 0.0};
+      for (int s = 1; s <= ref_sweeps; ++s) {
+        solve::OsOptions opt;
+        opt.kind = kind;
+        opt.max_sweeps = 1;
+        opt.record_history = false;
+        if (!x.empty()) opt.x0 = x;
+        x = solve::os_solve(subs, y, opt).x;
+        row.final_residual = true_residual(x);
+        if (row.sweeps_to_target < 0 && row.final_residual <= target) {
+          row.sweeps_to_target = s;
+          break;
+        }
+      }
+      if (row.sweeps_to_target > 0)
+        row.speedup =
+            static_cast<double>(ref_sweeps) / row.sweeps_to_target;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  io::TablePrinter table("Ordered subsets vs full-pass solvers");
+  table.header({"solver", "subsets", "passes to SIRT target",
+                "speedup vs SIRT", "residual reached"});
+  for (const Row& r : rows)
+    table.row({r.solver, std::to_string(r.subsets),
+               r.sweeps_to_target < 0 ? "> " + std::to_string(ref_sweeps)
+                                      : std::to_string(r.sweeps_to_target),
+               r.speedup > 0.0 ? io::TablePrinter::num(r.speedup, 1) + "x"
+                               : "-",
+               io::TablePrinter::num(r.final_residual, 3)});
+  table.print();
+
+  double best_os_speedup = 0.0;
+  for (const Row& r : rows)
+    if (r.solver == "os-sirt") best_os_speedup = std::max(best_os_speedup,
+                                                          r.speedup);
+  std::printf("\nbest OS-SIRT speedup: %.1fx fewer full-matrix passes than "
+              "SIRT to the same residual%s\n",
+              best_os_speedup,
+              best_os_speedup >= 2.0 ? " (>= 2x: the subset corrections pay)"
+                                     : "");
+
+  // Streaming section: 4 chunks, warm-started previews, PSNR must not
+  // regress chunk over chunk.
+  const int chunks = 4;
+  const int chunk_angles = (static_cast<int>(angles) + chunks - 1) / chunks;
+  const auto previews =
+      core::reconstruct_stream(recon, sinogram, chunk_angles);
+  std::printf("\nstreaming ingest (%d chunks of %d angles):\n",
+              static_cast<int>(previews.size()), chunk_angles);
+  std::vector<double> preview_psnr;
+  bool monotone = true;
+  for (std::size_t c = 0; c < previews.size(); ++c) {
+    const double db = psnr_db(previews[c].image, image);
+    if (!preview_psnr.empty() && db + 1e-9 < preview_psnr.back())
+      monotone = false;
+    preview_psnr.push_back(db);
+    std::printf("  chunk %zu: %d sweeps, PSNR %.2f dB\n", c + 1,
+                previews[c].solve.iterations, db);
+  }
+  std::printf("previews %s monotonically\n",
+              monotone ? "improve" : "DO NOT improve");
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_os_convergence: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\"target_residual\": %.6g, \"reference_sweeps\": %d,"
+                      " \"best_os_sirt_speedup\": %.3g,\n \"rows\": [\n",
+                 target, ref_sweeps, best_os_speedup);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(out,
+                   "  {\"solver\": \"%s\", \"subsets\": %d, "
+                   "\"sweeps_to_target\": %d, \"speedup\": %.4g, "
+                   "\"residual\": %.6g}%s\n",
+                   r.solver.c_str(), r.subsets, r.sweeps_to_target, r.speedup,
+                   r.final_residual, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, " ],\n \"streaming_psnr_db\": [");
+    for (std::size_t c = 0; c < preview_psnr.size(); ++c)
+      std::fprintf(out, "%s%.4g", c > 0 ? ", " : "", preview_psnr[c]);
+    std::fprintf(out, "],\n \"streaming_monotone\": %s\n}\n",
+                 monotone ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -4,8 +4,13 @@
 //   memxct_cli --demo shepp|shale|brain [options]     (synthesizes input)
 //
 // Options:
-//   --solver cg|sirt|gd        iteration scheme            (default cg)
-//   --iterations K             iteration count             (default 30)
+//   --solver cg|sirt|gd|os-sirt|os-sart                    (default cg)
+//   --iterations K             iteration count             (default 30;
+//                              full sweeps for the os- solvers)
+//   --subsets N                ordered-subsets count        (default 8)
+//   --stream-chunk M           feed the sinogram M angles at a time through
+//                              the streaming-ingest path, warm-starting each
+//                              preview from the last (os- solvers only)
 //   --lambda L                 Tikhonov damping for cg     (default 0)
 //   --ordering hilbert|rowmajor|morton                     (default hilbert)
 //   --kernel buffered|baseline|ell|library                 (default buffered)
@@ -56,6 +61,7 @@
 
 #include "batch/batch.hpp"
 #include "core/reconstructor.hpp"
+#include "core/stream.hpp"
 #include "io/pgm.hpp"
 #include "io/table.hpp"
 #include "perf/counters.hpp"
@@ -71,7 +77,9 @@ using namespace memxct;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--input sino.vec --angles M --channels N | "
-               "--demo shepp|shale|brain [--size N]) [--solver cg|sirt|gd] "
+               "--demo shepp|shale|brain [--size N]) "
+               "[--solver cg|sirt|gd|os-sirt|os-sart] [--subsets N] "
+               "[--stream-chunk M] "
                "[--iterations K] [--lambda L] [--ordering hilbert|rowmajor|"
                "morton] [--kernel buffered|baseline|ell|library] "
                "[--precision fp32|bf16|fp16] [--ranks P] "
@@ -142,6 +150,8 @@ int run(int argc, char** argv) {
     else if (arg == "--channels")
       channels = static_cast<idx_t>(std::atoi(next()));
     else if (arg == "--iterations") config.iterations = std::atoi(next());
+    else if (arg == "--subsets") config.num_subsets = std::atoi(next());
+    else if (arg == "--stream-chunk") config.stream_chunk = std::atoi(next());
     else if (arg == "--lambda") config.tikhonov_lambda = std::atof(next());
     else if (arg == "--ranks") config.num_ranks = std::atoi(next());
     else if (arg == "--noise") noise = std::atof(next());
@@ -177,6 +187,8 @@ int run(int argc, char** argv) {
       if (v == "cg") config.solver = core::SolverKind::CGLS;
       else if (v == "sirt") config.solver = core::SolverKind::SIRT;
       else if (v == "gd") config.solver = core::SolverKind::GradientDescent;
+      else if (v == "os-sirt") config.solver = core::SolverKind::OsSirt;
+      else if (v == "os-sart") config.solver = core::SolverKind::OsSart;
       else usage(argv[0]);
     } else if (arg == "--ordering") {
       const std::string v = next();
@@ -314,6 +326,25 @@ int run(int argc, char** argv) {
       std::printf("wrote %s (slice 0 of %d)\n", output.c_str(), slices);
     }
     return results[0].status == batch::SliceStatus::Ok ? 0 : 3;
+  }
+
+  if (config.stream_chunk > 0) {
+    // Streaming-ingest path: the sinogram is fed chunk-by-chunk as if the
+    // detector were delivering it live; each chunk's preview warm-starts
+    // the next. The final preview covers every angle.
+    const auto previews =
+        core::reconstruct_stream(recon, sinogram, config.stream_chunk);
+    for (std::size_t c = 0; c < previews.size(); ++c) {
+      const auto& p = previews[c].solve;
+      std::printf("chunk %zu/%zu: %d sweeps in %.2f s, residual %.4g\n",
+                  c + 1, previews.size(), p.iterations, p.seconds,
+                  p.history.empty() ? 0.0 : p.history.back().residual_norm);
+    }
+    io::write_pgm_autoscale(output, g.tomogram_extent(),
+                            previews.back().image);
+    std::printf("wrote %s (final of %zu streamed previews)\n", output.c_str(),
+                previews.size());
+    return 0;
   }
 
   // Single-slice path with the full resilience kit: deadline via the

@@ -49,13 +49,14 @@ SliceResult run_isolated_slice(const solve::LinearOperator& op,
                                std::span<const real> sinogram,
                                core::SliceWorkspace* workspace,
                                const solve::CancelToken* cancel,
-                               bool keep_image, solve::ProgressSink* progress) {
+                               bool keep_image, solve::ProgressSink* progress,
+                               const core::SolveExtras* extras) {
   SliceResult res;
   perf::WallTimer timer;
   try {
     core::ReconstructionResult r = core::reconstruct_slice(
         op, geometry, config, sino_order, tomo_order, sinogram, workspace,
-        cancel, progress);
+        cancel, progress, extras);
     res.status = r.solve.diverged ? SliceStatus::Diverged : SliceStatus::Ok;
     res.solve = std::move(r.solve);
     res.ingest = std::move(r.ingest);

@@ -100,14 +100,17 @@ struct SliceResult {
 /// status Ok (the caller decides what cancellation means). When
 /// `keep_image` is false the pixels are dropped after the solve.
 /// `progress` (optional) receives the solver's per-iteration heartbeat so
-/// the serve layer's watchdog can detect stuck workers.
+/// the serve layer's watchdog can detect stuck workers. `extras` (optional)
+/// forwards ordered-subsets warm-start / partial-data inputs (streaming
+/// preview requests through the serve layer).
 [[nodiscard]] SliceResult run_isolated_slice(
     const solve::LinearOperator& op, const geometry::Geometry& geometry,
     const core::Config& config, const hilbert::Ordering& sino_order,
     const hilbert::Ordering& tomo_order, std::span<const real> sinogram,
     core::SliceWorkspace* workspace = nullptr,
     const solve::CancelToken* cancel = nullptr, bool keep_image = true,
-    solve::ProgressSink* progress = nullptr);
+    solve::ProgressSink* progress = nullptr,
+    const core::SolveExtras* extras = nullptr);
 
 /// Batch-level statistics of one submit…wait_all round.
 struct BatchReport {

@@ -30,8 +30,13 @@ enum class ScheduleKind {
 
 [[nodiscard]] const char* to_string(ScheduleKind kind) noexcept;
 
-/// Iterative scheme (Section 3.5.2's plug-and-play solvers).
-enum class SolverKind { CGLS, SIRT, GradientDescent };
+/// Iterative scheme (Section 3.5.2's plug-and-play solvers). OsSirt/OsSart
+/// are the ordered-subsets accelerators (solve/os.hpp): they sweep
+/// partition-aligned row subsets of the memoized operator in bit-reversed
+/// order, converging in far fewer full-matrix passes; `iterations` then
+/// counts full sweeps. Supported on the serial Baseline/Buffered fp32
+/// operator families (subset views, core/subset.hpp).
+enum class SolverKind { CGLS, SIRT, GradientDescent, OsSirt, OsSart };
 
 [[nodiscard]] const char* to_string(SolverKind kind) noexcept;
 
@@ -59,9 +64,18 @@ struct Config {
   sparse::ValueStorage precision = sparse::ValueStorage::Fp32;
 
   SolverKind solver = SolverKind::CGLS;
-  int iterations = 30;      ///< Paper's CG default.
+  int iterations = 30;      ///< Paper's CG default (full sweeps for OS).
+  /// Subset count for the ordered-subsets solvers; ignored by the others.
+  /// Clamped to the operator's row-partition count at solve time.
+  int num_subsets = 8;
+  /// Streaming ingest chunk size in angles (core/stream.hpp's
+  /// reconstruct_stream): projections arrive `stream_chunk` angles at a
+  /// time, each chunk warm-starting an OS solve from the previous preview.
+  /// 0 disables streaming (batch reconstruction).
+  int stream_chunk = 0;
   bool early_stop = false;  ///< Heuristic termination at the L-curve knee.
-  /// Relative-improvement tolerance for early_stop (CGLS only). Larger
+  /// Relative-improvement tolerance for early_stop (CGLS and the OS
+  /// solvers, which evaluate it on full-sweep boundaries only). Larger
   /// values stop sooner — the degradation ladder relaxes this to trade
   /// residual for latency under deadline pressure.
   double early_stop_tol = 1e-3;

@@ -6,12 +6,15 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/grid.hpp"
 #include "common/interleave.hpp"
+#include "core/subset.hpp"
 #include "sparse/compressed.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ell.hpp"
 #include "sparse/spmm.hpp"
 #include "sparse/spmv.hpp"
+#include "sparse/subset.hpp"
 #include "sparse/transpose.hpp"
 
 namespace memxct::core {
@@ -48,6 +51,10 @@ const char* to_string(SolverKind kind) noexcept {
       return "SIRT";
     case SolverKind::GradientDescent:
       return "GD";
+    case SolverKind::OsSirt:
+      return "OS-SIRT";
+    case SolverKind::OsSart:
+      return "OS-SART";
   }
   return "?";
 }
@@ -189,6 +196,85 @@ MemXCTOperator::~MemXCTOperator() = default;
 
 std::unique_ptr<MemXCTOperator> MemXCTOperator::make_view() const {
   return std::unique_ptr<MemXCTOperator>(new MemXCTOperator(store_));
+}
+
+idx_t MemXCTOperator::row_partition_size() const {
+  const Storage& s = *store_;
+  if (s.precision != sparse::ValueStorage::Fp32)
+    throw InvalidArgument(
+        "subset views are not supported for compressed operator storage");
+  switch (s.kind) {
+    case KernelKind::Baseline:
+      return sparse::kCsrPartsize;
+    case KernelKind::Buffered:
+      return s.buf_fwd->config.partsize;
+    case KernelKind::EllBlock:
+    case KernelKind::Library:
+      break;
+  }
+  throw InvalidArgument(std::string("subset views are not supported for the ") +
+                        to_string(s.kind) + " kernel");
+}
+
+std::unique_ptr<SubsetOperatorView> MemXCTOperator::subset_view(
+    idx_t first_row, idx_t num_rows) const {
+  const Storage& s = *store_;
+  const idx_t partsize = row_partition_size();  // rejects unsupported kinds
+  const sparse::RowRange range{first_row, num_rows};
+  sparse::check_range_aligned(range, s.num_rows, partsize);
+
+  auto v = std::unique_ptr<SubsetOperatorView>(new SubsetOperatorView());
+  v->keepalive_ = store_;
+  v->range_ = range;
+  v->num_cols_ = s.num_cols;
+  v->planned_ = s.schedule == ScheduleKind::StaticPlan;
+  v->partsize_ = partsize;
+  const idx_t nparts_sub = ceil_div(range.count, partsize);
+
+  if (s.kind == KernelKind::Baseline) {
+    v->csr_fwd_ = &*s.csr_fwd;
+    v->csr_bwd_ = &*s.csr_bwd;
+    v->colrange_ = sparse::ColRangeIndex::build(*s.csr_bwd, range);
+    v->nnz_sub_ = v->colrange_.nnz_sub;
+    if (v->planned_) {
+      // Same slot counts as the parent plans: the view executes the same
+      // round-robin slot → thread map, so its output is deterministic under
+      // any thread count, like every other planned apply.
+      const auto fwd_weights = sparse::partition_nnz(*s.csr_fwd, partsize);
+      v->plan_fwd_ = sparse::ApplyPlan::build(
+          std::span(fwd_weights)
+              .subspan(static_cast<std::size_t>(first_row / partsize),
+                       static_cast<std::size_t>(nparts_sub)),
+          s.plan_fwd.num_slots());
+      v->plan_bwd_ = sparse::ApplyPlan::build(
+          sparse::colrange_partition_nnz(v->colrange_, s.num_cols, partsize),
+          s.plan_bwd.num_slots());
+    }
+  } else {
+    v->buf_fwd_ = &*s.buf_fwd;
+    v->buf_bwd_ = &*s.buf_bwd;
+    v->buf_colrange_ = sparse::BufferedColRange::build(*s.buf_bwd, range);
+    v->nnz_sub_ = v->buf_colrange_.nnz_sub;
+    if (v->planned_) {
+      const auto fwd_weights = sparse::partition_nnz(*s.buf_fwd);
+      v->plan_fwd_ = sparse::ApplyPlan::build(
+          std::span(fwd_weights)
+              .subspan(static_cast<std::size_t>(first_row / partsize),
+                       static_cast<std::size_t>(nparts_sub)),
+          s.plan_fwd.num_slots());
+      v->plan_bwd_ = sparse::ApplyPlan::build(v->buf_colrange_.part_nnz,
+                                              s.plan_bwd.num_slots());
+      v->ws_fwd_ =
+          sparse::Workspace(v->plan_fwd_.num_slots(),
+                            s.buf_fwd->config.buffsize,
+                            s.buf_fwd->config.partsize);
+      v->ws_bwd_ =
+          sparse::Workspace(v->plan_bwd_.num_slots(),
+                            s.buf_bwd->config.buffsize,
+                            s.buf_bwd->config.partsize);
+    }
+  }
+  return v;
 }
 
 void MemXCTOperator::build_workspaces() {

@@ -13,6 +13,7 @@
 namespace memxct::core {
 
 class MemXCTOperator;
+class SubsetOperatorView;
 
 /// Scratch for one block-apply width: the interleaved (slice-major) vector
 /// images of the per-slice slabs, plus k-wide staging/output buffers for
@@ -76,6 +77,22 @@ class MemXCTOperator final : public solve::LinearOperator {
   /// owning private apply workspaces. Cost: workspace allocation only (no
   /// matrix copy). Views from distinct threads may apply concurrently.
   [[nodiscard]] std::unique_ptr<MemXCTOperator> make_view() const;
+
+  /// Row-partition granularity of the stored forward matrix: kCsrPartsize
+  /// for Baseline, the buffer partsize for Buffered. Subset row ranges must
+  /// align to it. Throws InvalidArgument for kinds/precisions without
+  /// subset support (EllBlock, Library, compressed storage).
+  [[nodiscard]] idx_t row_partition_size() const;
+
+  /// Row-range view over rows [first_row, first_row + num_rows) behind the
+  /// same apply interface (core/subset.hpp): shares this operator's Storage
+  /// (keepalive, no matrix copy), slices the forward matrix by existing
+  /// partitions, and filters the stored transpose by column range through
+  /// indices built here once. The range must align to row_partition_size().
+  /// Supported for Baseline/Buffered at Fp32; throws InvalidArgument
+  /// otherwise.
+  [[nodiscard]] std::unique_ptr<SubsetOperatorView> subset_view(
+      idx_t first_row, idx_t num_rows) const;
 
   [[nodiscard]] idx_t num_rows() const override;
   [[nodiscard]] idx_t num_cols() const override;

@@ -11,9 +11,11 @@
 #include "perf/timer.hpp"
 #include "resil/checked_io.hpp"
 #include "sparse/spmv.hpp"
+#include "core/subset.hpp"
 #include "solve/block.hpp"
 #include "solve/cgls.hpp"
 #include "solve/gd.hpp"
+#include "solve/os.hpp"
 #include "solve/sirt.hpp"
 
 namespace memxct::core {
@@ -234,12 +236,22 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
                                        std::span<const real> sinogram,
                                        SliceWorkspace* workspace,
                                        const solve::CancelToken* cancel,
-                                       solve::ProgressSink* progress) {
+                                       solve::ProgressSink* progress,
+                                       const SolveExtras* extras) {
   // Local scratch when the caller did not provide a reusable workspace
   // (one-shot reconstructions); batch workers pass a persistent one so the
   // resize calls below are no-ops after the first slice.
   SliceWorkspace local;
   SliceWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  const bool os_solver = config.solver == SolverKind::OsSirt ||
+                         config.solver == SolverKind::OsSart;
+  if (extras != nullptr &&
+      (!extras->warm_start_image.empty() || !extras->angle_mask.empty()) &&
+      !os_solver)
+    throw InvalidArgument(
+        "warm-start / angle-mask extras require an ordered-subsets solver "
+        "(--solver os-sirt or os-sart)");
 
   resil::IngestReport ingest =
       ingest_and_order(geometry, config, sino_order, sinogram, ws);
@@ -280,6 +292,62 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
       opt.cancel = cancel;
       opt.progress = progress;
       solved = solve::gradient_descent(op, y, opt);
+      break;
+    }
+    case SolverKind::OsSirt:
+    case SolverKind::OsSart: {
+      // The OS sweep needs row-range views of the memoized storage; only
+      // the serial operator exposes them (subset_view). Distributed and
+      // other wrapper operators cannot be sliced this way.
+      const auto* mem = dynamic_cast<const MemXCTOperator*>(&op);
+      if (mem == nullptr)
+        throw InvalidArgument(
+            "ordered-subsets solvers require the serial memoized operator "
+            "(distributed and wrapper operators have no subset views)");
+      const std::vector<std::unique_ptr<SubsetOperatorView>> views =
+          make_subset_views(*mem, config.num_subsets);
+      std::vector<solve::OsSubset> subs;
+      subs.reserve(views.size());
+      for (const auto& v : views) subs.push_back({v.get(), v->first_row()});
+
+      solve::OsOptions opt;
+      opt.kind = config.solver == SolverKind::OsSart ? solve::OsKind::Sart
+                                                     : solve::OsKind::Sirt;
+      opt.max_sweeps = config.iterations;
+      opt.early_stop = config.early_stop;
+      opt.early_stop_tol = config.early_stop_tol;
+      opt.checkpoint = checkpoint;
+      opt.cancel = cancel;
+      opt.progress = progress;
+
+      // Extras arrive in natural layout; the solver works in ordered space.
+      // Warm start permutes exactly like depermute_image's inverse; the
+      // per-angle mask expands to per-row through the sinogram ordering
+      // (natural sinogram index = angle · num_channels + channel).
+      AlignedVector<real> x0, row_mask;
+      if (extras != nullptr && !extras->warm_start_image.empty()) {
+        const auto& tomo_to_grid = tomo_order.to_grid();
+        MEMXCT_CHECK(extras->warm_start_image.size() == tomo_to_grid.size());
+        x0.resize(tomo_to_grid.size());
+        for (std::size_t i = 0; i < x0.size(); ++i)
+          x0[i] = extras->warm_start_image[static_cast<std::size_t>(
+              tomo_to_grid[i])];
+        opt.x0 = x0;
+      }
+      if (extras != nullptr && !extras->angle_mask.empty()) {
+        MEMXCT_CHECK(static_cast<std::int64_t>(extras->angle_mask.size()) ==
+                     geometry.num_angles);
+        const auto& sino_to_grid = sino_order.to_grid();
+        row_mask.resize(sino_to_grid.size());
+        for (std::size_t i = 0; i < row_mask.size(); ++i) {
+          const auto angle = static_cast<std::size_t>(
+              sino_to_grid[i] / geometry.num_channels);
+          row_mask[i] = extras->angle_mask[angle] != real{0} ? real{1}
+                                                             : real{0};
+        }
+        opt.row_mask = row_mask;
+      }
+      solved = solve::os_solve(subs, y, opt);
       break;
     }
   }

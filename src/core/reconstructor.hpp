@@ -80,6 +80,23 @@ resil::IngestReport ingest_and_order(const geometry::Geometry& geometry,
 void depermute_image(const hilbert::Ordering& tomo_order,
                      std::span<const real> solved_x, std::span<real> image);
 
+/// Optional solver inputs for the ordered-subsets path (streaming ingest,
+/// core/stream.hpp). Both spans are in *natural* layout — the caller-facing
+/// coordinate system — and are converted to ordered space inside
+/// reconstruct_slice, so callers never touch the Hilbert permutations.
+/// Passing a non-empty extras field with a non-OS solver throws
+/// InvalidArgument (the full-pass solvers have no partial-data semantics).
+struct SolveExtras {
+  /// Warm start: previous iterate as a natural row-major tomogram image
+  /// (length = tomogram extent). Empty = zero start.
+  std::span<const real> warm_start_image;
+  /// 0/1 per projection angle (length = geometry.num_angles); 0 marks angles
+  /// whose measurements have not arrived yet — their sinogram rows are
+  /// excluded from corrections, normalizations, and residual norms. Empty =
+  /// all angles present.
+  std::span<const real> angle_mask;
+};
+
 /// One-slice reconstruction against an explicit operator: ingest gate,
 /// permutation into ordered space, solve, de-permutation. This is the slice
 /// engine shared by Reconstructor::reconstruct (which passes its own active
@@ -89,14 +106,19 @@ void depermute_image(const hilbert::Ordering& tomo_order,
 /// `cancel` (optional) is polled by the solver at iteration granularity;
 /// on cancellation the result carries solve.cancelled and the last
 /// completed iterate. `progress` (optional) receives a heartbeat per
-/// completed iteration for watchdog monitoring.
+/// completed iteration for watchdog monitoring. `extras` (optional) carries
+/// warm-start / partial-data inputs for the ordered-subsets solvers; the
+/// OS solvers additionally require `op` to be a serial MemXCTOperator
+/// (subset views need the memoized storage — the distributed operator
+/// throws InvalidArgument).
 [[nodiscard]] ReconstructionResult reconstruct_slice(
     const solve::LinearOperator& op, const geometry::Geometry& geometry,
     const Config& config, const hilbert::Ordering& sino_order,
     const hilbert::Ordering& tomo_order, std::span<const real> sinogram,
     SliceWorkspace* workspace = nullptr,
     const solve::CancelToken* cancel = nullptr,
-    solve::ProgressSink* progress = nullptr);
+    solve::ProgressSink* progress = nullptr,
+    const SolveExtras* extras = nullptr);
 
 /// Multi-slice lockstep reconstruction: the sinograms are ingested and
 /// ordered individually, solved together by the block CGLS solver (one

@@ -1,0 +1,89 @@
+// Streaming-angle ingest with warm-started ordered-subsets solves.
+//
+// Synchrotron detectors deliver projections angle by angle; waiting for the
+// full sinogram wastes the beam time the paper's preprocessing amortization
+// is meant to reclaim. StreamingReconstructor ingests angles in chunks and
+// reconstructs after every chunk:
+//
+//   - arrived measurements accumulate in a natural-layout sinogram buffer
+//     (absent angles stay zero and are excluded from the solve through the
+//     per-angle mask — see SolveExtras);
+//   - each chunk's solve warm-starts from the previous preview image, so
+//     the work already spent refining earlier angles is never thrown away;
+//   - the solver is one of the ordered-subsets pair (OS-SIRT / OS-SART),
+//     whose masked normalization makes partial data well-posed.
+//
+// Determinism contract: a chunk's preview depends only on (operator,
+// config, the set of arrived angles, previous iterate). push_chunk updates
+// the warm-start image only after a successful solve, and re-pushing the
+// same chunk re-sanitizes from the caller's pristine data — so retrying a
+// chunk after a transient fault (ingest I/O error, injected chaos) yields
+// bitwise-identical previews and final image (tests/test_os.cpp pins this).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/reconstructor.hpp"
+
+namespace memxct::core {
+
+/// Incremental reconstruction session over one slice. Holds the accumulated
+/// sinogram, the per-angle arrival mask, and the latest preview iterate.
+/// Not thread-safe; one session per slice (the serve layer wraps sessions
+/// behind its scheduler, serve/stream.hpp).
+class StreamingReconstructor {
+ public:
+  /// `recon` must be configured with an OS solver on the serial path
+  /// (throws InvalidArgument otherwise) and must outlive the session.
+  explicit StreamingReconstructor(const Reconstructor& recon);
+
+  /// Ingests `count` angles starting at `first_angle` (`rows` holds
+  /// count × num_channels samples in natural angle-major layout), then
+  /// solves warm-started from the previous preview. Returns the preview
+  /// reconstruction over all angles arrived so far. Re-pushing an already
+  /// arrived range overwrites it (idempotent retry).
+  ReconstructionResult push_chunk(int first_angle, int count,
+                                  std::span<const real> rows,
+                                  const solve::CancelToken* cancel = nullptr,
+                                  solve::ProgressSink* progress = nullptr);
+
+  /// Angles with arrived measurements (counts each angle once).
+  [[nodiscard]] int angles_received() const noexcept {
+    return angles_received_;
+  }
+  /// True once every angle of the geometry has arrived.
+  [[nodiscard]] bool complete() const noexcept;
+  /// Latest preview image (natural layout); empty before the first chunk.
+  [[nodiscard]] const std::vector<real>& preview() const noexcept {
+    return preview_;
+  }
+  /// Accumulated natural-layout sinogram (zeros where not yet arrived).
+  [[nodiscard]] std::span<const real> sinogram() const noexcept {
+    return sino_;
+  }
+  /// Per-angle 0/1 arrival mask.
+  [[nodiscard]] std::span<const real> angle_mask() const noexcept {
+    return mask_;
+  }
+
+ private:
+  const Reconstructor* recon_;
+  std::vector<real> sino_;     ///< Natural layout; zero until arrival.
+  std::vector<real> mask_;     ///< 0/1 per angle.
+  std::vector<real> preview_;  ///< Warm start for the next chunk.
+  int angles_received_ = 0;
+  SliceWorkspace ws_;
+};
+
+/// Batch driver over the streaming path: feeds `sinogram` (full natural
+/// layout) to a StreamingReconstructor in chunks of `chunk_angles` and
+/// returns one preview per chunk — the last entry is the final image over
+/// all angles. `chunk_angles` <= 0 means one chunk (degenerate streaming:
+/// a single masked-complete solve). This is what the CLI's --stream-chunk
+/// flag and bench_os_convergence drive.
+[[nodiscard]] std::vector<ReconstructionResult> reconstruct_stream(
+    const Reconstructor& recon, std::span<const real> sinogram,
+    int chunk_angles, const solve::CancelToken* cancel = nullptr);
+
+}  // namespace memxct::core

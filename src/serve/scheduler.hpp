@@ -58,6 +58,13 @@ struct RequestOptions {
   /// for r > 0. The admission gate may step FURTHER down from here (never
   /// up) when the deadline is infeasible at the requested rung.
   int rung = 0;
+  /// Streaming extras for ordered-subsets requests (core::SolveExtras
+  /// semantics, both natural layout, both copied at submit): warm-start
+  /// image from the previous preview, and the per-angle 0/1 arrival mask
+  /// for partial sinograms. Non-empty values require an OS solver in the
+  /// request config (rejected with InvalidArgument otherwise).
+  std::span<const real> warm_start_image;
+  std::span<const real> angle_mask;
 };
 
 /// Terminal request states (plus the two live ones for snapshots).
@@ -112,6 +119,11 @@ struct RequestState {
   geometry::Geometry geometry;
   core::Config config;
   AlignedVector<real> sinogram;
+  /// Owned copies of the streaming extras (the spans in `options` are
+  /// cleared at submit — they point at caller memory that may be gone by
+  /// the time a worker runs).
+  AlignedVector<real> warm_start;
+  AlignedVector<real> angle_mask;
   RequestOptions options;
   solve::CancelToken token;  ///< Armed with the deadline at submission.
   solve::ProgressSink progress;  ///< Solver heartbeat read by the watchdog.

@@ -99,12 +99,36 @@ std::int64_t Server::submit(const geometry::Geometry& geometry,
         "(num_ranks == 1 and not force_distributed)");
   if (options.deadline_seconds < 0.0)
     throw InvalidArgument("serve: deadline_seconds must be >= 0");
+  const bool os_solver = config.solver == core::SolverKind::OsSirt ||
+                         config.solver == core::SolverKind::OsSart;
+  if ((!options.warm_start_image.empty() || !options.angle_mask.empty()) &&
+      !os_solver)
+    throw InvalidArgument(
+        "serve: warm_start_image / angle_mask require an ordered-subsets "
+        "solver in the request config");
+  if (!options.warm_start_image.empty() &&
+      static_cast<std::int64_t>(options.warm_start_image.size()) !=
+          geometry.tomogram_extent().size())
+    throw InvalidArgument(
+        "serve: warm_start_image size does not match the tomogram");
+  if (!options.angle_mask.empty() &&
+      static_cast<std::int64_t>(options.angle_mask.size()) !=
+          geometry.num_angles)
+    throw InvalidArgument(
+        "serve: angle_mask size does not match the angle count");
 
   auto state = std::make_shared<RequestState>();
   state->geometry = geometry;
   state->config = config;
   state->sinogram.assign(sinogram.begin(), sinogram.end());
+  state->warm_start.assign(options.warm_start_image.begin(),
+                           options.warm_start_image.end());
+  state->angle_mask.assign(options.angle_mask.begin(),
+                           options.angle_mask.end());
   state->options = options;
+  // The spans point at caller memory; the owned copies above are the truth.
+  state->options.warm_start_image = {};
+  state->options.angle_mask = {};
   state->submit_time = std::chrono::steady_clock::now();
   if (options.deadline_seconds > 0.0) {
     state->has_deadline = true;
@@ -405,12 +429,21 @@ void Server::worker_main() {
     const std::unique_ptr<core::MemXCTOperator> view =
         lease.recon->serial_op()->make_view();
 
+    core::SolveExtras extras;
+    extras.warm_start_image = state->warm_start;
+    extras.angle_mask = state->angle_mask;
+    const bool has_extras =
+        !state->warm_start.empty() || !state->angle_mask.empty();
+
     batch::SliceResult res = batch::run_isolated_slice(
         *view, lease.recon->geometry(), config,
         lease.recon->sinogram_ordering(), lease.recon->tomogram_ordering(),
         state->sinogram, &slice_ws, &state->token,
-        state->options.keep_image, &state->progress);
+        state->options.keep_image, &state->progress,
+        has_extras ? &extras : nullptr);
     state->sinogram.clear();  // measurements are consumed; free early
+    state->warm_start.clear();
+    state->angle_mask.clear();
 
     RequestStatus status;
     if (res.solve.cancelled) {

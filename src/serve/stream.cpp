@@ -1,0 +1,70 @@
+#include "serve/stream.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace memxct::serve {
+
+StreamSession::StreamSession(Server& server,
+                             const geometry::Geometry& geometry,
+                             const core::Config& config,
+                             StreamSessionOptions options)
+    : server_(&server),
+      geometry_(geometry),
+      config_(config),
+      options_(options) {
+  geometry_.validate();
+  if (config.solver != core::SolverKind::OsSirt &&
+      config.solver != core::SolverKind::OsSart)
+    throw InvalidArgument(
+        "serve: streaming sessions require an ordered-subsets solver "
+        "(os-sirt or os-sart)");
+  sino_.assign(static_cast<std::size_t>(geometry_.sinogram_extent().size()),
+               real{0});
+  mask_.assign(static_cast<std::size_t>(geometry_.num_angles), real{0});
+}
+
+RequestResult StreamSession::push_chunk(int first_angle, int count,
+                                        std::span<const real> rows) {
+  MEMXCT_CHECK_MSG(count >= 1, "push_chunk: empty chunk");
+  MEMXCT_CHECK_MSG(
+      first_angle >= 0 && first_angle + count <= geometry_.num_angles,
+      "push_chunk: angle range outside the geometry");
+  MEMXCT_CHECK_MSG(static_cast<std::int64_t>(rows.size()) ==
+                       static_cast<std::int64_t>(count) *
+                           geometry_.num_channels,
+                   "push_chunk: row data size does not match the range");
+
+  std::copy(rows.begin(), rows.end(),
+            sino_.begin() + static_cast<std::ptrdiff_t>(first_angle) *
+                                geometry_.num_channels);
+  for (int a = first_angle; a < first_angle + count; ++a) {
+    if (mask_[static_cast<std::size_t>(a)] == real{0}) ++angles_received_;
+    mask_[static_cast<std::size_t>(a)] = real{1};
+  }
+
+  RequestOptions opt;
+  opt.priority = options_.priority;
+  opt.deadline_seconds = options_.deadline_seconds;
+  opt.angle_mask = mask_;
+  if (!preview_.empty()) opt.warm_start_image = preview_;
+
+  const std::int64_t id = server_->submit(geometry_, config_, sino_, opt);
+  RequestResult result = server_->wait(id);
+
+  // Only usable images advance the warm start: a degraded or salvaged
+  // preview is still a better start than the last one, but a failed or
+  // rejected request must not poison the stream.
+  if (!result.image.empty() && (result.status == RequestStatus::Ok ||
+                                result.status == RequestStatus::Degraded ||
+                                result.status == RequestStatus::Diverged))
+    preview_ = result.image;
+  return result;
+}
+
+bool StreamSession::complete() const noexcept {
+  return angles_received_ == static_cast<int>(geometry_.num_angles);
+}
+
+}  // namespace memxct::serve

@@ -1,0 +1,70 @@
+// StreamSession: online reconstruction through the serving stack.
+//
+// The core-level StreamingReconstructor (core/stream.hpp) solves inline on
+// the caller's thread; a beamline front end instead wants each preview to
+// go through the server — sharing the operator registry with other tenants,
+// riding the Interactive priority lane so previews return at interactive
+// deadlines even under bulk load, and inheriting the degradation ladder,
+// retry, and watchdog machinery for free.
+//
+// A StreamSession accumulates arriving angles exactly like the core session
+// and, per chunk, submits one request carrying the partial sinogram, the
+// per-angle arrival mask, and the previous preview as warm start
+// (RequestOptions::warm_start_image / angle_mask). The preview advances
+// only on a usable terminal status (Ok / Degraded / Diverged-with-image),
+// so a failed or rejected request leaves the session state untouched and
+// re-pushing the chunk is a bitwise-identical retry.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace memxct::serve {
+
+struct StreamSessionOptions {
+  /// Previews are interactive by default — that is the lane's purpose.
+  Priority priority = Priority::Interactive;
+  /// Per-preview latency budget (seconds; 0 = none). Forwarded to the
+  /// request, so an over-budget preview degrades or salvages through the
+  /// server's ladder instead of blocking the stream.
+  double deadline_seconds = 0.0;
+};
+
+class StreamSession {
+ public:
+  /// `server` must outlive the session. The config must use an OS solver
+  /// (throws InvalidArgument otherwise — the mask/warm-start semantics
+  /// require it, same rule as core::StreamingReconstructor).
+  StreamSession(Server& server, const geometry::Geometry& geometry,
+                const core::Config& config, StreamSessionOptions options = {});
+
+  /// Ingests `count` angles starting at `first_angle` (`rows`:
+  /// count × num_channels natural angle-major samples), submits one preview
+  /// request over all angles arrived so far, and blocks for its result.
+  /// Overwriting an arrived range is idempotent (retry semantics).
+  RequestResult push_chunk(int first_angle, int count,
+                           std::span<const real> rows);
+
+  [[nodiscard]] int angles_received() const noexcept {
+    return angles_received_;
+  }
+  [[nodiscard]] bool complete() const noexcept;
+  /// Latest usable preview (natural layout); empty before one exists.
+  [[nodiscard]] const std::vector<real>& preview() const noexcept {
+    return preview_;
+  }
+
+ private:
+  Server* server_;
+  geometry::Geometry geometry_;
+  core::Config config_;
+  StreamSessionOptions options_;
+  std::vector<real> sino_;
+  std::vector<real> mask_;
+  std::vector<real> preview_;
+  int angles_received_ = 0;
+};
+
+}  // namespace memxct::serve

@@ -1,0 +1,259 @@
+#include "solve/os.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "perf/timer.hpp"
+#include "solve/restart.hpp"
+#include "solve/vector_ops.hpp"
+
+namespace memxct::solve {
+
+std::vector<int> bit_reversed_order(int count) {
+  MEMXCT_CHECK(count >= 1);
+  int bits = 0;
+  while ((1 << bits) < count) ++bits;
+  const int pow2 = 1 << bits;
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < pow2; ++i) {
+    int rev = 0;
+    for (int b = 0; b < bits; ++b)
+      if ((i >> b) & 1) rev |= 1 << (bits - 1 - b);
+    if (rev < count) order.push_back(rev);
+  }
+  return order;
+}
+
+SolveResult os_solve(std::span<const OsSubset> subsets,
+                     std::span<const real> y, const OsOptions& options) {
+  MEMXCT_CHECK_MSG(!subsets.empty(), "os_solve: no subsets");
+  const int num_subsets = static_cast<int>(subsets.size());
+  const idx_t n = subsets.front().op->num_cols();
+  idx_t m = 0;
+  idx_t max_sub_rows = 0;
+  for (const OsSubset& sub : subsets) {
+    MEMXCT_CHECK_MSG(sub.op != nullptr, "os_solve: null subset operator");
+    MEMXCT_CHECK_MSG(sub.op->num_cols() == n,
+                     "os_solve: subset column-count mismatch");
+    MEMXCT_CHECK_MSG(sub.first_row == m,
+                     "os_solve: subsets must tile the rows contiguously");
+    m += sub.op->num_rows();
+    max_sub_rows = std::max(max_sub_rows, sub.op->num_rows());
+  }
+  MEMXCT_CHECK(static_cast<idx_t>(y.size()) == m);
+  MEMXCT_CHECK(options.x0.empty() || static_cast<idx_t>(options.x0.size()) == n);
+  MEMXCT_CHECK(options.row_mask.empty() ||
+               static_cast<idx_t>(options.row_mask.size()) == m);
+  const bool masked = !options.row_mask.empty();
+  const bool sart = options.kind == OsKind::Sart;
+
+  perf::WallTimer timer;
+  SolveResult result;
+  result.x.assign(static_cast<std::size_t>(n), real{0});
+  if (!options.x0.empty())
+    std::copy(options.x0.begin(), options.x0.end(), result.x.begin());
+
+  const auto inv_or_zero = [](real v) {
+    return v > real{1e-12} ? real{1} / v : real{0};
+  };
+
+  // Per-subset inverse row sums R_s (masked rows get 0: their measurement
+  // has not arrived, so they must not correct the iterate), plus the column
+  // normalization — per subset for SART, one sweep-averaged vector for SIRT.
+  // All built matrix-free from applies on (masked) ones, like sirt().
+  AlignedVector<real> ones_n(static_cast<std::size_t>(n), real{1});
+  AlignedVector<real> sub_scratch(static_cast<std::size_t>(max_sub_rows));
+  std::vector<AlignedVector<real>> row_inv(
+      static_cast<std::size_t>(num_subsets));
+  std::vector<AlignedVector<real>> col_inv_sart;
+  AlignedVector<real> col_inv_shared;
+  AlignedVector<real> col_accum;
+  if (sart)
+    col_inv_sart.resize(static_cast<std::size_t>(num_subsets));
+  else
+    col_accum.assign(static_cast<std::size_t>(n), real{0});
+  for (int s = 0; s < num_subsets; ++s) {
+    const OsSubset& sub = subsets[static_cast<std::size_t>(s)];
+    const auto ms = static_cast<std::size_t>(sub.op->num_rows());
+    auto& rinv = row_inv[static_cast<std::size_t>(s)];
+    rinv.resize(ms);
+    sub.op->apply(ones_n, std::span<real>(rinv.data(), ms));
+    if (masked) {
+      const real* const mk = options.row_mask.data() + sub.first_row;
+      for (std::size_t i = 0; i < ms; ++i)
+        rinv[i] = mk[i] != real{0} ? inv_or_zero(rinv[i]) : real{0};
+    } else {
+      for (auto& v : rinv) v = inv_or_zero(v);
+    }
+    // Column sums over the subset's *present* rows.
+    const std::span<real> ones_sub(sub_scratch.data(), ms);
+    if (masked)
+      std::copy_n(options.row_mask.data() + sub.first_row, ms,
+                  ones_sub.data());
+    else
+      std::fill(ones_sub.begin(), ones_sub.end(), real{1});
+    if (sart) {
+      auto& cinv = col_inv_sart[static_cast<std::size_t>(s)];
+      cinv.resize(static_cast<std::size_t>(n));
+      sub.op->apply_transpose(ones_sub, cinv);
+      for (auto& v : cinv) v = inv_or_zero(v);
+    } else {
+      AlignedVector<real> colsum(static_cast<std::size_t>(n));
+      sub.op->apply_transpose(ones_sub, colsum);
+      for (std::size_t i = 0; i < col_accum.size(); ++i)
+        col_accum[i] = std::max(col_accum[i], colsum[i]);
+    }
+  }
+  if (!sart) {
+    // Shared normalization C = 1/max_s colsum(A_s), elementwise over the
+    // subsets. Two tempting alternatives fail here: K/colsum(A) (one
+    // "full-size" step per subset) diverges, because subset row ranges are
+    // Hilbert-LOCAL tiles, not angle-interleaved — a pixel's column weight
+    // concentrates in the few subsets whose angle wedge sees it, so
+    // colsum(A_s) is near colsum(A)/(subsets touching the pixel), not
+    // colsum(A)/K, and the K x scale overshoots by the ratio. Plain
+    // 1/colsum(A) is stable but gives up the acceleration (each correction
+    // shrinks by the subset's share of the column). The per-column max is
+    // the tightest SHARED scale that keeps every sub-step at or below the
+    // per-subset SART step (unconditionally stable), while staying
+    // SART-sized exactly where a subset dominates a pixel — which is the
+    // common case under Hilbert locality, so the K-corrections-per-pass
+    // acceleration survives with one smooth vector instead of K.
+    col_inv_shared.resize(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < col_inv_shared.size(); ++i)
+      col_inv_shared[i] = inv_or_zero(col_accum[i]);
+    col_accum = AlignedVector<real>();
+  }
+
+  const std::vector<int> order = bit_reversed_order(num_subsets);
+  AlignedVector<real> forward(static_cast<std::size_t>(max_sub_rows));
+  AlignedVector<real> residual(static_cast<std::size_t>(max_sub_rows));
+  AlignedVector<real> gradient(static_cast<std::size_t>(n));
+
+  double xnorm = std::sqrt(dot(result.x, result.x));  // warm starts: ||x_0||
+  int sweep = 0;
+  const CheckpointOptions& ck = options.checkpoint;
+  double best_rnorm = std::numeric_limits<double>::infinity();
+  std::vector<double> residual_log, xnorm_log;
+  resil::SolverCheckpoint snap;
+  bool have_snap = false;
+  EarlyStop early(options.early_stop_tol, options.early_stop_window);
+
+  // Resume: like SIRT the recursion state is the iterate alone (R and C were
+  // rebuilt above, deterministically); the extra scalars pin the subset
+  // count and flavour so a checkpoint from a different sweep structure is
+  // rejected rather than silently resumed into a different iteration.
+  const std::size_t state_sizes[1] = {static_cast<std::size_t>(n)};
+  if (auto cp = detail::try_resume(ck, detail::kOsKind, state_sizes, 3)) {
+    if (static_cast<int>(cp->scalars[1]) == num_subsets &&
+        static_cast<int>(cp->scalars[2]) == (sart ? 1 : 0)) {
+      result.x = cp->vectors[0];
+      xnorm = cp->scalars[0];
+      sweep = static_cast<int>(cp->iteration);
+      result.resumed_from = sweep;
+      residual_log = cp->residual_log;
+      xnorm_log = cp->xnorm_log;
+      for (const double rn : residual_log) {
+        best_rnorm = std::min(best_rnorm, rn);
+        if (options.early_stop) early.should_stop(rn);  // refeed the window
+      }
+      detail::rebuild_history(*cp, options.record_history, 0, result.history);
+      snap = std::move(*cp);
+      have_snap = true;
+    } else {
+      std::fprintf(stderr,
+                   "memxct: os checkpoint subset structure mismatch "
+                   "(have %d subsets, kind %d); starting cold\n",
+                   num_subsets, sart ? 1 : 0);
+    }
+  }
+
+  if (options.progress != nullptr) options.progress->arm();
+  bool stopped = false;
+  for (; sweep < options.max_sweeps && !stopped; ++sweep) {
+    double sweep_r2 = 0.0;
+    int done_subs = 0;
+    for (int k = 0; k < num_subsets; ++k) {
+      // Cooperative cancellation at sub-iteration granularity: a sweep is K
+      // usable stopping points, and the corrections already applied stay in
+      // x (best-so-far semantics, same as the full-pass solvers).
+      if (options.cancel != nullptr && options.cancel->should_stop()) {
+        result.cancelled = true;
+        stopped = true;
+        break;
+      }
+      const int si = order[static_cast<std::size_t>(k)];
+      const OsSubset& sub = subsets[static_cast<std::size_t>(si)];
+      const auto ms = static_cast<std::size_t>(sub.op->num_rows());
+      const std::span<const real> y_sub =
+          y.subspan(static_cast<std::size_t>(sub.first_row), ms);
+      const std::span<real> f(forward.data(), ms);
+      const std::span<real> r(residual.data(), ms);
+      sub.op->apply(result.x, f);
+      const auto& rinv = row_inv[static_cast<std::size_t>(si)];
+      double rn;
+      if (masked) {
+        const std::span<const real> mk = options.row_mask.subspan(
+            static_cast<std::size_t>(sub.first_row), ms);
+        rn = sub_scale_norm_masked(y_sub, f, rinv, mk, r);
+      } else {
+        rn = sub_scale_norm(y_sub, f, rinv, r);
+      }
+      sweep_r2 += rn * rn;
+      sub.op->apply_transpose(r, gradient);
+      const auto& cinv =
+          sart ? col_inv_sart[static_cast<std::size_t>(si)] : col_inv_shared;
+      xnorm = std::sqrt(
+          diag_axpy_dot(options.relaxation, cinv, gradient, result.x));
+      if (options.progress != nullptr)
+        options.progress->tick(sweep * num_subsets + k + 1);
+      ++done_subs;
+    }
+    if (done_subs < num_subsets) break;  // cancelled mid-sweep
+
+    // Sweep boundary: the accumulated proxy residual drives divergence
+    // rollback, history, early stop, and checkpointing — exactly one feed
+    // per full-matrix pass (the EarlyStop calibration contract).
+    const double rnorm = std::sqrt(sweep_r2);
+    if (detail::is_divergent(rnorm, best_rnorm, ck)) {
+      result.diverged = true;
+      if (have_snap) {
+        result.x = snap.vectors[0];
+        sweep = static_cast<int>(snap.iteration);
+        detail::truncate_history(result.history, sweep - 1);
+      }
+      break;
+    }
+    best_rnorm = std::min(best_rnorm, rnorm);
+    residual_log.push_back(rnorm);
+    xnorm_log.push_back(xnorm);
+    if (options.record_history)
+      result.history.push_back({sweep, rnorm, xnorm});
+    if (ck.interval > 0 && (sweep + 1) % ck.interval == 0) {
+      snap.solver_kind = detail::kOsKind;
+      snap.iteration = sweep + 1;
+      snap.scalars = {xnorm, static_cast<double>(num_subsets),
+                      static_cast<double>(sart ? 1 : 0)};
+      snap.vectors = {result.x};
+      snap.residual_log = residual_log;
+      snap.xnorm_log = xnorm_log;
+      have_snap = true;
+      detail::save_snapshot(ck, snap);
+    }
+    if (options.early_stop && early.should_stop(rnorm)) {
+      ++sweep;
+      break;
+    }
+  }
+  result.iterations = sweep;
+  result.seconds = timer.seconds();
+  result.per_iteration_s = sweep > 0 ? result.seconds / sweep : 0.0;
+  return result;
+}
+
+}  // namespace memxct::solve

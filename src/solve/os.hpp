@@ -1,0 +1,96 @@
+// Ordered-subsets solvers: OS-SIRT and OS-SART.
+//
+// Both sweep a tiling of the operator's rows by subsets, applying a
+// SIRT-style normalized correction after each subset's forward/back pair:
+//
+//   x <- x + relax · C · A_s^T · R_s · (y_s - A_s·x)
+//
+// with R_s = diag(1/rowsum(A_s)). One full sweep touches every matrix entry
+// exactly once — the cost of one SIRT iteration — but applies K sequential
+// corrections instead of one averaged step, which is what converges in far
+// fewer full-matrix passes (the serenity exemplar's SubsetReconstruction).
+// Subsets are swept in bit-reversed order: with rows in pseudo-Hilbert
+// ordered space, consecutive subset ranges hold geometrically nearby rays,
+// so bit reversal spaces successive corrections across the angular span
+// like the classic interleaved-angle schedule.
+//
+// The two flavours differ in the column normalization C:
+//   OS-SART: C_s = diag(1/colsum(A_s)) per subset — each correction is
+//            normalized by exactly the rays it used (classic SART block).
+//   OS-SIRT: C = diag(1/max_s colsum(A_s)) shared — the elementwise max of
+//            the per-subset colsums, one smooth vector instead of K. Every
+//            sub-step is at or below the SART step (unconditionally
+//            stable), and matches it where one subset dominates a pixel —
+//            the common case under Hilbert locality (see os.cpp for why
+//            the textbook K/colsum(A) scale diverges on these subsets).
+//
+// The recorded per-sweep residual is the sweep-accumulated proxy
+// sqrt(Σ_s ||y_s - A_s·x_s||²) — each subset's residual against the iterate
+// it corrected — which costs zero extra applies. EarlyStop is evaluated on
+// full-sweep boundaries only (see the EarlyStop doc: its window is
+// calibrated in full-matrix passes; feeding per-subset residuals would
+// spuriously exit mid-convergence).
+//
+// Streaming support: `row_mask` marks which ordered rows hold arrived
+// measurements. Masked-out rows get R_s = 0 (no correction from them), are
+// excluded from colsums and residual norms, and `x0` warm-starts the solve
+// from the previous chunk's iterate (core/stream.hpp drives this).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "solve/operator.hpp"
+#include "solve/solver.hpp"
+
+namespace memxct::solve {
+
+enum class OsKind { Sirt, Sart };
+
+/// One subset of the row tiling: an operator view over the ordered rows
+/// [first_row, first_row + op->num_rows()). os_solve requires the subsets,
+/// in index order, to tile [0, Σ rows) contiguously.
+struct OsSubset {
+  const LinearOperator* op = nullptr;
+  idx_t first_row = 0;
+};
+
+struct OsOptions {
+  OsKind kind = OsKind::Sirt;
+  int max_sweeps = 30;  ///< Full sweeps (each costs one full-matrix pass).
+  real relaxation = 1.0;
+  bool record_history = true;  ///< One IterationRecord per completed sweep.
+  /// Heuristic termination, evaluated on full-sweep boundaries only.
+  bool early_stop = false;
+  double early_stop_tol = 1e-3;
+  int early_stop_window = 3;
+  /// Checkpoint/restart at sweep granularity (state: the iterate). Restart
+  /// validates subset count and flavour; a mismatch starts cold.
+  CheckpointOptions checkpoint;
+  /// Polled at sub-iteration granularity — finer than the full-pass solvers,
+  /// since a sweep is K usable stopping points. The partial-sweep
+  /// corrections already applied stay in x (best-so-far semantics).
+  const CancelToken* cancel = nullptr;
+  /// Ticked once per sub-iteration (sweep·K + k), so watchdogs see progress
+  /// heartbeats at the same wall-time density as the full-pass solvers.
+  ProgressSink* progress = nullptr;
+  /// Warm start (length num_cols); empty = zero start.
+  std::span<const real> x0;
+  /// 0/1 per ordered row (length Σ subset rows); empty = all present.
+  std::span<const real> row_mask;
+};
+
+/// Subset sweep order: bit-reversal of ceil-log2(count), filtered to
+/// < count. For count = 8: 0 4 2 6 1 5 3 7. Deterministic, and every
+/// subset appears exactly once.
+[[nodiscard]] std::vector<int> bit_reversed_order(int count);
+
+/// Runs OS-SIRT/OS-SART over the subset tiling. `y` is the full ordered
+/// sinogram (length Σ subset rows). SolveResult::iterations counts
+/// completed full sweeps.
+[[nodiscard]] SolveResult os_solve(std::span<const OsSubset> subsets,
+                                   std::span<const real> y,
+                                   const OsOptions& options = {});
+
+}  // namespace memxct::solve

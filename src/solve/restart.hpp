@@ -20,6 +20,7 @@ namespace memxct::solve::detail {
 inline constexpr std::int32_t kCglsKind = 1;
 inline constexpr std::int32_t kSirtKind = 2;
 inline constexpr std::int32_t kGdKind = 3;
+inline constexpr std::int32_t kOsKind = 4;  ///< Ordered subsets (solve/os.hpp).
 
 /// Loads the checkpoint at options.path if resume is enabled and the file
 /// exists, validating the solver tag, scalar count, and vector lengths.

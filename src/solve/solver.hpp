@@ -161,6 +161,14 @@ struct SolveResult {
 /// Signals a stop when the relative residual improvement over the last
 /// `window` iterations falls below `tolerance` — the L-curve knee, where
 /// further iterations fit noise rather than signal.
+///
+/// The window is calibrated in *full-matrix passes*: callers must feed
+/// exactly one residual per full pass over the operator. Ordered-subsets
+/// solvers (solve/os.hpp) therefore feed it only at full-sweep boundaries —
+/// per-subset sub-iterations see a fraction of the data, and their residual
+/// proxies plateau long before the sweep converges, so feeding them here
+/// would trigger a spurious early exit after `window` *sub*-iterations
+/// (a fraction of one pass).
 class EarlyStop {
  public:
   /// `window` is clamped to >= 1: a zero or negative window would make the

@@ -218,6 +218,35 @@ double sub_scale_norm(std::span<const real> a, std::span<const real> b,
   return std::sqrt(serial_sum(partial));
 }
 
+double sub_scale_norm_masked(std::span<const real> a, std::span<const real> b,
+                             std::span<const real> w, std::span<const real> m,
+                             std::span<real> y) {
+  MEMXCT_CHECK(a.size() == b.size() && a.size() == w.size() &&
+               a.size() == m.size() && a.size() == y.size());
+  const auto n = static_cast<std::int64_t>(a.size());
+  const std::int64_t nchunks = chunk_count(n);
+  std::vector<double> partial(static_cast<std::size_t>(nchunks));
+  const real* const ap = a.data();
+  const real* const bp = b.data();
+  const real* const wp = w.data();
+  const real* const mp = m.data();
+  real* const yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    const std::int64_t lo = c * kRedChunk;
+    const std::int64_t hi = std::min(lo + kRedChunk, n);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const real d = (ap[i] - bp[i]) * mp[i];
+      acc += static_cast<double>(d) * static_cast<double>(d);
+      yp[i] = (ap[i] - bp[i]) * wp[i];
+    }
+    partial[static_cast<std::size_t>(c)] = acc;
+  }
+  return std::sqrt(serial_sum(partial));
+}
+
 double diag_axpy_dot(real alpha, std::span<const real> w,
                      std::span<const real> x, std::span<real> y) {
   MEMXCT_CHECK(w.size() == x.size() && x.size() == y.size());

@@ -80,4 +80,15 @@ void axpy2(real alpha, std::span<const real> p, std::span<real> x, real beta,
                                    std::span<const real> x,
                                    std::span<real> y);
 
+/// Masked variant of sub_scale_norm for streaming partial-angle solves:
+/// y = (a - b) · w elementwise, returns the *unscaled* ||(a - b) · m||_2
+/// counting only rows where the 0/1 mask m is nonzero — rows whose
+/// measurements have not arrived contribute neither to the residual norm
+/// nor (via w = 0 there) to the update.
+[[nodiscard]] double sub_scale_norm_masked(std::span<const real> a,
+                                           std::span<const real> b,
+                                           std::span<const real> w,
+                                           std::span<const real> m,
+                                           std::span<real> y);
+
 }  // namespace memxct::solve

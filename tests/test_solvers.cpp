@@ -4,9 +4,11 @@
 #include "common/error.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "solve/cgls.hpp"
 #include "solve/gd.hpp"
+#include "solve/os.hpp"
 #include "solve/sirt.hpp"
 #include "solve/vector_ops.hpp"
 #include "sparse/spmv.hpp"
@@ -268,6 +270,61 @@ TEST(EarlyStopHeuristic, StopsOnPlateau) {
   EXPECT_FALSE(stop.should_stop(5.999));
   EXPECT_FALSE(stop.should_stop(5.998));
   EXPECT_TRUE(stop.should_stop(5.997));
+}
+
+/// Row slice [first, first + count) of a CSR matrix as a LinearOperator —
+/// the shape os_solve consumes, built without the core subset machinery so
+/// the solver's sweep logic is tested in isolation.
+sparse::CsrMatrix csr_row_slice(const sparse::CsrMatrix& a, idx_t first,
+                                idx_t count) {
+  sparse::CsrBuilder b(count, a.num_cols);
+  std::vector<std::pair<idx_t, real>> entries;
+  for (idx_t r = 0; r < count; ++r) {
+    entries.clear();
+    for (nnz_t k = a.displ[first + r]; k < a.displ[first + r + 1]; ++k)
+      entries.emplace_back(a.ind[k], a.val[k]);
+    b.set_row(r, entries);
+  }
+  return b.assemble();
+}
+
+// Regression: EarlyStop's window is calibrated in full-matrix passes.
+// Feeding it the K per-subset residuals of an ordered-subsets sweep would
+// fill the window K times faster and exit mid-convergence, so os_solve must
+// evaluate the heuristic on full-sweep boundaries only. With more subsets
+// than window slots, a spurious sub-iteration feed would terminate inside
+// the very first sweep; a boundary-only feed cannot stop before `window`
+// completed sweeps.
+TEST(OsEarlyStop, EvaluatedOnSweepBoundariesOnly) {
+  const idx_t rows = 96, cols = 40, rows_per_subset = 16;
+  const auto a = well_conditioned(rows, cols, 21);
+  std::vector<std::unique_ptr<CsrOperator>> slice_ops;
+  std::vector<OsSubset> subsets;
+  for (idx_t first = 0; first < rows; first += rows_per_subset) {
+    slice_ops.push_back(
+        std::make_unique<CsrOperator>(csr_row_slice(a, first,
+                                                    rows_per_subset)));
+    subsets.push_back({slice_ops.back().get(), first});
+  }
+  const auto x_true = testutil::random_vector(cols, 22);
+  AlignedVector<real> y(rows);
+  sparse::spmv_reference(a, x_true, y);
+
+  OsOptions opt;
+  opt.max_sweeps = 40;
+  opt.early_stop = true;
+  opt.early_stop_window = 3;  // < K = 6: a per-subset feed would fire early.
+  const auto result = os_solve(subsets, y, opt);
+  EXPECT_GE(result.iterations, opt.early_stop_window)
+      << "stopped inside the window: the heuristic saw per-subset residuals";
+  EXPECT_LT(result.iterations, opt.max_sweeps)
+      << "the plateau must eventually stop the solve";
+  // One history record per completed sweep, indexed by sweep number — the
+  // sub-iterations leave no trace in the iteration accounting.
+  ASSERT_EQ(result.history.size(),
+            static_cast<std::size_t>(result.iterations));
+  for (std::size_t i = 0; i < result.history.size(); ++i)
+    EXPECT_EQ(result.history[i].iteration, static_cast<int>(i));
 }
 
 }  // namespace
