@@ -18,6 +18,13 @@
 //                              bf16/fp16 also varint-compress the indices,
 //                              buffered/baseline kernels only)
 //   --ranks P                  simulated distributed ranks (default 1)
+//   --shards P                 shard the operator across P simulated ranks
+//                              behind the serving stack (bitwise identical
+//                              to P=1; fp32 buffered/baseline only)
+//   --shard-groups G           group size for the hierarchical two-level
+//                              shard exchange (default 1 = flat)
+//   --shard-tiles T            pipeline tiles per sharded apply (default 0
+//                              = auto)
 //   --noise I0                 Poisson dose for --demo     (default clean)
 //   --ingest passthrough|reject|sanitize                   (default passthrough)
 //   --cache DIR                checksummed preprocessing cache directory
@@ -50,6 +57,7 @@
 // corruption error, 5 internal invariant violation, 6 degraded (the
 // deadline interrupted the solve and --degrade salvaged the best-so-far
 // iterate into the output image).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -82,7 +90,8 @@ using namespace memxct;
                "[--stream-chunk M] "
                "[--iterations K] [--lambda L] [--ordering hilbert|rowmajor|"
                "morton] [--kernel buffered|baseline|ell|library] "
-               "[--precision fp32|bf16|fp16] [--ranks P] "
+               "[--precision fp32|bf16|fp16] [--ranks P] [--shards P] "
+               "[--shard-groups G] [--shard-tiles T] "
                "[--noise I0] [--ingest passthrough|reject|sanitize] "
                "[--cache DIR] [--checkpoint FILE] [--checkpoint-interval K] "
                "[--slices S] [--batch-workers K] [--batch-queue Q] "
@@ -154,6 +163,11 @@ int run(int argc, char** argv) {
     else if (arg == "--stream-chunk") config.stream_chunk = std::atoi(next());
     else if (arg == "--lambda") config.tikhonov_lambda = std::atof(next());
     else if (arg == "--ranks") config.num_ranks = std::atoi(next());
+    else if (arg == "--shards") config.num_shards = std::atoi(next());
+    else if (arg == "--shard-groups")
+      config.shard_group_size = std::atoi(next());
+    else if (arg == "--shard-tiles")
+      config.shard_pipeline_tiles = std::atoi(next());
     else if (arg == "--noise") noise = std::atof(next());
     else if (arg == "--save-sino") save_sino = next();
     else if (arg == "--fbp") fbp = next();
@@ -270,7 +284,18 @@ int run(int argc, char** argv) {
               io::TablePrinter::bytes(
                   static_cast<double>(report.regular_bytes)).c_str(),
               report.cache_hit ? ", cache hit" : "");
-  if (config.precision != sparse::ValueStorage::Fp32 && config.num_ranks == 1) {
+  if (recon.shard_op() != nullptr) {
+    const auto* sop = recon.shard_op();
+    std::int64_t max_rank = 0;
+    for (int p = 0; p < sop->num_shards(); ++p)
+      max_rank = std::max(max_rank, sop->rank_bytes(p));
+    std::printf("sharded: %d shards, %d pipeline tiles, max per-rank %s\n",
+                sop->num_shards(), sop->pipeline_tiles(),
+                io::TablePrinter::bytes(static_cast<double>(max_rank))
+                    .c_str());
+  }
+  if (config.precision != sparse::ValueStorage::Fp32 &&
+      recon.serial_op() != nullptr) {
     const auto fwd = recon.serial_op()->forward_work();
     std::printf("%s values + varint indices: %.2f matrix B/FMA (fp32 %s "
                 "streams %.0f)\n",
@@ -304,7 +329,7 @@ int run(int argc, char** argv) {
                 "wall\n",
                 engine.report().per_slice_wall_with_preprocess() * 1e3,
                 engine.report().per_slice_wall() * 1e3);
-    if (engine.report().block_width > 1) {
+    if (engine.report().block_width > 1 && recon.serial_op() != nullptr) {
       const auto fwd = recon.serial_op()->forward_work();
       const auto bwd = recon.serial_op()->transpose_work();
       std::printf(

@@ -11,6 +11,13 @@
 //                [--cache-dir DIR] [--deadline-ms D] [--block-width W]
 //                [--precision fp32|bf16|fp16] [--degrade]
 //                [--max-retries R] [--retry-backoff-ms B] [--watchdog-ms W]
+//                [--shards P] [--shard-groups G] [--shard-tiles T]
+//
+// --shards serves every request on a P-way sharded operator
+// (shard/sharded_operator.hpp): per-shard row slices with precomputed
+// halo-exchange plans and comm/compute overlap, bitwise identical to the
+// unsharded path. The snapshot then reports per-rank exchange traffic and
+// the comm-vs-compute split.
 //
 // --block-width keys every submitted config at that multi-RHS width (the
 // registry sizes block workspaces per width, so widths never share an
@@ -73,6 +80,9 @@ int main(int argc, char** argv) {
   int max_retries = 1;
   double retry_backoff_ms = 10.0;
   double watchdog_ms = 0.0;
+  int shards = 1;
+  int shard_groups = 1;
+  int shard_tiles = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +111,12 @@ int main(int argc, char** argv) {
       retry_backoff_ms = std::atof(next("--retry-backoff-ms"));
     else if (arg == "--watchdog-ms")
       watchdog_ms = std::atof(next("--watchdog-ms"));
+    else if (arg == "--shards")
+      shards = int_flag(next("--shards"), arg.c_str());
+    else if (arg == "--shard-groups")
+      shard_groups = int_flag(next("--shard-groups"), arg.c_str());
+    else if (arg == "--shard-tiles")
+      shard_tiles = std::atoi(next("--shard-tiles"));
     else if (arg == "--precision") {
       const char* v = next("--precision");
       if (!sparse::parse_value_storage(v, precision)) {
@@ -132,6 +148,9 @@ int main(int argc, char** argv) {
   config.iterations = iterations;
   config.block_width = block_width;
   config.precision = precision;
+  config.num_shards = shards;
+  config.shard_group_size = shard_groups;
+  config.shard_pipeline_tiles = shard_tiles;
 
   serve::ServerOptions options;
   options.workers = workers;
@@ -251,12 +270,28 @@ int main(int argc, char** argv) {
                   io::TablePrinter::time_s(m.retry_backoff.max_seconds())
                       .c_str());
   }
+  if (m.shard.sharded_requests > 0) {
+    io::TablePrinter table("Sharded exchange (per rank, cumulative)");
+    table.header({"rank", "bytes sent", "bytes received"});
+    for (std::size_t p = 0; p < m.shard.rank_bytes_sent.size(); ++p)
+      table.row({std::to_string(p),
+                 io::TablePrinter::bytes(
+                     static_cast<double>(m.shard.rank_bytes_sent[p])),
+                 io::TablePrinter::bytes(
+                     static_cast<double>(m.shard.rank_bytes_received[p]))});
+    table.print();
+    std::printf("  comm %.4f s on the critical path, compute %.4f s, "
+                "overlap hid %.4f s\n",
+                m.shard.comm_seconds, m.shard.compute_seconds,
+                m.shard.overlap_saved_seconds);
+  }
   std::printf("%s\n", m.summary().c_str());
   std::printf("wall %.3f s, %.2f requests/s, setup total %.3f s, solve "
               "total %.3f s\n",
               wall_s, wall_s > 0 ? m.completed / wall_s : 0.0,
               m.setup_seconds_sum, m.solve_seconds_sum);
-  if (block_width > 1 || precision != sparse::ValueStorage::Fp32) {
+  if (shards == 1 &&
+      (block_width > 1 || precision != sparse::ValueStorage::Fp32)) {
     // Measured, not modeled: preprocess one representative operator through
     // the same pipeline the server uses and read its work accounting, so
     // the number reflects actual stored value widths and varint index

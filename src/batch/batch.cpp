@@ -85,10 +85,12 @@ BatchReconstructor::BatchReconstructor(const core::Reconstructor& recon,
   if (options_.workers < 1)
     throw InvalidArgument("batch: workers must be >= 1");
   const core::MemXCTOperator* serial = recon_.serial_op();
-  if (serial == nullptr)
+  const shard::ShardedOperator* sharded = recon_.shard_op();
+  if (serial == nullptr && sharded == nullptr)
     throw InvalidArgument(
-        "batch: BatchReconstructor requires the serial operator path "
-        "(num_ranks == 1 and not force_distributed)");
+        "batch: BatchReconstructor requires a viewable operator (the serial "
+        "path or the sharded path; the distributed simmpi operator has no "
+        "per-worker views)");
   if (options_.block_width < 1 ||
       options_.block_width > sparse::kMaxBlockWidth)
     throw InvalidArgument("batch: block_width must be in [1, " +
@@ -109,7 +111,12 @@ BatchReconstructor::BatchReconstructor(const core::Reconstructor& recon,
           : std::max(1, omp_get_max_threads() / options_.workers);
 
   ops_.reserve(static_cast<std::size_t>(options_.workers));
-  for (int w = 0; w < options_.workers; ++w) ops_.push_back(serial->make_view());
+  for (int w = 0; w < options_.workers; ++w)
+    ops_.push_back(serial != nullptr
+                       ? std::unique_ptr<solve::LinearOperator>(
+                             serial->make_view())
+                       : std::unique_ptr<solve::LinearOperator>(
+                             sharded->make_view()));
 
   threads_.reserve(static_cast<std::size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w)
@@ -157,7 +164,7 @@ std::vector<SliceResult> BatchReconstructor::wait_all() {
   rep.waves = waves_;
   rep.avg_wave_width =
       waves_ > 0 ? static_cast<double>(submitted_) / waves_ : 0.0;
-  {
+  if (recon_.serial_op() != nullptr) {
     const perf::KernelWork fwd = recon_.serial_op()->forward_work();
     const perf::KernelWork bwd = recon_.serial_op()->transpose_work();
     rep.matrix_bytes_per_slice =
@@ -204,14 +211,14 @@ void BatchReconstructor::worker_main(int worker_id) {
   // parallel region the solvers open from this worker, keeping K workers at
   // the same total subscription as one full-width solve.
   omp_set_num_threads(threads_per_worker_);
-  const core::MemXCTOperator& op = *ops_[static_cast<std::size_t>(worker_id)];
+  const solve::LinearOperator& op = *ops_[static_cast<std::size_t>(worker_id)];
   if (options_.block_width > 1)
     worker_block_loop(op);
   else
     worker_slice_loop(op);
 }
 
-void BatchReconstructor::worker_slice_loop(const core::MemXCTOperator& op) {
+void BatchReconstructor::worker_slice_loop(const solve::LinearOperator& op) {
   core::SliceWorkspace slice_ws;  // persistent: no steady-state allocation
 
   while (auto job = queue_.pop()) {
@@ -230,7 +237,7 @@ void BatchReconstructor::worker_slice_loop(const core::MemXCTOperator& op) {
   }
 }
 
-void BatchReconstructor::worker_block_loop(const core::MemXCTOperator& op) {
+void BatchReconstructor::worker_block_loop(const solve::LinearOperator& op) {
   core::SliceWorkspace slice_ws;  // persistent: no steady-state allocation
   const auto m =
       static_cast<std::size_t>(recon_.geometry().sinogram_extent().size());

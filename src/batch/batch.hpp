@@ -153,11 +153,13 @@ struct BatchReport {
 /// Fixed worker pool driving slices through one preprocessed operator.
 ///
 /// The wrapped Reconstructor must outlive the engine and must be on the
-/// serial path (num_ranks == 1, not force_distributed): the simulated
-/// distributed operator carries per-apply exchange state that cannot be
-/// shared across workers. On-disk solver checkpointing is disabled inside
-/// the batch (a shared checkpoint file across concurrent slices would
-/// corrupt; in-memory divergence rollback still applies per slice).
+/// serial path (num_ranks == 1, not force_distributed) or the sharded path
+/// (num_shards > 1): both expose per-worker views sharing the immutable
+/// preprocessed storage. The simulated dist::DistOperator has no views —
+/// its per-apply exchange state cannot be shared across workers — and is
+/// rejected. On-disk solver checkpointing is disabled inside the batch (a
+/// shared checkpoint file across concurrent slices would corrupt;
+/// in-memory divergence rollback still applies per slice).
 ///
 /// Thread safety: submit() and wait_all() are producer-side calls and may
 /// be used from one thread at a time; workers run internally. The engine is
@@ -204,17 +206,18 @@ class BatchReconstructor {
 
   void worker_main(int worker_id);
   /// Width-1 job loop (run_isolated_slice per job).
-  void worker_slice_loop(const core::MemXCTOperator& op);
+  void worker_slice_loop(const solve::LinearOperator& op);
   /// Lockstep loop: waves of up to block_width slices per block solve.
-  void worker_block_loop(const core::MemXCTOperator& op);
+  void worker_block_loop(const solve::LinearOperator& op);
 
   const core::Reconstructor& recon_;
   core::Config config_;  ///< Reconstructor config with checkpointing off.
   BatchOptions options_;
   int threads_per_worker_ = 1;
-  /// Per-worker operator views: shared immutable storage, private apply
-  /// workspaces (the tentpole refactor that makes concurrent applies safe).
-  std::vector<std::unique_ptr<core::MemXCTOperator>> ops_;
+  /// Per-worker operator views (serial MemXCTOperator or ShardedOperator):
+  /// shared immutable storage, private apply workspaces and exchange
+  /// buffers (the refactor that makes concurrent applies safe).
+  std::vector<std::unique_ptr<solve::LinearOperator>> ops_;
   /// Bounded submission queue (src/common primitive, shared with serve):
   /// blocking push gives the producer backpressure, close() drains workers.
   common::BoundedQueue<Job> queue_;

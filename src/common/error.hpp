@@ -25,6 +25,30 @@ class InvalidArgument : public std::invalid_argument {
       : std::invalid_argument(what) {}
 };
 
+/// Thrown when two individually-valid configuration flags are combined in a
+/// way the pipeline does not support (e.g. reduced-precision operators on
+/// the distributed path). Carries the conflicting flag names so callers —
+/// CLI error reporting, the serve admission path — can tell the client
+/// exactly which knobs to change instead of parsing a free-form message.
+///// Subclasses InvalidArgument: existing catch sites keep classifying it as
+/// a caller error.
+class UnsupportedConfigError : public InvalidArgument {
+ public:
+  UnsupportedConfigError(std::string flag_a, std::string flag_b,
+                         const std::string& detail)
+      : InvalidArgument("unsupported configuration: " + flag_a + " + " +
+                        flag_b + ": " + detail),
+        flag_a_(std::move(flag_a)),
+        flag_b_(std::move(flag_b)) {}
+
+  [[nodiscard]] const std::string& flag_a() const noexcept { return flag_a_; }
+  [[nodiscard]] const std::string& flag_b() const noexcept { return flag_b_; }
+
+ private:
+  std::string flag_a_;
+  std::string flag_b_;
+};
+
 /// Thrown when an I/O operation fails or persisted data is corrupt
 /// (checksum mismatch, truncation, stale or incompatible format). Callers
 /// that can rebuild the data (the preprocessing cache, solver checkpoints)

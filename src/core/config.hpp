@@ -99,6 +99,21 @@ struct Config {
   std::string checkpoint_path;
   int checkpoint_interval = 10;
 
+  /// >1 shards the operator across this many simulated ranks behind the
+  /// serving stack (shard/sharded_operator.hpp): per-shard row slices of A
+  /// and A^T with precomputed halo-exchange plans and a comm/compute
+  /// overlap pipeline, bitwise identical to num_shards == 1 for any value.
+  /// Part of the operator identity (opkey suffix "-sh<P>" when > 1).
+  /// Supported for the Baseline/Buffered kernels at Fp32. Mutually
+  /// exclusive with num_ranks > 1 / force_distributed.
+  int num_shards = 1;
+  /// Shard group size for the hierarchical two-level exchange; <= 1 keeps
+  /// the flat single-round exchange. Only meaningful when num_shards > 1.
+  int shard_group_size = 1;
+  /// Pipeline tiles per sharded apply (exchange for tile t+1 posted while
+  /// tile t computes); 0 = auto.
+  int shard_pipeline_tiles = 0;
+
   /// >1 runs the distributed R·C·A_p path over simmpi with this many ranks.
   int num_ranks = 1;
   /// Use the distributed path even at num_ranks == 1 (for scaling studies

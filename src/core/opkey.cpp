@@ -37,6 +37,12 @@ OperatorKey operator_key(const geometry::Geometry& geometry,
      << config.ell_block_rows << "-sch" << static_cast<int>(config.schedule)
      << "-w" << config.block_width << "-v"
      << sparse::to_string(config.precision);
+  // Sharding changes the built structure (row slices, exchange plans), so
+  // it is part of the operator identity — but only when active, keeping
+  // every pre-sharding key text (and disk-cache stem) unchanged.
+  if (config.num_shards > 1)
+    os << "-sh" << config.num_shards << "-g" << config.shard_group_size
+       << "-pt" << config.shard_pipeline_tiles;
 
   OperatorKey key;
   key.text = os.str();
@@ -54,6 +60,9 @@ Config operator_config(const Config& config) {
   norm.schedule = config.schedule;
   norm.block_width = config.block_width;
   norm.precision = config.precision;
+  norm.num_shards = config.num_shards;
+  norm.shard_group_size = config.shard_group_size;
+  norm.shard_pipeline_tiles = config.shard_pipeline_tiles;
   return norm;
 }
 

@@ -96,6 +96,13 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
     : geometry_(geometry), config_(config) {
   geometry_.validate();
   MEMXCT_CHECK(config.num_ranks >= 1);
+  MEMXCT_CHECK(config.num_shards >= 1);
+  if (config_.num_shards > 1 &&
+      (config_.num_ranks > 1 || config_.force_distributed))
+    throw UnsupportedConfigError(
+        "--shards", "--ranks",
+        "the sharded serving path and the distributed simmpi path are "
+        "separate operator families; pick one");
   perf::WallTimer total;
   perf::WallTimer phase;
 
@@ -142,9 +149,10 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
     // DistOperator per rank. No compressed local kernels exist there yet,
     // so reduced precision is rejected rather than silently widened.
     if (config_.precision != sparse::ValueStorage::Fp32)
-      throw InvalidArgument(
-          "reduced-precision operators (--precision bf16/fp16) are not "
-          "supported on the distributed path");
+      throw UnsupportedConfigError(
+          "--ranks", "--precision",
+          "reduced-precision operators (bf16/fp16) are not supported on the "
+          "distributed path; use --precision fp32 or --ranks 1");
     phase.reset();
     const auto sino_part =
         dist::partition_by_tiles(*sino_order_, config_.num_ranks);
@@ -162,6 +170,36 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
       bytes += dist_op_->rank_memory_bytes(r);
     report_.regular_bytes = bytes;
     active_op_ = dist_op_.get();
+  } else if (config_.num_shards > 1) {
+    // Sharded serving path: per-shard row slices of A and A^T with
+    // precomputed halo-exchange plans (shard/sharded_operator.hpp). The
+    // shard slices are fp32 row copies of the traced matrix; compressed
+    // local slices don't exist yet, and only the Baseline/Buffered kernel
+    // families have shard-local forms.
+    if (config_.precision != sparse::ValueStorage::Fp32)
+      throw UnsupportedConfigError(
+          "--shards", "--precision",
+          "reduced-precision operators (bf16/fp16) are not supported on the "
+          "sharded path; use --precision fp32 or --shards 1");
+    if (config_.kernel != KernelKind::Baseline &&
+        config_.kernel != KernelKind::Buffered)
+      throw UnsupportedConfigError(
+          "--shards", "--kernel",
+          "the sharded path supports the baseline and buffered kernels only");
+    phase.reset();
+    shard::ShardedOperator::Options opt;
+    opt.num_shards = config_.num_shards;
+    opt.kernel = config_.kernel == KernelKind::Buffered
+                     ? shard::LocalKernel::Buffered
+                     : shard::LocalKernel::BaselineCsr;
+    opt.buffer = config_.buffer;
+    opt.group_size = config_.shard_group_size;
+    opt.pipeline_tiles = config_.shard_pipeline_tiles;
+    opt.machine = perf::machine(config_.machine);
+    shard_op_ = std::make_unique<shard::ShardedOperator>(a, opt);
+    report_.partition_seconds = phase.seconds();
+    report_.regular_bytes = shard_op_->bytes();
+    active_op_ = shard_op_.get();
   } else {
     // Steps 3-4: scan transposition and kernel-specific structures.
     phase.reset();
@@ -256,6 +294,16 @@ ReconstructionResult reconstruct_slice(const solve::LinearOperator& op,
   resil::IngestReport ingest =
       ingest_and_order(geometry, config, sino_order, sinogram, ws);
   std::span<const real> y = ws.ordered;
+
+  // Per-solve metric scopes: the distributed/sharded operators accumulate
+  // apply-side statistics since construction, which would fold registry
+  // warm-up applies (and earlier requests on a cached operator) into this
+  // request's serve metrics. Zero them so the post-solve snapshot covers
+  // exactly this solve.
+  if (const auto* dop = dynamic_cast<const dist::DistOperator*>(&op))
+    dop->reset_kernel_times();
+  if (const auto* sop = dynamic_cast<const shard::ShardedOperator*>(&op))
+    sop->reset_stats();
 
   solve::CheckpointOptions checkpoint;
   checkpoint.path = config.checkpoint_path;

@@ -20,6 +20,7 @@
 #include "dist/dist_operator.hpp"
 #include "geometry/geometry.hpp"
 #include "hilbert/ordering.hpp"
+#include "shard/sharded_operator.hpp"
 #include "solve/solver.hpp"
 
 namespace memxct::core {
@@ -172,6 +173,12 @@ class Reconstructor {
   [[nodiscard]] const dist::DistOperator* dist_op() const noexcept {
     return dist_op_.get();
   }
+  /// Non-null only on the sharded path (num_shards > 1). The batch engine
+  /// and the serve workers build per-worker views from it, exactly as they
+  /// do from serial_op on the unsharded path.
+  [[nodiscard]] const shard::ShardedOperator* shard_op() const noexcept {
+    return shard_op_.get();
+  }
 
  private:
   geometry::Geometry geometry_;
@@ -181,6 +188,7 @@ class Reconstructor {
   std::unique_ptr<hilbert::Ordering> tomo_order_;
   std::unique_ptr<MemXCTOperator> serial_op_;
   std::unique_ptr<dist::DistOperator> dist_op_;
+  std::unique_ptr<shard::ShardedOperator> shard_op_;
   solve::LinearOperator* active_op_ = nullptr;
 };
 

@@ -44,6 +44,11 @@ struct KernelTimes {
   [[nodiscard]] double total() const noexcept {
     return ap_seconds + comm_seconds + reduce_seconds;
   }
+
+  /// Zeroes every accumulator. Called per solve (core::reconstruct_slice)
+  /// so per-request serve metrics reflect that solve alone rather than
+  /// every warm-up apply since construction.
+  void reset() noexcept { *this = KernelTimes{}; }
 };
 
 /// Local kernel used for each rank's A_p / A_p^T multiplies.
@@ -97,7 +102,9 @@ class DistOperator final : public solve::LinearOperator {
   [[nodiscard]] const KernelTimes& kernel_times() const noexcept {
     return times_;
   }
-  void reset_kernel_times() { times_ = KernelTimes{}; }
+  /// Const because solves run against `const LinearOperator&` and the times
+  /// are apply-side scratch (mutable), not operator identity.
+  void reset_kernel_times() const { times_.reset(); }
 
   /// The simulated interconnect, exposed so callers can enable exchange
   /// validation or install a fault hook (resilience testing).

@@ -16,10 +16,13 @@ OperatorRegistry::OperatorRegistry(RegistryOptions options)
 
 OperatorRegistry::Lease OperatorRegistry::acquire(
     const geometry::Geometry& geometry, const core::Config& config) {
+  // The serial and sharded paths both expose viewable operators with byte
+  // accounting; only the simulated distributed path (whose operator has no
+  // per-worker views) is unservable.
   if (config.num_ranks != 1 || config.force_distributed)
     throw InvalidArgument(
-        "registry: serving requires the serial operator path "
-        "(num_ranks == 1 and not force_distributed)");
+        "registry: serving requires a viewable operator path "
+        "(num_ranks == 1 and not force_distributed; --shards is supported)");
 
   Lease lease;
   lease.key = core::operator_key(geometry, config);
@@ -93,9 +96,14 @@ OperatorRegistry::Lease OperatorRegistry::acquire(
     else
       breaker_.record_success();
   }
-  MEMXCT_CHECK_MSG(recon->serial_op() != nullptr,
-                   "registry build produced no serial operator");
-  const std::int64_t bytes = recon->serial_op()->bytes();
+  MEMXCT_CHECK_MSG(
+      recon->serial_op() != nullptr || recon->shard_op() != nullptr,
+      "registry build produced no viewable operator");
+  // Sharded operators are accounted at the sum of their per-rank bytes —
+  // the registry budget caps total resident memory across the fleet.
+  const std::int64_t bytes = recon->serial_op() != nullptr
+                                 ? recon->serial_op()->bytes()
+                                 : recon->shard_op()->bytes();
 
   {
     std::lock_guard<std::mutex> lk(mu_);

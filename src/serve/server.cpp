@@ -39,6 +39,10 @@ std::string ServerMetrics::summary() const {
        << retry_abandoned << " abandoned)";
   if (watchdog_cancelled > 0)
     os << "; " << watchdog_cancelled << " watchdog-cancelled";
+  if (shard.sharded_requests > 0)
+    os << "; " << shard.sharded_requests << " sharded on " << shard.shards
+       << " shards (comm " << shard.comm_seconds << " s, overlap saved "
+       << shard.overlap_saved_seconds << " s)";
   return os.str();
 }
 
@@ -93,10 +97,34 @@ std::int64_t Server::submit(const geometry::Geometry& geometry,
     throw InvalidArgument("serve: sinogram size " +
                           std::to_string(sinogram.size()) +
                           " does not match the geometry");
+  // Typed flag-conflict rejections first: a client combining individually
+  // valid knobs learns exactly which pair to change (satellite of the
+  // sharded-serving subsystem; same checks as the Reconstructor ctor, but
+  // raised at admission so the request never occupies a queue slot).
+  if ((config.num_ranks != 1 || config.force_distributed) &&
+      config.precision != sparse::ValueStorage::Fp32)
+    throw UnsupportedConfigError(
+        "--ranks", "--precision",
+        "reduced-precision operators (bf16/fp16) are not supported on the "
+        "distributed path; use --precision fp32 or --ranks 1");
+  if (config.num_shards > 1 &&
+      config.precision != sparse::ValueStorage::Fp32)
+    throw UnsupportedConfigError(
+        "--shards", "--precision",
+        "reduced-precision operators (bf16/fp16) are not supported on the "
+        "sharded path; use --precision fp32 or --shards 1");
+  if (config.num_shards > 1 &&
+      (config.num_ranks != 1 || config.force_distributed))
+    throw UnsupportedConfigError(
+        "--shards", "--ranks",
+        "the sharded serving path and the distributed simmpi path are "
+        "separate operator families; pick one");
+  if (config.num_shards < 1)
+    throw InvalidArgument("serve: num_shards must be >= 1");
   if (config.num_ranks != 1 || config.force_distributed)
     throw InvalidArgument(
-        "serve: serving requires the serial operator path "
-        "(num_ranks == 1 and not force_distributed)");
+        "serve: serving requires a viewable operator path "
+        "(num_ranks == 1 and not force_distributed; --shards is supported)");
   if (options.deadline_seconds < 0.0)
     throw InvalidArgument("serve: deadline_seconds must be >= 0");
   const bool os_solver = config.solver == core::SolverKind::OsSirt ||
@@ -220,6 +248,7 @@ ServerMetrics Server::snapshot() const {
     m.retry_abandoned = retry_abandoned_;
     m.watchdog_cancelled = watchdog_cancelled_;
     m.retry_backoff = retry_backoff_;
+    m.shard = shard_metrics_;
   }
   for (int p = 0; p < kNumPriorities; ++p) {
     auto& pm = m.priority[static_cast<std::size_t>(p)];
@@ -425,9 +454,23 @@ void Server::worker_main() {
     state->setup_seconds = lease.build_seconds;
 
     // Per-request operator view: shared immutable storage, private apply
-    // workspaces — concurrent requests on one geometry never contend.
-    const std::unique_ptr<core::MemXCTOperator> view =
-        lease.recon->serial_op()->make_view();
+    // workspaces (and, on the sharded path, private exchange buffers and a
+    // private simulated fabric) — concurrent requests on one geometry never
+    // contend.
+    std::unique_ptr<solve::LinearOperator> view;
+    shard::ShardedOperator* shard_view = nullptr;
+    if (lease.recon->shard_op() != nullptr) {
+      std::unique_ptr<shard::ShardedOperator> sv =
+          lease.recon->shard_op()->make_view();
+      // Sharded applies poll the request token between pipeline tiles:
+      // cancellation (deadline, watchdog, client) stops exchange prefetch
+      // instead of posting traffic the solver will never consume.
+      sv->set_cancel_token(&state->token);
+      shard_view = sv.get();
+      view = std::move(sv);
+    } else {
+      view = lease.recon->serial_op()->make_view();
+    }
 
     core::SolveExtras extras;
     extras.warm_start_image = state->warm_start;
@@ -492,6 +535,36 @@ void Server::worker_main() {
     state->image = std::move(res.image);
     state->solve = std::move(res.solve);
     state->ingest = std::move(res.ingest);
+
+    // Sharded requests contribute per-rank exchange traffic and the
+    // comm-vs-compute split to the server metrics. The view's counters were
+    // reset at solve start (reconstruct_slice), so this reads exactly this
+    // request's applies — registry warm-up traffic is never counted.
+    if (shard_view != nullptr) {
+      const shard::ShardApplyStats st = shard_view->stats();
+      const int num_shards = shard_view->num_shards();
+      std::lock_guard<std::mutex> lk(mu_);
+      shard_metrics_.shards = num_shards;
+      ++shard_metrics_.sharded_requests;
+      if (static_cast<int>(shard_metrics_.rank_bytes_sent.size()) <
+          num_shards) {
+        shard_metrics_.rank_bytes_sent.resize(
+            static_cast<std::size_t>(num_shards), 0);
+        shard_metrics_.rank_bytes_received.resize(
+            static_cast<std::size_t>(num_shards), 0);
+      }
+      for (int p = 0; p < num_shards; ++p) {
+        const perf::CommStats cs = shard_view->rank_comm_stats(p);
+        shard_metrics_.rank_bytes_sent[static_cast<std::size_t>(p)] +=
+            cs.bytes_sent;
+        shard_metrics_.rank_bytes_received[static_cast<std::size_t>(p)] +=
+            cs.bytes_received;
+      }
+      shard_metrics_.comm_seconds +=
+          st.comm_seconds - st.overlap_saved_seconds;
+      shard_metrics_.compute_seconds += st.compute_seconds;
+      shard_metrics_.overlap_saved_seconds += st.overlap_saved_seconds;
+    }
 
     // Feed the feasibility estimate with the end-to-end worker-side cost
     // (operator setup + solve) of requests that actually ran — normalized

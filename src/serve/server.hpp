@@ -103,6 +103,26 @@ struct RequestResult {
   double total_seconds = 0.0;   ///< submit → terminal.
 };
 
+/// Communication-side statistics of requests served on sharded operators
+/// (core::Config::num_shards > 1). All counters are cumulative across the
+/// sharded requests this server completed; empty/zero when no sharded
+/// request has run.
+struct ShardServeMetrics {
+  int shards = 0;  ///< Shard count of the most recent sharded request.
+  std::int64_t sharded_requests = 0;
+  /// Per-rank exchange traffic (payload bytes through the simulated
+  /// alltoallv fabric, self-traffic excluded), summed over requests.
+  /// Sized to the widest shard count seen.
+  std::vector<std::int64_t> rank_bytes_sent;
+  std::vector<std::int64_t> rank_bytes_received;
+  /// Modeled exchange time actually charged to the critical path (after
+  /// overlap) vs. measured compute wall time, summed over applies.
+  double comm_seconds = 0.0;
+  double compute_seconds = 0.0;
+  /// Modeled exchange time hidden behind compute by the tile pipeline.
+  double overlap_saved_seconds = 0.0;
+};
+
 /// Point-in-time server statistics (the snapshot() payload).
 struct ServerMetrics {
   int workers = 0;
@@ -129,6 +149,7 @@ struct ServerMetrics {
                                      ///< past the deadline.
   std::int64_t watchdog_cancelled = 0;  ///< Watchdog force-cancels.
   LatencyHistogram retry_backoff;  ///< Distribution of slept backoff delays.
+  ShardServeMetrics shard;  ///< Comm-vs-compute stats of sharded requests.
 
   [[nodiscard]] std::int64_t rejected() const noexcept {
     std::int64_t n = 0;
@@ -216,6 +237,7 @@ class Server {
   std::int64_t retry_abandoned_ = 0;
   std::int64_t watchdog_cancelled_ = 0;
   LatencyHistogram retry_backoff_;
+  ShardServeMetrics shard_metrics_;
   bool shut_down_ = false;
 
   std::vector<std::thread> threads_;

@@ -1,0 +1,54 @@
+#include "shard/partition.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace memxct::shard {
+
+dist::DomainPartition partition_rows_aligned(const sparse::CsrMatrix& a,
+                                             int num_shards, idx_t partsize) {
+  MEMXCT_CHECK_MSG(num_shards >= 1, "shard partition: num_shards must be >= 1");
+  MEMXCT_CHECK_MSG(partsize >= 1, "shard partition: partsize must be >= 1");
+  const idx_t rows = a.num_rows;
+  const nnz_t total = a.nnz();
+
+  std::vector<idx_t> displ(static_cast<std::size_t>(num_shards) + 1, 0);
+  displ.back() = rows;
+  // Cut positions are multiples of partsize; the last partition may be
+  // ragged (rows itself need not be a multiple). For shard s, pick the
+  // aligned boundary whose cumulative nnz is closest to the ideal
+  // total*s/num_shards, never moving left of the previous cut — empty
+  // shards are allowed and exchange nothing.
+  idx_t prev = 0;
+  for (int s = 1; s < num_shards; ++s) {
+    const double ideal =
+        static_cast<double>(total) * s / static_cast<double>(num_shards);
+    // First aligned boundary at or right of prev.
+    idx_t cand = ((prev + partsize - 1) / partsize) * partsize;
+    if (cand > rows) cand = rows;
+    idx_t best = cand;
+    double best_err = -1.0;
+    for (idx_t b = cand; b <= rows; b += partsize) {
+      const idx_t bb = b < rows ? b : rows;
+      const double err =
+          std::abs(static_cast<double>(a.displ[static_cast<std::size_t>(bb)]) -
+                   ideal);
+      if (best_err < 0.0 || err < best_err) {
+        best_err = err;
+        best = bb;
+      } else {
+        // Cumulative nnz is monotone, so once the error starts growing it
+        // keeps growing — stop scanning.
+        break;
+      }
+      if (bb == rows) break;
+    }
+    displ[static_cast<std::size_t>(s)] = best;
+    prev = best;
+  }
+  return dist::DomainPartition(num_shards, std::move(displ));
+}
+
+}  // namespace memxct::shard

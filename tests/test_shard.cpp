@@ -1,0 +1,662 @@
+// Tests for the sharded serving subsystem: partition-aligned row cuts,
+// precomputed exchange plans, and the ShardedOperator's headline contract —
+// bitwise parity with the serial P=1 path for any shard count, kernel
+// family, SpMM width, group size, and pipeline depth.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "core/opkey.hpp"
+#include "core/reconstructor.hpp"
+#include "geometry/projector.hpp"
+#include "phantom/phantom.hpp"
+#include "serve/server.hpp"
+#include "shard/partition.hpp"
+#include "shard/plan.hpp"
+#include "shard/sharded_operator.hpp"
+#include "solve/cgls.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/transpose.hpp"
+#include "test_util.hpp"
+
+namespace memxct::shard {
+namespace {
+
+sparse::CsrMatrix make_matrix() {
+  const auto g = geometry::make_geometry(20, 24);
+  const hilbert::Ordering sino_ord(g.sinogram_extent(),
+                                   hilbert::CurveKind::Hilbert, 4);
+  const hilbert::Ordering tomo_ord(g.tomogram_extent(),
+                                   hilbert::CurveKind::Hilbert, 4);
+  return geometry::build_projection_matrix(g, sino_ord, tomo_ord);
+}
+
+bool bitwise_equal(std::span<const real> a, std::span<const real> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(real)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Partition-aligned row cuts.
+
+TEST(PartitionAligned, CutsSnapToPartsizeAndCoverAllRows) {
+  const auto a = make_matrix();
+  const idx_t partsize = 32;
+  for (const int shards : {1, 2, 3, 4, 7}) {
+    const auto part = partition_rows_aligned(a, shards, partsize);
+    EXPECT_EQ(part.num_ranks(), shards);
+    EXPECT_EQ(part.begin(0), 0);
+    EXPECT_EQ(part.end(shards - 1), a.num_rows);
+    for (int p = 0; p + 1 < shards; ++p) {
+      EXPECT_EQ(part.end(p) % partsize, 0)
+          << "interior cut " << p << " not partition-aligned";
+      EXPECT_LE(part.begin(p), part.end(p));
+    }
+  }
+}
+
+TEST(PartitionAligned, BalancesNnzAcrossShards) {
+  const auto a = make_matrix();
+  const auto part = partition_rows_aligned(a, 4, 32);
+  // nnz-greedy alignment on a dense-ish projection matrix should stay well
+  // under 2x imbalance.
+  std::int64_t max_nnz = 0;
+  for (int p = 0; p < 4; ++p)
+    max_nnz = std::max<std::int64_t>(
+        max_nnz, a.displ[static_cast<std::size_t>(part.end(p))] -
+                     a.displ[static_cast<std::size_t>(part.begin(p))]);
+  EXPECT_LT(static_cast<double>(max_nnz) * 4.0,
+            2.0 * static_cast<double>(a.nnz()));
+}
+
+// ---------------------------------------------------------------------------
+// Exchange-plan construction (synthetic footprints, no operator involved).
+
+struct PlanFixture {
+  dist::DomainPartition owner{4, {0, 10, 20, 30, 40}};
+  std::vector<std::vector<idx_t>> footprint;
+  std::vector<std::vector<int>> first_tile;
+
+  PlanFixture() {
+    // Shard 0 needs its own range plus a halo from shards 1 and 3; shard 1
+    // is self-contained; shard 2 needs entries from everyone; shard 3 needs
+    // shard 2's tail.
+    footprint = {{0, 3, 9, 12, 15, 31},
+                 {10, 11, 19},
+                 {2, 8, 14, 21, 25, 33, 39},
+                 {26, 29, 30, 35}};
+    for (const auto& f : footprint)
+      first_tile.emplace_back(f.size(), 0);
+  }
+};
+
+// Every non-self footprint position receives exactly one scattered element;
+// every self position is gathered locally exactly once. Nothing is delivered
+// twice and nothing is missed.
+void expect_exactly_once(const ExchangePlan& plan,
+                         const std::vector<std::vector<idx_t>>& footprint) {
+  for (int q = 0; q < plan.num_shards; ++q) {
+    std::multiset<idx_t> covered(plan.self_pos[static_cast<std::size_t>(q)].begin(),
+                                 plan.self_pos[static_cast<std::size_t>(q)].end());
+    for (int t = 0; t < plan.tiles; ++t)
+      for (int r = 0; r < plan.rounds_per_tile; ++r) {
+        const Round& round = plan.round(t, r);
+        if (round.to_staging) continue;  // staging hop, not a delivery
+        for (const idx_t pos : round.scatter_pos[static_cast<std::size_t>(q)])
+          covered.insert(pos);
+      }
+    ASSERT_EQ(covered.size(), footprint[static_cast<std::size_t>(q)].size())
+        << "shard " << q;
+    idx_t expect = 0;
+    for (const idx_t pos : covered)
+      EXPECT_EQ(pos, expect++) << "shard " << q << ": position delivered "
+                                  "zero or multiple times";
+  }
+}
+
+TEST(ExchangePlan, FlatPlanDeliversEachHaloEntryExactlyOnce) {
+  const PlanFixture f;
+  const auto plan =
+      build_exchange_plan(f.owner, f.footprint, f.first_tile, 1, 1);
+  EXPECT_EQ(plan.rounds_per_tile, 1);
+  expect_exactly_once(plan, f.footprint);
+}
+
+TEST(ExchangePlan, TwoLevelPlanDeliversEachHaloEntryExactlyOnce) {
+  const PlanFixture f;
+  const auto plan =
+      build_exchange_plan(f.owner, f.footprint, f.first_tile, 1, 2);
+  EXPECT_EQ(plan.rounds_per_tile, 2);
+  expect_exactly_once(plan, f.footprint);
+}
+
+TEST(ExchangePlan, TiledPlanDeliversEachHaloEntryExactlyOnceAcrossTiles) {
+  PlanFixture f;
+  // Spread first-need across three tiles round-robin.
+  for (auto& ft : f.first_tile)
+    for (std::size_t i = 0; i < ft.size(); ++i)
+      ft[i] = static_cast<int>(i % 3);
+  const auto plan =
+      build_exchange_plan(f.owner, f.footprint, f.first_tile, 3, 1);
+  EXPECT_EQ(plan.tiles, 3);
+  expect_exactly_once(plan, f.footprint);
+}
+
+TEST(ExchangePlan, EmptyOverlapPairsGetZeroByteEntries) {
+  // Block-diagonal needs: every shard's footprint lies inside its own range,
+  // so every rank pair's plan entry must be zero bytes and the halo empty.
+  const dist::DomainPartition owner(3, {0, 10, 20, 30});
+  const std::vector<std::vector<idx_t>> footprint = {
+      {0, 4, 9}, {10, 15}, {22, 29}};
+  std::vector<std::vector<int>> first_tile;
+  for (const auto& fp : footprint) first_tile.emplace_back(fp.size(), 0);
+  const auto plan = build_exchange_plan(owner, footprint, first_tile, 1, 1);
+  EXPECT_EQ(plan.halo_elements(), 0);
+  const Round& round = plan.round(0, 0);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_TRUE(round.pack_index[static_cast<std::size_t>(p)].empty());
+    for (int q = 0; q < 3; ++q)
+      EXPECT_EQ(round.send_displ[static_cast<std::size_t>(p)]
+                               [static_cast<std::size_t>(q + 1)],
+                round.send_displ[static_cast<std::size_t>(p)]
+                                [static_cast<std::size_t>(q)])
+          << "pair (" << p << "," << q << ") should be a zero-byte entry";
+  }
+  // Self entries still resolve locally.
+  for (int q = 0; q < 3; ++q)
+    EXPECT_EQ(plan.self_index[static_cast<std::size_t>(q)].size(),
+              footprint[static_cast<std::size_t>(q)].size());
+}
+
+TEST(ExchangePlan, RebuildsAreByteIdentical) {
+  const PlanFixture f;
+  for (const int group : {1, 2}) {
+    const auto p1 =
+        build_exchange_plan(f.owner, f.footprint, f.first_tile, 2, group);
+    const auto p2 =
+        build_exchange_plan(f.owner, f.footprint, f.first_tile, 2, group);
+    EXPECT_EQ(p1.fingerprint(), p2.fingerprint());
+    EXPECT_FALSE(p1.fingerprint().empty());
+  }
+}
+
+TEST(ExchangePlan, OperatorPlansAreDeterministicAcrossRebuilds) {
+  // Same matrix + same options (the opkey's shard fields) => byte-identical
+  // plans: the property the registry's single-flight builds rely on.
+  const auto a = make_matrix();
+  const ShardedOperator::Options opt{.num_shards = 3};
+  const ShardedOperator op1(a, opt);
+  const ShardedOperator op2(a, opt);
+  EXPECT_EQ(op1.forward_plan().fingerprint(),
+            op2.forward_plan().fingerprint());
+  EXPECT_EQ(op1.transpose_plan().fingerprint(),
+            op2.transpose_plan().fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Operator-level bitwise parity with the serial kernels.
+
+struct ShardCase {
+  int shards;
+  LocalKernel kernel;
+};
+
+class ShardSweep : public ::testing::TestWithParam<ShardCase> {};
+
+ShardedOperator::Options case_options(const ShardCase& c) {
+  ShardedOperator::Options opt;
+  opt.num_shards = c.shards;
+  opt.kernel = c.kernel;
+  opt.buffer = {32, 256};  // small partitions so P=4 still has several
+  return opt;
+}
+
+// Serial reference: the exact kernels the P=1 operator family runs.
+void serial_reference(const sparse::CsrMatrix& a, const ShardCase& c,
+                      std::span<const real> x, std::span<real> y) {
+  if (c.kernel == LocalKernel::Buffered) {
+    const auto buffered = sparse::build_buffered(a, {32, 256});
+    sparse::spmv_buffered(buffered, x, y);
+  } else {
+    sparse::spmv_csr(a, x, y);
+  }
+}
+
+TEST_P(ShardSweep, ForwardIsBitwiseEqualToSerial) {
+  const auto a = make_matrix();
+  const ShardedOperator op(a, case_options(GetParam()));
+  const auto x = testutil::random_vector(a.num_cols, 71);
+  AlignedVector<real> y_shard(static_cast<std::size_t>(a.num_rows));
+  AlignedVector<real> y_serial(static_cast<std::size_t>(a.num_rows));
+  op.apply(x, y_shard);
+  serial_reference(a, GetParam(), x, y_serial);
+  EXPECT_TRUE(bitwise_equal(y_shard, y_serial));
+}
+
+TEST_P(ShardSweep, TransposeIsBitwiseEqualToSerial) {
+  const auto a = make_matrix();
+  const auto at = sparse::transpose(a);
+  const ShardedOperator op(a, case_options(GetParam()));
+  const auto y = testutil::random_vector(a.num_rows, 72);
+  AlignedVector<real> x_shard(static_cast<std::size_t>(a.num_cols));
+  AlignedVector<real> x_serial(static_cast<std::size_t>(a.num_cols));
+  op.apply_transpose(y, x_shard);
+  serial_reference(at, GetParam(), y, x_serial);
+  EXPECT_TRUE(bitwise_equal(x_shard, x_serial));
+}
+
+TEST_P(ShardSweep, BlockApplyLanesAreBitwiseEqualToSingleApplies) {
+  const auto a = make_matrix();
+  const ShardedOperator op(a, case_options(GetParam()));
+  const idx_t k = 3;
+  const auto n = a.num_cols;
+  const auto m = a.num_rows;
+  AlignedVector<real> x(static_cast<std::size_t>(n * k));
+  for (idx_t s = 0; s < k; ++s) {
+    const auto slice = testutil::random_vector(n, 80 + s);
+    std::copy(slice.begin(), slice.end(),
+              x.begin() + static_cast<std::ptrdiff_t>(s * n));
+  }
+  AlignedVector<real> y_block(static_cast<std::size_t>(m * k));
+  op.apply_block(x, y_block, k);
+  AlignedVector<real> y_single(static_cast<std::size_t>(m));
+  for (idx_t s = 0; s < k; ++s) {
+    op.apply(std::span<const real>(x).subspan(
+                 static_cast<std::size_t>(s * n), static_cast<std::size_t>(n)),
+             y_single);
+    EXPECT_TRUE(bitwise_equal(
+        std::span<const real>(y_block).subspan(
+            static_cast<std::size_t>(s * m), static_cast<std::size_t>(m)),
+        y_single))
+        << "lane " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shards, ShardSweep,
+    ::testing::Values(ShardCase{1, LocalKernel::BaselineCsr},
+                      ShardCase{2, LocalKernel::BaselineCsr},
+                      ShardCase{3, LocalKernel::BaselineCsr},
+                      ShardCase{4, LocalKernel::BaselineCsr},
+                      ShardCase{1, LocalKernel::Buffered},
+                      ShardCase{2, LocalKernel::Buffered},
+                      ShardCase{3, LocalKernel::Buffered},
+                      ShardCase{4, LocalKernel::Buffered}));
+
+TEST(ShardedOperator, TwoLevelExchangeKeepsBitwiseParity) {
+  const auto a = make_matrix();
+  ShardedOperator::Options flat;
+  flat.num_shards = 4;
+  ShardedOperator::Options grouped = flat;
+  grouped.group_size = 2;
+  const ShardedOperator op_flat(a, flat);
+  const ShardedOperator op_grouped(a, grouped);
+  EXPECT_EQ(op_grouped.forward_plan().rounds_per_tile, 2);
+  const auto x = testutil::random_vector(a.num_cols, 81);
+  AlignedVector<real> y1(static_cast<std::size_t>(a.num_rows));
+  AlignedVector<real> y2(static_cast<std::size_t>(a.num_rows));
+  op_flat.apply(x, y1);
+  op_grouped.apply(x, y2);
+  EXPECT_TRUE(bitwise_equal(y1, y2));
+}
+
+TEST(ShardedOperator, PipelineDepthDoesNotChangeBits) {
+  const auto a = make_matrix();
+  AlignedVector<real> reference;
+  const auto x = testutil::random_vector(a.num_cols, 82);
+  for (const int tiles : {1, 2, 4}) {
+    ShardedOperator::Options opt;
+    opt.num_shards = 3;
+    opt.pipeline_tiles = tiles;
+    const ShardedOperator op(a, opt);
+    AlignedVector<real> y(static_cast<std::size_t>(a.num_rows));
+    op.apply(x, y);
+    if (reference.empty()) reference = y;
+    EXPECT_TRUE(bitwise_equal(reference, y)) << "tiles=" << tiles;
+  }
+}
+
+TEST(ShardedOperator, PerRankBytesShrinkWithShardCount) {
+  const auto a = make_matrix();
+  auto max_rank_bytes = [&](int shards) {
+    ShardedOperator::Options opt;
+    opt.num_shards = shards;
+    const ShardedOperator op(a, opt);
+    std::int64_t max_bytes = 0;
+    for (int p = 0; p < shards; ++p)
+      max_bytes = std::max(max_bytes, op.rank_bytes(p));
+    return max_bytes;
+  };
+  const auto b1 = max_rank_bytes(1);
+  const auto b2 = max_rank_bytes(2);
+  const auto b4 = max_rank_bytes(4);
+  EXPECT_LT(b2, b1);
+  EXPECT_LT(b4, b2);
+}
+
+TEST(ShardedOperator, StatsAccumulateAndReset) {
+  const auto a = make_matrix();
+  ShardedOperator::Options opt;
+  opt.num_shards = 2;
+  const ShardedOperator op(a, opt);
+  const auto x = testutil::random_vector(a.num_cols, 83);
+  AlignedVector<real> y(static_cast<std::size_t>(a.num_rows));
+  op.apply(x, y);
+  op.apply(x, y);
+  EXPECT_EQ(op.stats().applies, 2);
+  EXPECT_GT(op.stats().compute_seconds, 0.0);
+  EXPECT_GT(op.stats().comm_seconds, 0.0);
+  EXPECT_GT(op.rank_comm_stats(0).bytes_sent, 0);
+  op.reset_stats();
+  EXPECT_EQ(op.stats().applies, 0);
+  EXPECT_EQ(op.stats().comm_seconds, 0.0);
+  EXPECT_EQ(op.rank_comm_stats(0).bytes_sent, 0);
+}
+
+TEST(ShardedOperator, CancelTokenDepipelinesButOutputStaysCorrect) {
+  const auto a = make_matrix();
+  ShardedOperator::Options opt;
+  opt.num_shards = 2;
+  opt.pipeline_tiles = 4;
+  ShardedOperator op(a, opt);
+  const auto x = testutil::random_vector(a.num_cols, 84);
+  AlignedVector<real> y_plain(static_cast<std::size_t>(a.num_rows));
+  op.apply(x, y_plain);
+
+  solve::CancelToken token;
+  token.request_cancel();  // fires at the first between-tile poll
+  op.set_cancel_token(&token);
+  AlignedVector<real> y_cancelled(static_cast<std::size_t>(a.num_rows));
+  op.apply(x, y_cancelled);
+  op.set_cancel_token(nullptr);
+
+  // Correctness is unconditional; the pipeline just stops prefetching.
+  EXPECT_TRUE(bitwise_equal(y_plain, y_cancelled));
+  EXPECT_GT(op.stats().cancel_polls, 0);
+  EXPECT_GT(op.stats().depipelined_tiles, 0);
+}
+
+TEST(ShardedOperator, ViewsShareStorageButNotCounters) {
+  const auto a = make_matrix();
+  ShardedOperator::Options opt;
+  opt.num_shards = 2;
+  const ShardedOperator op(a, opt);
+  const auto view = op.make_view();
+  const auto x = testutil::random_vector(a.num_cols, 85);
+  AlignedVector<real> y1(static_cast<std::size_t>(a.num_rows));
+  AlignedVector<real> y2(static_cast<std::size_t>(a.num_rows));
+  op.apply(x, y1);
+  view->apply(x, y2);
+  EXPECT_TRUE(bitwise_equal(y1, y2));
+  EXPECT_EQ(op.stats().applies, 1);
+  EXPECT_EQ(view->stats().applies, 1);  // not 2: counters are per view
+  EXPECT_EQ(op.bytes(), view->bytes());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end parity through the Reconstructor.
+
+struct EndToEnd {
+  geometry::Geometry g = geometry::make_geometry(36, 24);
+  AlignedVector<real> sino;
+  EndToEnd() {
+    const auto image = phantom::shepp_logan(24);
+    sino = phantom::forward_project(g, image);
+  }
+};
+
+TEST(ShardedReconstruction, CglsImagesAreBitwiseEqualToSerial) {
+  const EndToEnd e;
+  core::Config config;
+  config.iterations = 6;
+  const auto serial = core::Reconstructor(e.g, config).reconstruct(e.sino);
+  for (const int shards : {2, 3}) {
+    core::Config sharded = config;
+    sharded.num_shards = shards;
+    const core::Reconstructor recon(e.g, sharded);
+    ASSERT_NE(recon.shard_op(), nullptr);
+    EXPECT_EQ(recon.serial_op(), nullptr);
+    const auto result = recon.reconstruct(e.sino);
+    EXPECT_TRUE(bitwise_equal(result.image, serial.image))
+        << shards << " shards";
+  }
+}
+
+TEST(ShardedReconstruction, SirtImagesAreBitwiseEqualToSerial) {
+  const EndToEnd e;
+  core::Config config;
+  config.solver = core::SolverKind::SIRT;
+  config.iterations = 5;
+  const auto serial = core::Reconstructor(e.g, config).reconstruct(e.sino);
+  core::Config sharded = config;
+  sharded.num_shards = 4;
+  sharded.shard_group_size = 2;
+  const auto result = core::Reconstructor(e.g, sharded).reconstruct(e.sino);
+  EXPECT_TRUE(bitwise_equal(result.image, serial.image));
+}
+
+TEST(ShardedReconstruction, BaselineKernelParity) {
+  const EndToEnd e;
+  core::Config config;
+  config.kernel = core::KernelKind::Baseline;
+  config.iterations = 5;
+  const auto serial = core::Reconstructor(e.g, config).reconstruct(e.sino);
+  core::Config sharded = config;
+  sharded.num_shards = 3;
+  const auto result = core::Reconstructor(e.g, sharded).reconstruct(e.sino);
+  EXPECT_TRUE(bitwise_equal(result.image, serial.image));
+}
+
+TEST(ShardedReconstruction, OpkeyDistinguishesShardCounts) {
+  const EndToEnd e;
+  core::Config c1, c2, c3;
+  c2.num_shards = 2;
+  c3.num_shards = 3;
+  const auto k1 = core::operator_key(e.g, c1).text;
+  const auto k2 = core::operator_key(e.g, c2).text;
+  const auto k3 = core::operator_key(e.g, c3).text;
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k2, k3);
+  // The unsharded key text is unchanged from the pre-sharding format — no
+  // "-sh" suffix — so existing disk-cache stems stay valid.
+  EXPECT_EQ(k1.find("-sh"), std::string::npos);
+  EXPECT_NE(k2.find("-sh2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Typed unsupported-configuration rejections (Reconstructor + admission).
+
+TEST(UnsupportedConfig, DistributedPlusReducedPrecisionIsTyped) {
+  const EndToEnd e;
+  core::Config config;
+  config.num_ranks = 2;
+  config.precision = sparse::ValueStorage::Bf16;
+  try {
+    const core::Reconstructor recon(e.g, config);
+    FAIL() << "expected UnsupportedConfigError";
+  } catch (const UnsupportedConfigError& err) {
+    EXPECT_EQ(err.flag_a(), "--ranks");
+    EXPECT_EQ(err.flag_b(), "--precision");
+    EXPECT_NE(std::string(err.what()).find("unsupported configuration"),
+              std::string::npos);
+  }
+}
+
+TEST(UnsupportedConfig, ShardedPlusReducedPrecisionIsTyped) {
+  const EndToEnd e;
+  core::Config config;
+  config.num_shards = 2;
+  config.precision = sparse::ValueStorage::Fp16;
+  try {
+    const core::Reconstructor recon(e.g, config);
+    FAIL() << "expected UnsupportedConfigError";
+  } catch (const UnsupportedConfigError& err) {
+    EXPECT_EQ(err.flag_a(), "--shards");
+    EXPECT_EQ(err.flag_b(), "--precision");
+  }
+}
+
+TEST(UnsupportedConfig, ShardedPlusDistributedIsTyped) {
+  const EndToEnd e;
+  core::Config config;
+  config.num_shards = 2;
+  config.num_ranks = 2;
+  EXPECT_THROW(core::Reconstructor(e.g, config), UnsupportedConfigError);
+}
+
+TEST(UnsupportedConfig, StillCatchableAsInvalidArgument) {
+  // Existing catch sites classify caller errors via InvalidArgument; the
+  // typed subclass must not change that.
+  const EndToEnd e;
+  core::Config config;
+  config.num_ranks = 2;
+  config.precision = sparse::ValueStorage::Bf16;
+  EXPECT_THROW(core::Reconstructor(e.g, config), InvalidArgument);
+}
+
+TEST(UnsupportedConfig, ServeAdmissionRejectsConflictsBeforeQueueing) {
+  const EndToEnd e;
+  serve::Server server({.workers = 1});
+  core::Config config;
+  config.iterations = 2;
+
+  core::Config ranks_bf16 = config;
+  ranks_bf16.num_ranks = 2;
+  ranks_bf16.precision = sparse::ValueStorage::Bf16;
+  try {
+    (void)server.submit(e.g, ranks_bf16, e.sino);
+    FAIL() << "expected UnsupportedConfigError";
+  } catch (const UnsupportedConfigError& err) {
+    EXPECT_EQ(err.flag_a(), "--ranks");
+    EXPECT_EQ(err.flag_b(), "--precision");
+  }
+
+  core::Config shards_bf16 = config;
+  shards_bf16.num_shards = 2;
+  shards_bf16.precision = sparse::ValueStorage::Bf16;
+  try {
+    (void)server.submit(e.g, shards_bf16, e.sino);
+    FAIL() << "expected UnsupportedConfigError";
+  } catch (const UnsupportedConfigError& err) {
+    EXPECT_EQ(err.flag_a(), "--shards");
+    EXPECT_EQ(err.flag_b(), "--precision");
+  }
+
+  // Nothing entered the pipeline: no submissions, no rejections counted.
+  const auto m = server.snapshot();
+  EXPECT_EQ(m.submitted, 0);
+  EXPECT_EQ(m.completed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Serving sharded operators end to end.
+
+TEST(ShardedServe, RequestsAreBitwiseEqualToUnshardedAndMetricsPopulate) {
+  const EndToEnd e;
+  serve::Server server({.workers = 2});
+  core::Config config;
+  config.iterations = 5;
+  core::Config sharded = config;
+  sharded.num_shards = 2;
+
+  const auto id_plain = server.submit(e.g, config, e.sino);
+  const auto id_shard1 = server.submit(e.g, sharded, e.sino);
+  const auto id_shard2 = server.submit(e.g, sharded, e.sino);
+  const auto r_plain = server.wait(id_plain);
+  const auto r_shard1 = server.wait(id_shard1);
+  const auto r_shard2 = server.wait(id_shard2);
+  ASSERT_EQ(r_plain.status, serve::RequestStatus::Ok);
+  ASSERT_EQ(r_shard1.status, serve::RequestStatus::Ok);
+  ASSERT_EQ(r_shard2.status, serve::RequestStatus::Ok);
+  EXPECT_TRUE(bitwise_equal(r_shard1.image, r_plain.image));
+  EXPECT_TRUE(bitwise_equal(r_shard2.image, r_plain.image));
+  // Same geometry, different num_shards: distinct registry keys, so the
+  // second sharded request is the only possible registry hit.
+  EXPECT_FALSE(r_shard1.registry_hit && r_plain.registry_hit);
+
+  const auto m = server.snapshot();
+  EXPECT_EQ(m.shard.sharded_requests, 2);
+  EXPECT_EQ(m.shard.shards, 2);
+  ASSERT_EQ(m.shard.rank_bytes_sent.size(), 2u);
+  EXPECT_GT(m.shard.rank_bytes_sent[0], 0);
+  EXPECT_GT(m.shard.rank_bytes_received[1], 0);
+  EXPECT_GT(m.shard.compute_seconds, 0.0);
+  // comm + overlap_saved reassemble the raw modeled exchange time.
+  EXPECT_GE(m.shard.comm_seconds, 0.0);
+  EXPECT_GT(m.shard.comm_seconds + m.shard.overlap_saved_seconds, 0.0);
+}
+
+TEST(ShardedServe, RegistryCachesShardedOperatorsWithByteAccounting) {
+  const EndToEnd e;
+  serve::OperatorRegistry registry;
+  core::Config config;
+  config.iterations = 2;
+  config.num_shards = 2;
+  auto lease1 = registry.acquire(e.g, config);
+  EXPECT_FALSE(lease1.hit);
+  auto lease2 = registry.acquire(e.g, config);
+  EXPECT_TRUE(lease2.hit);
+  EXPECT_EQ(lease1.recon.get(), lease2.recon.get());
+  ASSERT_NE(lease1.recon->shard_op(), nullptr);
+  const auto stats = registry.stats();
+  EXPECT_EQ(stats.resident_operators, 1);
+  EXPECT_EQ(stats.resident_bytes, lease1.recon->shard_op()->bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: per-solve kernel-time reset on the distributed operator.
+
+TEST(DistKernelTimes, ResetClearsAccumulatedTimes) {
+  const auto a = make_matrix();
+  const dist::DomainPartition sino(2, {0, a.num_rows / 2, a.num_rows});
+  const dist::DomainPartition tomo(2, {0, a.num_cols / 2, a.num_cols});
+  const dist::DistOperator op(a, sino, tomo);
+  const auto x = testutil::random_vector(a.num_cols, 90);
+  AlignedVector<real> y(static_cast<std::size_t>(a.num_rows));
+  op.apply(x, y);
+  EXPECT_EQ(op.kernel_times().applies, 1);
+  EXPECT_GT(op.kernel_times().ap_seconds, 0.0);
+  op.reset_kernel_times();
+  EXPECT_EQ(op.kernel_times().applies, 0);
+  EXPECT_EQ(op.kernel_times().ap_seconds, 0.0);
+  op.apply(x, y);
+  EXPECT_EQ(op.kernel_times().applies, 1);
+}
+
+TEST(ShardedReconstruction, SolverRunsPlugAndPlay) {
+  // The sharded operator is a LinearOperator like any other: CGLS over it
+  // must equal CGLS over the serial kernels bit for bit.
+  const auto a = make_matrix();
+  ShardedOperator::Options opt;
+  opt.num_shards = 3;
+  opt.kernel = LocalKernel::BaselineCsr;
+  const ShardedOperator op(a, opt);
+
+  class SerialOp final : public solve::LinearOperator {
+   public:
+    explicit SerialOp(const sparse::CsrMatrix& m)
+        : a_(m), at_(sparse::transpose(m)) {}
+    idx_t num_rows() const override { return a_.num_rows; }
+    idx_t num_cols() const override { return a_.num_cols; }
+    void apply(std::span<const real> x, std::span<real> y) const override {
+      sparse::spmv_csr(a_, x, y);
+    }
+    void apply_transpose(std::span<const real> y,
+                         std::span<real> x) const override {
+      sparse::spmv_csr(at_, y, x);
+    }
+
+   private:
+    const sparse::CsrMatrix& a_;
+    sparse::CsrMatrix at_;
+  } serial(a);
+
+  const auto y = testutil::random_vector(a.num_rows, 91);
+  const auto r_shard = solve::cgls(op, y, {.max_iterations = 8});
+  const auto r_serial = solve::cgls(serial, y, {.max_iterations = 8});
+  EXPECT_TRUE(bitwise_equal(r_shard.x, r_serial.x));
+}
+
+}  // namespace
+}  // namespace memxct::shard
