@@ -8,15 +8,38 @@
 // overhead); too large a partition with a small buffer loses reuse; too
 // large a buffer would leak out of L1 on real hardware (the model's 32 KB
 // boundary).
+//
+//   bench_fig10_tuning [--json <path>] [--quick]
+//
+// --json writes the sweep in the SAME candidate-table schema the in-process
+// autotuner (src/tune) records in `.tune` files and memxct_cli
+// --autotune-json emits, so offline sweeps and build-time measurements are
+// directly comparable. --quick restricts the sweep to the tuner's quick
+// seed grid.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "io/table.hpp"
 #include "sparse/buffered.hpp"
+#include "tune/tune.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memxct;
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    else if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    else if (arg == "--quick") quick = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--quick]\n", argv[0]);
+      return 1;
+    }
+  }
+
   const auto spec = bench::spec_paper_over("ADS2", 2);
   std::printf("ADS2 analog: %d x %d\n", spec.angles, spec.channels);
   const auto a = bench::build_matrix(spec, hilbert::CurveKind::Hilbert);
@@ -24,16 +47,24 @@ int main() {
   AlignedVector<real> x(static_cast<std::size_t>(a.num_cols), 1.0f);
   AlignedVector<real> y(static_cast<std::size_t>(a.num_rows));
 
-  const std::vector<idx_t> partsizes{16, 32, 64, 128, 256, 512, 1024};
-  const std::vector<idx_t> buffer_kb{1, 2, 4, 8, 16, 32, 64};
+  // --quick mirrors the autotuner's quick seed grid (in KB at fp32:
+  // 1024/4096 elements = 4/16 KB) so the two tables line up point for point.
+  const std::vector<idx_t> partsizes =
+      quick ? std::vector<idx_t>{128, 256}
+            : std::vector<idx_t>{16, 32, 64, 128, 256, 512, 1024};
+  const std::vector<idx_t> buffer_kb =
+      quick ? std::vector<idx_t>{4, 16}
+            : std::vector<idx_t>{1, 2, 4, 8, 16, 32, 64};
 
   io::TablePrinter table("Fig 10: GFLOPS heat map, partsize x buffer size");
   std::vector<std::string> header{"partsize\\buffer"};
   for (const idx_t kb : buffer_kb) header.push_back(std::to_string(kb) + "KB");
   table.header(std::move(header));
 
+  std::vector<tune::Candidate> candidates;
   double best = 0.0;
   idx_t best_part = 0, best_kb = 0;
+  std::size_t best_index = 0;
   for (const idx_t partsize : partsizes) {
     std::vector<std::string> row{std::to_string(partsize)};
     for (const idx_t kb : buffer_kb) {
@@ -43,18 +74,43 @@ int main() {
       const auto bm = sparse::build_buffered(a, config);
       const double t =
           bench::time_kernel([&] { sparse::spmv_buffered(bm, x, y); }, 3);
-      const double gflops = sparse::buffered_work(bm).gflops(t);
+      const auto work = sparse::buffered_work(bm);
+      const double gflops = work.gflops(t);
+      tune::Candidate c;
+      c.kernel = core::KernelKind::Buffered;
+      c.schedule = core::ScheduleKind::Dynamic;  // raw kernel, no plan
+      c.buffer = config;
+      c.apply_seconds = t;  // forward sweep only; transpose stays 0
+      c.gbs = work.bandwidth_gbs(t);
+      c.gflops = gflops;
       if (gflops > best) {
         best = gflops;
         best_part = partsize;
         best_kb = kb;
+        best_index = candidates.size();
       }
+      candidates.push_back(c);
       row.push_back(io::TablePrinter::num(gflops, 2));
     }
     table.row(std::move(row));
   }
+  if (!candidates.empty()) candidates[best_index].chosen = true;
   table.print();
   table.write_csv("fig10_tuning.csv");
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_fig10_tuning: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    const std::string json = tune::candidates_json(candidates);
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
   std::printf(
       "\npeak: %.2f GFLOPS at partsize %d, buffer %d KB\n"
       "Paper reference: KNL peak at block size 128 with 8 KB buffers\n"

@@ -17,8 +17,11 @@
 // growth ratio stays strictly below the dense-duplication bound
 // ((P₂−1)/P₂)/((P₁−1)/P₁), i.e. the footprint compaction prunes real bytes.
 //
-// Also reports the comm-vs-compute split and the modeled exchange time the
-// tile pipeline hid behind compute (overlap_saved).
+// Also reports the comm-vs-compute split (measured per-round copy times),
+// the exchange time the tile pipeline hid behind compute (overlap_saved),
+// and the alpha-beta model's cost for the same traffic next to the
+// measurement — the model-vs-measured skew column says how far the target
+// interconnect's projection is from what this host actually paid.
 //
 //   bench_shard_scaling [--json <path>] [--quick]
 //
@@ -45,8 +48,9 @@ struct Row {
   std::int64_t max_rank_bytes = 0;  ///< Widest shard's resident footprint.
   std::int64_t max_rank_sent = 0;   ///< Widest shard's exchange bytes/solve.
   std::int64_t sent_per_peer = 0;   ///< max_rank_sent / (P - 1): message size.
-  double comm_seconds = 0.0;        ///< Modeled exchange time (whole solve).
-  double compute_seconds = 0.0;     ///< Measured local-kernel wall time.
+  double comm_seconds = 0.0;  ///< Measured exchange time (whole solve).
+  double comm_modeled_seconds = 0.0;  ///< Same traffic under the α–β model.
+  double compute_seconds = 0.0;       ///< Measured local-kernel wall time.
   double overlap_saved_seconds = 0.0;
   double solve_seconds = 0.0;
 };
@@ -118,6 +122,7 @@ int main(int argc, char** argv) {
     // reconstruct_slice reset the counters at solve start, so the stats are
     // exactly this solve's applies.
     row.comm_seconds = op->stats().comm_seconds;
+    row.comm_modeled_seconds = op->stats().comm_modeled_seconds;
     row.compute_seconds = op->stats().compute_seconds;
     row.overlap_saved_seconds = op->stats().overlap_saved_seconds;
     row.solve_seconds = result.solve.seconds;
@@ -126,7 +131,8 @@ int main(int argc, char** argv) {
 
   io::TablePrinter table("Sharded scaling (per-solve, CGLS)");
   table.header({"P", "parity", "max rank B", "total B", "max sent/solve",
-                "sent/peer", "comm", "compute", "overlap hid", "solve"});
+                "sent/peer", "comm", "comm model", "model/meas", "compute",
+                "overlap hid", "solve"});
   for (const Row& r : rows)
     table.row({std::to_string(r.shards), r.bitwise_equal ? "bitwise" : "DIFF",
                io::TablePrinter::bytes(static_cast<double>(r.max_rank_bytes)),
@@ -134,6 +140,11 @@ int main(int argc, char** argv) {
                io::TablePrinter::bytes(static_cast<double>(r.max_rank_sent)),
                io::TablePrinter::bytes(static_cast<double>(r.sent_per_peer)),
                io::TablePrinter::time_s(r.comm_seconds),
+               io::TablePrinter::time_s(r.comm_modeled_seconds),
+               r.comm_seconds > 0.0
+                   ? io::TablePrinter::num(r.comm_modeled_seconds /
+                                           r.comm_seconds)
+                   : "-",
                io::TablePrinter::time_s(r.compute_seconds),
                io::TablePrinter::time_s(r.overlap_saved_seconds),
                io::TablePrinter::time_s(r.solve_seconds)});
@@ -154,13 +165,17 @@ int main(int argc, char** argv) {
           "{\"shards\": %d, \"bitwise_equal\": %s, \"total_bytes\": %lld, "
           "\"max_rank_bytes\": %lld, \"max_rank_bytes_sent\": %lld, "
           "\"max_rank_bytes_sent_per_peer\": %lld, "
-          "\"comm_seconds\": %.6g, \"compute_seconds\": %.6g, "
+          "\"comm_seconds\": %.6g, \"comm_modeled_seconds\": %.6g, "
+          "\"comm_model_skew\": %.6g, \"compute_seconds\": %.6g, "
           "\"overlap_saved_seconds\": %.6g, \"solve_seconds\": %.6g}%s\n",
           r.shards, r.bitwise_equal ? "true" : "false",
           static_cast<long long>(r.total_bytes),
           static_cast<long long>(r.max_rank_bytes),
           static_cast<long long>(r.max_rank_sent),
           static_cast<long long>(r.sent_per_peer), r.comm_seconds,
+          r.comm_modeled_seconds,
+          r.comm_seconds > 0.0 ? r.comm_modeled_seconds / r.comm_seconds
+                               : 0.0,
           r.compute_seconds, r.overlap_saved_seconds, r.solve_seconds,
           i + 1 < rows.size() ? "," : "");
     }

@@ -40,6 +40,21 @@ enum class SolverKind { CGLS, SIRT, GradientDescent, OsSirt, OsSart };
 
 [[nodiscard]] const char* to_string(SolverKind kind) noexcept;
 
+/// Operator-build autotuning policy (src/tune). The tuner micro-benchmarks
+/// a pruned kernel × schedule × partsize/buffsize candidate set on the
+/// actual traced matrix and resolves kernel/schedule/buffer to the measured
+/// winner before the operator is constructed. Measurement picks the CONFIG,
+/// never the arithmetic: a tuned build is bitwise identical to an untuned
+/// build forced to the same resolved config.
+enum class AutotuneMode {
+  Off,     ///< Use the config's kernel/schedule/buffer as given.
+  Cached,  ///< Replay a cached `.tune` decision when one exists (and is
+           ///< intact) in cache_dir; measure and record otherwise.
+  Force,   ///< Always re-measure; overwrites any cached decision.
+};
+
+[[nodiscard]] const char* to_string(AutotuneMode mode) noexcept;
+
 struct Config {
   /// Domain ordering; Hilbert is the paper's scheme, RowMajor the naive
   /// baseline, Morton the Section 3.2.3 comparison.
@@ -62,6 +77,15 @@ struct Config {
   /// (sparse/compressed.hpp), supported for the Baseline and Buffered
   /// kernels. Part of the operator identity (opkey suffix "-v<precision>").
   sparse::ValueStorage precision = sparse::ValueStorage::Fp32;
+
+  /// Operator-build autotuning (src/tune): Off keeps the fields above as
+  /// given; Cached/Force let the in-process tuner resolve kernel, schedule,
+  /// and buffer from measurements on the traced matrix (serial operator
+  /// path only — sharded/distributed builds ignore it). NOT part of the
+  /// operator identity: the registry and the Reconstructor key operators by
+  /// the RESOLVED config, so a tuned operator and an explicitly-configured
+  /// twin share one cache entry.
+  AutotuneMode autotune = AutotuneMode::Off;
 
   SolverKind solver = SolverKind::CGLS;
   int iterations = 30;      ///< Paper's CG default (full sweeps for OS).
@@ -122,5 +146,13 @@ struct Config {
   /// Machine whose interconnect models communication time (Table 2 name).
   std::string machine = "Theta";
 };
+
+/// Single source of truth for configuration-combination support: throws
+/// InvalidArgument for out-of-range scalar fields and the typed
+/// UnsupportedConfigError for pairwise flag conflicts (shards+ranks,
+/// shards+precision, ranks+precision, shards+kernel, kernel+precision).
+/// Called by the Reconstructor build path, serve admission, and the
+/// autotuner's candidate pruning, so all three agree on what is legal.
+void validate_config(const Config& config);
 
 }  // namespace memxct::core

@@ -95,14 +95,10 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
                              const Config& config)
     : geometry_(geometry), config_(config) {
   geometry_.validate();
-  MEMXCT_CHECK(config.num_ranks >= 1);
-  MEMXCT_CHECK(config.num_shards >= 1);
-  if (config_.num_shards > 1 &&
-      (config_.num_ranks > 1 || config_.force_distributed))
-    throw UnsupportedConfigError(
-        "--shards", "--ranks",
-        "the sharded serving path and the distributed simmpi path are "
-        "separate operator families; pick one");
+  // One gate for every illegal field combination (shards+ranks,
+  // shards/ranks+precision, kernel conflicts): the same call serve
+  // admission and the tuner's candidate pruning make.
+  validate_config(config_);
   perf::WallTimer total;
   perf::WallTimer phase;
 
@@ -144,15 +140,21 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
       (static_cast<std::int64_t>(a.num_rows) + a.num_cols) *
       static_cast<std::int64_t>(sizeof(real));
 
+  // Operator-build autotuning (src/tune): resolve kernel/schedule/buffer
+  // from measurements on the traced matrix before anything is built from
+  // it. Serial operator path only — the sharded/distributed families have
+  // their own layout constraints and ignore the flag.
+  if (config_.autotune != AutotuneMode::Off && config_.num_ranks == 1 &&
+      !config_.force_distributed && config_.num_shards == 1) {
+    phase.reset();
+    tune_report_ = tune::autotune_operator(geometry_, config_, a);
+    report_.tune_seconds = phase.seconds();
+  }
+
   if (config_.num_ranks > 1 || config_.force_distributed) {
     // Distributed path: steps 3-4 (transposition + plans) happen inside
-    // DistOperator per rank. No compressed local kernels exist there yet,
-    // so reduced precision is rejected rather than silently widened.
-    if (config_.precision != sparse::ValueStorage::Fp32)
-      throw UnsupportedConfigError(
-          "--ranks", "--precision",
-          "reduced-precision operators (bf16/fp16) are not supported on the "
-          "distributed path; use --precision fp32 or --ranks 1");
+    // DistOperator per rank (validate_config already rejected reduced
+    // precision here — no compressed local kernels exist yet).
     phase.reset();
     const auto sino_part =
         dist::partition_by_tiles(*sino_order_, config_.num_ranks);
@@ -173,19 +175,9 @@ Reconstructor::Reconstructor(const geometry::Geometry& geometry,
   } else if (config_.num_shards > 1) {
     // Sharded serving path: per-shard row slices of A and A^T with
     // precomputed halo-exchange plans (shard/sharded_operator.hpp). The
-    // shard slices are fp32 row copies of the traced matrix; compressed
-    // local slices don't exist yet, and only the Baseline/Buffered kernel
-    // families have shard-local forms.
-    if (config_.precision != sparse::ValueStorage::Fp32)
-      throw UnsupportedConfigError(
-          "--shards", "--precision",
-          "reduced-precision operators (bf16/fp16) are not supported on the "
-          "sharded path; use --precision fp32 or --shards 1");
-    if (config_.kernel != KernelKind::Baseline &&
-        config_.kernel != KernelKind::Buffered)
-      throw UnsupportedConfigError(
-          "--shards", "--kernel",
-          "the sharded path supports the baseline and buffered kernels only");
+    // shard slices are fp32 row copies of the traced matrix (validate_config
+    // already rejected reduced precision and non-Baseline/Buffered kernels
+    // here — no shard-local forms exist for them).
     phase.reset();
     shard::ShardedOperator::Options opt;
     opt.num_shards = config_.num_shards;

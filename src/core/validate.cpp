@@ -1,0 +1,49 @@
+// core::validate_config — the single source of truth for which Config field
+// combinations the pipeline supports. The Reconstructor ctor, serve
+// admission (Server::submit), and the autotuner's candidate pruning all call
+// this one function, so a combination is either legal everywhere or rejected
+// everywhere with the same typed error.
+#include "common/error.hpp"
+#include "core/config.hpp"
+
+namespace memxct::core {
+
+void validate_config(const Config& config) {
+  if (config.num_ranks < 1)
+    throw InvalidArgument("config: num_ranks must be >= 1");
+  if (config.num_shards < 1)
+    throw InvalidArgument("config: num_shards must be >= 1");
+
+  const bool distributed = config.num_ranks > 1 || config.force_distributed;
+  const bool sharded = config.num_shards > 1;
+  const bool reduced = config.precision != sparse::ValueStorage::Fp32;
+  const bool shardable_kernel = config.kernel == KernelKind::Baseline ||
+                                config.kernel == KernelKind::Buffered;
+
+  if (sharded && distributed)
+    throw UnsupportedConfigError(
+        "--shards", "--ranks",
+        "the sharded serving path and the distributed simmpi path are "
+        "separate operator families; pick one");
+  if (sharded && reduced)
+    throw UnsupportedConfigError(
+        "--shards", "--precision",
+        "reduced-precision operators (bf16/fp16) are not supported on the "
+        "sharded path; use --precision fp32 or --shards 1");
+  if (distributed && reduced)
+    throw UnsupportedConfigError(
+        "--ranks", "--precision",
+        "reduced-precision operators (bf16/fp16) are not supported on the "
+        "distributed path; use --precision fp32 or --ranks 1");
+  if (sharded && !shardable_kernel)
+    throw UnsupportedConfigError(
+        "--shards", "--kernel",
+        "the sharded path supports the baseline and buffered kernels only");
+  if (reduced && !shardable_kernel)
+    throw UnsupportedConfigError(
+        "--kernel", "--precision",
+        "compressed reduced-precision storage exists for the baseline and "
+        "buffered kernels only; use --precision fp32 or another kernel");
+}
+
+}  // namespace memxct::core

@@ -3,10 +3,13 @@
 // This host has no MPI; the distributed algorithm is nevertheless exercised
 // end-to-end by running every rank's program state in one process and
 // moving data between per-rank buffers through this runtime. Byte and
-// message counts are *exact* (what MPI_Alltoallv would transfer); wall time
-// for the network is modeled with the α–β parameters of the target machine
-// (perf::network_model), since loopback memcpy time says nothing about an
-// interconnect. A port to real MPI replaces only this class.
+// message counts are *exact* (what MPI_Alltoallv would transfer). Timing
+// exists in two tiers: each off-rank copy block is MEASURED as it runs
+// (CommStats::measured_us — what the exchange costs in this process), and
+// the α–β parameters of the target machine (perf::network_model) provide
+// the MODELED cost on the real interconnect (CommStats::modeled_us, charged
+// via charge_model), since loopback memcpy time says nothing about a
+// network. A port to real MPI replaces only this class.
 #pragma once
 
 #include <functional>
@@ -71,6 +74,17 @@ class SimComm {
   /// the α–β cost).
   [[nodiscard]] double last_exchange_seconds(
       const perf::MachineSpec& spec) const;
+
+  /// MEASURED wall time of the last exchange: the sum over ranks of their
+  /// timed copy blocks (every rank's copies ran serially in this process,
+  /// so the sum IS the exchange's in-process wall time).
+  [[nodiscard]] double last_exchange_measured_seconds() const;
+
+  /// Charges the α–β model cost of the last exchange into each rank's
+  /// modeled_us (both last- and cumulative-stats tiers) and returns the
+  /// modeled exchange wall time (max over ranks) — call once per exchange
+  /// to keep the model alongside the measurement.
+  double charge_model(const perf::MachineSpec& spec);
 
   void reset_stats();
 

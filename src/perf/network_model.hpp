@@ -18,12 +18,23 @@ struct CommStats {
   std::int64_t bytes_received = 0;
   std::int64_t messages_sent = 0;      ///< Nonempty pairwise sends.
   std::int64_t messages_received = 0;  ///< Nonempty pairwise receives.
+  /// Measured wall time of this rank's outgoing copy blocks (the actual
+  /// in-process data movement, including any fault-hook/validation work) —
+  /// what the exchange really cost on THIS host.
+  double measured_us = 0.0;
+  /// α–β model charge for the same traffic on the configured machine —
+  /// what the exchange would cost on the TARGET interconnect. Kept
+  /// alongside the measurement so benches can report model-vs-measured
+  /// skew.
+  double modeled_us = 0.0;
 
   CommStats& operator+=(const CommStats& o) noexcept {
     bytes_sent += o.bytes_sent;
     bytes_received += o.bytes_received;
     messages_sent += o.messages_sent;
     messages_received += o.messages_received;
+    measured_us += o.measured_us;
+    modeled_us += o.modeled_us;
     return *this;
   }
 };

@@ -49,6 +49,7 @@ enum class BlobKind : std::uint32_t {
   Vector = 2,
   Checkpoint = 3,
   CompressedCsr = 4,
+  TunedChoice = 5,  ///< Autotuner decision record (src/tune, `.tune` files).
 };
 
 /// Accumulates a typed payload in memory. Scalars are written raw

@@ -98,29 +98,11 @@ std::int64_t Server::submit(const geometry::Geometry& geometry,
                           std::to_string(sinogram.size()) +
                           " does not match the geometry");
   // Typed flag-conflict rejections first: a client combining individually
-  // valid knobs learns exactly which pair to change (satellite of the
-  // sharded-serving subsystem; same checks as the Reconstructor ctor, but
-  // raised at admission so the request never occupies a queue slot).
-  if ((config.num_ranks != 1 || config.force_distributed) &&
-      config.precision != sparse::ValueStorage::Fp32)
-    throw UnsupportedConfigError(
-        "--ranks", "--precision",
-        "reduced-precision operators (bf16/fp16) are not supported on the "
-        "distributed path; use --precision fp32 or --ranks 1");
-  if (config.num_shards > 1 &&
-      config.precision != sparse::ValueStorage::Fp32)
-    throw UnsupportedConfigError(
-        "--shards", "--precision",
-        "reduced-precision operators (bf16/fp16) are not supported on the "
-        "sharded path; use --precision fp32 or --shards 1");
-  if (config.num_shards > 1 &&
-      (config.num_ranks != 1 || config.force_distributed))
-    throw UnsupportedConfigError(
-        "--shards", "--ranks",
-        "the sharded serving path and the distributed simmpi path are "
-        "separate operator families; pick one");
-  if (config.num_shards < 1)
-    throw InvalidArgument("serve: num_shards must be >= 1");
+  // valid knobs learns exactly which pair to change. core::validate_config
+  // is the same single gate the Reconstructor ctor and the autotuner's
+  // candidate pruning use, raised here at admission so an illegal request
+  // never occupies a queue slot.
+  core::validate_config(config);
   if (config.num_ranks != 1 || config.force_distributed)
     throw InvalidArgument(
         "serve: serving requires a viewable operator path "
@@ -563,6 +545,7 @@ void Server::worker_main() {
       shard_metrics_.comm_seconds +=
           st.comm_seconds - st.overlap_saved_seconds;
       shard_metrics_.compute_seconds += st.compute_seconds;
+      shard_metrics_.comm_modeled_seconds += st.comm_modeled_seconds;
       shard_metrics_.overlap_saved_seconds += st.overlap_saved_seconds;
     }
 

@@ -115,11 +115,14 @@ struct ShardServeMetrics {
   /// Sized to the widest shard count seen.
   std::vector<std::int64_t> rank_bytes_sent;
   std::vector<std::int64_t> rank_bytes_received;
-  /// Modeled exchange time actually charged to the critical path (after
+  /// MEASURED exchange time actually charged to the critical path (after
   /// overlap) vs. measured compute wall time, summed over applies.
   double comm_seconds = 0.0;
   double compute_seconds = 0.0;
-  /// Modeled exchange time hidden behind compute by the tile pipeline.
+  /// The same exchanges' α–β model cost (target interconnect), kept
+  /// alongside the measurement for model-vs-measured skew.
+  double comm_modeled_seconds = 0.0;
+  /// Measured exchange time hidden behind compute by the tile pipeline.
   double overlap_saved_seconds = 0.0;
 };
 

@@ -236,7 +236,11 @@ double ShardedOperator::run_exchange(const Side& side, SideState& state,
     comm_.alltoallv(state.send,
                     k > 1 ? state.scaled_displ[ri] : round.send_displ,
                     state.recv);
-    seconds += comm_.last_exchange_seconds(storage_->opt.machine);
+    // Measured copy time drives the pipeline accounting; the α–β model of
+    // the same round is charged alongside for skew reporting.
+    seconds += comm_.last_exchange_measured_seconds();
+    stats_.comm_modeled_seconds +=
+        comm_.charge_model(storage_->opt.machine);
     if (round.to_staging) {
       for (int p = 0; p < P; ++p) {
         const auto sp = static_cast<std::size_t>(p);

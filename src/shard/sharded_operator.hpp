@@ -59,13 +59,19 @@ struct ShardApplyStats {
   std::int64_t applies = 0;
   double compute_seconds = 0.0;      ///< Max-over-shards local kernel time.
   double compute_sum_seconds = 0.0;  ///< Total single-core kernel work.
-  double comm_seconds = 0.0;         ///< Modeled exchange time.
+  /// MEASURED exchange time: the timed per-round copy blocks of the actual
+  /// in-process data movement (SimComm's measured tier).
+  double comm_seconds = 0.0;
+  /// The same exchanges' α–β model cost on the configured machine, kept
+  /// alongside the measurement so model-vs-measured skew is observable
+  /// (bench_shard_scaling reports it).
+  double comm_modeled_seconds = 0.0;
   double overlap_saved_seconds = 0.0;
   std::int64_t cancel_polls = 0;
   std::int64_t depipelined_tiles = 0;  ///< Prefetches skipped after a
                                        ///< cancel/deadline poll fired.
 
-  /// Modeled wall seconds: compute plus the comm the pipeline failed to hide.
+  /// Wall seconds: compute plus the comm the pipeline failed to hide.
   [[nodiscard]] double total() const noexcept {
     return compute_seconds + comm_seconds - overlap_saved_seconds;
   }

@@ -130,7 +130,9 @@ TEST(CoreExtra, RejectsInvalidRankCount) {
   const auto spec = phantom::dataset("ADS1").scaled_by(16);
   Config config;
   config.num_ranks = 0;
-  EXPECT_THROW(Reconstructor(spec.geometry(), config), InvariantError);
+  // validate_config classifies a bad rank count as a caller error, not an
+  // internal invariant violation.
+  EXPECT_THROW(Reconstructor(spec.geometry(), config), InvalidArgument);
 }
 
 }  // namespace
